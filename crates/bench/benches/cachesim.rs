@@ -1,0 +1,107 @@
+//! Benchmarks of the cache-simulation substrate: access throughput per
+//! replacement policy, partitioned vs shared fills, and trace generation.
+
+use cachesim::cache::{CacheConfig, SetAssocCache};
+use cachesim::partition::PartitionedCache;
+use cachesim::policy::Policy;
+use cachesim::trace::{Pattern, TraceGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const ACCESSES: u64 = 100_000;
+
+fn llc_config(policy: Policy) -> CacheConfig {
+    CacheConfig {
+        size_bytes: 2 << 20, // 2 MiB
+        line_size: 64,
+        ways: 16,
+        policy,
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(ACCESSES));
+    for policy in Policy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cache = SetAssocCache::new(llc_config(policy));
+                    let mut generator =
+                        TraceGenerator::new(Pattern::pareto(0.5, 64.0), 42);
+                    for _ in 0..ACCESSES {
+                        black_box(cache.access(generator.next_address()));
+                    }
+                    cache.stats().miss_rate()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioned_access");
+    group
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(ACCESSES));
+    for (label, enforce) in [("enforced", true), ("shared", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cache = if enforce {
+                    PartitionedCache::from_fractions(llc_config(Policy::Lru), &[0.5, 0.5])
+                } else {
+                    let full = cachesim::partition::WayMask::contiguous(0, 16);
+                    PartitionedCache::new(llc_config(Policy::Lru), vec![full; 2], false)
+                };
+                let mut g0 = TraceGenerator::new(Pattern::pareto(0.5, 64.0), 1);
+                let mut g1 = TraceGenerator::new(Pattern::pareto(0.5, 64.0), 2);
+                for i in 0..ACCESSES {
+                    if i % 2 == 0 {
+                        black_box(cache.access(0, g0.next_address()));
+                    } else {
+                        black_box(cache.access(1, (1 << 40) | g1.next_address()));
+                    }
+                }
+                cache.stats().miss_rate()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(ACCESSES));
+    let patterns: Vec<(&str, Pattern)> = vec![
+        ("stream", Pattern::Stream { footprint_lines: 1 << 16 }),
+        ("uniform", Pattern::UniformRandom { footprint_lines: 1 << 16 }),
+        ("zipf", Pattern::Zipf { footprint_lines: 1 << 14, exponent: 1.1 }),
+        ("pareto", Pattern::pareto(0.5, 32.0)),
+    ];
+    for (name, pattern) in patterns {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut generator = TraceGenerator::new(pattern.clone(), 7);
+                let mut acc = 0u64;
+                for _ in 0..ACCESSES {
+                    acc = acc.wrapping_add(generator.next_address());
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_partitioned, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! One Criterion benchmark per regenerated table/figure.
+//!
+//! Each `bench_figXX` / `bench_table2` target times the corresponding
+//! experiment driver end to end (sweep + statistics) at a reduced
+//! repetition count, so `cargo bench` exercises every code path that
+//! produces a paper artefact. Run the `run_experiments` binary for the
+//! full 50-repetition figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{registry, ExpConfig};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = ExpConfig {
+        reps: 3,
+        threads: 1,
+        seed: 42,
+    };
+    for e in registry() {
+        // `table2` and `validation` run the trace-driven simulators and are
+        // benched with a single repetition.
+        let cfg = if matches!(e.id, "table2" | "validation") {
+            ExpConfig {
+                reps: 1,
+                threads: 1,
+                seed: 42,
+            }
+        } else {
+            cfg
+        };
+        let mut group = c.benchmark_group("figures");
+        group
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(500))
+            .measurement_time(std::time::Duration::from_secs(2));
+        group.bench_function(format!("bench_{}", e.id), |b| {
+            b.iter(|| black_box((e.run)(&cfg)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

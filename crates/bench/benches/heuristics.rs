@@ -1,0 +1,85 @@
+//! Benchmarks of the scheduling algorithms themselves.
+//!
+//! The paper reports that all heuristics complete "within a very small
+//! time (less than ten seconds in the worst of the settings used)"; these
+//! benches quantify that claim for this implementation across instance
+//! sizes, strategies, and the exact solver.
+
+use coschedule::algo::{exact, Strategy};
+use coschedule::model::{ExecModel, Platform};
+use coschedule::theory::{cache_alloc, dominance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use workloads::synth::{Dataset, SeqFraction};
+
+fn bench_strategies(c: &mut Criterion) {
+    let platform = Platform::taihulight();
+    let mut group = c.benchmark_group("strategy_run");
+    group
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[16usize, 64, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let apps = Dataset::NpbSynth.generate(n, SeqFraction::paper_default(), &mut rng);
+        let mut strategies = Strategy::all_coscheduling();
+        strategies.push(Strategy::AllProcCache);
+        for s in strategies {
+            group.bench_with_input(
+                BenchmarkId::new(s.name(), n),
+                &apps,
+                |b, apps| {
+                    b.iter(|| {
+                        let mut r = StdRng::seed_from_u64(7);
+                        black_box(s.run(apps, &platform, &mut r).unwrap().makespan)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_theory_primitives(c: &mut Criterion) {
+    let platform = Platform::taihulight();
+    let mut rng = StdRng::seed_from_u64(2);
+    let apps = Dataset::Random.generate(256, SeqFraction::Zero, &mut rng);
+    let models = ExecModel::of_all(&apps, &platform);
+    let full = dominance::Partition::all(apps.len());
+
+    c.bench_function("dominance_check_256", |b| {
+        b.iter(|| black_box(dominance::is_dominant(&models, &full)));
+    });
+    c.bench_function("theorem3_fractions_256", |b| {
+        b.iter(|| black_box(cache_alloc::optimal_cache_fractions(&models, &full)));
+    });
+    c.bench_function("exec_model_derivation_256", |b| {
+        b.iter(|| black_box(ExecModel::of_all(&apps, &platform)));
+    });
+}
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let platform = Platform::taihulight().with_cache_size(150e6);
+    let mut group = c.benchmark_group("exact_solver");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[8usize, 12, 16] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let apps = Dataset::Random.generate(n, SeqFraction::Zero, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &apps, |b, apps| {
+            b.iter(|| black_box(exact::exact_perfectly_parallel(apps, &platform).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_theory_primitives,
+    bench_exact_solver
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Benchmarks of the discrete co-execution simulator (cosim): end-to-end
+//! schedule execution and model validation.
+
+use coschedule::algo::{BuildOrder, Choice, Strategy};
+use coschedule::model::{Application, Platform};
+use cosim::{validate_schedule, CoSimConfig, CoSimulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn platform() -> Platform {
+    Platform {
+        processors: 16.0,
+        cache_size: 640e6,
+        ref_cache_size: 40e6,
+        latency_cache: 0.17,
+        latency_mem: 1.0,
+        alpha: 0.5,
+    }
+}
+
+fn instance(n: usize) -> Vec<Application> {
+    (0..n)
+        .map(|i| {
+            Application::perfectly_parallel(
+                format!("B{i}"),
+                4e6 + i as f64 * 1e6,
+                0.5 + 0.05 * (i % 5) as f64,
+                0.2 + 0.05 * (i % 4) as f64,
+            )
+        })
+        .collect()
+}
+
+fn bench_cosim(c: &mut Criterion) {
+    let p = platform();
+    let mut group = c.benchmark_group("cosim_run");
+    group
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[2usize, 4, 8] {
+        let apps = instance(n);
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+            .run(&apps, &p, &mut rng)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &apps, |b, apps| {
+            b.iter(|| {
+                let cfg = CoSimConfig {
+                    work_scale: 5e-3,
+                    ..CoSimConfig::default()
+                };
+                black_box(CoSimulator::new(apps, &p, &outcome.schedule, cfg).run().makespan)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let p = platform();
+    let apps = instance(4);
+    let mut rng = StdRng::seed_from_u64(0);
+    let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+        .run(&apps, &p, &mut rng)
+        .unwrap();
+    let mut group = c.benchmark_group("cosim_validate");
+    group
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("validate_4_apps", |b| {
+        b.iter(|| {
+            let cfg = CoSimConfig {
+                work_scale: 5e-3,
+                ..CoSimConfig::default()
+            };
+            black_box(validate_schedule(&apps, &p, &outcome.schedule, cfg).relative_error)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosim, bench_validation);
+criterion_main!(benches);

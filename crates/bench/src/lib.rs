@@ -1,0 +1,1 @@
+//! Benchmark crate: see `benches/` for the Criterion targets.

@@ -1,0 +1,262 @@
+//! Replacement policies for [`crate::cache::SetAssocCache`].
+//!
+//! Victim selection is always performed **within a way mask** so the same
+//! machinery serves both unpartitioned caches (full mask) and CAT-style
+//! way-partitioned caches (per-application masks).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// Replacement policy of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Least-recently-used: evicts the way with the oldest last-touch time.
+    Lru,
+    /// First-in-first-out: evicts the way filled the longest ago.
+    Fifo,
+    /// Uniformly random victim among the allowed ways.
+    Random,
+    /// Tree-PLRU approximation of LRU (binary decision tree per set).
+    /// Within a proper subset of ways the tree walk is projected onto the
+    /// mask by falling back to the oldest-touch way in the mask.
+    TreePlru,
+}
+
+impl Policy {
+    /// All policies, for sweep-style tests and benches.
+    pub const ALL: [Policy; 4] = [Self::Lru, Self::Fifo, Self::Random, Self::TreePlru];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Lru => "LRU",
+            Self::Fifo => "FIFO",
+            Self::Random => "Random",
+            Self::TreePlru => "Tree-PLRU",
+        }
+    }
+}
+
+/// Per-cache replacement state. Timestamps (`touch`/`fill`) are stored per
+/// way; Tree-PLRU additionally keeps one bit-tree per set.
+#[derive(Debug, Clone)]
+pub(crate) struct ReplacementState {
+    policy: Policy,
+    ways: usize,
+    /// Last-touch logical time per (set, way).
+    touch: Vec<u64>,
+    /// Fill logical time per (set, way).
+    fill: Vec<u64>,
+    /// Tree-PLRU bits per set (supports up to 64 ways).
+    tree: Vec<u64>,
+    clock: u64,
+    rng: SmallRng,
+}
+
+impl ReplacementState {
+    pub(crate) fn new(policy: Policy, sets: usize, ways: usize, seed: u64) -> Self {
+        assert!(ways <= 64, "at most 64 ways supported");
+        Self {
+            policy,
+            ways,
+            touch: vec![0; sets * ways],
+            fill: vec![0; sets * ways],
+            tree: vec![0; sets],
+            clock: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Notes a hit (or a fresh fill) on `way` of `set`.
+    pub(crate) fn on_touch(&mut self, set: usize, way: usize, is_fill: bool) {
+        self.clock += 1;
+        let i = self.idx(set, way);
+        self.touch[i] = self.clock;
+        if is_fill {
+            self.fill[i] = self.clock;
+        }
+        if self.policy == Policy::TreePlru {
+            self.update_tree(set, way);
+        }
+    }
+
+    /// Picks the victim way within `mask` (must be non-empty and contain
+    /// only valid ways).
+    pub(crate) fn victim(&mut self, set: usize, mask: u64) -> usize {
+        debug_assert!(mask != 0, "victim selection over empty mask");
+        match self.policy {
+            Policy::Lru => self.oldest_by(set, mask, /*use_fill=*/ false),
+            Policy::Fifo => self.oldest_by(set, mask, /*use_fill=*/ true),
+            Policy::Random => {
+                let candidates: Vec<usize> =
+                    (0..self.ways).filter(|w| mask >> w & 1 == 1).collect();
+                candidates[self.rng.random_range(0..candidates.len())]
+            }
+            Policy::TreePlru => {
+                let w = self.tree_walk(set);
+                if mask >> w & 1 == 1 {
+                    w
+                } else {
+                    // Projected fallback: LRU within the mask.
+                    self.oldest_by(set, mask, false)
+                }
+            }
+        }
+    }
+
+    fn oldest_by(&self, set: usize, mask: u64, use_fill: bool) -> usize {
+        let src = if use_fill { &self.fill } else { &self.touch };
+        (0..self.ways)
+            .filter(|w| mask >> w & 1 == 1)
+            .min_by_key(|&w| src[set * self.ways + w])
+            .expect("non-empty mask")
+    }
+
+    /// Walks the PLRU tree towards the pseudo-least-recently-used way.
+    fn tree_walk(&self, set: usize) -> usize {
+        let bits = self.tree[set];
+        let mut node = 0usize; // root of implicit binary tree
+        let mut lo = 0usize;
+        let mut hi = self.ways; // [lo, hi) leaf range
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            // bit = 1 means "left half is more recent, go right".
+            if bits >> node & 1 == 1 {
+                lo = mid;
+                node = 2 * node + 2;
+            } else {
+                hi = mid;
+                node = 2 * node + 1;
+            }
+        }
+        lo
+    }
+
+    /// Flips the tree bits on the path to `way` so the walk avoids it.
+    fn update_tree(&mut self, set: usize, way: usize) {
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        let mut bits = self.tree[set];
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if way < mid {
+                // Touched the left half: point the walk right (bit = 1).
+                bits |= 1 << node;
+                hi = mid;
+                node = 2 * node + 1;
+            } else {
+                bits &= !(1 << node);
+                lo = mid;
+                node = 2 * node + 2;
+            }
+        }
+        self.tree[set] = bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_mask(ways: usize) -> u64 {
+        if ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << ways) - 1
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut st = ReplacementState::new(Policy::Lru, 1, 4, 0);
+        for w in 0..4 {
+            st.on_touch(0, w, true);
+        }
+        st.on_touch(0, 0, false); // refresh way 0
+        assert_eq!(st.victim(0, full_mask(4)), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut st = ReplacementState::new(Policy::Fifo, 1, 4, 0);
+        for w in 0..4 {
+            st.on_touch(0, w, true);
+        }
+        st.on_touch(0, 0, false); // touch but no fill
+        assert_eq!(st.victim(0, full_mask(4)), 0);
+    }
+
+    #[test]
+    fn lru_respects_mask() {
+        let mut st = ReplacementState::new(Policy::Lru, 1, 4, 0);
+        for w in 0..4 {
+            st.on_touch(0, w, true);
+        }
+        // Oldest is way 0 but the mask only allows ways 2 and 3.
+        assert_eq!(st.victim(0, 0b1100), 2);
+    }
+
+    #[test]
+    fn random_stays_inside_mask() {
+        let mut st = ReplacementState::new(Policy::Random, 1, 8, 7);
+        for _ in 0..200 {
+            let v = st.victim(0, 0b1010_0000);
+            assert!(v == 5 || v == 7);
+        }
+    }
+
+    #[test]
+    fn random_hits_all_allowed_ways() {
+        let mut st = ReplacementState::new(Policy::Random, 1, 4, 3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[st.victim(0, full_mask(4))] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn plru_walk_avoids_recent_way() {
+        let mut st = ReplacementState::new(Policy::TreePlru, 1, 4, 0);
+        for w in 0..4 {
+            st.on_touch(0, w, true);
+        }
+        let v = st.victim(0, full_mask(4));
+        // Way 3 was touched last; PLRU must not pick it.
+        assert_ne!(v, 3);
+    }
+
+    #[test]
+    fn plru_is_exact_lru_for_two_ways() {
+        let mut st = ReplacementState::new(Policy::TreePlru, 1, 2, 0);
+        st.on_touch(0, 0, true);
+        st.on_touch(0, 1, true);
+        assert_eq!(st.victim(0, 0b11), 0);
+        st.on_touch(0, 0, false);
+        assert_eq!(st.victim(0, 0b11), 1);
+    }
+
+    #[test]
+    fn plru_masked_fallback_is_in_mask() {
+        let mut st = ReplacementState::new(Policy::TreePlru, 1, 8, 0);
+        for w in 0..8 {
+            st.on_touch(0, w, true);
+        }
+        for mask in [0b0000_0001u64, 0b1000_0000, 0b0011_0000] {
+            let v = st.victim(0, mask);
+            assert!(mask >> v & 1 == 1, "victim {v} outside mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn policies_have_names() {
+        for p in Policy::ALL {
+            assert!(!p.name().is_empty());
+        }
+    }
+}

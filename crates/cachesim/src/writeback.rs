@@ -1,0 +1,194 @@
+//! Write-back / write-allocate semantics on top of the core cache.
+//!
+//! The scheduling model charges every access the same `ls`/`ll` costs, but
+//! a real partitioned LLC also generates write-back traffic when dirty
+//! lines are evicted — an effect the co-execution simulator can optionally
+//! account for. This wrapper tracks dirty bits per resident line and
+//! counts the write-backs caused by evictions.
+
+use crate::cache::{AccessOutcome, CacheConfig, SetAssocCache};
+use crate::stats::AccessStats;
+use std::collections::HashSet;
+
+/// Kind of access issued to a [`WritebackCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Read: allocates on miss, does not dirty the line.
+    Read,
+    /// Write: allocates on miss (write-allocate) and dirties the line.
+    Write,
+}
+
+/// Write-back statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WritebackStats {
+    /// Dirty lines written back to memory on eviction.
+    pub writebacks: u64,
+    /// Write accesses observed.
+    pub writes: u64,
+    /// Read accesses observed.
+    pub reads: u64,
+}
+
+/// A write-back, write-allocate cache: wraps [`SetAssocCache`] with dirty
+/// tracking.
+#[derive(Debug, Clone)]
+pub struct WritebackCache {
+    inner: SetAssocCache,
+    dirty: HashSet<u64>,
+    stats: WritebackStats,
+}
+
+impl WritebackCache {
+    /// Builds a write-back cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            inner: SetAssocCache::new(config),
+            dirty: HashSet::new(),
+            stats: WritebackStats::default(),
+        }
+    }
+
+    /// Issues one access; returns the underlying outcome and whether the
+    /// access caused a write-back of an evicted dirty line.
+    pub fn access(&mut self, addr: u64, kind: Access) -> (AccessOutcome, bool) {
+        match kind {
+            Access::Read => self.stats.reads += 1,
+            Access::Write => self.stats.writes += 1,
+        }
+        let line = addr & !(self.inner.config().line_size - 1);
+        let outcome = self.inner.access(addr);
+        let mut wrote_back = false;
+        if let AccessOutcome::Miss { evicted: Some(e) } = outcome {
+            if self.dirty.remove(&e) {
+                self.stats.writebacks += 1;
+                wrote_back = true;
+            }
+        }
+        if kind == Access::Write {
+            self.dirty.insert(line);
+        }
+        (outcome, wrote_back)
+    }
+
+    /// Flushes the cache: all dirty residents are written back.
+    pub fn flush(&mut self) -> u64 {
+        let flushed = self.dirty.len() as u64;
+        self.stats.writebacks += flushed;
+        self.dirty.clear();
+        self.inner.flush();
+        flushed
+    }
+
+    /// Hit/miss statistics of the underlying cache.
+    pub fn cache_stats(&self) -> &AccessStats {
+        self.inner.stats()
+    }
+
+    /// Write-back statistics.
+    pub fn writeback_stats(&self) -> &WritebackStats {
+        &self.stats
+    }
+
+    /// Number of currently dirty resident lines.
+    pub fn dirty_lines(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+
+    fn cache() -> WritebackCache {
+        WritebackCache::new(CacheConfig {
+            size_bytes: 4 * 64 * 2, // 4 sets, 2 ways
+            line_size: 64,
+            ways: 2,
+            policy: Policy::Lru,
+        })
+    }
+
+    #[test]
+    fn reads_never_write_back() {
+        let mut c = cache();
+        for i in 0..100u64 {
+            let (_, wb) = c.access(i * 64, Access::Read);
+            assert!(!wb);
+        }
+        assert_eq!(c.writeback_stats().writebacks, 0);
+        assert_eq!(c.writeback_stats().reads, 100);
+    }
+
+    #[test]
+    fn evicting_dirty_line_writes_back() {
+        let mut c = cache();
+        let set0 = |i: u64| i * 4 * 64; // all map to set 0
+        c.access(set0(0), Access::Write);
+        c.access(set0(1), Access::Read);
+        // Third distinct line evicts line 0 (LRU), which is dirty.
+        let (_, wb) = c.access(set0(2), Access::Read);
+        assert!(wb);
+        assert_eq!(c.writeback_stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = cache();
+        let set0 = |i: u64| i * 4 * 64;
+        c.access(set0(0), Access::Read);
+        c.access(set0(1), Access::Read);
+        let (_, wb) = c.access(set0(2), Access::Read);
+        assert!(!wb);
+        assert_eq!(c.writeback_stats().writebacks, 0);
+    }
+
+    #[test]
+    fn rewriting_a_line_keeps_one_dirty_entry() {
+        let mut c = cache();
+        c.access(0x40, Access::Write);
+        c.access(0x40, Access::Write);
+        c.access(0x44, Access::Write); // same line
+        assert_eq!(c.dirty_lines(), 1);
+        assert_eq!(c.writeback_stats().writes, 3);
+    }
+
+    #[test]
+    fn flush_writes_back_all_dirty() {
+        let mut c = cache();
+        // Distinct sets so nothing is evicted before the flush.
+        c.access(0x000, Access::Write); // set 0
+        c.access(0x040, Access::Write); // set 1
+        c.access(0x080, Access::Read); // set 2
+        assert_eq!(c.flush(), 2);
+        assert_eq!(c.writeback_stats().writebacks, 2);
+        assert_eq!(c.dirty_lines(), 0);
+        // Everything is gone after the flush.
+        assert!(!c.access(0x000, Access::Read).0.is_hit());
+    }
+
+    #[test]
+    fn dirty_line_reloaded_after_writeback_is_clean() {
+        let mut c = cache();
+        let set0 = |i: u64| i * 4 * 64;
+        c.access(set0(0), Access::Write);
+        c.access(set0(1), Access::Read);
+        c.access(set0(2), Access::Read); // evicts dirty 0 -> write-back
+        c.access(set0(1), Access::Read); // keep 1 warm
+        c.access(set0(0), Access::Read); // reload 0, clean now (evicts 2)
+        c.access(set0(3), Access::Read); // evicts LRU: line 1 (clean)
+        assert_eq!(c.writeback_stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_heavy_stream_writes_back_proportionally() {
+        let mut c = cache();
+        // Stream 1000 distinct lines, all written: every eviction is dirty.
+        for i in 0..1000u64 {
+            c.access(i * 64, Access::Write);
+        }
+        // 8 lines stay resident; the rest were evicted dirty.
+        assert_eq!(c.writeback_stats().writebacks, 1000 - 8);
+    }
+}

@@ -1,0 +1,205 @@
+//! Baseline strategies of §6.3: AllProcCache, Fair, 0cache, RandomPart.
+
+use crate::algo::outcome::Outcome;
+use crate::error::Result;
+use crate::model::{sequential_makespan, Application, ExecModel, Platform, Schedule};
+use crate::theory::cache_alloc::optimal_cache_fractions;
+use crate::theory::dominance::Partition;
+use crate::theory::proc_alloc::equal_finish_split;
+use rand::{Rng, RngExt as _};
+
+/// AllProcCache: no co-scheduling at all — applications run **sequentially**,
+/// each with all `p` processors and the whole LLC. The reported makespan is
+/// the sum of the individual execution times; the recorded per-application
+/// assignment is `(p, 1)`.
+pub fn all_proc_cache(apps: &[Application], platform: &Platform) -> Result<Outcome> {
+    crate::model::validate_instance(apps)?;
+    let schedule = Schedule {
+        assignments: apps
+            .iter()
+            .map(|_| crate::model::Assignment::new(platform.processors, 1.0))
+            .collect(),
+    };
+    Ok(Outcome {
+        makespan: sequential_makespan(apps, platform),
+        schedule,
+        partition: Partition::all(apps.len()),
+        concurrent: false,
+    })
+}
+
+/// Fair: `p_i = p/n` processors and a cache share proportional to the access
+/// frequency, `x_i = f_i / Σ_j f_j`. No equal-finish rebalancing.
+pub fn fair(apps: &[Application], platform: &Platform) -> Result<Outcome> {
+    crate::model::validate_instance(apps)?;
+    let n = apps.len() as f64;
+    let total_freq: f64 = apps.iter().map(|a| a.access_freq).sum();
+    let cache: Vec<f64> = if total_freq > 0.0 {
+        apps.iter().map(|a| a.access_freq / total_freq).collect()
+    } else {
+        vec![1.0 / n; apps.len()]
+    };
+    let procs = vec![platform.processors / n; apps.len()];
+    let schedule = Schedule::from_parts(&procs, &cache);
+    let makespan = schedule.makespan(apps, platform);
+    Ok(Outcome {
+        makespan,
+        schedule,
+        partition: Partition::all(apps.len()),
+        concurrent: true,
+    })
+}
+
+/// 0cache: nobody gets any cache (`x_i = 0`, every access misses); the
+/// processors are split so that all applications finish simultaneously.
+pub fn zero_cache(apps: &[Application], platform: &Platform) -> Result<Outcome> {
+    crate::model::validate_instance(apps)?;
+    let cache = vec![0.0; apps.len()];
+    let ef = equal_finish_split(apps, platform, &cache)?;
+    Ok(Outcome {
+        makespan: ef.makespan,
+        schedule: Schedule::from_parts(&ef.procs, &cache),
+        partition: Partition::empty(),
+        concurrent: true,
+    })
+}
+
+/// RandomPart: a uniformly random subset of applications shares the cache
+/// (each application is included with probability ½); their fractions use
+/// the Theorem-3 closed form, and processors are split to equalise finish
+/// times.
+pub fn random_part<R: Rng + ?Sized>(
+    apps: &[Application],
+    platform: &Platform,
+    rng: &mut R,
+) -> Result<Outcome> {
+    crate::model::validate_instance(apps)?;
+    let models = ExecModel::of_all(apps, platform);
+    let members: Vec<usize> = (0..apps.len()).filter(|_| rng.random::<bool>()).collect();
+    let partition = Partition::new(members);
+    let cache = optimal_cache_fractions(&models, &partition);
+    let ef = equal_finish_split(apps, platform, &cache)?;
+    Ok(Outcome {
+        makespan: ef.makespan,
+        schedule: Schedule::from_parts(&ef.procs, &cache),
+        partition,
+        concurrent: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn apps() -> Vec<Application> {
+        vec![
+            Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+            Application::new("BT", 2.10e11, 0.08, 0.829, 7.31e-3),
+            Application::new("SP", 1.38e11, 0.02, 0.762, 1.51e-2),
+            Application::new("MG", 1.23e10, 0.10, 0.540, 2.62e-2),
+        ]
+    }
+
+    fn pf() -> Platform {
+        Platform::taihulight()
+    }
+
+    #[test]
+    fn all_proc_cache_sums_solo_runtimes() {
+        let o = all_proc_cache(&apps(), &pf()).unwrap();
+        assert!(!o.concurrent);
+        assert_eq!(o.schedule.len(), 4);
+        let expected = sequential_makespan(&apps(), &pf());
+        assert_eq!(o.makespan, expected);
+    }
+
+    #[test]
+    fn fair_splits_processors_evenly_and_cache_by_frequency() {
+        let a = apps();
+        let o = fair(&a, &pf()).unwrap();
+        let total_f: f64 = a.iter().map(|x| x.access_freq).sum();
+        for (i, asg) in o.schedule.assignments.iter().enumerate() {
+            assert!((asg.procs - 64.0).abs() < 1e-12);
+            assert!((asg.cache - a[i].access_freq / total_f).abs() < 1e-12);
+        }
+        assert!((o.schedule.total_cache() - 1.0).abs() < 1e-12);
+        assert!(o.concurrent);
+    }
+
+    #[test]
+    fn fair_handles_zero_frequencies() {
+        let mut a = apps();
+        for app in &mut a {
+            app.access_freq = 0.0;
+        }
+        let o = fair(&a, &pf()).unwrap();
+        for asg in &o.schedule.assignments {
+            assert!((asg.cache - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_cache_gives_no_cache_and_equalises() {
+        let a = apps();
+        let o = zero_cache(&a, &pf()).unwrap();
+        assert_eq!(o.schedule.total_cache(), 0.0);
+        assert!(o.partition.is_empty());
+        assert!(o.schedule.is_equal_finish(&a, &pf(), 1e-8));
+        assert!((o.schedule.total_procs() - 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_cache_matches_full_miss_makespan() {
+        // For perfectly parallel apps the 0cache makespan has a closed form:
+        // (1/p) * sum of full-miss sequential costs.
+        let a: Vec<Application> = apps()
+            .into_iter()
+            .map(|x| x.with_seq_fraction(0.0))
+            .collect();
+        let o = zero_cache(&a, &pf()).unwrap();
+        let expected: f64 = a
+            .iter()
+            .map(|x| crate::model::seq_cost_full_miss(x, &pf()))
+            .sum::<f64>()
+            / 256.0;
+        assert!((o.makespan - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn random_part_is_feasible_and_equal_finish() {
+        let a = apps();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let o = random_part(&a, &pf(), &mut rng).unwrap();
+            o.schedule.validate(&a, &pf()).unwrap();
+            assert!(o.schedule.is_equal_finish(&a, &pf(), 1e-8));
+        }
+    }
+
+    #[test]
+    fn random_part_partition_varies_with_seed() {
+        let a = apps();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let o = random_part(&a, &pf(), &mut rng).unwrap();
+            seen.insert(o.partition.members().to_vec());
+        }
+        assert!(seen.len() > 1, "partitions never varied");
+    }
+
+    #[test]
+    fn zero_cache_never_beats_a_cached_equal_finish_split() {
+        // Giving the whole cache via Theorem 3 to everyone can only help
+        // relative to no cache at all (same proc-allocation machinery).
+        let a = apps();
+        let models = ExecModel::of_all(&a, &pf());
+        let part = Partition::all(a.len());
+        let x = optimal_cache_fractions(&models, &part);
+        let cached = equal_finish_split(&a, &pf(), &x).unwrap().makespan;
+        let zc = zero_cache(&a, &pf()).unwrap().makespan;
+        assert!(cached <= zc);
+    }
+}

@@ -1,0 +1,258 @@
+//! Reference solvers by exhaustive subset enumeration.
+//!
+//! For **perfectly parallel** applications the dominance theory of §4 makes
+//! enumeration exact: the optimum of CoSchedCache is attained on a dominant
+//! partition with Theorem-3 cache fractions (Theorems 2–3), so scanning the
+//! `2^n` subsets and keeping the best dominant one yields the true optimum.
+//! This gives the test-suite a ground truth to certify heuristic gaps
+//! against, and an upper bound (`best_partition`) for Amdahl profiles.
+
+use crate::error::{CoschedError, Result};
+use crate::model::{Application, ExecModel, Platform};
+use crate::theory::cache_alloc::optimal_cache_fractions;
+use crate::theory::dominance::{is_dominant, Partition};
+use crate::theory::objective::partition_objective;
+use crate::theory::proc_alloc::equal_finish_split;
+
+/// Largest instance the enumerators accept (`2^n` subsets).
+pub const MAX_EXACT_APPS: usize = 24;
+
+/// Outcome of an exact / exhaustive solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// The best cache-sharing subset found.
+    pub partition: Partition,
+    /// Its optimal cache fractions (Theorem 3).
+    pub cache: Vec<f64>,
+    /// The resulting makespan.
+    pub makespan: f64,
+}
+
+fn check_size(apps: &[Application]) -> Result<()> {
+    crate::model::validate_instance(apps)?;
+    if apps.len() > MAX_EXACT_APPS {
+        return Err(CoschedError::InvalidPlatform(format!(
+            "exact solver limited to {MAX_EXACT_APPS} applications, got {}",
+            apps.len()
+        )));
+    }
+    Ok(())
+}
+
+fn subsets(n: usize) -> impl Iterator<Item = Partition> {
+    (0u64..(1u64 << n)).map(move |mask| {
+        Partition::new((0..n).filter(|i| mask >> i & 1 == 1).collect())
+    })
+}
+
+/// Exact optimum for perfectly parallel applications (`s_i = 0` for all),
+/// by the §4 characterisation: minimum of the Lemma-3 objective over all
+/// **dominant** partitions.
+///
+/// Returns an error if some application is not perfectly parallel, or if
+/// `n >` [`MAX_EXACT_APPS`].
+pub fn exact_perfectly_parallel(
+    apps: &[Application],
+    platform: &Platform,
+) -> Result<ExactSolution> {
+    check_size(apps)?;
+    if let Some(i) = apps.iter().position(|a| !a.is_perfectly_parallel()) {
+        return Err(CoschedError::InvalidApplication {
+            index: i,
+            reason: "exact solver requires perfectly parallel applications (s = 0)".into(),
+        });
+    }
+    let models = ExecModel::of_all(apps, platform);
+    let mut best: Option<ExactSolution> = None;
+    for partition in subsets(apps.len()) {
+        if !is_dominant(&models, &partition) {
+            continue;
+        }
+        let makespan = partition_objective(apps, platform, &models, &partition);
+        if best.as_ref().is_none_or(|b| makespan < b.makespan) {
+            let cache = optimal_cache_fractions(&models, &partition);
+            best = Some(ExactSolution {
+                partition,
+                cache,
+                makespan,
+            });
+        }
+    }
+    best.ok_or_else(|| CoschedError::NoFeasibleMakespan("no dominant partition".into()))
+}
+
+/// Exhaustive search over **all** sharing subsets for general Amdahl
+/// applications: for each subset, Theorem-3 fractions + equal-finish-time
+/// processor split. Not provably optimal (Theorem 3 only holds for `s = 0`)
+/// but a strong reference the heuristics can be compared against.
+pub fn best_partition(apps: &[Application], platform: &Platform) -> Result<ExactSolution> {
+    check_size(apps)?;
+    let models = ExecModel::of_all(apps, platform);
+    let mut best: Option<ExactSolution> = None;
+    for partition in subsets(apps.len()) {
+        let cache = optimal_cache_fractions(&models, &partition);
+        let ef = equal_finish_split(apps, platform, &cache)?;
+        if best.as_ref().is_none_or(|b| ef.makespan < b.makespan) {
+            best = Some(ExactSolution {
+                partition,
+                cache,
+                makespan: ef.makespan,
+            });
+        }
+    }
+    best.ok_or(CoschedError::EmptyInstance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{BuildOrder, Choice, Strategy};
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    fn pf() -> Platform {
+        Platform::taihulight()
+    }
+
+    fn npb_pp() -> Vec<Application> {
+        vec![
+            Application::perfectly_parallel("CG", 5.70e10, 0.535, 6.59e-4),
+            Application::perfectly_parallel("BT", 2.10e11, 0.829, 7.31e-3),
+            Application::perfectly_parallel("LU", 1.52e11, 0.750, 1.51e-3),
+            Application::perfectly_parallel("SP", 1.38e11, 0.762, 1.51e-2),
+            Application::perfectly_parallel("MG", 1.23e10, 0.540, 2.62e-2),
+            Application::perfectly_parallel("FT", 1.65e10, 0.582, 1.78e-2),
+        ]
+    }
+
+    fn random_pp_instance(seed: u64, n: usize) -> Vec<Application> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                Application::perfectly_parallel(
+                    format!("T{i}"),
+                    10f64.powf(rng.random_range(8.0..12.0)),
+                    rng.random_range(0.1..0.9),
+                    10f64.powf(rng.random_range(-4.0..-0.05)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_on_npb_selects_full_partition() {
+        // On the 32 GB platform the full set is dominant and best.
+        let sol = exact_perfectly_parallel(&npb_pp(), &pf()).unwrap();
+        assert_eq!(sol.partition.len(), 6);
+        assert!((sol.cache.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_rejects_amdahl_apps() {
+        let apps = vec![Application::new("A", 1e10, 0.1, 0.5, 1e-3)];
+        assert!(exact_perfectly_parallel(&apps, &pf()).is_err());
+    }
+
+    #[test]
+    fn exact_rejects_oversized_instances() {
+        let apps: Vec<Application> = (0..MAX_EXACT_APPS + 1)
+            .map(|i| Application::perfectly_parallel(format!("T{i}"), 1e9, 0.5, 1e-3))
+            .collect();
+        assert!(exact_perfectly_parallel(&apps, &pf()).is_err());
+    }
+
+    #[test]
+    fn exact_is_a_lower_bound_for_all_heuristics() {
+        for seed in 0..8 {
+            let apps = random_pp_instance(seed, 7);
+            // Stress the partition decision with a small LLC.
+            let platform = pf().with_cache_size(100e6);
+            let exact = exact_perfectly_parallel(&apps, &platform).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for s in Strategy::all_coscheduling() {
+                let o = s.run(&apps, &platform, &mut rng).unwrap();
+                assert!(
+                    o.makespan >= exact.makespan * (1.0 - 1e-9),
+                    "seed {seed}: {} beat the exact optimum ({} < {})",
+                    s.name(),
+                    o.makespan,
+                    exact.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominant_min_ratio_is_near_optimal_on_small_instances() {
+        // The greedy heuristic is not provably optimal, but on random
+        // perfectly-parallel instances it should stay within a few percent.
+        let mut worst: f64 = 1.0;
+        for seed in 0..16 {
+            let apps = random_pp_instance(100 + seed, 6);
+            let platform = pf().with_cache_size(200e6);
+            let exact = exact_perfectly_parallel(&apps, &platform).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+                .run(&apps, &platform, &mut rng)
+                .unwrap();
+            worst = worst.max(h.makespan / exact.makespan);
+        }
+        assert!(worst < 1.10, "optimality gap too large: {worst}");
+    }
+
+    #[test]
+    fn enumerating_all_subsets_never_beats_dominant_optimum() {
+        // §4 argument made executable: the min over *all* subsets of the
+        // (clamped) objective equals the min over dominant subsets.
+        for seed in 0..8 {
+            let apps = random_pp_instance(200 + seed, 6);
+            let platform = pf().with_cache_size(80e6);
+            let models = ExecModel::of_all(&apps, &platform);
+            let exact = exact_perfectly_parallel(&apps, &platform).unwrap();
+            let mut best_any = f64::INFINITY;
+            for partition in subsets(apps.len()) {
+                let obj = partition_objective(&apps, &platform, &models, &partition);
+                best_any = best_any.min(obj);
+            }
+            assert!(
+                (best_any - exact.makespan).abs() <= 1e-9 * exact.makespan,
+                "seed {seed}: min over all subsets {best_any} != dominant optimum {}",
+                exact.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn best_partition_amdahl_bounds_heuristics() {
+        let mut rng0 = StdRng::seed_from_u64(9);
+        let apps: Vec<Application> = random_pp_instance(9, 6)
+            .into_iter()
+            .map(|a| {
+                let s = rng0.random_range(0.01..0.15);
+                a.with_seq_fraction(s)
+            })
+            .collect();
+        let platform = pf().with_cache_size(150e6);
+        let reference = best_partition(&apps, &platform).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for s in Strategy::all_dominant() {
+            let o = s.run(&apps, &platform, &mut rng).unwrap();
+            assert!(
+                o.makespan >= reference.makespan * (1.0 - 1e-9),
+                "{} beat the exhaustive reference",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_solution_schedule_is_feasible() {
+        let apps = npb_pp();
+        let platform = pf();
+        let sol = exact_perfectly_parallel(&apps, &platform).unwrap();
+        let ef = equal_finish_split(&apps, &platform, &sol.cache).unwrap();
+        let schedule = crate::model::Schedule::from_parts(&ef.procs, &sol.cache);
+        schedule.validate(&apps, &platform).unwrap();
+        assert!((ef.makespan - sol.makespan).abs() / sol.makespan < 1e-9);
+    }
+}

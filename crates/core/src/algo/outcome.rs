@@ -1,0 +1,19 @@
+//! Result type shared by heuristics and baselines.
+
+use crate::model::Schedule;
+use crate::theory::dominance::Partition;
+
+/// Result of running a [`Strategy`](super::Strategy) on an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Predicted makespan under the Eq.-2 model.
+    pub makespan: f64,
+    /// Per-application `(p_i, x_i)` assignments.
+    pub schedule: Schedule,
+    /// The cache-sharing subset `IC` the strategy selected.
+    pub partition: Partition,
+    /// `false` only for AllProcCache, whose applications run one after
+    /// another (its [`Schedule`] then records the per-run assignment and
+    /// the makespan is the sum of completion times).
+    pub concurrent: bool,
+}

@@ -1,0 +1,103 @@
+//! Error type shared by the solvers and schedule constructors.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoschedError>;
+
+/// Errors produced while validating inputs or constructing schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoschedError {
+    /// The instance has no applications.
+    EmptyInstance,
+    /// An application parameter is out of its documented domain.
+    InvalidApplication {
+        /// Index of the offending application.
+        index: usize,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A platform parameter is out of its documented domain.
+    InvalidPlatform(String),
+    /// A schedule violates a resource constraint (`Σp_i ≤ p` or `Σx_i ≤ 1`).
+    ResourceOverflow {
+        /// Which resource overflowed (`"processors"` or `"cache"`).
+        resource: &'static str,
+        /// Total amount requested by the schedule.
+        requested: f64,
+        /// Amount available on the platform.
+        available: f64,
+    },
+    /// Schedule length does not match the number of applications.
+    LengthMismatch {
+        /// Number of assignments in the schedule.
+        schedule: usize,
+        /// Number of applications in the instance.
+        applications: usize,
+    },
+    /// The equal-finish-time bisection could not bracket a solution.
+    NoFeasibleMakespan(String),
+}
+
+impl fmt::Display for CoschedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyInstance => write!(f, "instance contains no applications"),
+            Self::InvalidApplication { index, reason } => {
+                write!(f, "application #{index} is invalid: {reason}")
+            }
+            Self::InvalidPlatform(reason) => write!(f, "platform is invalid: {reason}"),
+            Self::ResourceOverflow {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "schedule requests {requested} {resource} but only {available} are available"
+            ),
+            Self::LengthMismatch {
+                schedule,
+                applications,
+            } => write!(
+                f,
+                "schedule has {schedule} assignments for {applications} applications"
+            ),
+            Self::NoFeasibleMakespan(reason) => {
+                write!(f, "no feasible equal-finish-time makespan: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoschedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoschedError::ResourceOverflow {
+            resource: "cache",
+            requested: 1.5,
+            available: 1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cache") && s.contains("1.5"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CoschedError::EmptyInstance, CoschedError::EmptyInstance);
+        assert_ne!(
+            CoschedError::EmptyInstance,
+            CoschedError::InvalidPlatform("x".into())
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoschedError::EmptyInstance);
+        assert!(!e.to_string().is_empty());
+    }
+}

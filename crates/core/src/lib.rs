@@ -1,0 +1,56 @@
+//! Co-scheduling algorithms for cache-partitioned systems.
+//!
+//! This crate is a faithful implementation of the model, theory and
+//! algorithms of *"Co-scheduling algorithms for cache-partitioned systems"*
+//! (Aupy, Benoit, Pottier, Raghavan, Robert, Shantharam — IPDPS 2017,
+//! INRIA research report RR-8965).
+//!
+//! # Problem
+//!
+//! `n` parallel applications run **concurrently** on a multicore with `p`
+//! identical processors sharing a last-level cache (LLC) of size `Cs`.
+//! Processors may be fractionally shared (multi-threading) and the LLC can be
+//! partitioned (Intel CAT-style): application `i` receives `p_i` processors
+//! and an exclusive cache fraction `x_i`, with `Σ p_i ≤ p` and `Σ x_i ≤ 1`.
+//! The goal is to minimise the makespan `max_i Exe_i(p_i, x_i)`.
+//!
+//! The execution model combines Amdahl's law with the *power law of cache
+//! misses* (see [`model`]). The decision problem is NP-complete (the
+//! executable reduction from Knapsack lives in [`npc`]); for perfectly
+//! parallel applications optimal solutions are characterised by **dominant
+//! partitions** (see [`theory`]), which drive the practical heuristics of
+//! [`algo`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use coschedule::model::{Application, Platform};
+//! use coschedule::algo::{Strategy, BuildOrder, Choice};
+//! use rand::SeedableRng;
+//!
+//! let platform = Platform::taihulight();
+//! let apps = vec![
+//!     Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+//!     Application::new("BT", 2.10e11, 0.05, 0.829, 7.31e-3),
+//!     Application::new("LU", 1.52e11, 0.05, 0.750, 1.51e-3),
+//! ];
+//!
+//! let strategy = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let outcome = strategy.run(&apps, &platform, &mut rng).unwrap();
+//! assert!(outcome.makespan.is_finite() && outcome.makespan > 0.0);
+//! ```
+
+pub mod algo;
+pub mod error;
+pub mod model;
+pub mod npc;
+pub mod theory;
+
+pub use algo::{BuildOrder, Choice, Outcome, Strategy};
+pub use error::{CoschedError, Result};
+pub use model::{Application, Assignment, Platform, Schedule};
+
+/// Relative tolerance used by the bisection solvers and the equal-finish-time
+/// verification helpers throughout the crate.
+pub const REL_TOL: f64 = 1e-12;

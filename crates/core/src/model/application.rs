@@ -1,0 +1,210 @@
+//! Application descriptor (paper §3, "Applications").
+
+use crate::error::{CoschedError, Result};
+
+/// One parallel application `T_i` to be co-scheduled.
+///
+/// Speedup follows Amdahl's law with sequential fraction
+/// [`seq_fraction`](Self::seq_fraction); the cache behaviour follows the
+/// power law of cache misses anchored at the reference miss rate
+/// [`miss_rate_ref`](Self::miss_rate_ref), which was measured on a cache of
+/// size [`Platform::ref_cache_size`](super::Platform::ref_cache_size)
+/// (40 MB for the NPB data of Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Application {
+    /// Human-readable label (e.g. `"CG"`), used only for reporting.
+    pub name: String,
+    /// `w_i` — number of computing operations.
+    pub work: f64,
+    /// `s_i ∈ [0, 1]` — sequential fraction of the work (Amdahl's law).
+    /// `0` means perfectly parallel.
+    pub seq_fraction: f64,
+    /// `f_i` — data accesses per computing operation.
+    pub access_freq: f64,
+    /// `a_i` — memory footprint in bytes. `f64::INFINITY` (the default)
+    /// means "larger than any cache", the assumption of paper §4.2 and §5.
+    pub footprint: f64,
+    /// `m0` — miss rate measured on the reference cache (`C0`).
+    pub miss_rate_ref: f64,
+}
+
+impl Application {
+    /// Creates an application with an unbounded memory footprint.
+    ///
+    /// # Panics
+    /// Never panics; domain violations are reported by [`Self::validate`].
+    pub fn new(
+        name: impl Into<String>,
+        work: f64,
+        seq_fraction: f64,
+        access_freq: f64,
+        miss_rate_ref: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            work,
+            seq_fraction,
+            access_freq,
+            footprint: f64::INFINITY,
+            miss_rate_ref,
+        }
+    }
+
+    /// Creates a perfectly parallel application (`s_i = 0`), the regime of
+    /// the paper's theoretical results (§4).
+    pub fn perfectly_parallel(
+        name: impl Into<String>,
+        work: f64,
+        access_freq: f64,
+        miss_rate_ref: f64,
+    ) -> Self {
+        Self::new(name, work, 0.0, access_freq, miss_rate_ref)
+    }
+
+    /// Sets a finite memory footprint `a_i` (bytes) and returns `self`.
+    #[must_use]
+    pub fn with_footprint(mut self, footprint: f64) -> Self {
+        self.footprint = footprint;
+        self
+    }
+
+    /// Sets the sequential fraction and returns `self`.
+    #[must_use]
+    pub fn with_seq_fraction(mut self, s: f64) -> Self {
+        self.seq_fraction = s;
+        self
+    }
+
+    /// `true` iff `s_i = 0`.
+    pub fn is_perfectly_parallel(&self) -> bool {
+        self.seq_fraction == 0.0
+    }
+
+    /// Checks the documented parameter domains.
+    pub fn validate(&self, index: usize) -> Result<()> {
+        let fail = |reason: &str| {
+            Err(CoschedError::InvalidApplication {
+                index,
+                reason: reason.to_string(),
+            })
+        };
+        if !(self.work.is_finite() && self.work > 0.0) {
+            return fail("work w must be finite and > 0");
+        }
+        if !(0.0..=1.0).contains(&self.seq_fraction) {
+            return fail("sequential fraction s must lie in [0, 1]");
+        }
+        if !(self.access_freq.is_finite() && self.access_freq >= 0.0) {
+            return fail("access frequency f must be finite and >= 0");
+        }
+        if self.footprint.is_nan() || self.footprint <= 0.0 {
+            return fail("footprint a must be > 0 (possibly infinite)");
+        }
+        if !(self.miss_rate_ref.is_finite() && (0.0..=1.0).contains(&self.miss_rate_ref)) {
+            return fail("reference miss rate m0 must lie in [0, 1]");
+        }
+        Ok(())
+    }
+}
+
+/// Validates a whole instance (non-empty, every application in-domain).
+pub(crate) fn validate_instance(apps: &[Application]) -> Result<()> {
+    if apps.is_empty() {
+        return Err(CoschedError::EmptyInstance);
+    }
+    for (i, app) in apps.iter().enumerate() {
+        app.validate(i)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cg() -> Application {
+        Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4)
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let a = cg().with_footprint(1e9).with_seq_fraction(0.1);
+        assert_eq!(a.footprint, 1e9);
+        assert_eq!(a.seq_fraction, 0.1);
+        assert_eq!(a.name, "CG");
+    }
+
+    #[test]
+    fn default_footprint_is_infinite() {
+        assert!(cg().footprint.is_infinite());
+    }
+
+    #[test]
+    fn perfectly_parallel_constructor() {
+        let a = Application::perfectly_parallel("X", 1e9, 0.5, 1e-3);
+        assert!(a.is_perfectly_parallel());
+        assert!(a.validate(0).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_table2_values() {
+        assert!(cg().validate(0).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_work() {
+        let mut a = cg();
+        a.work = 0.0;
+        assert!(a.validate(3).is_err());
+        a.work = f64::NAN;
+        assert!(a.validate(3).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_seq_fraction() {
+        let mut a = cg();
+        a.seq_fraction = 1.5;
+        assert!(a.validate(0).is_err());
+        a.seq_fraction = -0.1;
+        assert!(a.validate(0).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_miss_rate() {
+        let mut a = cg();
+        a.miss_rate_ref = 1.2;
+        assert!(a.validate(0).is_err());
+        a.miss_rate_ref = -0.1;
+        assert!(a.validate(0).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_negative_access_freq() {
+        let mut a = cg();
+        a.access_freq = -1.0;
+        assert!(a.validate(0).is_err());
+    }
+
+    #[test]
+    fn validate_error_carries_index() {
+        let mut a = cg();
+        a.work = -1.0;
+        match a.validate(7) {
+            Err(CoschedError::InvalidApplication { index, .. }) => assert_eq!(index, 7),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instance_validation_rejects_empty() {
+        assert_eq!(
+            validate_instance(&[]).unwrap_err(),
+            CoschedError::EmptyInstance
+        );
+    }
+
+    #[test]
+    fn instance_validation_accepts_good_set() {
+        assert!(validate_instance(&[cg(), cg()]).is_ok());
+    }
+}

@@ -1,0 +1,286 @@
+//! Schedules: per-application resource assignments and their evaluation.
+
+use crate::error::{CoschedError, Result};
+use crate::model::application::validate_instance;
+use crate::model::{exec_time, Application, Platform};
+
+/// Resources granted to one application: `(p_i, x_i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Assignment {
+    /// `p_i` — (rational) number of processors.
+    pub procs: f64,
+    /// `x_i ∈ [0, 1]` — fraction of the shared LLC, exclusively reserved.
+    pub cache: f64,
+}
+
+impl Assignment {
+    /// Convenience constructor.
+    pub fn new(procs: f64, cache: f64) -> Self {
+        Self { procs, cache }
+    }
+}
+
+/// A co-schedule `{(p_1, x_1), …, (p_n, x_n)}`: all applications start at
+/// time 0 and run concurrently.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    /// One assignment per application, in instance order.
+    pub assignments: Vec<Assignment>,
+}
+
+impl Schedule {
+    /// Builds a schedule from parallel `procs`/`cache` slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_parts(procs: &[f64], cache: &[f64]) -> Self {
+        assert_eq!(procs.len(), cache.len(), "procs/cache length mismatch");
+        Self {
+            assignments: procs
+                .iter()
+                .zip(cache)
+                .map(|(&p, &x)| Assignment::new(p, x))
+                .collect(),
+        }
+    }
+
+    /// Number of applications covered.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// `true` iff the schedule covers no application.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Total processors requested, `Σ p_i`.
+    pub fn total_procs(&self) -> f64 {
+        self.assignments.iter().map(|a| a.procs).sum()
+    }
+
+    /// Total cache requested, `Σ x_i`.
+    pub fn total_cache(&self) -> f64 {
+        self.assignments.iter().map(|a| a.cache).sum()
+    }
+
+    /// Completion time of each application under this schedule.
+    pub fn completion_times(&self, apps: &[Application], platform: &Platform) -> Vec<f64> {
+        self.assignments
+            .iter()
+            .zip(apps)
+            .map(|(asg, app)| exec_time(app, platform, asg.procs, asg.cache))
+            .collect()
+    }
+
+    /// Makespan: `max_i Exe_i(p_i, x_i)` (Definition 1).
+    ///
+    /// Returns `+∞` if some application received no processors and `0` for
+    /// an empty schedule.
+    pub fn makespan(&self, apps: &[Application], platform: &Platform) -> f64 {
+        self.completion_times(apps, platform)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks the CoSchedCache feasibility constraints (Definition 1):
+    /// matching length, non-negative resources, `Σ p_i ≤ p` and `Σ x_i ≤ 1`
+    /// (up to a relative tolerance absorbing accumulated rounding).
+    pub fn validate(&self, apps: &[Application], platform: &Platform) -> Result<()> {
+        validate_instance(apps)?;
+        platform.validate()?;
+        if self.len() != apps.len() {
+            return Err(CoschedError::LengthMismatch {
+                schedule: self.len(),
+                applications: apps.len(),
+            });
+        }
+        for (i, a) in self.assignments.iter().enumerate() {
+            if !(a.procs.is_finite() && a.procs >= 0.0) {
+                return Err(CoschedError::InvalidApplication {
+                    index: i,
+                    reason: "assigned processors must be finite and >= 0".into(),
+                });
+            }
+            if !(a.cache.is_finite() && (0.0..=1.0).contains(&a.cache)) {
+                return Err(CoschedError::InvalidApplication {
+                    index: i,
+                    reason: "assigned cache fraction must lie in [0, 1]".into(),
+                });
+            }
+        }
+        let slack = 1.0 + 1e-9;
+        let p_total = self.total_procs();
+        if p_total > platform.processors * slack {
+            return Err(CoschedError::ResourceOverflow {
+                resource: "processors",
+                requested: p_total,
+                available: platform.processors,
+            });
+        }
+        let x_total = self.total_cache();
+        if x_total > slack {
+            return Err(CoschedError::ResourceOverflow {
+                resource: "cache",
+                requested: x_total,
+                available: 1.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// `true` iff all applications with a positive processor share finish at
+    /// the same time up to relative tolerance `tol` — the structure of every
+    /// optimal solution (Lemma 1).
+    pub fn is_equal_finish(&self, apps: &[Application], platform: &Platform, tol: f64) -> bool {
+        let times: Vec<f64> = self
+            .completion_times(apps, platform)
+            .into_iter()
+            .filter(|t| t.is_finite())
+            .collect();
+        let (Some(max), Some(min)) = (
+            times.iter().copied().reduce(f64::max),
+            times.iter().copied().reduce(f64::min),
+        ) else {
+            return true;
+        };
+        max - min <= tol * max.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Makespan of the **sequential** baseline AllProcCache: applications run one
+/// after another, each with all `p` processors and the whole LLC, so the
+/// "makespan" is the sum of the individual execution times.
+pub fn sequential_makespan(apps: &[Application], platform: &Platform) -> f64 {
+    apps.iter()
+        .map(|a| exec_time(a, platform, platform.processors, 1.0))
+        .sum()
+}
+
+#[allow(clippy::float_cmp)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::REL_TOL;
+
+    fn apps() -> Vec<Application> {
+        vec![
+            Application::new("CG", 5.70e10, 0.0, 0.535, 6.59e-4),
+            Application::new("MG", 1.23e10, 0.0, 0.540, 2.62e-2),
+        ]
+    }
+
+    fn pf() -> Platform {
+        Platform::taihulight()
+    }
+
+    #[test]
+    fn from_parts_builds_pairs() {
+        let s = Schedule::from_parts(&[1.0, 2.0], &[0.3, 0.4]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.assignments[1], Assignment::new(2.0, 0.4));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_panics_on_mismatch() {
+        let _ = Schedule::from_parts(&[1.0], &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn totals_sum_assignments() {
+        let s = Schedule::from_parts(&[1.5, 2.5], &[0.25, 0.5]);
+        assert_eq!(s.total_procs(), 4.0);
+        assert_eq!(s.total_cache(), 0.75);
+    }
+
+    #[test]
+    fn makespan_is_max_completion_time() {
+        let s = Schedule::from_parts(&[128.0, 128.0], &[0.5, 0.5]);
+        let times = s.completion_times(&apps(), &pf());
+        assert_eq!(s.makespan(&apps(), &pf()), times[0].max(times[1]));
+    }
+
+    #[test]
+    fn makespan_empty_schedule_is_zero() {
+        let s = Schedule::default();
+        assert_eq!(s.makespan(&[], &pf()), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_feasible() {
+        let s = Schedule::from_parts(&[100.0, 156.0], &[0.5, 0.5]);
+        assert!(s.validate(&apps(), &pf()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_proc_overflow() {
+        let s = Schedule::from_parts(&[200.0, 100.0], &[0.5, 0.5]);
+        match s.validate(&apps(), &pf()) {
+            Err(CoschedError::ResourceOverflow { resource, .. }) => {
+                assert_eq!(resource, "processors");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_cache_overflow() {
+        let s = Schedule::from_parts(&[10.0, 10.0], &[0.7, 0.7]);
+        match s.validate(&apps(), &pf()) {
+            Err(CoschedError::ResourceOverflow { resource, .. }) => assert_eq!(resource, "cache"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_length_mismatch() {
+        let s = Schedule::from_parts(&[10.0], &[0.1]);
+        assert!(matches!(
+            s.validate(&apps(), &pf()),
+            Err(CoschedError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_negative_procs_and_bad_cache() {
+        let s = Schedule::from_parts(&[-1.0, 1.0], &[0.1, 0.1]);
+        assert!(s.validate(&apps(), &pf()).is_err());
+        let s = Schedule::from_parts(&[1.0, 1.0], &[1.5, 0.1]);
+        assert!(s.validate(&apps(), &pf()).is_err());
+    }
+
+    #[test]
+    fn equal_finish_detection() {
+        let a = apps();
+        let p = pf();
+        // Hand-balance: give each app procs proportional to its seq cost.
+        let c0 = exec_time(&a[0], &p, 1.0, 0.5);
+        let c1 = exec_time(&a[1], &p, 1.0, 0.5);
+        let total = c0 + c1;
+        let s = Schedule::from_parts(
+            &[256.0 * c0 / total, 256.0 * c1 / total],
+            &[0.5, 0.5],
+        );
+        assert!(s.is_equal_finish(&a, &p, 1e-9));
+        let bad = Schedule::from_parts(&[1.0, 255.0], &[0.5, 0.5]);
+        assert!(!bad.is_equal_finish(&a, &p, 1e-6));
+    }
+
+    #[test]
+    fn equal_finish_tolerance_zero_length() {
+        let s = Schedule::default();
+        assert!(s.is_equal_finish(&[], &pf(), REL_TOL));
+    }
+
+    #[test]
+    fn sequential_makespan_sums() {
+        let a = apps();
+        let p = pf();
+        let expected =
+            exec_time(&a[0], &p, 256.0, 1.0) + exec_time(&a[1], &p, 256.0, 1.0);
+        assert_eq!(sequential_makespan(&a, &p), expected);
+    }
+}

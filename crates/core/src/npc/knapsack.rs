@@ -1,0 +1,267 @@
+//! 0/1 Knapsack: the NP-complete source problem of Theorem 1.
+
+/// A 0/1 Knapsack instance: `n` objects with positive integer sizes `u_i`
+/// and values `v_i`; the decision question asks for a subset `I` with
+/// `Σ_{i∈I} u_i ≤ U` and `Σ_{i∈I} v_i ≥ V`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Knapsack {
+    /// Object sizes `u_i` (positive).
+    pub sizes: Vec<u64>,
+    /// Object values `v_i` (positive).
+    pub values: Vec<u64>,
+    /// Capacity bound `U`.
+    pub capacity: u64,
+    /// Value target `V` (for the decision variant).
+    pub target: u64,
+}
+
+/// An optimal packing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnapsackSolution {
+    /// Chosen object indices, sorted.
+    pub chosen: Vec<usize>,
+    /// Total value of the chosen objects.
+    pub value: u64,
+    /// Total size of the chosen objects.
+    pub size: u64,
+}
+
+impl Knapsack {
+    /// Builds an instance; panics if sizes/values lengths differ.
+    pub fn new(sizes: Vec<u64>, values: Vec<u64>, capacity: u64, target: u64) -> Self {
+        assert_eq!(sizes.len(), values.len(), "sizes/values length mismatch");
+        Self {
+            sizes,
+            values,
+            capacity,
+            target,
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `true` iff there are no objects.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Maximum achievable value, by dynamic programming over capacities
+    /// (`O(n·U)` time, `O(U)` space).
+    pub fn solve_dp(&self) -> KnapsackSolution {
+        let cap = self.capacity as usize;
+        // best[c] = max value using exactly capacity budget c.
+        let mut best = vec![0u64; cap + 1];
+        // keep[i][c] = whether object i is taken at budget c.
+        let mut keep = vec![vec![false; cap + 1]; self.len()];
+        for (i, keep_row) in keep.iter_mut().enumerate() {
+            let (u, v) = (self.sizes[i] as usize, self.values[i]);
+            if u > cap {
+                continue;
+            }
+            for c in (u..=cap).rev() {
+                let candidate = best[c - u] + v;
+                if candidate > best[c] {
+                    best[c] = candidate;
+                    keep_row[c] = true;
+                }
+            }
+        }
+        // Backtrack.
+        let mut chosen = Vec::new();
+        let mut c = cap;
+        for i in (0..self.len()).rev() {
+            if keep[i][c] {
+                chosen.push(i);
+                c -= self.sizes[i] as usize;
+            }
+        }
+        chosen.reverse();
+        let value = chosen.iter().map(|&i| self.values[i]).sum();
+        let size = chosen.iter().map(|&i| self.sizes[i]).sum();
+        KnapsackSolution {
+            chosen,
+            value,
+            size,
+        }
+    }
+
+    /// Maximum achievable value by branch-and-bound with a fractional
+    /// relaxation bound. Exponential worst case but independent of `U`.
+    pub fn solve_bb(&self) -> KnapsackSolution {
+        // Order by value density for the LP bound.
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = self.values[a] as f64 / self.sizes[a] as f64;
+            let db = self.values[b] as f64 / self.sizes[b] as f64;
+            db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        struct State<'a> {
+            kp: &'a Knapsack,
+            order: &'a [usize],
+            best_value: u64,
+            best_set: Vec<usize>,
+            current: Vec<usize>,
+        }
+
+        fn upper_bound(kp: &Knapsack, order: &[usize], depth: usize, room: u64) -> f64 {
+            let mut bound = 0.0;
+            let mut room = room as f64;
+            for &i in &order[depth..] {
+                let (u, v) = (kp.sizes[i] as f64, kp.values[i] as f64);
+                if u <= room {
+                    bound += v;
+                    room -= u;
+                } else {
+                    bound += v * room / u;
+                    break;
+                }
+            }
+            bound
+        }
+
+        fn recurse(st: &mut State<'_>, depth: usize, room: u64, value: u64) {
+            if value > st.best_value {
+                st.best_value = value;
+                st.best_set = st.current.clone();
+            }
+            if depth == st.order.len() {
+                return;
+            }
+            if value as f64 + upper_bound(st.kp, st.order, depth, room) <= st.best_value as f64 {
+                return;
+            }
+            let i = st.order[depth];
+            if st.kp.sizes[i] <= room {
+                st.current.push(i);
+                recurse(st, depth + 1, room - st.kp.sizes[i], value + st.kp.values[i]);
+                st.current.pop();
+            }
+            recurse(st, depth + 1, room, value);
+        }
+
+        let mut st = State {
+            kp: self,
+            order: &order,
+            best_value: 0,
+            best_set: Vec::new(),
+            current: Vec::new(),
+        };
+        recurse(&mut st, 0, self.capacity, 0);
+        let mut chosen = st.best_set;
+        chosen.sort_unstable();
+        let value = chosen.iter().map(|&i| self.values[i]).sum();
+        let size = chosen.iter().map(|&i| self.sizes[i]).sum();
+        KnapsackSolution {
+            chosen,
+            value,
+            size,
+        }
+    }
+
+    /// Decision variant: does a subset reach value `target` within
+    /// `capacity`?
+    pub fn is_feasible(&self) -> bool {
+        self.solve_dp().value >= self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_instances() {
+        let kp = Knapsack::new(vec![], vec![], 10, 0);
+        assert!(kp.is_empty());
+        assert!(kp.is_feasible()); // target 0 always reachable
+        let sol = kp.solve_dp();
+        assert_eq!(sol.value, 0);
+        assert!(sol.chosen.is_empty());
+    }
+
+    #[test]
+    fn textbook_instance() {
+        // Classic: sizes 1..5, values chosen so the optimum is {2, 3}.
+        let kp = Knapsack::new(vec![2, 3, 4, 5], vec![3, 4, 5, 6], 7, 9);
+        let sol = kp.solve_dp();
+        assert_eq!(sol.value, 9);
+        assert!(sol.size <= 7);
+        assert!(kp.is_feasible());
+    }
+
+    #[test]
+    fn dp_and_bb_agree_on_fixed_cases() {
+        let cases = vec![
+            Knapsack::new(vec![1, 2, 3], vec![6, 10, 12], 5, 0),
+            Knapsack::new(vec![10, 20, 30], vec![60, 100, 120], 50, 0),
+            Knapsack::new(vec![5, 4, 6, 3], vec![10, 40, 30, 50], 10, 0),
+            Knapsack::new(vec![7], vec![9], 3, 0),
+        ];
+        for kp in cases {
+            assert_eq!(kp.solve_dp().value, kp.solve_bb().value, "{kp:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_objects_are_skipped() {
+        let kp = Knapsack::new(vec![100, 1], vec![1000, 1], 10, 1);
+        let sol = kp.solve_dp();
+        assert_eq!(sol.chosen, vec![1]);
+        assert_eq!(sol.value, 1);
+    }
+
+    #[test]
+    fn chosen_set_is_consistent() {
+        let kp = Knapsack::new(vec![3, 5, 7, 2, 4], vec![9, 10, 12, 3, 8], 12, 0);
+        for sol in [kp.solve_dp(), kp.solve_bb()] {
+            assert_eq!(
+                sol.value,
+                sol.chosen.iter().map(|&i| kp.values[i]).sum::<u64>()
+            );
+            assert_eq!(
+                sol.size,
+                sol.chosen.iter().map(|&i| kp.sizes[i]).sum::<u64>()
+            );
+            assert!(sol.size <= kp.capacity);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dp_matches_branch_and_bound(
+            items in prop::collection::vec((1u64..20, 1u64..50), 1..10),
+            capacity in 1u64..60,
+        ) {
+            let (sizes, values): (Vec<u64>, Vec<u64>) = items.into_iter().unzip();
+            let kp = Knapsack::new(sizes, values, capacity, 0);
+            prop_assert_eq!(kp.solve_dp().value, kp.solve_bb().value);
+        }
+
+        #[test]
+        fn solutions_respect_capacity(
+            items in prop::collection::vec((1u64..20, 1u64..50), 1..10),
+            capacity in 1u64..60,
+        ) {
+            let (sizes, values): (Vec<u64>, Vec<u64>) = items.into_iter().unzip();
+            let kp = Knapsack::new(sizes, values, capacity, 0);
+            prop_assert!(kp.solve_dp().size <= capacity);
+            prop_assert!(kp.solve_bb().size <= capacity);
+        }
+
+        #[test]
+        fn adding_capacity_never_hurts(
+            items in prop::collection::vec((1u64..20, 1u64..50), 1..8),
+            capacity in 1u64..40,
+        ) {
+            let (sizes, values): (Vec<u64>, Vec<u64>) = items.into_iter().unzip();
+            let a = Knapsack::new(sizes.clone(), values.clone(), capacity, 0).solve_dp().value;
+            let b = Knapsack::new(sizes, values, capacity + 5, 0).solve_dp().value;
+            prop_assert!(b >= a);
+        }
+    }
+}

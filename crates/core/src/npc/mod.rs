@@ -1,0 +1,19 @@
+//! The NP-completeness machinery of Theorem 1 made executable.
+//!
+//! The paper proves `CoSchedCache-Dec` NP-complete by reduction from
+//! Knapsack. This module implements:
+//!
+//! * [`knapsack`] — the source problem, with a dynamic-programming solver
+//!   and a branch-and-bound solver (used to cross-check each other and to
+//!   decide small instances);
+//! * [`reduction`] — the exact instance construction of the proof
+//!   (constants `N`, `ε`, `η`, derived `d_i`, `e_i`, `a_i`, `w_i f_i` and
+//!   the bound `K`), plus decision procedures for both directions so
+//!   property tests can verify the equivalence
+//!   `I1 solvable ⇔ I2 solvable` on concrete instances.
+
+pub mod knapsack;
+pub mod reduction;
+
+pub use knapsack::{Knapsack, KnapsackSolution};
+pub use reduction::{knapsack_to_coschedcache, ReducedInstance};

@@ -1,0 +1,288 @@
+//! The Theorem-1 reduction `Knapsack ⇒ CoSchedCache-Dec`, executable.
+//!
+//! Follows the proof construction verbatim: constants
+//! `N = max(n, 2U+1)`, `ε = 1/(N(N+1))`, `η = 1 - 1/N`, derived
+//! `d_i = (u_i η / U)^α`, `e_i = (d_i^{1/α} + ε)^α`, footprints
+//! `a_i = e_i^{1/α} · Cs`, products `w_i f_i = v_i / (1 - d_i/e_i)`
+//! (we pick `f_i = 1`), and the makespan bound
+//! `p·K = Σ w_i (1 + f_i·ls) + Σ w_i f_i ll − V`.
+
+use crate::model::{seq_cost, Application, Platform};
+use crate::npc::knapsack::Knapsack;
+
+/// The CoSchedCache-Dec instance produced by the reduction, together with
+/// the proof's intermediate constants (exposed for the property tests).
+#[derive(Debug, Clone)]
+pub struct ReducedInstance {
+    /// The constructed applications (perfectly parallel, finite footprints).
+    pub apps: Vec<Application>,
+    /// The constructed platform (`p = 1`, `C0 = Cs` so `m0 = d`).
+    pub platform: Platform,
+    /// Makespan bound `K` of the decision problem.
+    pub bound: f64,
+    /// `d_i` of the proof.
+    pub d: Vec<f64>,
+    /// `e_i` of the proof.
+    pub e: Vec<f64>,
+    /// `ε = 1/(N(N+1))`.
+    pub epsilon: f64,
+    /// `η = 1 - 1/N`.
+    pub eta: f64,
+}
+
+impl ReducedInstance {
+    /// The canonical cache assignment for sharing subset `subset`:
+    /// `x_i = e_i^{1/α} = u_i η/U + ε` for members, `0` otherwise —
+    /// exactly the assignment used in the "⇒" direction of the proof.
+    pub fn canonical_fractions(&self, subset: &[usize]) -> Vec<f64> {
+        let alpha = self.platform.alpha;
+        let mut x = vec![0.0; self.apps.len()];
+        for &i in subset {
+            x[i] = self.e[i].powf(1.0 / alpha);
+        }
+        x
+    }
+
+    /// Lemma-3 makespan of a cache assignment (`p = 1` here, so it is just
+    /// the sum of sequential costs).
+    pub fn makespan(&self, fractions: &[f64]) -> f64 {
+        self.apps
+            .iter()
+            .zip(fractions)
+            .map(|(a, &x)| seq_cost(a, &self.platform, x))
+            .sum::<f64>()
+            / self.platform.processors
+    }
+
+    /// Is `subset` (with canonical fractions) a witness for the decision
+    /// problem? Checks both feasibility (`Σ x_i ≤ 1`) and the makespan
+    /// bound, with a relative float tolerance.
+    pub fn accepts(&self, subset: &[usize]) -> bool {
+        let x = self.canonical_fractions(subset);
+        let total: f64 = x.iter().sum();
+        if total > 1.0 + 1e-12 {
+            return false;
+        }
+        self.makespan(&x) <= self.bound * (1.0 + 1e-12)
+    }
+
+    /// Brute-force decision over all canonical subsets.
+    ///
+    /// The proof shows every yes-certificate can be normalised to a
+    /// canonical subset (its "⇐" direction extracts a Knapsack solution
+    /// from the nonzero subset, whose canonical re-assignment still
+    /// certifies), so this decides the instance exactly.
+    pub fn decide_bruteforce(&self) -> Option<Vec<usize>> {
+        let n = self.apps.len();
+        assert!(n <= 20, "brute-force decision limited to 20 applications");
+        for mask in 0u64..(1 << n) {
+            let subset: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+            if self.accepts(&subset) {
+                return Some(subset);
+            }
+        }
+        None
+    }
+}
+
+/// Builds the CoSchedCache-Dec instance of Theorem 1 from a Knapsack
+/// instance, with power-law exponent `alpha` (the proof works for any
+/// `α ∈ (0, 1]`).
+///
+/// # Panics
+/// Panics if the Knapsack instance is empty or has `U = 0`, which the
+/// reduction does not define.
+pub fn knapsack_to_coschedcache(kp: &Knapsack, alpha: f64) -> ReducedInstance {
+    assert!(!kp.is_empty(), "reduction undefined for empty Knapsack");
+    assert!(kp.capacity > 0, "reduction undefined for U = 0");
+    let n = kp.len();
+    let big_n = (n as u64).max(2 * kp.capacity + 1) as f64;
+    let epsilon = 1.0 / (big_n * (big_n + 1.0));
+    let eta = 1.0 - 1.0 / big_n;
+
+    let cs = 1.0; // cache size is immaterial: C0 = Cs makes m0 = d.
+    let platform = Platform {
+        processors: 1.0,
+        cache_size: cs,
+        ref_cache_size: cs,
+        latency_cache: 0.17,
+        latency_mem: 1.0,
+        alpha,
+    };
+
+    let mut apps = Vec::with_capacity(n);
+    let mut d = Vec::with_capacity(n);
+    let mut e = Vec::with_capacity(n);
+    let mut sum_a = 0.0; // Σ w_i (1 + f_i ls)
+    let mut sum_z = 0.0; // Σ w_i f_i ll
+    for i in 0..n {
+        let u = kp.sizes[i] as f64;
+        let v = kp.values[i] as f64;
+        let di = (u * eta / kp.capacity as f64).powf(alpha);
+        let ei = (di.powf(1.0 / alpha) + epsilon).powf(alpha);
+        let wi = v / (1.0 - di / ei); // f_i = 1
+        let footprint = ei.powf(1.0 / alpha) * cs;
+        apps.push(
+            Application::perfectly_parallel(format!("K{i}"), wi, 1.0, di)
+                .with_footprint(footprint),
+        );
+        d.push(di);
+        e.push(ei);
+        sum_a += wi * (1.0 + platform.latency_cache);
+        sum_z += wi * platform.latency_mem;
+    }
+    let bound = sum_a + sum_z - kp.target as f64; // p = 1
+
+    ReducedInstance {
+        apps,
+        platform,
+        bound,
+        d,
+        e,
+        epsilon,
+        eta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn feasible_kp() -> Knapsack {
+        // {0, 2} has size 2+3 = 5 <= 6 and value 9 >= 9.
+        Knapsack::new(vec![2, 4, 3], vec![5, 3, 4], 6, 9)
+    }
+
+    fn infeasible_kp() -> Knapsack {
+        // Max value within capacity 4 is 5 < 10.
+        Knapsack::new(vec![2, 4, 3], vec![5, 3, 4], 4, 10)
+    }
+
+    #[test]
+    fn construction_constants_match_proof() {
+        let kp = feasible_kp();
+        let inst = knapsack_to_coschedcache(&kp, 0.5);
+        // N = max(3, 2*6+1) = 13.
+        let n = 13.0;
+        assert!((inst.epsilon - 1.0 / (n * (n + 1.0))).abs() < 1e-15);
+        assert!((inst.eta - (1.0 - 1.0 / n)).abs() < 1e-15);
+        for i in 0..kp.len() {
+            let expected_d = (kp.sizes[i] as f64 * inst.eta / 6.0).sqrt();
+            assert!((inst.d[i] - expected_d).abs() < 1e-12);
+            // e^{1/alpha} = d^{1/alpha} + epsilon.
+            assert!(
+                (inst.e[i].powi(2) - (inst.d[i].powi(2) + inst.epsilon)).abs() < 1e-12,
+                "e/d relation broken at {i}"
+            );
+            // Footprint caps the useful fraction at e^{1/alpha}.
+            assert!((inst.apps[i].footprint - inst.e[i].powi(2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn canonical_fractions_hit_footprint_caps() {
+        let inst = knapsack_to_coschedcache(&feasible_kp(), 0.5);
+        let x = inst.canonical_fractions(&[0, 2]);
+        assert_eq!(x[1], 0.0);
+        assert!((x[0] - inst.e[0].powi(2)).abs() < 1e-15);
+        assert!((x[2] - inst.e[2].powi(2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn knapsack_witness_certifies_coschedcache() {
+        // Forward direction of the proof on a concrete instance.
+        let kp = feasible_kp();
+        let inst = knapsack_to_coschedcache(&kp, 0.5);
+        assert!(inst.accepts(&[0, 2]));
+    }
+
+    #[test]
+    fn infeasible_knapsack_gives_unacceptable_instance() {
+        let inst = knapsack_to_coschedcache(&infeasible_kp(), 0.5);
+        assert!(inst.decide_bruteforce().is_none());
+    }
+
+    #[test]
+    fn feasible_knapsack_gives_acceptable_instance() {
+        let inst = knapsack_to_coschedcache(&feasible_kp(), 0.5);
+        let witness = inst.decide_bruteforce().expect("should accept");
+        // The witness maps back to a Knapsack solution (proof, direction 2).
+        let kp = feasible_kp();
+        let size: u64 = witness.iter().map(|&i| kp.sizes[i]).sum();
+        let value: u64 = witness.iter().map(|&i| kp.values[i]).sum();
+        assert!(size <= kp.capacity);
+        assert!(value >= kp.target);
+    }
+
+    #[test]
+    fn canonical_feasibility_matches_eta_budget() {
+        // Σ_{i∈I} x_i = Σ u_i η / U + |I| ε ≤ η + 1/(N+1) ≤ 1 whenever the
+        // knapsack subset respects capacity (proof inequality).
+        let kp = feasible_kp();
+        let inst = knapsack_to_coschedcache(&kp, 0.5);
+        let x = inst.canonical_fractions(&[0, 2]);
+        let total: f64 = x.iter().sum();
+        assert!(total <= 1.0);
+        let expected =
+            (kp.sizes[0] + kp.sizes[2]) as f64 * inst.eta / kp.capacity as f64
+                + 2.0 * inst.epsilon;
+        assert!((total - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty Knapsack")]
+    fn empty_knapsack_panics() {
+        let kp = Knapsack::new(vec![], vec![], 5, 1);
+        let _ = knapsack_to_coschedcache(&kp, 0.5);
+    }
+
+    #[test]
+    fn reduction_works_for_other_alphas() {
+        for alpha in [0.3, 0.5, 0.7, 1.0] {
+            let kp = feasible_kp();
+            let inst = knapsack_to_coschedcache(&kp, alpha);
+            assert_eq!(
+                inst.decide_bruteforce().is_some(),
+                kp.is_feasible(),
+                "alpha = {alpha}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn reduction_preserves_decision(
+            items in prop::collection::vec((1u64..8, 1u64..12), 1..7),
+            capacity in 1u64..16,
+            target in 1u64..30,
+        ) {
+            let (sizes, values): (Vec<u64>, Vec<u64>) = items.into_iter().unzip();
+            let kp = Knapsack::new(sizes, values, capacity, target);
+            let inst = knapsack_to_coschedcache(&kp, 0.5);
+            prop_assert_eq!(
+                inst.decide_bruteforce().is_some(),
+                kp.is_feasible(),
+                "decision mismatch for {:?}", kp
+            );
+        }
+
+        #[test]
+        fn witnesses_map_back_to_knapsack_solutions(
+            items in prop::collection::vec((1u64..8, 1u64..12), 1..7),
+            capacity in 1u64..16,
+            target in 1u64..30,
+        ) {
+            let (sizes, values): (Vec<u64>, Vec<u64>) = items.into_iter().unzip();
+            let kp = Knapsack::new(sizes, values, capacity, target);
+            let inst = knapsack_to_coschedcache(&kp, 0.5);
+            if let Some(witness) = inst.decide_bruteforce() {
+                let size: u64 = witness.iter().map(|&i| kp.sizes[i]).sum();
+                let value: u64 = witness.iter().map(|&i| kp.values[i]).sum();
+                prop_assert!(size <= kp.capacity, "witness violates capacity");
+                prop_assert!(value >= kp.target, "witness misses target");
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Lemma 1, executable: the ε-transfer exchange argument.
+//!
+//! The paper proves that in an optimal solution all applications finish
+//! simultaneously by showing that whenever one application finishes
+//! strictly earlier than a critical (makespan-attaining) one, moving
+//! `ε = (p_i0 · Exe_seq_i1 − p_i1 · Exe_seq_i0) / (Exe_seq_i0 + Exe_seq_i1)`
+//! processors from the early finisher `i0` to the critical application
+//! `i1` equalises the two completion times without increasing anybody
+//! else's. This module performs exactly that exchange, so the proof can be
+//! replayed (and property-tested) on concrete schedules.
+
+use crate::model::{seq_cost, Application, Platform, Schedule};
+
+/// One ε-transfer step of the Lemma-1 proof: equalises the earliest
+/// finisher with a critical application by moving processors between them.
+///
+/// Returns `None` when the schedule is already equal-finish (up to `tol`,
+/// relative), when fewer than two applications run, or when the profile is
+/// not perfectly parallel (the proof's regime).
+pub fn exchange_step(
+    apps: &[Application],
+    platform: &Platform,
+    schedule: &Schedule,
+    tol: f64,
+) -> Option<Schedule> {
+    if apps.len() < 2 || apps.iter().any(|a| !a.is_perfectly_parallel()) {
+        return None;
+    }
+    let times = schedule.completion_times(apps, platform);
+    let (mut i0, mut i1) = (0, 0);
+    for (i, &t) in times.iter().enumerate() {
+        if t < times[i0] {
+            i0 = i;
+        }
+        if t > times[i1] {
+            i1 = i;
+        }
+    }
+    let (t0, t1) = (times[i0], times[i1]);
+    if !t1.is_finite() || t1 - t0 <= tol * t1 {
+        return None;
+    }
+    // ε from the proof (with Exe_seq evaluated at the fixed cache split).
+    let c0 = seq_cost(&apps[i0], platform, schedule.assignments[i0].cache);
+    let c1 = seq_cost(&apps[i1], platform, schedule.assignments[i1].cache);
+    let (p0, p1) = (
+        schedule.assignments[i0].procs,
+        schedule.assignments[i1].procs,
+    );
+    let epsilon = (p0 * c1 - p1 * c0) / (c0 + c1);
+    if !(epsilon > 0.0 && epsilon < p0) {
+        return None;
+    }
+    let mut out = schedule.clone();
+    out.assignments[i0].procs -= epsilon;
+    out.assignments[i1].procs += epsilon;
+    Some(out)
+}
+
+/// Replays the exchange argument to a fixed point: repeatedly equalises
+/// the extreme pair until the schedule is equal-finish (or `max_steps`
+/// exchanges have been applied). The makespan never increases along the
+/// way — this is the constructive content of Lemma 1.
+pub fn equalize(
+    apps: &[Application],
+    platform: &Platform,
+    mut schedule: Schedule,
+    tol: f64,
+    max_steps: usize,
+) -> Schedule {
+    for _ in 0..max_steps {
+        match exchange_step(apps, platform, &schedule, tol) {
+            Some(next) => schedule = next,
+            None => break,
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Assignment;
+    use proptest::prelude::*;
+
+    fn pf() -> Platform {
+        Platform::taihulight()
+    }
+
+    fn apps() -> Vec<Application> {
+        vec![
+            Application::perfectly_parallel("CG", 5.70e10, 0.535, 6.59e-4),
+            Application::perfectly_parallel("BT", 2.10e11, 0.829, 7.31e-3),
+            Application::perfectly_parallel("SP", 1.38e11, 0.762, 1.51e-2),
+        ]
+    }
+
+    fn skewed() -> Schedule {
+        Schedule {
+            assignments: vec![
+                Assignment::new(200.0, 0.3),
+                Assignment::new(28.0, 0.4),
+                Assignment::new(28.0, 0.3),
+            ],
+        }
+    }
+
+    #[test]
+    fn one_step_equalises_the_extreme_pair() {
+        let a = apps();
+        let s = skewed();
+        let times_before = s.completion_times(&a, &pf());
+        let next = exchange_step(&a, &pf(), &s, 1e-12).expect("should exchange");
+        let times_after = next.completion_times(&a, &pf());
+        // The two extreme applications now finish together…
+        let (lo, hi) = (0usize, {
+            let mut hi = 0;
+            for (i, &t) in times_before.iter().enumerate() {
+                if t > times_before[hi] {
+                    hi = i;
+                }
+            }
+            hi
+        });
+        let lo = times_before
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(lo);
+        assert!(
+            (times_after[lo] - times_after[hi]).abs() / times_after[hi] < 1e-9,
+            "{times_after:?}"
+        );
+        // …and the makespan did not grow.
+        let m0 = times_before.iter().copied().fold(0.0, f64::max);
+        let m1 = times_after.iter().copied().fold(0.0, f64::max);
+        assert!(m1 <= m0 * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn exchange_preserves_resource_totals() {
+        let a = apps();
+        let s = skewed();
+        let next = exchange_step(&a, &pf(), &s, 1e-12).unwrap();
+        assert!((next.total_procs() - s.total_procs()).abs() < 1e-9);
+        assert_eq!(next.total_cache(), s.total_cache());
+    }
+
+    #[test]
+    fn equal_finish_schedule_is_a_fixed_point() {
+        let a = apps();
+        let equalized = equalize(&a, &pf(), skewed(), 1e-10, 1000);
+        assert!(equalized.is_equal_finish(&a, &pf(), 1e-8));
+        assert!(exchange_step(&a, &pf(), &equalized, 1e-8).is_none());
+    }
+
+    #[test]
+    fn equalize_matches_lemma2_split() {
+        // The fixed point of the exchange process is exactly the Lemma-2
+        // proportional split for the given cache fractions.
+        let a = apps();
+        let platform = pf();
+        let s = skewed();
+        let cache: Vec<f64> = s.assignments.iter().map(|x| x.cache).collect();
+        let equalized = equalize(&a, &platform, s, 1e-12, 10_000);
+        let expected = crate::theory::proc_alloc::lemma2_proc_split(&a, &platform, &cache);
+        for (got, want) in equalized
+            .assignments
+            .iter()
+            .map(|x| x.procs)
+            .zip(expected)
+        {
+            assert!((got - want).abs() / want < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn amdahl_apps_are_rejected() {
+        let mut a = apps();
+        a[0].seq_fraction = 0.1;
+        assert!(exchange_step(&a, &pf(), &skewed(), 1e-12).is_none());
+    }
+
+    #[test]
+    fn single_app_is_rejected() {
+        let a = vec![apps().remove(0)];
+        let s = Schedule {
+            assignments: vec![Assignment::new(256.0, 1.0)],
+        };
+        assert!(exchange_step(&a, &pf(), &s, 1e-12).is_none());
+    }
+
+    proptest! {
+        /// The constructive Lemma 1: equalising any feasible schedule never
+        /// increases its makespan, and the result is equal-finish.
+        #[test]
+        fn equalizing_never_hurts(
+            procs in proptest::collection::vec(1.0f64..100.0, 2..6),
+            cache_raw in proptest::collection::vec(0.01f64..1.0, 2..6),
+        ) {
+            prop_assume!(procs.len() == cache_raw.len());
+            let n = procs.len();
+            let apps: Vec<Application> = (0..n)
+                .map(|i| Application::perfectly_parallel(
+                    format!("T{i}"), 1e9 * (i + 1) as f64, 0.5, 1e-3))
+                .collect();
+            // Normalise resources into feasibility.
+            let platform = pf();
+            let p_total: f64 = procs.iter().sum();
+            let x_total: f64 = cache_raw.iter().sum();
+            let schedule = Schedule {
+                assignments: procs
+                    .iter()
+                    .zip(&cache_raw)
+                    .map(|(&p, &x)| Assignment::new(
+                        p / p_total * platform.processors,
+                        x / x_total,
+                    ))
+                    .collect(),
+            };
+            let before = schedule.makespan(&apps, &platform);
+            let after_schedule = equalize(&apps, &platform, schedule, 1e-10, 10_000);
+            let after = after_schedule.makespan(&apps, &platform);
+            prop_assert!(after <= before * (1.0 + 1e-9));
+            prop_assert!(after_schedule.is_equal_finish(&apps, &platform, 1e-6));
+            prop_assert!(after_schedule.validate(&apps, &platform).is_ok());
+        }
+    }
+}

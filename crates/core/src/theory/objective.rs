@@ -1,0 +1,159 @@
+//! The reduced objective of Lemma 3 and the partitioned objective of
+//! Definition 3 (`CoSchedCache-Part`).
+
+use crate::model::{seq_cost, seq_cost_full_miss, Application, ExecModel, Platform};
+use crate::theory::cache_alloc::optimal_cache_fractions;
+use crate::theory::dominance::Partition;
+
+/// Lemma 3: for perfectly parallel applications the makespan of the optimal
+/// schedule built on cache fractions `x` is `(1/p) Σ_i Exe_i(1, x_i)`.
+pub fn normalized_objective(apps: &[Application], platform: &Platform, cache: &[f64]) -> f64 {
+    apps.iter()
+        .zip(cache)
+        .map(|(a, &x)| seq_cost(a, platform, x))
+        .sum::<f64>()
+        / platform.processors
+}
+
+/// Definition 3 objective: the Lemma-3 makespan of partition `IC` under its
+/// Theorem-3 optimal cache split. Members of `IC` pay the power-law miss
+/// rate on their closed-form share; non-members pay full misses.
+///
+/// For a dominant partition this equals the optimum of
+/// `CoSchedCache-Part(IC, ĪC)` (Theorem 3).
+pub fn partition_objective(
+    apps: &[Application],
+    platform: &Platform,
+    models: &[ExecModel],
+    partition: &Partition,
+) -> f64 {
+    let x = optimal_cache_fractions(models, partition);
+    let mut total = 0.0;
+    for (i, app) in apps.iter().enumerate() {
+        total += if partition.contains(i) {
+            seq_cost(app, platform, x[i])
+        } else {
+            seq_cost_full_miss(app, platform)
+        };
+    }
+    total / platform.processors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::dominance::is_dominant;
+
+    fn setup() -> (Vec<Application>, Platform, Vec<ExecModel>) {
+        let pf = Platform::taihulight();
+        let apps = vec![
+            Application::perfectly_parallel("CG", 5.70e10, 0.535, 6.59e-4),
+            Application::perfectly_parallel("BT", 2.10e11, 0.829, 7.31e-3),
+            Application::perfectly_parallel("SP", 1.38e11, 0.762, 1.51e-2),
+            Application::perfectly_parallel("MG", 1.23e10, 0.540, 2.62e-2),
+        ];
+        let models = ExecModel::of_all(&apps, &pf);
+        (apps, pf, models)
+    }
+
+    #[test]
+    fn normalized_objective_is_average_seq_cost_over_p() {
+        let (apps, pf, _) = setup();
+        let x = vec![0.25; 4];
+        let direct: f64 = apps
+            .iter()
+            .map(|a| seq_cost(a, &pf, 0.25))
+            .sum::<f64>()
+            / 256.0;
+        assert!((normalized_objective(&apps, &pf, &x) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_objective_matches_manual_computation() {
+        let (apps, pf, models) = setup();
+        let part = Partition::new(vec![0, 1]);
+        let x = optimal_cache_fractions(&models, &part);
+        let manual = (seq_cost(&apps[0], &pf, x[0])
+            + seq_cost(&apps[1], &pf, x[1])
+            + seq_cost_full_miss(&apps[2], &pf)
+            + seq_cost_full_miss(&apps[3], &pf))
+            / 256.0;
+        let got = partition_objective(&apps, &pf, &models, &part);
+        assert!((got - manual).abs() / manual < 1e-12);
+    }
+
+    #[test]
+    fn sharing_cache_beats_no_cache_when_dominant() {
+        let (apps, pf, models) = setup();
+        let full = Partition::all(4);
+        assert!(is_dominant(&models, &full));
+        let with_cache = partition_objective(&apps, &pf, &models, &full);
+        let without = partition_objective(&apps, &pf, &models, &Partition::empty());
+        assert!(with_cache < without);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::theory::dominance::violators;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Theorem 2, executable: from any non-dominant partition,
+            /// stripping violators one by one never worsens the objective
+            /// and terminates on a dominant partition.
+            #[test]
+            fn stripping_violators_is_monotone(
+                rows in proptest::collection::vec(
+                    (1e8f64..1e12, 0.1f64..0.9, 1e-2f64..8e-1), 2..10),
+            ) {
+                let pf = Platform::taihulight().with_cache_size(80e6);
+                let apps: Vec<Application> = rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (w, f, m))| {
+                        Application::perfectly_parallel(format!("P{i}"), w, f, m)
+                    })
+                    .collect();
+                let models = ExecModel::of_all(&apps, &pf);
+                let mut part = Partition::all(apps.len());
+                let mut prev = partition_objective(&apps, &pf, &models, &part);
+                while let Some(&k) = violators(&models, &part).first() {
+                    part.remove(k);
+                    let cur = partition_objective(&apps, &pf, &models, &part);
+                    prop_assert!(
+                        cur <= prev * (1.0 + 1e-12),
+                        "evicting violator {k} worsened the objective: {prev} -> {cur}"
+                    );
+                    prev = cur;
+                }
+                prop_assert!(is_dominant(&models, &part));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_removing_a_violator_improves_objective() {
+        // Build a non-dominant partition on a small LLC and check that
+        // evicting a violator strictly improves the objective, as Theorem 2
+        // guarantees.
+        let pf = Platform::taihulight().with_cache_size(60e6);
+        let apps = vec![
+            Application::perfectly_parallel("A", 1e11, 0.8, 0.3),
+            Application::perfectly_parallel("B", 1e11, 0.8, 0.3),
+            Application::perfectly_parallel("C", 1e8, 0.8, 0.25),
+        ];
+        let models = ExecModel::of_all(&apps, &pf);
+        let full = Partition::all(3);
+        let viols = crate::theory::dominance::violators(&models, &full);
+        assert!(!viols.is_empty(), "test premise: partition must be non-dominant");
+        let before = partition_objective(&apps, &pf, &models, &full);
+        let mut reduced = full.clone();
+        reduced.remove(viols[0]);
+        let after = partition_objective(&apps, &pf, &models, &reduced);
+        assert!(
+            after < before,
+            "evicting violator {} should improve: {before} -> {after}",
+            viols[0]
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Processor allocation (paper Lemma 2 and the §5 equal-finish-time
+//! bisection for Amdahl profiles).
+
+use crate::error::{CoschedError, Result};
+use crate::model::{seq_cost, Application, Platform};
+use crate::REL_TOL;
+
+/// Lemma 2 (perfectly parallel applications): given cache fractions `x`,
+/// the optimal processor split is
+/// `p_i = p · Exe_i^seq(x_i) / Σ_j Exe_j^seq(x_j)`,
+/// which makes all applications finish simultaneously and uses all `p`
+/// processors.
+pub fn lemma2_proc_split(apps: &[Application], platform: &Platform, cache: &[f64]) -> Vec<f64> {
+    let costs: Vec<f64> = apps
+        .iter()
+        .zip(cache)
+        .map(|(a, &x)| seq_cost(a, platform, x))
+        .collect();
+    let total: f64 = costs.iter().sum();
+    if total <= 0.0 {
+        return vec![platform.processors / apps.len() as f64; apps.len()];
+    }
+    costs
+        .into_iter()
+        .map(|c| platform.processors * c / total)
+        .collect()
+}
+
+/// Result of the equal-finish-time solve for general (Amdahl) applications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqualFinish {
+    /// Common completion time `K` of all applications.
+    pub makespan: f64,
+    /// Processor shares `p_i` realising it (`Σ p_i = p`).
+    pub procs: Vec<f64>,
+}
+
+/// §5: given cache fractions (hence sequential costs `c_i`), find the
+/// makespan `K` such that running every application for exactly `K` time
+/// units consumes all `p` processors:
+/// `Σ_i (1 - s_i) / (K/c_i - s_i) = p`, where
+/// `Exe_i = (s_i + (1-s_i)/p_i)·c_i = K`.
+///
+/// Solved by bisection. The lower bound assigns `p` processors to every
+/// application (`K_lo = max_i (s_i + (1-s_i)/p)·c_i`); the upper bound
+/// assigns one processor each (`K_hi = max_i c_i`), doubled as needed when
+/// `n > p` so the bracket is valid.
+pub fn equal_finish_split(
+    apps: &[Application],
+    platform: &Platform,
+    cache: &[f64],
+) -> Result<EqualFinish> {
+    if apps.is_empty() {
+        return Err(CoschedError::EmptyInstance);
+    }
+    let p = platform.processors;
+    let costs: Vec<f64> = apps
+        .iter()
+        .zip(cache)
+        .map(|(a, &x)| seq_cost(a, platform, x))
+        .collect();
+    let seq: Vec<f64> = apps.iter().map(|a| a.seq_fraction).collect();
+
+    // Processors demanded to finish every application by time K.
+    let demand = |k: f64| -> f64 {
+        costs
+            .iter()
+            .zip(&seq)
+            .map(|(&c, &s)| {
+                let denom = k / c - s;
+                if denom <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    (1.0 - s) / denom
+                }
+            })
+            .sum()
+    };
+
+    let mut lo = costs
+        .iter()
+        .zip(&seq)
+        .map(|(&c, &s)| (s + (1.0 - s) / p) * c)
+        .fold(0.0, f64::max);
+    let mut hi = costs.iter().copied().fold(0.0, f64::max);
+    // n > p (or degenerate profiles): widen until the bracket is valid.
+    let mut guard = 0;
+    while demand(hi) > p {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 1024 {
+            return Err(CoschedError::NoFeasibleMakespan(
+                "upper bound does not converge".into(),
+            ));
+        }
+    }
+    if demand(lo) < p {
+        // Possible when every c_i is 0-ish; fall back to the trivial split.
+        return Ok(EqualFinish {
+            makespan: lo,
+            procs: vec![p / apps.len() as f64; apps.len()],
+        });
+    }
+
+    // Bisection: demand(K) is strictly decreasing in K on (lo, hi].
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if demand(mid) > p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) <= REL_TOL * hi {
+            break;
+        }
+    }
+    let k = hi;
+    let mut procs: Vec<f64> = costs
+        .iter()
+        .zip(&seq)
+        .map(|(&c, &s)| {
+            let denom = k / c - s;
+            if denom <= 0.0 {
+                p
+            } else {
+                (1.0 - s) / denom
+            }
+        })
+        .collect();
+    // Normalise the residual bisection slack so Σ p_i = p exactly.
+    let total: f64 = procs.iter().sum();
+    if total > 0.0 {
+        for v in &mut procs {
+            *v *= p / total;
+        }
+    }
+    Ok(EqualFinish { makespan: k, procs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{exec_time, Schedule};
+
+    fn pf() -> Platform {
+        Platform::taihulight()
+    }
+
+    fn apps_pp() -> Vec<Application> {
+        vec![
+            Application::perfectly_parallel("CG", 5.70e10, 0.535, 6.59e-4),
+            Application::perfectly_parallel("BT", 2.10e11, 0.829, 7.31e-3),
+            Application::perfectly_parallel("SP", 1.38e11, 0.762, 1.51e-2),
+        ]
+    }
+
+    fn apps_amdahl() -> Vec<Application> {
+        apps_pp()
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| a.with_seq_fraction(0.01 * (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn lemma2_uses_all_processors() {
+        let a = apps_pp();
+        let x = vec![0.3, 0.3, 0.4];
+        let p = lemma2_proc_split(&a, &pf(), &x);
+        assert!((p.iter().sum::<f64>() - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma2_equalises_finish_times() {
+        let a = apps_pp();
+        let x = vec![0.3, 0.3, 0.4];
+        let procs = lemma2_proc_split(&a, &pf(), &x);
+        let s = Schedule::from_parts(&procs, &x);
+        assert!(s.is_equal_finish(&a, &pf(), 1e-12));
+    }
+
+    #[test]
+    fn lemma2_makespan_matches_lemma3_formula() {
+        // Completion time = (1/p) Σ_i Exe_i(1, x_i)  (Lemma 3).
+        let a = apps_pp();
+        let platform = pf();
+        let x = vec![0.2, 0.5, 0.3];
+        let procs = lemma2_proc_split(&a, &platform, &x);
+        let s = Schedule::from_parts(&procs, &x);
+        let expected: f64 = a
+            .iter()
+            .zip(&x)
+            .map(|(app, &xi)| seq_cost(app, &platform, xi))
+            .sum::<f64>()
+            / platform.processors;
+        assert!((s.makespan(&a, &platform) - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn equal_finish_uses_all_processors() {
+        let a = apps_amdahl();
+        let x = vec![0.3, 0.3, 0.4];
+        let ef = equal_finish_split(&a, &pf(), &x).unwrap();
+        assert!((ef.procs.iter().sum::<f64>() - 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_finish_times_are_equal() {
+        let a = apps_amdahl();
+        let platform = pf();
+        let x = vec![0.3, 0.3, 0.4];
+        let ef = equal_finish_split(&a, &platform, &x).unwrap();
+        for (i, app) in a.iter().enumerate() {
+            let t = exec_time(app, &platform, ef.procs[i], x[i]);
+            assert!(
+                (t - ef.makespan).abs() / ef.makespan < 1e-8,
+                "app {i}: {t} vs {}",
+                ef.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn equal_finish_reduces_to_lemma2_when_perfectly_parallel() {
+        let a = apps_pp();
+        let platform = pf();
+        let x = vec![0.25, 0.5, 0.25];
+        let ef = equal_finish_split(&a, &platform, &x).unwrap();
+        let l2 = lemma2_proc_split(&a, &platform, &x);
+        for (u, v) in ef.procs.iter().zip(&l2) {
+            assert!((u - v).abs() / v < 1e-8);
+        }
+    }
+
+    #[test]
+    fn equal_finish_handles_more_apps_than_processors() {
+        let platform = pf().with_processors(4.0);
+        let a: Vec<Application> = (0..16)
+            .map(|i| {
+                Application::new(format!("T{i}"), 1e9 * (i + 1) as f64, 0.05, 0.5, 1e-3)
+            })
+            .collect();
+        let x = vec![1.0 / 16.0; 16];
+        let ef = equal_finish_split(&a, &platform, &x).unwrap();
+        assert!((ef.procs.iter().sum::<f64>() - 4.0).abs() < 1e-6);
+        // Everybody got strictly less than one processor on average.
+        assert!(ef.procs.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn equal_finish_makespan_exceeds_sequential_floor() {
+        // K must exceed max_i s_i * c_i (otherwise demand is infinite).
+        let a = apps_amdahl();
+        let platform = pf();
+        let x = vec![0.3, 0.3, 0.4];
+        let ef = equal_finish_split(&a, &platform, &x).unwrap();
+        let floor = a
+            .iter()
+            .zip(&x)
+            .map(|(app, &xi)| app.seq_fraction * seq_cost(app, &platform, xi))
+            .fold(0.0, f64::max);
+        assert!(ef.makespan > floor);
+    }
+
+    #[test]
+    fn equal_finish_empty_instance_errors() {
+        assert!(matches!(
+            equal_finish_split(&[], &pf(), &[]),
+            Err(CoschedError::EmptyInstance)
+        ));
+    }
+
+    #[test]
+    fn more_processors_shorten_makespan() {
+        let a = apps_amdahl();
+        let x = vec![0.3, 0.3, 0.4];
+        let k64 = equal_finish_split(&a, &pf().with_processors(64.0), &x)
+            .unwrap()
+            .makespan;
+        let k256 = equal_finish_split(&a, &pf().with_processors(256.0), &x)
+            .unwrap()
+            .makespan;
+        assert!(k256 < k64);
+    }
+}

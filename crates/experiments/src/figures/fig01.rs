@@ -1,0 +1,67 @@
+//! Figure 1 — the six dominant-partition heuristics vs the number of
+//! applications, normalized with AllProcCache (NPB-SYNTH, 256 processors).
+//!
+//! Paper shape: all six heuristics coincide and gain ≥ 85 % over
+//! AllProcCache once there are at least ~50 applications.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{app_counts, apps_sweep, dominant_set, normalize};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-1 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let counts = app_counts(cfg);
+    let raw = apps_sweep("fig1", Dataset::NpbSynth, &counts, &dominant_set(), cfg);
+    let mut fig = normalize(raw, "AllProcCache");
+    // Qualitative checks on the last point.
+    let last = fig.xs.len() - 1;
+    let dominant_values: Vec<f64> = fig
+        .series
+        .iter()
+        .filter(|s| s.name.starts_with("Dominant"))
+        .map(|s| s.values[last])
+        .collect();
+    let worst = dominant_values.iter().copied().fold(0.0, f64::max);
+    let spread = worst - dominant_values.iter().copied().fold(f64::INFINITY, f64::min);
+    fig.note(format!(
+        "at n = {}, the worst dominant heuristic reaches {:.3}x AllProcCache \
+         (paper: ~0.15x, i.e. 85% gain, beyond ~50 apps)",
+        fig.xs[last] as u64, worst
+    ));
+    fig.note(format!(
+        "spread between the six dominant heuristics at the last point: {spread:.4} \
+         (paper: curves overlap)"
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_shapes_and_normalization() {
+        let fig = run(&ExpConfig::smoke());
+        assert_eq!(fig.id, "fig1");
+        // 6 dominant + AllProcCache + raw reference column.
+        assert_eq!(fig.series.len(), 8);
+        let apc = fig.series_named("AllProcCache").unwrap();
+        assert!(apc.values.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn co_scheduling_wins_at_many_apps() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let last = fig.xs.len() - 1;
+        for s in fig.series.iter().filter(|s| s.name.starts_with("Dominant")) {
+            assert!(
+                s.values[last] < 1.0,
+                "{} did not beat AllProcCache at n = {}",
+                s.name,
+                fig.xs[last]
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 2 — impact of the cache miss rate on the six dominant
+//! heuristics, 1 GB LLC, normalized with DominantMinRatio.
+//!
+//! Paper shape: differences appear only once the miss rate exceeds ~0.1;
+//! DominantMinRatio and DominantRevMaxRatio overlap as the best pair,
+//! DominantMaxRatio and DominantRevMinRatio as the worst.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{missrate_grid, missrate_sweep, normalize};
+use crate::output::FigureData;
+use coschedule::algo::Strategy;
+
+/// Runs the Figure-2 sweep (16 applications).
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let rates = missrate_grid(cfg);
+    let raw = missrate_sweep("fig2", 16, &rates, &Strategy::all_dominant(), cfg);
+    let mut fig = normalize(raw, "DominantMinRatio");
+    let last = fig.xs.len() - 1;
+    let value = |name: &str| fig.series_named(name).unwrap().values[last];
+    fig.note(format!(
+        "at miss rate {:.2}: DominantRevMaxRatio = {:.4}x DMR (paper: overlap at 1.0), \
+         DominantMaxRatio = {:.4}x, DominantRevMinRatio = {:.4}x (paper: worst pair)",
+        fig.xs[last],
+        value("DominantRevMaxRatio"),
+        value("DominantMaxRatio"),
+        value("DominantRevMinRatio"),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_pairings_overlap() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let a = fig.series_named("DominantMinRatio").unwrap();
+        let b = fig.series_named("DominantRevMaxRatio").unwrap();
+        for (x, (va, vb)) in fig.xs.iter().zip(a.values.iter().zip(&b.values)) {
+            assert!(
+                (va - vb).abs() < 0.05,
+                "DMR and DRevMaxRatio should overlap at miss rate {x}: {va} vs {vb}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_pairings_never_beat_dmr() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        for name in ["DominantMaxRatio", "DominantRevMinRatio"] {
+            for (i, v) in fig.series_named(name).unwrap().values.iter().enumerate() {
+                assert!(
+                    *v >= 1.0 - 0.02,
+                    "{name} beat DMR at point {i}: {v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 3 — impact of the number of applications on the comparison set
+//! (AllProcCache, DominantMinRatio, RandomPart, Fair, 0cache), NPB-SYNTH,
+//! 256 processors, normalized with AllProcCache.
+//!
+//! Paper shape: DominantMinRatio is the best heuristic throughout; Fair is
+//! competitive only while every application fits in cache, then degrades
+//! past even 0cache.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{app_counts, apps_sweep, comparison_set, normalize};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-3 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let counts = app_counts(cfg);
+    let raw = apps_sweep("fig3", Dataset::NpbSynth, &counts, &comparison_set(), cfg);
+    let mut fig = normalize(raw, "AllProcCache");
+    let last = fig.xs.len() - 1;
+    let value = |name: &str| fig.series_named(name).unwrap().values[last];
+    fig.note(format!(
+        "at n = {}: DMR {:.3} <= RandomPart {:.3} <= Fair {:.3} vs 0cache {:.3} \
+         (paper ranking: DMR best, then RandomPart, then 0cache, Fair worst at scale)",
+        fig.xs[last] as u64,
+        value("DominantMinRatio"),
+        value("RandomPart"),
+        value("Fair"),
+        value("0cache"),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmr_is_best_coscheduler_at_every_point() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let dmr = &fig.series_named("DominantMinRatio").unwrap().values;
+        for other in ["RandomPart", "Fair", "0cache"] {
+            let vals = &fig.series_named(other).unwrap().values;
+            for (i, (d, o)) in dmr.iter().zip(vals).enumerate() {
+                assert!(
+                    d <= &(o * 1.001),
+                    "DMR lost to {other} at point {i}: {d} vs {o}"
+                );
+            }
+        }
+    }
+}

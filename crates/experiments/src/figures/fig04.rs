@@ -1,0 +1,71 @@
+//! Figure 4 — impact of the average number of processors per application
+//! (ratio p/n, with p = 256 fixed and n varying), normalized with
+//! DominantMinRatio.
+//!
+//! Paper shape: 0cache beats Fair when processors per application are
+//! scarce; Fair catches up when each application has many processors.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, normalize, sweep_random};
+use crate::output::FigureData;
+use coschedule::model::Platform;
+use workloads::synth::{Dataset, SeqFraction};
+
+/// Runs the Figure-4 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let ratios: Vec<f64> = if cfg.reps <= 2 {
+        vec![2.0, 64.0]
+    } else {
+        vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
+    };
+    let counts: Vec<usize> = ratios.iter().map(|r| (256.0 / r) as usize).collect();
+    let raw = sweep_random(
+        "fig4",
+        "#processors / #applications",
+        &ratios,
+        &comparison_set(),
+        cfg,
+        &|_| Platform::taihulight(),
+        &move |pi, rng| {
+            Dataset::NpbSynth.generate(counts[pi].max(1), SeqFraction::paper_default(), rng)
+        },
+    );
+    let mut fig = normalize(raw, "DominantMinRatio");
+    let value = |name: &str, i: usize| fig.series_named(name).unwrap().values[i];
+    fig.note(format!(
+        "scarce procs (ratio {}): Fair {:.3} vs 0cache {:.3} (paper: 0cache wins); \
+         plentiful procs (ratio {}): Fair {:.3} vs 0cache {:.3} (paper: Fair recovers)",
+        fig.xs[0],
+        value("Fair", 0),
+        value("0cache", 0),
+        fig.xs[fig.xs.len() - 1],
+        value("Fair", fig.xs.len() - 1),
+        value("0cache", fig.xs.len() - 1),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cache_beats_fair_when_processors_are_scarce() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let fair = fig.series_named("Fair").unwrap().values[0];
+        let zc = fig.series_named("0cache").unwrap().values[0];
+        assert!(
+            zc < fair,
+            "at ratio {} 0cache ({zc}) should beat Fair ({fair})",
+            fig.xs[0]
+        );
+    }
+
+    #[test]
+    fn dmr_reference_column_is_one() {
+        let fig = run(&ExpConfig::smoke());
+        let dmr = fig.series_named("DominantMinRatio").unwrap();
+        assert!(dmr.values.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 5 — impact of the number of processors, 16 applications,
+//! NPB-SYNTH, normalized with AllProcCache.
+//!
+//! Paper shape: the co-scheduling gain grows with `p`; DominantMinRatio is
+//! the only heuristic beating AllProcCache at low processor counts, and
+//! its gap to 0cache (pure cache-allocation gain) exceeds 20 %.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, normalize, proc_counts, procs_sweep};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-5 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let procs = proc_counts(cfg);
+    let raw = procs_sweep("fig5", Dataset::NpbSynth, 16, &procs, &comparison_set(), cfg);
+    let mut fig = normalize(raw, "AllProcCache");
+    let value = |name: &str, i: usize| fig.series_named(name).unwrap().values[i];
+    let last = fig.xs.len() - 1;
+    let note_gain = format!(
+        "cache-allocation gain (0cache vs DMR) at p = {}: {:.1}% (paper: >20%)",
+        fig.xs[last],
+        (value("0cache", last) / value("DominantMinRatio", last) - 1.0) * 100.0
+    );
+    let note_low = format!(
+        "at the lowest p = {}, DMR = {:.3}x AllProcCache (paper: only heuristic < 1)",
+        fig.xs[0],
+        value("DominantMinRatio", 0)
+    );
+    fig.note(note_gain);
+    fig.note(note_low);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmr_beats_all_proc_cache_even_at_low_p() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let dmr = fig.series_named("DominantMinRatio").unwrap();
+        assert!(
+            dmr.values[0] < 1.0,
+            "DMR should beat AllProcCache at p = {}: {}",
+            fig.xs[0],
+            dmr.values[0]
+        );
+    }
+
+    #[test]
+    fn cache_allocation_gain_is_positive() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let last = fig.xs.len() - 1;
+        let dmr = fig.series_named("DominantMinRatio").unwrap().values[last];
+        let zc = fig.series_named("0cache").unwrap().values[last];
+        assert!(zc > dmr, "0cache {zc} should trail DMR {dmr}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 7 — processor and cache repartition (average with min/max error
+//! bars) vs the number of applications, NPB-SYNTH, 256 processors.
+//!
+//! Paper shape: the min–max spread shrinks as applications multiply; Fair
+//! has min = max for processors by construction; 0cache's processor split
+//! tracks DominantMinRatio's closely even though it ignores the cache.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{app_counts, repartition_sweep};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-7 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let counts = app_counts(cfg);
+    let mut fig = repartition_sweep("fig7", Dataset::NpbSynth, &counts, cfg);
+    let last = fig.xs.len() - 1;
+    let value = |name: &str, i: usize| fig.series_named(name).unwrap().values[i];
+    let note_track = format!(
+        "0cache's processor split tracks DMR's: avg {:.2} vs {:.2} at n = {}",
+        value("0cache procs avg", last),
+        value("DominantMinRatio procs avg", last),
+        fig.xs[last] as u64
+    );
+    let first = fig.xs.iter().position(|&n| n > 1.0).unwrap_or(0);
+    let note_spread = format!(
+        "processor spread (max - min) for DMR shrinks from {:.1} at n = {} to {:.2} at n = {}",
+        value("DominantMinRatio procs max", first) - value("DominantMinRatio procs min", first),
+        fig.xs[first] as u64,
+        value("DominantMinRatio procs max", last) - value("DominantMinRatio procs min", last),
+        fig.xs[last] as u64
+    );
+    fig.note(note_track);
+    fig.note(note_spread);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_has_equal_min_max_processors() {
+        let fig = run(&ExpConfig::smoke());
+        let min = fig.series_named("Fair procs min").unwrap();
+        let max = fig.series_named("Fair procs max").unwrap();
+        for (a, b) in min.values.iter().zip(&max.values) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn average_processors_is_p_over_n() {
+        let fig = run(&ExpConfig::smoke());
+        for (i, &n) in fig.xs.iter().enumerate() {
+            for name in ["DominantMinRatio procs avg", "Fair procs avg", "0cache procs avg"] {
+                let v = fig.series_named(name).unwrap().values[i];
+                assert!(
+                    (v - 256.0 / n).abs() / (256.0 / n) < 1e-6,
+                    "{name} at n = {n}: {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cache_allocates_no_cache() {
+        let fig = run(&ExpConfig::smoke());
+        for field in ["avg", "min", "max"] {
+            let s = fig.series_named(&format!("0cache cache {field}")).unwrap();
+            assert!(s.values.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn spread_shrinks_with_more_apps() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        // Skip n = 1 (min = max = p trivially) and compare the first
+        // multi-application point against the last one.
+        let first = fig.xs.iter().position(|&n| n > 1.0).unwrap();
+        let last = fig.xs.len() - 1;
+        let spread = |i: usize| {
+            fig.series_named("DominantMinRatio procs max").unwrap().values[i]
+                - fig.series_named("DominantMinRatio procs min").unwrap().values[i]
+        };
+        assert!(
+            spread(last) <= spread(first) + 1e-9,
+            "spread grew: {} -> {}",
+            spread(first),
+            spread(last)
+        );
+    }
+}

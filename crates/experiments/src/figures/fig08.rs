@@ -1,0 +1,46 @@
+//! Figure 8 (Appendix A.1) — impact of the number of applications with the
+//! RANDOM dataset, normalized with AllProcCache.
+//!
+//! Paper shape: same ranking as Figure 3 — dominant partitions win on
+//! fully random application profiles too.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{app_counts, apps_sweep, comparison_set, normalize};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-8 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let counts = app_counts(cfg);
+    let raw = apps_sweep("fig8", Dataset::Random, &counts, &comparison_set(), cfg);
+    let mut fig = normalize(raw, "AllProcCache");
+    let last = fig.xs.len() - 1;
+    let value = |n: &str| fig.series_named(n).unwrap().values[last];
+    fig.note(format!(
+        "RANDOM dataset, n = {}: DMR {:.3}, RandomPart {:.3}, Fair {:.3}, 0cache {:.3} \
+         (paper: similar to NPB-SYNTH)",
+        fig.xs[last] as u64,
+        value("DominantMinRatio"),
+        value("RandomPart"),
+        value("Fair"),
+        value("0cache"),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmr_still_best_on_random_profiles() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let last = fig.xs.len() - 1;
+        let dmr = fig.series_named("DominantMinRatio").unwrap().values[last];
+        for other in ["RandomPart", "Fair", "0cache"] {
+            let v = fig.series_named(other).unwrap().values[last];
+            assert!(dmr <= v * 1.001, "DMR {dmr} lost to {other} {v}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 9 (Appendix A.2) — impact of the number of processors with 64
+//! applications (NPB-SYNTH), normalized with DominantMinRatio.
+//!
+//! Paper shape: with this many applications Fair becomes the worst
+//! heuristic, behind even 0cache.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, normalize, proc_counts, procs_sweep};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-9 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let procs = proc_counts(cfg);
+    let raw = procs_sweep("fig9", Dataset::NpbSynth, 64, &procs, &comparison_set(), cfg);
+    let mut fig = normalize(raw, "DominantMinRatio");
+    let last = fig.xs.len() - 1;
+    let value = |n: &str| fig.series_named(n).unwrap().values[last];
+    fig.note(format!(
+        "64 apps, p = {}: Fair {:.3} vs 0cache {:.3} (paper: Fair is now worst)",
+        fig.xs[last],
+        value("Fair"),
+        value("0cache"),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_trails_zero_cache_with_many_apps() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let last = fig.xs.len() - 1;
+        let fair = fig.series_named("Fair").unwrap().values[last];
+        let zc = fig.series_named("0cache").unwrap().values[last];
+        assert!(fair > zc, "Fair {fair} should trail 0cache {zc} at 64 apps");
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 10 (Appendix A.2) — impact of the number of processors with the
+//! NPB-6 dataset (exactly the six Table-2 applications), both
+//! normalizations; we emit the AllProcCache one.
+//!
+//! Paper shape: with only six applications Fair beats 0cache once more
+//! than ~50 processors are available.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, normalize, proc_counts, procs_sweep};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-10 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let procs = proc_counts(cfg);
+    let raw = procs_sweep("fig10", Dataset::Npb6, 6, &procs, &comparison_set(), cfg);
+    let mut fig = normalize(raw, "AllProcCache");
+    let last = fig.xs.len() - 1;
+    let value = |n: &str| fig.series_named(n).unwrap().values[last];
+    fig.note(format!(
+        "NPB-6, p = {}: Fair {:.3} vs 0cache {:.3} (paper: Fair wins with few apps & many procs)",
+        fig.xs[last],
+        value("Fair"),
+        value("0cache"),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_beats_zero_cache_with_few_apps_many_procs() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let last = fig.xs.len() - 1; // 256 processors
+        let fair = fig.series_named("Fair").unwrap().values[last];
+        let zc = fig.series_named("0cache").unwrap().values[last];
+        assert!(
+            fair < zc,
+            "with 6 apps on {} procs Fair ({fair}) should beat 0cache ({zc})",
+            fig.xs[last]
+        );
+    }
+
+    #[test]
+    fn dmr_beats_everything_on_npb6() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        for i in 0..fig.xs.len() {
+            let dmr = fig.series_named("DominantMinRatio").unwrap().values[i];
+            for other in ["RandomPart", "Fair", "0cache"] {
+                let v = fig.series_named(other).unwrap().values[i];
+                assert!(dmr <= v * 1.001, "point {i}: DMR {dmr} vs {other} {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 11 (Appendix A.2) — impact of the number of processors with the
+//! RANDOM dataset, 16 applications, normalized with AllProcCache.
+//!
+//! Paper shape: similar to the NPB-SYNTH results of Figure 5.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, normalize, proc_counts, procs_sweep};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-11 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let procs = proc_counts(cfg);
+    let raw = procs_sweep("fig11", Dataset::Random, 16, &procs, &comparison_set(), cfg);
+    let mut fig = normalize(raw, "AllProcCache");
+    let last = fig.xs.len() - 1;
+    fig.note(format!(
+        "RANDOM/16 apps, p = {}: DMR {:.3}x AllProcCache (paper: similar to Fig. 5)",
+        fig.xs[last],
+        fig.series_named("DominantMinRatio").unwrap().values[last],
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_matches_fig5_shape() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let last = fig.xs.len() - 1;
+        let dmr = fig.series_named("DominantMinRatio").unwrap().values[last];
+        assert!(dmr < 1.0, "DMR should beat AllProcCache: {dmr}");
+        for other in ["RandomPart", "Fair", "0cache"] {
+            let v = fig.series_named(other).unwrap().values[last];
+            assert!(dmr <= v * 1.001, "DMR {dmr} vs {other} {v}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 12 (Appendix A.2) — impact of the number of processors with the
+//! RANDOM dataset and 64 applications, normalized with DominantMinRatio.
+//!
+//! Paper shape: like Figure 9 — Fair is worst at scale; the number of
+//! processors does not change the relative ranking.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, normalize, proc_counts, procs_sweep};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-12 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let procs = proc_counts(cfg);
+    let raw = procs_sweep("fig12", Dataset::Random, 64, &procs, &comparison_set(), cfg);
+    let mut fig = normalize(raw, "DominantMinRatio");
+    let first = 0;
+    let last = fig.xs.len() - 1;
+    let value = |n: &str, i: usize| fig.series_named(n).unwrap().values[i];
+    fig.note(format!(
+        "ranking stability: RandomPart {:.3} -> {:.3}, 0cache {:.3} -> {:.3} across p \
+         (paper: processor count does not affect relative performance)",
+        value("RandomPart", first),
+        value("RandomPart", last),
+        value("0cache", first),
+        value("0cache", last),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_stable_across_processor_counts() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        for i in 0..fig.xs.len() {
+            let fair = fig.series_named("Fair").unwrap().values[i];
+            let zc = fig.series_named("0cache").unwrap().values[i];
+            assert!(fair > zc, "point {i}: Fair {fair} should trail 0cache {zc}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 13 (Appendix A.3) — impact of the sequential fraction with the
+//! NPB-6 dataset, normalized with AllProcCache.
+//!
+//! Paper shape: Fair's relative performance improves as the sequential
+//! fraction grows — cache allocation matters more when parallelism buys
+//! less.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, normalize, seq_grid, seq_sweep};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-13 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let grid = seq_grid(cfg);
+    let raw = seq_sweep("fig13", Dataset::Npb6, 6, &grid, &comparison_set(), cfg);
+    let mut fig = normalize(raw, "AllProcCache");
+    let last = fig.xs.len() - 1;
+    let value = |n: &str, i: usize| fig.series_named(n).unwrap().values[i];
+    fig.note(format!(
+        "Fair/DMR ratio falls from {:.3} (s = {:.2}) to {:.3} (s = {:.2}) \
+         (paper: Fair improves with s)",
+        value("Fair", 0) / value("DominantMinRatio", 0),
+        fig.xs[0],
+        value("Fair", last) / value("DominantMinRatio", last),
+        fig.xs[last],
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_improves_relative_to_dmr_as_s_grows() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let last = fig.xs.len() - 1;
+        let ratio = |i: usize| {
+            fig.series_named("Fair").unwrap().values[i]
+                / fig.series_named("DominantMinRatio").unwrap().values[i]
+        };
+        assert!(
+            ratio(last) <= ratio(0) * 1.05,
+            "Fair/DMR should not degrade with s: {} -> {}",
+            ratio(0),
+            ratio(last)
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 14 (Appendix A.3) — impact of the sequential fraction with the
+//! RANDOM dataset, 16 applications, normalized with AllProcCache.
+//!
+//! Paper shape: same as the NPB-SYNTH Figure 6.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, normalize, seq_grid, seq_sweep};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-14 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let grid = seq_grid(cfg);
+    let raw = seq_sweep("fig14", Dataset::Random, 16, &grid, &comparison_set(), cfg);
+    let mut fig = normalize(raw, "AllProcCache");
+    let last = fig.xs.len() - 1;
+    fig.note(format!(
+        "RANDOM/16 apps: all co-scheduling heuristics < 1.0 at s = {:.2} \
+         (DMR {:.3}, Fair {:.3})",
+        fig.xs[last],
+        fig.series_named("DominantMinRatio").unwrap().values[last],
+        fig.series_named("Fair").unwrap().values[last],
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_fig6_shape_on_random() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let last = fig.xs.len() - 1;
+        for name in ["DominantMinRatio", "RandomPart", "Fair", "0cache"] {
+            let v = fig.series_named(name).unwrap().values[last];
+            assert!(v < 1.0, "{name}: {v}");
+        }
+    }
+}

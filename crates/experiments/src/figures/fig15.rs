@@ -1,0 +1,51 @@
+//! Figure 15 (Appendix A.4) — impact of the cache latency `ls`,
+//! NPB-SYNTH, 16 applications, `s = 10^-4`, normalized with AllProcCache.
+//!
+//! Paper shape: the `ls` cost does not change relative performance.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, latency_sweep, ls_grid, normalize};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-15 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let grid = ls_grid(cfg);
+    let raw = latency_sweep(
+        "fig15",
+        Dataset::NpbSynth,
+        16,
+        &grid,
+        1e-4,
+        &comparison_set(),
+        cfg,
+    );
+    let mut fig = normalize(raw, "AllProcCache");
+    let value = |n: &str, i: usize| fig.series_named(n).unwrap().values[i];
+    let last = fig.xs.len() - 1;
+    fig.note(format!(
+        "DMR at ls = {:.1}: {:.3}; at ls = {:.1}: {:.3} (paper: flat in ls)",
+        fig.xs[0],
+        value("DominantMinRatio", 0),
+        fig.xs[last],
+        value("DominantMinRatio", last),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_performance_is_flat_in_ls() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let last = fig.xs.len() - 1;
+        for name in ["DominantMinRatio", "0cache", "Fair"] {
+            let s = fig.series_named(name).unwrap();
+            let drift = (s.values[last] - s.values[0]).abs();
+            assert!(drift < 0.25, "{name} drifts with ls: {:?}", s.values);
+        }
+    }
+}

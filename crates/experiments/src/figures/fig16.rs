@@ -1,0 +1,49 @@
+//! Figure 16 (Appendix A.4) — impact of the cache latency `ls` with 64
+//! applications (NPB-SYNTH, `s = 10^-4`), normalized with AllProcCache.
+//!
+//! Paper shape: still flat in `ls`, even at 64 applications.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{comparison_set, latency_sweep, ls_grid, normalize};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-16 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let grid = ls_grid(cfg);
+    let raw = latency_sweep(
+        "fig16",
+        Dataset::NpbSynth,
+        64,
+        &grid,
+        1e-4,
+        &comparison_set(),
+        cfg,
+    );
+    let mut fig = normalize(raw, "AllProcCache");
+    let last = fig.xs.len() - 1;
+    fig.note(format!(
+        "64 apps: DMR {:.3} -> {:.3} across ls (paper: no impact of ls on ranking)",
+        fig.series_named("DominantMinRatio").unwrap().values[0],
+        fig.series_named("DominantMinRatio").unwrap().values[last],
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_preserved_across_ls() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        for i in 0..fig.xs.len() {
+            let dmr = fig.series_named("DominantMinRatio").unwrap().values[i];
+            for other in ["RandomPart", "Fair", "0cache"] {
+                let v = fig.series_named(other).unwrap().values[i];
+                assert!(dmr <= v * 1.001, "point {i}: DMR {dmr} vs {other} {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 17 (Appendix A.5) — processor and cache repartition with the
+//! RANDOM dataset, 256 processors.
+//!
+//! Paper shape: very similar to Figure 7, except Fair's *cache* allocation
+//! becomes more heterogeneous because access frequencies are fully random.
+
+use crate::config::ExpConfig;
+use crate::figures::common::{app_counts, repartition_sweep};
+use crate::output::FigureData;
+use workloads::synth::Dataset;
+
+/// Runs the Figure-17 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let counts = app_counts(cfg);
+    let mut fig = repartition_sweep("fig17", Dataset::Random, &counts, cfg);
+    let last = fig.xs.len() - 1;
+    let value = |name: &str, i: usize| fig.series_named(name).unwrap().values[i];
+    fig.note(format!(
+        "Fair's cache spread (max - min) at n = {}: {:.4} \
+         (paper: more heterogeneous than with NPB profiles)",
+        fig.xs[last] as u64,
+        value("Fair cache max", last) - value("Fair cache min", last)
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_cache_is_heterogeneous_on_random_profiles() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        // At n > 1 the RANDOM dataset draws different f_i, so Fair's cache
+        // shares (proportional to f_i) must differ.
+        let i = fig.xs.iter().position(|&n| n > 1.0).unwrap();
+        let min = fig.series_named("Fair cache min").unwrap().values[i];
+        let max = fig.series_named("Fair cache max").unwrap().values[i];
+        assert!(max > min, "expected heterogeneous Fair cache: {min} vs {max}");
+    }
+
+    #[test]
+    fn totals_respected() {
+        let fig = run(&ExpConfig::smoke());
+        for (i, &n) in fig.xs.iter().enumerate() {
+            let avg = fig.series_named("DominantMinRatio cache avg").unwrap().values[i];
+            assert!(avg * n <= 1.0 + 1e-9, "cache overallocated at n = {n}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 18 (Appendix A.6) — impact of the cache miss rate on all nine
+//! co-scheduling heuristics, 1 GB LLC, 16 applications, normalized with
+//! DominantMinRatio.
+//!
+//! Paper shape: as the miss rate climbs, RandomPart and 0cache close the
+//! gap (using the cache matters less when everything misses anyway).
+
+use crate::config::ExpConfig;
+use crate::figures::common::{missrate_grid, missrate_sweep, nine_set, normalize};
+use crate::output::FigureData;
+
+/// Runs the Figure-18 sweep.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let rates = missrate_grid(cfg);
+    let raw = missrate_sweep("fig18", 16, &rates, &nine_set(), cfg);
+    let mut fig = normalize(raw, "DominantMinRatio");
+    let value = |n: &str, i: usize| fig.series_named(n).unwrap().values[i];
+    let last = fig.xs.len() - 1;
+    fig.note(format!(
+        "0cache closes the gap as misses dominate: {:.3} at m = {:.2} vs {:.3} at m = {:.2}",
+        value("0cache", 0),
+        fig.xs[0],
+        value("0cache", last),
+        fig.xs[last],
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_series_present() {
+        let fig = run(&ExpConfig::smoke());
+        // 9 heuristics + raw reference column.
+        assert_eq!(fig.series.len(), 10);
+        for name in ["DominantRandom", "RandomPart", "Fair", "0cache"] {
+            assert!(fig.series_named(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn zero_cache_improves_as_miss_rate_rises() {
+        let cfg = ExpConfig::smoke().with_reps(3);
+        let fig = run(&cfg);
+        let zc = fig.series_named("0cache").unwrap();
+        let first = zc.values[0];
+        let last = *zc.values.last().unwrap();
+        assert!(
+            last <= first * 1.05,
+            "0cache should close the gap: {first} -> {last}"
+        );
+    }
+}

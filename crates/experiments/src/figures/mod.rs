@@ -1,0 +1,27 @@
+//! One module per regenerated figure/table (see DESIGN.md's
+//! per-experiment index).
+
+pub(crate) mod common;
+
+pub mod ablation_alpha;
+pub mod ablation_refine;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod table2;
+pub mod validation;

@@ -1,0 +1,116 @@
+//! Extension experiment (not in the paper): model-vs-simulation
+//! validation.
+//!
+//! Runs DominantMinRatio schedules through the `cosim` discrete
+//! co-execution simulator across several instance sizes and reports the
+//! relative error between the Eq.-2 prediction and the simulated makespan,
+//! plus the advantage of enforcing cache partitions over sharing the LLC.
+//! This addresses the validation the paper defers to future work.
+
+use crate::config::ExpConfig;
+use crate::output::{FigureData, Series};
+use coschedule::algo::{BuildOrder, Choice, Strategy};
+use coschedule::model::{Application, Platform};
+use cosim::{validate_schedule, CoSimConfig};
+use rand::RngExt as _;
+use workloads::rng::{child_seed, seeded_rng};
+
+fn platform() -> Platform {
+    // Small enough that d_i values are in the "interesting" range where
+    // misses shape the makespan.
+    Platform {
+        processors: 16.0,
+        cache_size: 640e6,
+        ref_cache_size: 40e6,
+        latency_cache: 0.17,
+        latency_mem: 1.0,
+        alpha: 0.5,
+    }
+}
+
+fn instance(n: usize, seed: u64) -> Vec<Application> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|i| {
+            Application::perfectly_parallel(
+                format!("V{i}"),
+                rng.random_range(2e6..8e6),
+                rng.random_range(0.3..0.9),
+                rng.random_range(0.1..0.5),
+            )
+        })
+        .collect()
+}
+
+/// Runs the validation sweep over instance sizes.
+pub fn run(cfg: &ExpConfig) -> FigureData {
+    let sizes: Vec<usize> = if cfg.reps <= 2 {
+        vec![2, 4]
+    } else {
+        vec![2, 3, 4, 6, 8]
+    };
+    let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
+    let mut fig = FigureData::new("validation", "#applications", xs);
+    let mut errors = Vec::new();
+    let mut shared_penalty = Vec::new();
+    let reps = cfg.reps.min(5);
+    for (pi, &n) in sizes.iter().enumerate() {
+        let mut err_acc = 0.0;
+        let mut pen_acc = 0.0;
+        for rep in 0..reps {
+            let apps = instance(n, child_seed(cfg.seed, rep, pi as u64));
+            let p = platform();
+            let mut rng = seeded_rng(child_seed(cfg.seed ^ 0xF00, rep, pi as u64));
+            let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+                .run(&apps, &p, &mut rng)
+                .expect("heuristic failed");
+            let sim_cfg = CoSimConfig {
+                work_scale: 2e-2,
+                ..CoSimConfig::default()
+            };
+            let report = validate_schedule(&apps, &p, &outcome.schedule, sim_cfg.clone());
+            err_acc += report.relative_error;
+            let mut shared_cfg = sim_cfg;
+            shared_cfg.enforce_partitions = false;
+            let shared = validate_schedule(&apps, &p, &outcome.schedule, shared_cfg);
+            pen_acc += shared.simulated_makespan / report.simulated_makespan;
+        }
+        errors.push(err_acc / reps as f64);
+        shared_penalty.push(pen_acc / reps as f64);
+    }
+    fig.push_series(Series::new("model relative error", errors.clone()));
+    fig.push_series(Series::new("shared/partitioned makespan", shared_penalty.clone()));
+    let worst = errors.iter().copied().fold(0.0, f64::max);
+    fig.note(format!(
+        "worst mean model error across sizes: {:.1}% (the paper assumes the model exactly)",
+        worst * 100.0
+    ));
+    fig.note(format!(
+        "sharing the LLC instead of partitioning costs up to {:.1}% makespan on these instances",
+        (shared_penalty.iter().copied().fold(0.0, f64::max) - 1.0) * 100.0
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_error_stays_small() {
+        let fig = run(&ExpConfig::smoke());
+        let err = fig.series_named("model relative error").unwrap();
+        for (i, &e) in err.values.iter().enumerate() {
+            assert!(e < 0.2, "model error at point {i}: {e}");
+        }
+    }
+
+    #[test]
+    fn sharing_never_helps_much() {
+        let fig = run(&ExpConfig::smoke());
+        let pen = fig.series_named("shared/partitioned makespan").unwrap();
+        for &v in &pen.values {
+            assert!(v > 0.9, "sharing should not dramatically beat partitioning: {v}");
+        }
+    }
+}

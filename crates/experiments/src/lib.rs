@@ -1,0 +1,25 @@
+//! Figure/table regeneration harness.
+//!
+//! One driver per figure and table of the paper's evaluation (§6 and
+//! Appendix A), all reachable through the [`registry`] and the
+//! `run_experiments` binary:
+//!
+//! ```text
+//! cargo run -p experiments --release --bin run_experiments -- all
+//! cargo run -p experiments --release --bin run_experiments -- fig1 fig5
+//! ```
+//!
+//! Every experiment is deterministic under its seed, runs its repetitions
+//! in parallel, writes `results/<id>.csv` and prints an aligned table plus
+//! the qualitative checks recorded in EXPERIMENTS.md.
+
+pub mod appcsv;
+pub mod config;
+pub mod figures;
+pub mod output;
+pub mod registry;
+pub mod runner;
+
+pub use config::ExpConfig;
+pub use output::{FigureData, Series};
+pub use registry::{registry, Experiment};

@@ -1,0 +1,321 @@
+//! Result containers and CSV / text rendering.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One curve of a figure: a named series with one value per sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (matches the paper's legends).
+    pub name: String,
+    /// One value per sweep point.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// All data behind one regenerated figure or table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    /// Experiment id (`fig1`, `table2`, …).
+    pub id: String,
+    /// Label of the swept variable (CSV first column).
+    pub xlabel: String,
+    /// Sweep points.
+    pub xs: Vec<f64>,
+    /// Series, all of `xs.len()` values.
+    pub series: Vec<Series>,
+    /// Qualitative observations recorded for EXPERIMENTS.md.
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    /// Creates an empty container.
+    pub fn new(id: impl Into<String>, xlabel: impl Into<String>, xs: Vec<f64>) -> Self {
+        Self {
+            id: id.into(),
+            xlabel: xlabel.into(),
+            xs,
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series (must match the sweep length).
+    pub fn push_series(&mut self, s: Series) {
+        assert_eq!(
+            s.values.len(),
+            self.xs.len(),
+            "series '{}' length mismatch",
+            s.name
+        );
+        self.series.push(s);
+    }
+
+    /// Records a qualitative note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Looks a series up by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Returns a copy whose series are divided point-wise by the series
+    /// named `reference` (the paper's "normalized makespan").
+    ///
+    /// # Panics
+    /// Panics if the reference series does not exist.
+    #[must_use]
+    pub fn normalized_by(&self, reference: &str) -> FigureData {
+        let reference_values = self
+            .series_named(reference)
+            .unwrap_or_else(|| panic!("no series named {reference}"))
+            .values
+            .clone();
+        let mut out = self.clone();
+        out.id = format!("{}_norm_{}", self.id, sanitize(reference));
+        for s in &mut out.series {
+            for (v, r) in s.values.iter_mut().zip(&reference_values) {
+                *v = if *r > 0.0 { *v / *r } else { f64::NAN };
+            }
+        }
+        out
+    }
+
+    /// Writes `dir/<id>.csv` and returns the path.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut file = std::io::BufWriter::new(fs::File::create(&path)?);
+        write!(file, "{}", csv_escape(&self.xlabel))?;
+        for s in &self.series {
+            write!(file, ",{}", csv_escape(&s.name))?;
+        }
+        writeln!(file)?;
+        for (i, x) in self.xs.iter().enumerate() {
+            write!(file, "{x}")?;
+            for s in &self.series {
+                write!(file, ",{}", s.values[i])?;
+            }
+            writeln!(file)?;
+        }
+        file.flush()?;
+        Ok(path)
+    }
+
+    /// Renders the series as a simple ASCII chart (for the CLI's `--plot`
+    /// flag): one letter per series, linear axes, `width`×`height` cells.
+    /// Returns an empty string when there is nothing to plot.
+    pub fn render_ascii_plot(&self, width: usize, height: usize) -> String {
+        let width = width.max(16);
+        let height = height.max(4);
+        let finite: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        let (Some(&x0), Some(&x1)) = (self.xs.first(), self.xs.last()) else {
+            return String::new();
+        };
+        let (Some(y0), Some(y1)) = (
+            finite.iter().copied().reduce(f64::min),
+            finite.iter().copied().reduce(f64::max),
+        ) else {
+            return String::new();
+        };
+        let y_span = (y1 - y0).max(f64::MIN_POSITIVE);
+        let x_span = (x1 - x0).max(f64::MIN_POSITIVE);
+        let mut grid = vec![vec![b' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = b'A' + (si as u8 % 26);
+            for (x, y) in self.xs.iter().zip(&s.values) {
+                if !y.is_finite() {
+                    continue;
+                }
+                let col = ((x - x0) / x_span * (width - 1) as f64).round() as usize;
+                let row = ((y1 - y) / y_span * (height - 1) as f64).round() as usize;
+                let cell = &mut grid[row.min(height - 1)][col.min(width - 1)];
+                // First writer wins; overlaps show the earlier series.
+                if *cell == b' ' {
+                    *cell = glyph;
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{y1:>12.4} ┐");
+        for row in &grid {
+            let _ = writeln!(out, "{:>12} │{}", "", String::from_utf8_lossy(row));
+        }
+        let _ = writeln!(out, "{y0:>12.4} ┘");
+        let _ = writeln!(
+            out,
+            "{:>14}{x0:<.4}{:>pad$}{x1:.4}  ({})",
+            "",
+            "",
+            self.xlabel,
+            pad = width.saturating_sub(12)
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "{:>14}{} = {}", "", (b'A' + si as u8 % 26) as char, s.name);
+        }
+        out
+    }
+
+    /// Renders an aligned text table (for the CLI).
+    pub fn render_table(&self) -> String {
+        let mut widths: Vec<usize> = Vec::new();
+        let mut header: Vec<String> = vec![self.xlabel.clone()];
+        header.extend(self.series.iter().map(|s| s.name.clone()));
+        for h in &header {
+            widths.push(h.len().max(10));
+        }
+        let mut out = String::new();
+        for (h, w) in header.iter().zip(&widths) {
+            let _ = write!(out, "{h:>w$}  ");
+        }
+        out.push('\n');
+        for (i, x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{:>w$.4}  ", x, w = widths[0]);
+            for (s, w) in self.series.iter().zip(widths.iter().skip(1)) {
+                let _ = write!(out, "{:>w$.4}  ", s.values[i], w = *w);
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                let _ = writeln!(out, "  • {n}");
+            }
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        let mut f = FigureData::new("test_fig", "#apps", vec![1.0, 2.0, 4.0]);
+        f.push_series(Series::new("A", vec![10.0, 20.0, 40.0]));
+        f.push_series(Series::new("B", vec![5.0, 10.0, 20.0]));
+        f.note("B is twice as fast as A");
+        f
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("cosched_test_csv");
+        let path = sample().write_csv(&dir).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.trim().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "#apps,A,B");
+        assert!(lines[1].starts_with("1,10"));
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn normalization_divides_by_reference() {
+        let n = sample().normalized_by("A");
+        assert_eq!(n.series_named("A").unwrap().values, vec![1.0, 1.0, 1.0]);
+        assert_eq!(n.series_named("B").unwrap().values, vec![0.5, 0.5, 0.5]);
+        assert!(n.id.contains("norm"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no series named")]
+    fn normalization_requires_reference() {
+        let _ = sample().normalized_by("missing");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_length_is_checked() {
+        let mut f = FigureData::new("x", "x", vec![1.0]);
+        f.push_series(Series::new("bad", vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn render_table_contains_all_cells() {
+        let t = sample().render_table();
+        assert!(t.contains("#apps"));
+        assert!(t.contains("40.0000"));
+        assert!(t.contains("B is twice as fast as A"));
+    }
+
+    #[test]
+    fn ascii_plot_contains_all_series_glyphs() {
+        let plot = sample().render_ascii_plot(40, 10);
+        assert!(plot.contains('A'));
+        assert!(plot.contains('B'));
+        assert!(plot.contains("A = A"));
+        assert!(plot.contains("B = B"));
+        assert!(plot.contains("#apps"));
+    }
+
+    #[test]
+    fn ascii_plot_extremes_on_axis() {
+        let plot = sample().render_ascii_plot(40, 10);
+        // Max (40) and min (5) appear as axis labels.
+        assert!(plot.contains("40.0000"));
+        assert!(plot.contains("5.0000"));
+    }
+
+    #[test]
+    fn ascii_plot_handles_degenerate_input() {
+        let empty = FigureData::new("e", "x", vec![]);
+        assert!(empty.render_ascii_plot(40, 10).is_empty());
+        let mut nan_only = FigureData::new("n", "x", vec![1.0]);
+        nan_only.push_series(Series::new("nan", vec![f64::NAN]));
+        assert!(nan_only.render_ascii_plot(40, 10).is_empty());
+    }
+
+    #[test]
+    fn ascii_plot_dimensions_clamped() {
+        let plot = sample().render_ascii_plot(1, 1);
+        // Clamps to at least 16x4: header + 4 rows + footer + legend.
+        assert!(plot.lines().count() >= 6);
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("AllProcCache"), "allproccache");
+        assert_eq!(sanitize("0cache"), "0cache");
+        assert_eq!(sanitize("A/B c"), "a_b_c");
+    }
+}

@@ -1,0 +1,192 @@
+//! The experiment registry: every figure/table of the paper, addressable
+//! by id.
+
+use crate::config::ExpConfig;
+use crate::figures;
+use crate::output::FigureData;
+
+/// A registered experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Identifier (`fig1` … `fig18`, `table2`, `validation`).
+    pub id: &'static str,
+    /// Where it appears in the paper.
+    pub paper_ref: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Driver.
+    pub run: fn(&ExpConfig) -> FigureData,
+}
+
+/// All experiments, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table2",
+            paper_ref: "Table 2",
+            title: "NPB characterisation regenerated via the cache simulator",
+            run: figures::table2::run,
+        },
+        Experiment {
+            id: "fig1",
+            paper_ref: "Figure 1",
+            title: "six dominant heuristics vs #applications (norm. AllProcCache)",
+            run: figures::fig01::run,
+        },
+        Experiment {
+            id: "fig2",
+            paper_ref: "Figure 2",
+            title: "impact of cache miss rate, 1 GB LLC (norm. DominantMinRatio)",
+            run: figures::fig02::run,
+        },
+        Experiment {
+            id: "fig3",
+            paper_ref: "Figure 3",
+            title: "impact of #applications (norm. AllProcCache)",
+            run: figures::fig03::run,
+        },
+        Experiment {
+            id: "fig4",
+            paper_ref: "Figure 4",
+            title: "impact of processors-per-application ratio (norm. DMR)",
+            run: figures::fig04::run,
+        },
+        Experiment {
+            id: "fig5",
+            paper_ref: "Figure 5",
+            title: "impact of #processors, 16 apps (norm. AllProcCache)",
+            run: figures::fig05::run,
+        },
+        Experiment {
+            id: "fig6",
+            paper_ref: "Figure 6",
+            title: "impact of sequential fraction, 16 apps (norm. AllProcCache)",
+            run: figures::fig06::run,
+        },
+        Experiment {
+            id: "fig7",
+            paper_ref: "Figure 7",
+            title: "processor & cache repartition, NPB-SYNTH",
+            run: figures::fig07::run,
+        },
+        Experiment {
+            id: "fig8",
+            paper_ref: "Figure 8 (A.1)",
+            title: "impact of #applications, RANDOM dataset",
+            run: figures::fig08::run,
+        },
+        Experiment {
+            id: "fig9",
+            paper_ref: "Figure 9 (A.2)",
+            title: "impact of #processors, NPB-SYNTH, 64 apps (norm. DMR)",
+            run: figures::fig09::run,
+        },
+        Experiment {
+            id: "fig10",
+            paper_ref: "Figure 10 (A.2)",
+            title: "impact of #processors, NPB-6",
+            run: figures::fig10::run,
+        },
+        Experiment {
+            id: "fig11",
+            paper_ref: "Figure 11 (A.2)",
+            title: "impact of #processors, RANDOM, 16 apps",
+            run: figures::fig11::run,
+        },
+        Experiment {
+            id: "fig12",
+            paper_ref: "Figure 12 (A.2)",
+            title: "impact of #processors, RANDOM, 64 apps (norm. DMR)",
+            run: figures::fig12::run,
+        },
+        Experiment {
+            id: "fig13",
+            paper_ref: "Figure 13 (A.3)",
+            title: "impact of sequential fraction, NPB-6",
+            run: figures::fig13::run,
+        },
+        Experiment {
+            id: "fig14",
+            paper_ref: "Figure 14 (A.3)",
+            title: "impact of sequential fraction, RANDOM, 16 apps",
+            run: figures::fig14::run,
+        },
+        Experiment {
+            id: "fig15",
+            paper_ref: "Figure 15 (A.4)",
+            title: "impact of cache latency ls, 16 apps",
+            run: figures::fig15::run,
+        },
+        Experiment {
+            id: "fig16",
+            paper_ref: "Figure 16 (A.4)",
+            title: "impact of cache latency ls, 64 apps",
+            run: figures::fig16::run,
+        },
+        Experiment {
+            id: "fig17",
+            paper_ref: "Figure 17 (A.5)",
+            title: "processor & cache repartition, RANDOM",
+            run: figures::fig17::run,
+        },
+        Experiment {
+            id: "fig18",
+            paper_ref: "Figure 18 (A.6)",
+            title: "impact of cache miss rate, all nine heuristics (norm. DMR)",
+            run: figures::fig18::run,
+        },
+        Experiment {
+            id: "validation",
+            paper_ref: "(extension)",
+            title: "model-vs-simulation validation on the cosim substrate",
+            run: figures::validation::run,
+        },
+        Experiment {
+            id: "ablation_refine",
+            paper_ref: "(extension, §7 future work)",
+            title: "speedup-profile-aware refinement vs DominantMinRatio",
+            run: figures::ablation_refine::run,
+        },
+        Experiment {
+            id: "ablation_alpha",
+            paper_ref: "(extension)",
+            title: "sensitivity of the ranking to the power-law exponent alpha",
+            run: figures::ablation_alpha::run,
+        },
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_figure_and_table() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        for n in 1..=18 {
+            assert!(ids.contains(&format!("fig{n}").as_str()), "fig{n} missing");
+        }
+        assert!(ids.contains(&"table2"));
+        assert!(ids.contains(&"validation"));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find("fig5").is_some());
+        assert!(find("nope").is_none());
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared sweep machinery: run a set of strategies over seeded repetitions
+//! of a random instance and aggregate mean makespans (as in §6.1, which
+//! averages 50 runs per point).
+
+use crate::config::ExpConfig;
+use coschedule::algo::Strategy;
+use coschedule::model::{Application, Platform};
+use cosim::parallel_map;
+use workloads::rng::{child_seed, seeded_rng};
+
+/// Instance generator for one sweep point: given a repetition's RNG, yields
+/// the applications for that repetition.
+pub type InstanceGen<'a> = &'a (dyn Fn(&mut rand::rngs::StdRng) -> Vec<Application> + Sync);
+
+/// Runs every strategy against `reps` seeded instances of one sweep point
+/// and returns the **mean makespan per strategy** (paper: average of 50
+/// runs).
+///
+/// All strategies see the *same* instance within a repetition, so the
+/// comparison is paired; randomized strategies draw their choices from a
+/// child seed that is independent of the instance seed.
+pub fn mean_makespans(
+    generate: InstanceGen<'_>,
+    platform: &Platform,
+    strategies: &[Strategy],
+    cfg: &ExpConfig,
+    point: u64,
+) -> Vec<f64> {
+    let per_rep: Vec<Vec<f64>> = parallel_map(cfg.reps as usize, cfg.threads, |rep| {
+        let mut inst_rng = seeded_rng(child_seed(cfg.seed, rep as u64, point));
+        let apps = generate(&mut inst_rng);
+        strategies
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let mut algo_rng = seeded_rng(child_seed(
+                    cfg.seed ^ 0xA190,
+                    rep as u64,
+                    point * 64 + si as u64,
+                ));
+                s.run(&apps, platform, &mut algo_rng)
+                    .expect("strategy failed")
+                    .makespan
+            })
+            .collect()
+    });
+    mean_columns(&per_rep, strategies.len())
+}
+
+/// Per-application resource spread for the repartition figures (Figs 7/17):
+/// average / minimum / maximum processors and cache fractions allocated by
+/// one strategy, averaged over repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Repartition {
+    /// Mean processors per application.
+    pub procs_avg: f64,
+    /// Smallest processor share any application received.
+    pub procs_min: f64,
+    /// Largest processor share any application received.
+    pub procs_max: f64,
+    /// Mean cache fraction per application.
+    pub cache_avg: f64,
+    /// Smallest cache fraction.
+    pub cache_min: f64,
+    /// Largest cache fraction.
+    pub cache_max: f64,
+}
+
+/// Computes the [`Repartition`] of each strategy at one sweep point.
+pub fn repartition(
+    generate: InstanceGen<'_>,
+    platform: &Platform,
+    strategies: &[Strategy],
+    cfg: &ExpConfig,
+    point: u64,
+) -> Vec<Repartition> {
+    let per_rep: Vec<Vec<Repartition>> = parallel_map(cfg.reps as usize, cfg.threads, |rep| {
+        let mut inst_rng = seeded_rng(child_seed(cfg.seed, rep as u64, point));
+        let apps = generate(&mut inst_rng);
+        strategies
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let mut algo_rng = seeded_rng(child_seed(
+                    cfg.seed ^ 0xA190,
+                    rep as u64,
+                    point * 64 + si as u64,
+                ));
+                let o = s.run(&apps, platform, &mut algo_rng).expect("strategy failed");
+                let procs: Vec<f64> = o.schedule.assignments.iter().map(|a| a.procs).collect();
+                let cache: Vec<f64> = o.schedule.assignments.iter().map(|a| a.cache).collect();
+                let stats = |v: &[f64]| {
+                    let avg = v.iter().sum::<f64>() / v.len() as f64;
+                    let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    (avg, min, max)
+                };
+                let (pa, pn, px) = stats(&procs);
+                let (ca, cn, cx) = stats(&cache);
+                Repartition {
+                    procs_avg: pa,
+                    procs_min: pn,
+                    procs_max: px,
+                    cache_avg: ca,
+                    cache_min: cn,
+                    cache_max: cx,
+                }
+            })
+            .collect()
+    });
+    // Average each field over repetitions.
+    let n = strategies.len();
+    let mut out = vec![Repartition::default(); n];
+    for row in &per_rep {
+        for (acc, r) in out.iter_mut().zip(row) {
+            acc.procs_avg += r.procs_avg;
+            acc.procs_min += r.procs_min;
+            acc.procs_max += r.procs_max;
+            acc.cache_avg += r.cache_avg;
+            acc.cache_min += r.cache_min;
+            acc.cache_max += r.cache_max;
+        }
+    }
+    let k = per_rep.len() as f64;
+    for acc in &mut out {
+        acc.procs_avg /= k;
+        acc.procs_min /= k;
+        acc.procs_max /= k;
+        acc.cache_avg /= k;
+        acc.cache_min /= k;
+        acc.cache_max /= k;
+    }
+    out
+}
+
+fn mean_columns(rows: &[Vec<f64>], cols: usize) -> Vec<f64> {
+    let mut out = vec![0.0; cols];
+    for row in rows {
+        for (acc, v) in out.iter_mut().zip(row) {
+            *acc += v;
+        }
+    }
+    for acc in &mut out {
+        *acc /= rows.len() as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coschedule::algo::{BuildOrder, Choice};
+    use workloads::synth::{Dataset, SeqFraction};
+
+    fn strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::AllProcCache,
+            Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
+            Strategy::ZeroCache,
+        ]
+    }
+
+    #[test]
+    fn mean_makespans_shape_and_determinism() {
+        let platform = Platform::taihulight();
+        let cfg = ExpConfig::smoke();
+        let generate: InstanceGen<'_> =
+            &|rng| Dataset::NpbSynth.generate(8, SeqFraction::paper_default(), rng);
+        let a = mean_makespans(generate, &platform, &strategies(), &cfg, 3);
+        let b = mean_makespans(generate, &platform, &strategies(), &cfg, 3);
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn different_points_give_different_instances() {
+        let platform = Platform::taihulight();
+        let cfg = ExpConfig::smoke();
+        let generate: InstanceGen<'_> =
+            &|rng| Dataset::NpbSynth.generate(8, SeqFraction::paper_default(), rng);
+        let a = mean_makespans(generate, &platform, &strategies(), &cfg, 0);
+        let b = mean_makespans(generate, &platform, &strategies(), &cfg, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn repartition_respects_resource_totals() {
+        let platform = Platform::taihulight();
+        let cfg = ExpConfig::smoke();
+        let n = 8usize;
+        let generate: InstanceGen<'_> =
+            &|rng| Dataset::NpbSynth.generate(8, SeqFraction::paper_default(), rng);
+        let reps = repartition(
+            generate,
+            &platform,
+            &[Strategy::Fair, Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)],
+            &cfg,
+            0,
+        );
+        // Fair: every app gets exactly p/n processors.
+        let fair = reps[0];
+        assert!((fair.procs_avg - 256.0 / n as f64).abs() < 1e-9);
+        assert!((fair.procs_min - fair.procs_max).abs() < 1e-9);
+        // Dominant: averages must respect the totals.
+        let dmr = reps[1];
+        assert!((dmr.procs_avg * n as f64 - 256.0).abs() < 1e-6);
+        assert!(dmr.cache_avg * n as f64 <= 1.0 + 1e-9);
+        assert!(dmr.procs_min <= dmr.procs_avg && dmr.procs_avg <= dmr.procs_max);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let platform = Platform::taihulight();
+        let generate: InstanceGen<'_> =
+            &|rng| Dataset::Random.generate(6, SeqFraction::paper_default(), rng);
+        let serial = ExpConfig { reps: 4, threads: 1, seed: 5 };
+        let parallel = ExpConfig { reps: 4, threads: 4, seed: 5 };
+        let a = mean_makespans(generate, &platform, &strategies(), &serial, 2);
+        let b = mean_makespans(generate, &platform, &strategies(), &parallel, 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,21 @@
+//! Discrete-time co-execution simulator.
+//!
+//! The paper evaluates its heuristics analytically (Eq. 2) and lists real
+//! cache-partitioned experiments as future work. This crate provides the
+//! closest laptop-scale stand-in: it executes a `coschedule::Schedule`
+//! against the dynamic `cachesim` substrate — every application issuing
+//! real memory references into a way-partitioned (or shared, contended)
+//! LLC — and compares the measured makespan with the analytic prediction.
+//!
+//! * [`engine`] — the co-execution loop;
+//! * [`validate`] — model-vs-simulation reports;
+//! * [`parallel`] — a scoped-thread `parallel_map` used by the experiment
+//!   harness for its 50-repetition sweeps.
+
+pub mod engine;
+pub mod parallel;
+pub mod validate;
+
+pub use engine::{CoSimConfig, CoSimulator, SimOutcome};
+pub use parallel::{default_threads, parallel_map};
+pub use validate::{validate_schedule, ValidationReport};

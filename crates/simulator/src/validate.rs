@@ -1,0 +1,247 @@
+//! Model-vs-simulation validation.
+//!
+//! The paper's evaluation is purely analytic: makespans come from Eq. 2.
+//! This module closes the loop the authors list as future work ("conduct
+//! real experiments on a cache-partitioned system"): it executes the same
+//! schedule on the dynamic `cachesim` substrate and reports how far the
+//! analytic prediction is from the simulated outcome.
+
+use crate::engine::{CoSimConfig, CoSimulator, SimOutcome};
+use coschedule::model::{exec_time, Application, Platform, Schedule};
+
+/// Per-application and aggregate comparison between the Eq.-2 prediction
+/// and the discrete simulation.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Analytic makespan — computed against the **way-rounded** fractions
+    /// actually realised by the partitioned cache, and expressed in the
+    /// simulator's scaled-work units.
+    pub predicted_makespan: f64,
+    /// Simulated makespan.
+    pub simulated_makespan: f64,
+    /// `|sim - model| / model`.
+    pub relative_error: f64,
+    /// Predicted completion time per application (scaled units).
+    pub predicted_times: Vec<f64>,
+    /// Simulated completion time per application.
+    pub simulated_times: Vec<f64>,
+    /// Simulated LLC miss rate per application.
+    pub miss_rates: Vec<f64>,
+    /// Miss rate the power law predicts for the effective fractions.
+    pub predicted_miss_rates: Vec<f64>,
+    /// The raw simulation outcome.
+    pub outcome: SimOutcome,
+}
+
+/// Runs `schedule` through the co-execution simulator and compares with
+/// the analytic model.
+///
+/// The prediction is evaluated at the *effective* (way-rounded) cache
+/// fractions so that partition-granularity rounding is not misattributed
+/// to model error, and application work is scaled by
+/// [`CoSimConfig::work_scale`] to match the simulation's units.
+pub fn validate_schedule(
+    apps: &[Application],
+    platform: &Platform,
+    schedule: &Schedule,
+    config: CoSimConfig,
+) -> ValidationReport {
+    let scale = config.work_scale;
+    let outcome = CoSimulator::new(apps, platform, schedule, config).run();
+
+    let mut predicted_times = Vec::with_capacity(apps.len());
+    let mut predicted_miss_rates = Vec::with_capacity(apps.len());
+    for (i, app) in apps.iter().enumerate() {
+        let x_eff = outcome.effective_fractions[i];
+        let mut scaled = app.clone();
+        scaled.work = (app.work * scale).max(1.0);
+        predicted_times.push(exec_time(
+            &scaled,
+            platform,
+            schedule.assignments[i].procs,
+            x_eff,
+        ));
+        let d = platform.full_cache_miss_rate(app);
+        predicted_miss_rates.push(if x_eff <= 0.0 {
+            1.0
+        } else {
+            (d / x_eff.powf(platform.alpha)).min(1.0)
+        });
+    }
+    let predicted_makespan = predicted_times.iter().copied().fold(0.0, f64::max);
+    let relative_error = if predicted_makespan > 0.0 {
+        (outcome.makespan - predicted_makespan).abs() / predicted_makespan
+    } else {
+        0.0
+    };
+    ValidationReport {
+        predicted_makespan,
+        simulated_makespan: outcome.makespan,
+        relative_error,
+        predicted_times,
+        simulated_times: outcome.completion_times.clone(),
+        miss_rates: outcome.miss_rates.clone(),
+        predicted_miss_rates,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coschedule::algo::{BuildOrder, Choice, Strategy};
+    use coschedule::model::Assignment;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn platform() -> Platform {
+        Platform {
+            processors: 16.0,
+            cache_size: 640e6,
+            ref_cache_size: 40e6,
+            latency_cache: 0.17,
+            latency_mem: 1.0,
+            alpha: 0.5,
+        }
+    }
+
+    fn apps() -> Vec<Application> {
+        vec![
+            Application::perfectly_parallel("A", 4e6, 0.6, 0.30),
+            Application::perfectly_parallel("B", 8e6, 0.8, 0.45),
+            Application::perfectly_parallel("C", 2e6, 0.4, 0.20),
+        ]
+    }
+
+    fn config() -> CoSimConfig {
+        CoSimConfig {
+            llc_lines: 4096,
+            work_scale: 2e-2,
+            ..CoSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn model_predicts_simulated_makespan_for_manual_schedule() {
+        let a = apps();
+        let p = platform();
+        let schedule = Schedule {
+            assignments: vec![
+                Assignment::new(4.0, 0.25),
+                Assignment::new(8.0, 0.5),
+                Assignment::new(4.0, 0.25),
+            ],
+        };
+        let report = validate_schedule(&a, &p, &schedule, config());
+        assert!(
+            report.relative_error < 0.12,
+            "model error too large: {} (model {}, sim {})",
+            report.relative_error,
+            report.predicted_makespan,
+            report.simulated_makespan
+        );
+    }
+
+    #[test]
+    fn measured_miss_rates_track_the_power_law() {
+        let a = apps();
+        let p = platform();
+        let schedule = Schedule {
+            assignments: vec![
+                Assignment::new(4.0, 0.25),
+                Assignment::new(8.0, 0.5),
+                Assignment::new(4.0, 0.25),
+            ],
+        };
+        let report = validate_schedule(&a, &p, &schedule, config());
+        for i in 0..a.len() {
+            let (sim, pred) = (report.miss_rates[i], report.predicted_miss_rates[i]);
+            assert!(
+                (sim - pred).abs() < 0.10,
+                "app {i}: simulated {sim} vs power law {pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_schedules_validate_too() {
+        let a = apps();
+        let p = platform();
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+            .run(&a, &p, &mut rng)
+            .unwrap();
+        let report = validate_schedule(&a, &p, &outcome.schedule, config());
+        assert!(
+            report.relative_error < 0.15,
+            "heuristic schedule error {} too large",
+            report.relative_error
+        );
+    }
+
+    #[test]
+    fn per_app_times_are_reported_for_all() {
+        let a = apps();
+        let p = platform();
+        let schedule = Schedule {
+            assignments: vec![
+                Assignment::new(4.0, 0.3),
+                Assignment::new(8.0, 0.4),
+                Assignment::new(4.0, 0.3),
+            ],
+        };
+        let report = validate_schedule(&a, &p, &schedule, config());
+        assert_eq!(report.predicted_times.len(), 3);
+        assert_eq!(report.simulated_times.len(), 3);
+        for (pt, st) in report.predicted_times.iter().zip(&report.simulated_times) {
+            assert!(pt.is_finite() && st.is_finite());
+            assert!(*st > 0.0);
+        }
+    }
+
+    #[test]
+    fn amdahl_profiles_validate_too() {
+        // Sequential fractions change Fl(p) but not the per-access costs;
+        // the simulator must track the analytic prediction just as well.
+        let a: Vec<Application> = apps()
+            .into_iter()
+            .enumerate()
+            .map(|(i, app)| app.with_seq_fraction(0.02 * (i + 1) as f64))
+            .collect();
+        let p = platform();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+            .run(&a, &p, &mut rng)
+            .unwrap();
+        let report = validate_schedule(&a, &p, &outcome.schedule, config());
+        assert!(
+            report.relative_error < 0.15,
+            "Amdahl validation error {}",
+            report.relative_error
+        );
+    }
+
+    #[test]
+    fn partitioning_advantage_shows_in_makespan_for_thrashing_pair() {
+        // Two cache-hungry applications: shared mode must not beat the
+        // partitioned mode, and typically loses.
+        let a = vec![
+            Application::perfectly_parallel("X", 6e6, 0.9, 0.5),
+            Application::perfectly_parallel("Y", 6e6, 0.9, 0.5),
+        ];
+        let p = platform();
+        let schedule = Schedule {
+            assignments: vec![Assignment::new(8.0, 0.5), Assignment::new(8.0, 0.5)],
+        };
+        let part = validate_schedule(&a, &p, &schedule, config());
+        let mut shared_cfg = config();
+        shared_cfg.enforce_partitions = false;
+        let shared = validate_schedule(&a, &p, &schedule, shared_cfg);
+        assert!(
+            shared.simulated_makespan >= part.simulated_makespan * 0.98,
+            "sharing unexpectedly faster: {} vs {}",
+            shared.simulated_makespan,
+            part.simulated_makespan
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! NAS Parallel Benchmark data (paper Tables 1 and 2).
+//!
+//! The paper obtained these values by instrumenting the NPB CLASS=A
+//! binaries on 16 cores with PEBIL and simulating a 40 MB last-level
+//! cache. We hard-code the published numbers; the `cachesim` crate
+//! demonstrates how an analogous table can be regenerated from synthetic
+//! kernels without PEBIL (see `experiments::table2`).
+
+use coschedule::model::Application;
+
+/// One row of Tables 1–2: an NPB benchmark with its description and its
+/// measured parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpbBenchmark {
+    /// Benchmark code (`CG`, `BT`, …).
+    pub name: &'static str,
+    /// Table 1 description.
+    pub description: &'static str,
+    /// `w_i` — number of computing operations.
+    pub work: f64,
+    /// `f_i` — data accesses per computing operation.
+    pub access_freq: f64,
+    /// `m_i(40MB)` — miss rate on a 40 MB LLC.
+    pub miss_rate_40mb: f64,
+}
+
+impl NpbBenchmark {
+    /// Converts the row into a model [`Application`] with sequential
+    /// fraction `s`.
+    pub fn to_application(&self, seq_fraction: f64) -> Application {
+        Application::new(
+            self.name,
+            self.work,
+            seq_fraction,
+            self.access_freq,
+            self.miss_rate_40mb,
+        )
+    }
+}
+
+/// Table 2 of the paper (with Table 1 descriptions).
+pub const NPB_TABLE: [NpbBenchmark; 6] = [
+    NpbBenchmark {
+        name: "CG",
+        description: "Uses conjugate gradients method to solve a large sparse symmetric \
+                      positive definite system of linear equations",
+        work: 5.70e10,
+        access_freq: 5.35e-1,
+        miss_rate_40mb: 6.59e-4,
+    },
+    NpbBenchmark {
+        name: "BT",
+        description: "Solves multiple, independent systems of block tridiagonal equations \
+                      with a predefined block size",
+        work: 2.10e11,
+        access_freq: 8.29e-1,
+        miss_rate_40mb: 7.31e-3,
+    },
+    NpbBenchmark {
+        name: "LU",
+        description: "Solves regular sparse upper and lower triangular systems",
+        work: 1.52e11,
+        access_freq: 7.50e-1,
+        miss_rate_40mb: 1.51e-3,
+    },
+    NpbBenchmark {
+        name: "SP",
+        description: "Solves multiple, independent systems of scalar pentadiagonal equations",
+        work: 1.38e11,
+        access_freq: 7.62e-1,
+        miss_rate_40mb: 1.51e-2,
+    },
+    NpbBenchmark {
+        name: "MG",
+        description: "Performs a multi-grid solve on a sequence of meshes",
+        work: 1.23e10,
+        access_freq: 5.40e-1,
+        miss_rate_40mb: 2.62e-2,
+    },
+    NpbBenchmark {
+        name: "FT",
+        description: "Performs discrete 3D fast Fourier Transform",
+        work: 1.65e10,
+        access_freq: 5.82e-1,
+        miss_rate_40mb: 1.78e-2,
+    },
+];
+
+/// The NPB-6 dataset: the six Table-2 applications with the given
+/// sequential fractions (`seq_fractions.len()` may be 1, applied to all, or
+/// 6, applied element-wise).
+///
+/// # Panics
+/// Panics if `seq_fractions` has a length other than 1 or 6.
+pub fn npb6(seq_fractions: &[f64]) -> Vec<Application> {
+    match seq_fractions.len() {
+        1 => NPB_TABLE
+            .iter()
+            .map(|b| b.to_application(seq_fractions[0]))
+            .collect(),
+        6 => NPB_TABLE
+            .iter()
+            .zip(seq_fractions)
+            .map(|(b, &s)| b.to_application(s))
+            .collect(),
+        other => panic!("npb6 expects 1 or 6 sequential fractions, got {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_values() {
+        assert_eq!(NPB_TABLE.len(), 6);
+        let cg = &NPB_TABLE[0];
+        assert_eq!(cg.name, "CG");
+        assert_eq!(cg.work, 5.70e10);
+        assert_eq!(cg.access_freq, 0.535);
+        assert_eq!(cg.miss_rate_40mb, 6.59e-4);
+        let ft = &NPB_TABLE[5];
+        assert_eq!(ft.name, "FT");
+        assert_eq!(ft.work, 1.65e10);
+    }
+
+    #[test]
+    fn every_row_is_a_valid_application() {
+        for (i, b) in NPB_TABLE.iter().enumerate() {
+            let app = b.to_application(0.05);
+            app.validate(i).unwrap();
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for b in &NPB_TABLE {
+            assert!(!b.description.is_empty(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn npb6_broadcast_and_elementwise() {
+        let a = npb6(&[0.1]);
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|x| x.seq_fraction == 0.1));
+        let fracs = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06];
+        let b = npb6(&fracs);
+        for (app, &s) in b.iter().zip(&fracs) {
+            assert_eq!(app.seq_fraction, s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 or 6")]
+    fn npb6_rejects_bad_lengths() {
+        let _ = npb6(&[0.1, 0.2]);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = NPB_TABLE.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

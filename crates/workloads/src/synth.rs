@@ -1,0 +1,253 @@
+//! Synthetic dataset generators (paper §6.1 and Appendix A).
+
+use crate::npb::NPB_TABLE;
+use coschedule::model::Application;
+use rand::{Rng, RngExt as _};
+
+/// How sequential fractions `s_i` are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeqFraction {
+    /// Perfectly parallel applications (`s_i = 0`), the §4 regime.
+    Zero,
+    /// The same fixed value for every application (Figures 6 and 13–16).
+    Fixed(f64),
+    /// Uniform in `[lo, hi]`; the paper's default is `[0.01, 0.15]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+}
+
+impl SeqFraction {
+    /// The paper's default range `[0.01, 0.15]` (§6.1).
+    pub fn paper_default() -> Self {
+        Self::Uniform { lo: 0.01, hi: 0.15 }
+    }
+
+    fn draw<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        match self {
+            Self::Zero => 0.0,
+            Self::Fixed(v) => v,
+            Self::Uniform { lo, hi } => rng.random_range(lo..=hi),
+        }
+    }
+}
+
+/// The three data sets of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// NPB-6: the six Table-2 applications verbatim.
+    Npb6,
+    /// NPB-SYNTH: NPB profiles with redrawn work (§6.1; used in the main
+    /// body of the paper).
+    NpbSynth,
+    /// RANDOM: work, access frequency and miss rate all redrawn
+    /// (Appendix A).
+    Random,
+}
+
+impl Dataset {
+    /// Dataset name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Npb6 => "NPB-6",
+            Self::NpbSynth => "NPB-SYNTH",
+            Self::Random => "RANDOM",
+        }
+    }
+
+    /// Generates `n` applications.
+    ///
+    /// * `Npb6` cycles through the six Table-2 rows verbatim (the paper
+    ///   uses it only with `n = 6`, but cycling keeps the API uniform);
+    /// * `NpbSynth` cycles through the six profiles and redraws
+    ///   `w_i ~ U[10^8, 10^12]`;
+    /// * `Random` additionally redraws `f_i ~ U[0.1, 0.9]` and
+    ///   `m_i(40MB) ~ U[9·10^-4, 10^-2]`.
+    pub fn generate<R: Rng + ?Sized>(
+        self,
+        n: usize,
+        seq: SeqFraction,
+        rng: &mut R,
+    ) -> Vec<Application> {
+        (0..n)
+            .map(|i| {
+                let base = &NPB_TABLE[i % NPB_TABLE.len()];
+                let s = seq.draw(rng);
+                match self {
+                    Self::Npb6 => base.to_application(s),
+                    Self::NpbSynth => {
+                        let work = rng.random_range(1e8..=1e12);
+                        Application::new(
+                            format!("{}-{i}", base.name),
+                            work,
+                            s,
+                            base.access_freq,
+                            base.miss_rate_40mb,
+                        )
+                    }
+                    Self::Random => {
+                        let work = rng.random_range(1e8..=1e12);
+                        let freq = rng.random_range(0.1..=0.9);
+                        let miss = rng.random_range(9e-4..=1e-2);
+                        Application::new(format!("R{i}"), work, s, freq, miss)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// All three datasets.
+    pub const ALL: [Dataset; 3] = [Self::Npb6, Self::NpbSynth, Self::Random];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Dataset::Npb6.name(), "NPB-6");
+        assert_eq!(Dataset::NpbSynth.name(), "NPB-SYNTH");
+        assert_eq!(Dataset::Random.name(), "RANDOM");
+    }
+
+    #[test]
+    fn npb6_dataset_reproduces_table() {
+        let mut rng = seeded_rng(0);
+        let apps = Dataset::Npb6.generate(6, SeqFraction::Zero, &mut rng);
+        for (app, row) in apps.iter().zip(&NPB_TABLE) {
+            assert_eq!(app.name, row.name);
+            assert_eq!(app.work, row.work);
+            assert_eq!(app.access_freq, row.access_freq);
+            assert_eq!(app.miss_rate_ref, row.miss_rate_40mb);
+            assert_eq!(app.seq_fraction, 0.0);
+        }
+    }
+
+    #[test]
+    fn npb_synth_keeps_profiles_but_redraws_work() {
+        let mut rng = seeded_rng(1);
+        let apps = Dataset::NpbSynth.generate(12, SeqFraction::paper_default(), &mut rng);
+        for (i, app) in apps.iter().enumerate() {
+            let base = &NPB_TABLE[i % 6];
+            assert_eq!(app.access_freq, base.access_freq);
+            assert_eq!(app.miss_rate_ref, base.miss_rate_40mb);
+            assert!((1e8..=1e12).contains(&app.work));
+            assert!((0.01..=0.15).contains(&app.seq_fraction));
+        }
+    }
+
+    #[test]
+    fn random_dataset_ranges() {
+        let mut rng = seeded_rng(2);
+        let apps = Dataset::Random.generate(100, SeqFraction::paper_default(), &mut rng);
+        for app in &apps {
+            assert!((1e8..=1e12).contains(&app.work));
+            assert!((0.1..=0.9).contains(&app.access_freq));
+            assert!((9e-4..=1e-2).contains(&app.miss_rate_ref));
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        for ds in Dataset::ALL {
+            let a = ds.generate(20, SeqFraction::paper_default(), &mut seeded_rng(7));
+            let b = ds.generate(20, SeqFraction::paper_default(), &mut seeded_rng(7));
+            assert_eq!(a, b, "{}", ds.name());
+        }
+    }
+
+    #[test]
+    fn fixed_seq_fraction_applies_everywhere() {
+        let mut rng = seeded_rng(3);
+        let apps = Dataset::Random.generate(10, SeqFraction::Fixed(1e-4), &mut rng);
+        assert!(apps.iter().all(|a| a.seq_fraction == 1e-4));
+    }
+
+    #[test]
+    fn npb6_names_cycle_beyond_six() {
+        let mut rng = seeded_rng(10);
+        let apps = Dataset::Npb6.generate(8, SeqFraction::Zero, &mut rng);
+        assert_eq!(apps[6].name, apps[0].name); // CG again
+        assert_eq!(apps[7].name, apps[1].name); // BT again
+    }
+
+    #[test]
+    fn synth_work_spans_orders_of_magnitude() {
+        // Uniform over [1e8, 1e12]: with 200 draws we must see both the
+        // bottom and top decades.
+        let mut rng = seeded_rng(11);
+        let apps = Dataset::NpbSynth.generate(200, SeqFraction::Zero, &mut rng);
+        let min = apps.iter().map(|a| a.work).fold(f64::INFINITY, f64::min);
+        let max = apps.iter().map(|a| a.work).fold(0.0, f64::max);
+        assert!(min < 1e11, "min work {min}");
+        assert!(max > 5e11, "max work {max}");
+    }
+
+    #[test]
+    fn random_dataset_mean_matches_uniform_law() {
+        let mut rng = seeded_rng(12);
+        let apps = Dataset::Random.generate(2000, SeqFraction::Zero, &mut rng);
+        let mean_f: f64 =
+            apps.iter().map(|a| a.access_freq).sum::<f64>() / apps.len() as f64;
+        // U[0.1, 0.9] has mean 0.5.
+        assert!((mean_f - 0.5).abs() < 0.02, "mean f = {mean_f}");
+        let mean_m: f64 =
+            apps.iter().map(|a| a.miss_rate_ref).sum::<f64>() / apps.len() as f64;
+        // U[9e-4, 1e-2] has mean ~5.45e-3.
+        assert!((mean_m - 5.45e-3).abs() < 3e-4, "mean m = {mean_m}");
+    }
+
+    #[test]
+    fn seq_fraction_zero_means_perfectly_parallel_everywhere() {
+        let mut rng = seeded_rng(13);
+        for ds in Dataset::ALL {
+            let apps = ds.generate(20, SeqFraction::Zero, &mut rng);
+            assert!(apps.iter().all(|a| a.is_perfectly_parallel()), "{}", ds.name());
+        }
+    }
+
+    #[test]
+    fn zero_count_yields_empty_instance() {
+        let mut rng = seeded_rng(14);
+        assert!(Dataset::Random
+            .generate(0, SeqFraction::Zero, &mut rng)
+            .is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn generated_applications_are_always_valid(
+            seed in 0u64..1000,
+            n in 1usize..64,
+            kind in 0usize..3,
+        ) {
+            let ds = Dataset::ALL[kind];
+            let mut rng = seeded_rng(seed);
+            let apps = ds.generate(n, SeqFraction::paper_default(), &mut rng);
+            prop_assert_eq!(apps.len(), n);
+            for (i, app) in apps.iter().enumerate() {
+                prop_assert!(app.validate(i).is_ok());
+            }
+        }
+
+        #[test]
+        fn uniform_seq_fraction_respects_bounds(
+            seed in 0u64..500,
+            lo in 0.0f64..0.1,
+            span in 0.01f64..0.3,
+        ) {
+            let mut rng = seeded_rng(seed);
+            let seq = SeqFraction::Uniform { lo, hi: lo + span };
+            let apps = Dataset::NpbSynth.generate(16, seq, &mut rng);
+            for a in &apps {
+                prop_assert!(a.seq_fraction >= lo && a.seq_fraction <= lo + span);
+            }
+        }
+    }
+}

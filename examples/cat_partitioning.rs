@@ -1,0 +1,80 @@
+//! Cache Allocation Technology in action: protect a latency-critical
+//! service from a streaming aggressor by way-partitioning the LLC.
+//!
+//! This example uses the `cachesim` substrate directly — the same
+//! machinery the co-execution simulator builds on — to show the isolation
+//! property the paper's model takes as given.
+//!
+//! ```text
+//! cargo run --release --example cat_partitioning
+//! ```
+
+use cachesim::cache::CacheConfig;
+use cachesim::partition::{PartitionedCache, WayMask};
+use cachesim::policy::Policy;
+use cachesim::trace::{Pattern, TraceGenerator};
+
+const LLC: CacheConfig = CacheConfig {
+    size_bytes: 2 << 20, // 2 MiB, 16 ways
+    line_size: 64,
+    ways: 16,
+    policy: Policy::Lru,
+};
+
+/// Interleaves a cache-friendly "service" (Pareto reuse, small hot set)
+/// with a cache-hostile "batch" streamer and reports both miss rates.
+fn corun(enforce: bool) -> (f64, f64) {
+    let masks = vec![WayMask::contiguous(0, 8), WayMask::contiguous(8, 8)];
+    let mut llc = PartitionedCache::new(LLC, masks, enforce);
+    // Service: strong temporal locality.
+    let mut service = TraceGenerator::new(Pattern::pareto(0.5, 16.0), 1);
+    // Batch job: scans a 16 MiB array over and over — classic LLC polluter.
+    let mut batch = TraceGenerator::new(
+        Pattern::Stream {
+            footprint_lines: (16 << 20) / 64,
+        },
+        2,
+    );
+    for i in 0..2_000_000u64 {
+        if i % 4 == 0 {
+            llc.access(0, service.next_address());
+        } else {
+            // Disjoint address space for the streamer.
+            llc.access(1, (1 << 40) | batch.next_address());
+        }
+    }
+    (
+        llc.partition_stats(0).miss_rate(),
+        llc.partition_stats(1).miss_rate(),
+    )
+}
+
+fn main() {
+    println!("LLC: 2 MiB, 16-way, LRU; service on ways 0-7, batch on ways 8-15\n");
+    let (svc_shared, batch_shared) = corun(false);
+    let (svc_part, batch_part) = corun(true);
+
+    println!("{:<22} {:>14} {:>14}", "mode", "service miss%", "batch miss%");
+    println!(
+        "{:<22} {:>14.2} {:>14.2}",
+        "shared (no CAT)",
+        svc_shared * 100.0,
+        batch_shared * 100.0
+    );
+    println!(
+        "{:<22} {:>14.2} {:>14.2}",
+        "partitioned (CAT)",
+        svc_part * 100.0,
+        batch_part * 100.0
+    );
+
+    let protection = svc_shared / svc_part.max(1e-12);
+    println!(
+        "\npartitioning cuts the service's miss rate by {protection:.1}x; \
+         the streaming batch job is insensitive either way"
+    );
+    assert!(
+        svc_part <= svc_shared,
+        "partitioning should never hurt the protected service"
+    );
+}

@@ -1,0 +1,58 @@
+//! Compare every strategy of the paper — the six dominant-partition
+//! heuristics, the three co-scheduling baselines and AllProcCache —
+//! on one random workload, against the exact optimum.
+//!
+//! ```text
+//! cargo run --release --example heuristic_comparison
+//! ```
+
+use coschedule::algo::{exact, Strategy};
+use coschedule::model::Platform;
+use workloads::rng::seeded_rng;
+use workloads::synth::{Dataset, SeqFraction};
+
+fn main() {
+    // A small LLC stresses the partition decision: not everybody fits.
+    let platform = Platform::taihulight().with_cache_size(150e6);
+    let mut rng = seeded_rng(99);
+    // Perfectly parallel instance so the exact solver applies (§4 theory).
+    let apps = Dataset::Random.generate(12, SeqFraction::Zero, &mut rng);
+
+    let reference = exact::exact_perfectly_parallel(&apps, &platform)
+        .expect("exact solve");
+    println!(
+        "exact optimum: {:.4e} with |IC| = {} of {} applications in cache\n",
+        reference.makespan,
+        reference.partition.len(),
+        apps.len()
+    );
+
+    let mut rows: Vec<(String, f64, usize)> = Vec::new();
+    let mut strategies = Strategy::all_coscheduling();
+    strategies.push(Strategy::AllProcCache);
+    for s in strategies {
+        // Average the randomized strategies over a few seeds.
+        let runs = if s.is_randomized() { 32 } else { 1 };
+        let mut total = 0.0;
+        let mut cache_apps = 0;
+        for seed in 0..runs {
+            let mut r = seeded_rng(1000 + seed);
+            let o = s.run(&apps, &platform, &mut r).unwrap();
+            total += o.makespan;
+            cache_apps = o.partition.len();
+        }
+        rows.push((s.name(), total / runs as f64, cache_apps));
+    }
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+    println!("{:<22} {:>12} {:>8} {:>10}", "strategy", "makespan", "|IC|", "vs exact");
+    for (name, makespan, ic) in rows {
+        println!(
+            "{:<22} {:>12.4e} {:>8} {:>9.2}%",
+            name,
+            makespan,
+            ic,
+            (makespan / reference.makespan - 1.0) * 100.0
+        );
+    }
+}

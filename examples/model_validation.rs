@@ -1,0 +1,90 @@
+//! Validate the paper's analytic model against a discrete co-execution:
+//! schedule a workload with DominantMinRatio, then actually *run* the
+//! schedule on the simulated partitioned LLC and compare completion times
+//! — the experiment the paper defers to future work.
+//!
+//! ```text
+//! cargo run --release --example model_validation
+//! ```
+
+use coschedule::algo::{BuildOrder, Choice, Strategy};
+use coschedule::model::{Application, Platform};
+use cosim::{validate_schedule, CoSimConfig};
+use rand::RngExt as _;
+use workloads::rng::seeded_rng;
+
+fn main() {
+    // A platform whose d_i values are large enough that misses matter.
+    let platform = Platform {
+        processors: 16.0,
+        cache_size: 640e6,
+        ref_cache_size: 40e6,
+        latency_cache: 0.17,
+        latency_mem: 1.0,
+        alpha: 0.5,
+    };
+    let mut rng = seeded_rng(2718);
+    let apps: Vec<Application> = (0..5)
+        .map(|i| {
+            Application::perfectly_parallel(
+                format!("job-{i}"),
+                rng.random_range(2e6..9e6),
+                rng.random_range(0.3..0.9),
+                rng.random_range(0.1..0.5),
+            )
+        })
+        .collect();
+
+    let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+        .run(&apps, &platform, &mut rng)
+        .unwrap();
+
+    let report = validate_schedule(
+        &apps,
+        &platform,
+        &outcome.schedule,
+        CoSimConfig {
+            work_scale: 2e-2,
+            ..CoSimConfig::default()
+        },
+    );
+
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "app", "x_eff", "model time", "sim time", "model m", "sim m"
+    );
+    for (i, app) in apps.iter().enumerate() {
+        println!(
+            "{:<8} {:>10.3} {:>12.1} {:>12.1} {:>10.4} {:>10.4}",
+            app.name,
+            report.outcome.effective_fractions[i],
+            report.predicted_times[i],
+            report.simulated_times[i],
+            report.predicted_miss_rates[i],
+            report.miss_rates[i],
+        );
+    }
+    println!(
+        "\nmakespan: model {:.1} vs simulated {:.1}  (relative error {:.2}%)",
+        report.predicted_makespan,
+        report.simulated_makespan,
+        report.relative_error * 100.0
+    );
+
+    // And what sharing the LLC (no partitioning) would have cost.
+    let shared = validate_schedule(
+        &apps,
+        &platform,
+        &outcome.schedule,
+        CoSimConfig {
+            work_scale: 2e-2,
+            enforce_partitions: false,
+            ..CoSimConfig::default()
+        },
+    );
+    println!(
+        "shared-LLC makespan: {:.1}  ({:+.2}% vs partitioned)",
+        shared.simulated_makespan,
+        (shared.simulated_makespan / report.simulated_makespan - 1.0) * 100.0
+    );
+}

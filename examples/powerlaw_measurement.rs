@@ -1,0 +1,73 @@
+//! Close the measurement loop: characterise a synthetic kernel with the
+//! cache simulator (the repository's PEBIL stand-in), fit the power law of
+//! cache misses, and feed the fitted parameters straight into the
+//! scheduling model.
+//!
+//! ```text
+//! cargo run --release --example powerlaw_measurement
+//! ```
+
+use cachesim::powerlaw::{fit_power_law, measure_miss_curve};
+use cachesim::trace::{Pattern, LINE_SIZE};
+use coschedule::algo::{BuildOrder, Choice, Strategy};
+use coschedule::model::{Application, Platform};
+use workloads::rng::seeded_rng;
+
+fn main() {
+    // 1. "Instrument" a kernel: measure its miss-rate curve on a ladder of
+    //    fully-associative LRU caches.
+    let pattern = Pattern::pareto(0.45, 8.0);
+    let sizes: Vec<u64> = (6..=13).map(|k| (1u64 << k) * LINE_SIZE).collect();
+    let curve = measure_miss_curve(&pattern, 11, &sizes, 50_000, 150_000);
+
+    println!("{:>12} {:>10}", "cache (KiB)", "miss rate");
+    for (size, miss) in curve.sizes_bytes.iter().zip(&curve.miss_rates) {
+        println!("{:>12} {:>10.4}", size / 1024, miss);
+    }
+
+    // 2. Fit Eq. 1 of the paper: m(C) = m0 (C0/C)^alpha.
+    let c0 = *curve.sizes_bytes.last().unwrap() as f64;
+    let fit = fit_power_law(&curve, c0).expect("fittable curve");
+    println!(
+        "\nfit: m0 = {:.4} at C0 = {} KiB, alpha = {:.3}, r^2 = {:.3}",
+        fit.m0,
+        (c0 as u64) / 1024,
+        fit.alpha,
+        fit.r_squared
+    );
+
+    // 3. Use the measured characterisation in the scheduling model: a
+    //    platform whose LLC is 8x the reference, alpha from the fit.
+    let platform = Platform {
+        processors: 64.0,
+        cache_size: c0 * 8.0,
+        ref_cache_size: c0,
+        latency_cache: 0.17,
+        latency_mem: 1.0,
+        alpha: fit.alpha,
+    };
+    let apps: Vec<Application> = (0..4)
+        .map(|i| {
+            Application::perfectly_parallel(
+                format!("kernel-{i}"),
+                1e10 * (i + 1) as f64,
+                0.6,
+                fit.m0,
+            )
+        })
+        .collect();
+    let mut rng = seeded_rng(3);
+    let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+        .run(&apps, &platform, &mut rng)
+        .unwrap();
+    println!(
+        "\nco-schedule of 4 measured kernels: makespan {:.3e}, cache shares {:?}",
+        outcome.makespan,
+        outcome
+            .schedule
+            .assignments
+            .iter()
+            .map(|a| (a.cache * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+}

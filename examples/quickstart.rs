@@ -1,0 +1,60 @@
+//! Quickstart: co-schedule the six NPB applications of the paper's
+//! Table 2 on the TaihuLight-like platform of §6.1.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use coschedule::algo::{BuildOrder, Choice, Strategy};
+use coschedule::model::Platform;
+use workloads::npb::npb6;
+use workloads::rng::seeded_rng;
+
+fn main() {
+    // The paper's platform: 256 processors, 32 GB shared "LLC",
+    // ls = 0.17, ll = 1, alpha = 0.5.
+    let platform = Platform::taihulight();
+
+    // The six NPB benchmarks with a 5% sequential fraction each.
+    let apps = npb6(&[0.05]);
+
+    // The paper's flagship heuristic: Algorithm 1 with the MinRatio choice.
+    let strategy = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio);
+    let mut rng = seeded_rng(42);
+    let outcome = strategy
+        .run(&apps, &platform, &mut rng)
+        .expect("valid instance");
+
+    println!("strategy  : {}", strategy.name());
+    println!("makespan  : {:.3e} time units", outcome.makespan);
+    println!(
+        "cache set : {{{}}}",
+        outcome
+            .partition
+            .members()
+            .iter()
+            .map(|&i| apps[i].name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("\n{:<6} {:>10} {:>12}", "app", "procs", "cache frac");
+    for (app, asg) in apps.iter().zip(&outcome.schedule.assignments) {
+        println!("{:<6} {:>10.2} {:>12.4}", app.name, asg.procs, asg.cache);
+    }
+
+    // Sanity: the schedule respects the resource constraints and all
+    // applications finish simultaneously (Lemma 1 structure).
+    outcome.schedule.validate(&apps, &platform).unwrap();
+    assert!(outcome.schedule.is_equal_finish(&apps, &platform, 1e-6));
+
+    // Compare against running the applications one after another with all
+    // resources (the AllProcCache baseline).
+    let apc = Strategy::AllProcCache
+        .run(&apps, &platform, &mut rng)
+        .unwrap();
+    println!(
+        "\nAllProcCache makespan: {:.3e}  (co-scheduling gain: {:.1}%)",
+        apc.makespan,
+        (1.0 - outcome.makespan / apc.makespan) * 100.0
+    );
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the workspace libraries, used by the
+//! examples and integration tests at the repository root.
+pub use cachesim;
+pub use coschedule;
+pub use cosim;
+pub use experiments;
+pub use workloads;

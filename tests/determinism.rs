@@ -1,0 +1,85 @@
+//! Reproducibility across the whole stack: identical seeds must produce
+//! bit-identical datasets, schedules, experiment data and simulations.
+
+use coschedule::algo::Strategy;
+use coschedule::model::Platform;
+use cosim::{CoSimConfig, CoSimulator};
+use experiments::ExpConfig;
+use workloads::rng::seeded_rng;
+use workloads::synth::{Dataset, SeqFraction};
+
+#[test]
+fn datasets_are_reproducible() {
+    for ds in Dataset::ALL {
+        let a = ds.generate(32, SeqFraction::paper_default(), &mut seeded_rng(11));
+        let b = ds.generate(32, SeqFraction::paper_default(), &mut seeded_rng(11));
+        assert_eq!(a, b, "{}", ds.name());
+    }
+}
+
+#[test]
+fn strategies_are_reproducible_under_seed() {
+    let platform = Platform::taihulight();
+    let apps = Dataset::Random.generate(16, SeqFraction::paper_default(), &mut seeded_rng(3));
+    let mut all = Strategy::all_coscheduling();
+    all.push(Strategy::AllProcCache);
+    for s in all {
+        let a = s.run(&apps, &platform, &mut seeded_rng(9)).unwrap();
+        let b = s.run(&apps, &platform, &mut seeded_rng(9)).unwrap();
+        assert_eq!(a, b, "{}", s.name());
+    }
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    let cfg = ExpConfig::smoke();
+    for id in ["fig1", "fig4", "fig18"] {
+        let e = experiments::registry::find(id).unwrap();
+        let a = (e.run)(&cfg);
+        let b = (e.run)(&cfg);
+        assert_eq!(a, b, "{id}");
+    }
+}
+
+#[test]
+fn simulator_is_reproducible() {
+    let platform = Platform {
+        processors: 8.0,
+        cache_size: 320e6,
+        ref_cache_size: 40e6,
+        latency_cache: 0.17,
+        latency_mem: 1.0,
+        alpha: 0.5,
+    };
+    // Small, fixed work values: the simulator executes ops one by one, so
+    // RANDOM-dataset magnitudes (up to 1e12) would take hours.
+    let mut apps = Dataset::Random.generate(3, SeqFraction::Zero, &mut seeded_rng(4));
+    for (i, app) in apps.iter_mut().enumerate() {
+        app.work = 2e6 + 1e6 * i as f64;
+    }
+    let outcome = Strategy::Fair
+        .run(&apps, &platform, &mut seeded_rng(0))
+        .unwrap();
+    let run = || {
+        CoSimulator::new(
+            &apps,
+            &platform,
+            &outcome.schedule,
+            CoSimConfig {
+                work_scale: 1e-2,
+                ..CoSimConfig::default()
+            },
+        )
+        .run()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_root_seeds_change_experiment_data() {
+    let a = (experiments::registry::find("fig1").unwrap().run)(&ExpConfig::smoke());
+    let mut cfg2 = ExpConfig::smoke();
+    cfg2.seed ^= 0xDEAD_BEEF;
+    let b = (experiments::registry::find("fig1").unwrap().run)(&cfg2);
+    assert_ne!(a, b);
+}

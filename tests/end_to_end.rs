@@ -1,0 +1,108 @@
+//! End-to-end integration: dataset generation → scheduling → schedule
+//! feasibility → discrete co-execution validation, across all crates.
+
+use coschedule::algo::{BuildOrder, Choice, Strategy};
+use coschedule::model::{Application, Platform};
+use cosim::{validate_schedule, CoSimConfig};
+use workloads::rng::seeded_rng;
+use workloads::synth::{Dataset, SeqFraction};
+
+#[test]
+fn full_pipeline_on_every_dataset() {
+    let platform = Platform::taihulight();
+    for dataset in Dataset::ALL {
+        let mut rng = seeded_rng(1);
+        let apps = dataset.generate(12, SeqFraction::paper_default(), &mut rng);
+        let mut strategies = Strategy::all_coscheduling();
+        strategies.push(Strategy::AllProcCache);
+        for s in strategies {
+            let o = s
+                .run(&apps, &platform, &mut rng)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), dataset.name()));
+            if o.concurrent {
+                o.schedule.validate(&apps, &platform).unwrap();
+            }
+            assert!(o.makespan.is_finite() && o.makespan > 0.0);
+        }
+    }
+}
+
+#[test]
+fn heuristic_schedule_survives_discrete_simulation() {
+    // Perfectly parallel instance in a regime where misses matter, so the
+    // cosim run is meaningful.
+    let platform = Platform {
+        processors: 16.0,
+        cache_size: 640e6,
+        ref_cache_size: 40e6,
+        latency_cache: 0.17,
+        latency_mem: 1.0,
+        alpha: 0.5,
+    };
+    let mut rng = seeded_rng(5);
+    let apps: Vec<Application> = (0..4)
+        .map(|i| {
+            Application::perfectly_parallel(
+                format!("T{i}"),
+                3e6 + 1e6 * i as f64,
+                0.5 + 0.1 * i as f64,
+                0.15 + 0.08 * i as f64,
+            )
+        })
+        .collect();
+    let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+        .run(&apps, &platform, &mut rng)
+        .unwrap();
+    let report = validate_schedule(
+        &apps,
+        &platform,
+        &outcome.schedule,
+        CoSimConfig {
+            work_scale: 2e-2,
+            ..CoSimConfig::default()
+        },
+    );
+    assert!(
+        report.relative_error < 0.15,
+        "analytic model mispredicts the simulation by {:.1}%",
+        report.relative_error * 100.0
+    );
+}
+
+#[test]
+fn dominant_min_ratio_wins_across_seeds_and_datasets() {
+    // The paper's headline: DMR is never worse than the baselines.
+    let platform = Platform::taihulight();
+    for dataset in Dataset::ALL {
+        for seed in 0..5 {
+            let mut rng = seeded_rng(seed);
+            let apps = dataset.generate(16, SeqFraction::paper_default(), &mut rng);
+            let mut algo_rng = seeded_rng(seed + 100);
+            let dmr = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
+                .run(&apps, &platform, &mut algo_rng)
+                .unwrap()
+                .makespan;
+            for baseline in [Strategy::Fair, Strategy::ZeroCache] {
+                let b = baseline
+                    .run(&apps, &platform, &mut algo_rng)
+                    .unwrap()
+                    .makespan;
+                assert!(
+                    dmr <= b * (1.0 + 1e-9),
+                    "{}(seed {seed}, {}): DMR {dmr} vs {b}",
+                    baseline.name(),
+                    dataset.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_work() {
+    // The root library exposes all the member crates.
+    let platform = cache_coschedule::coschedule::model::Platform::taihulight();
+    assert_eq!(platform.processors, 256.0);
+    let table = cache_coschedule::workloads::npb::NPB_TABLE;
+    assert_eq!(table.len(), 6);
+}

@@ -1,0 +1,80 @@
+//! Integration smoke test: every registered experiment runs, produces
+//! well-formed data, and writes a readable CSV.
+
+use experiments::{registry, ExpConfig};
+
+#[test]
+fn every_experiment_runs_and_writes_csv() {
+    let cfg = ExpConfig::smoke();
+    let dir = std::env::temp_dir().join("cache_coschedule_smoke_results");
+    for e in registry() {
+        let fig = (e.run)(&cfg);
+        assert_eq!(fig.id, e.id, "driver returned mismatched id");
+        assert!(!fig.xs.is_empty(), "{}: empty sweep", e.id);
+        assert!(!fig.series.is_empty(), "{}: no series", e.id);
+        for s in &fig.series {
+            assert_eq!(
+                s.values.len(),
+                fig.xs.len(),
+                "{}: ragged series {}",
+                e.id,
+                s.name
+            );
+            for (i, v) in s.values.iter().enumerate() {
+                assert!(
+                    v.is_finite() || v.is_nan(),
+                    "{}: series {} point {i} is {v}",
+                    e.id,
+                    s.name
+                );
+            }
+        }
+        let path = fig.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            content.trim().lines().count(),
+            fig.xs.len() + 1,
+            "{}: CSV row count",
+            e.id
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn normalized_figures_have_unit_reference_column() {
+    let cfg = ExpConfig::smoke();
+    // Figures normalized by AllProcCache.
+    for id in ["fig1", "fig3", "fig5", "fig6"] {
+        let e = experiments::registry::find(id).unwrap();
+        let fig = (e.run)(&cfg);
+        let r = fig.series_named("AllProcCache").unwrap();
+        assert!(
+            r.values.iter().all(|&v| (v - 1.0).abs() < 1e-9),
+            "{id}: reference column not 1.0"
+        );
+    }
+    // Figures normalized by DominantMinRatio.
+    for id in ["fig2", "fig4", "fig9", "fig18"] {
+        let e = experiments::registry::find(id).unwrap();
+        let fig = (e.run)(&cfg);
+        let r = fig.series_named("DominantMinRatio").unwrap();
+        assert!(
+            r.values.iter().all(|&v| (v - 1.0).abs() < 1e-9),
+            "{id}: reference column not 1.0"
+        );
+    }
+}
+
+#[test]
+fn notes_mention_paper_expectations() {
+    let cfg = ExpConfig::smoke();
+    for e in registry() {
+        let fig = (e.run)(&cfg);
+        assert!(
+            !fig.notes.is_empty(),
+            "{}: drivers must record qualitative notes for EXPERIMENTS.md",
+            e.id
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Integration tests of the NP-completeness machinery on larger instances
+//! than the unit tests, cross-checking the two Knapsack solvers and the
+//! Theorem-1 reduction.
+
+use coschedule::npc::{knapsack_to_coschedcache, Knapsack};
+use rand::RngExt as _;
+use workloads::rng::seeded_rng;
+
+fn random_knapsack(seed: u64, n: usize, max_size: u64, max_value: u64) -> Knapsack {
+    let mut rng = seeded_rng(seed);
+    let sizes: Vec<u64> = (0..n).map(|_| rng.random_range(1..=max_size)).collect();
+    let values: Vec<u64> = (0..n).map(|_| rng.random_range(1..=max_value)).collect();
+    let capacity = rng.random_range(1..=sizes.iter().sum::<u64>());
+    let target = rng.random_range(1..=values.iter().sum::<u64>());
+    Knapsack::new(sizes, values, capacity, target)
+}
+
+#[test]
+fn solvers_agree_on_many_random_instances() {
+    for seed in 0..60 {
+        let kp = random_knapsack(seed, 12, 30, 100);
+        assert_eq!(
+            kp.solve_dp().value,
+            kp.solve_bb().value,
+            "seed {seed}: {kp:?}"
+        );
+    }
+}
+
+#[test]
+fn reduction_equivalence_on_random_instances() {
+    // Keep U small so the brute-force decision stays fast; n up to 10.
+    for seed in 0..30 {
+        let kp = random_knapsack(1000 + seed, 8, 6, 20);
+        let inst = knapsack_to_coschedcache(&kp, 0.5);
+        assert_eq!(
+            inst.decide_bruteforce().is_some(),
+            kp.is_feasible(),
+            "seed {seed}: reduction broke equivalence for {kp:?}"
+        );
+    }
+}
+
+#[test]
+fn reduction_instance_is_well_formed() {
+    let kp = Knapsack::new(vec![3, 1, 4, 2], vec![5, 9, 2, 6], 7, 14);
+    let inst = knapsack_to_coschedcache(&kp, 0.5);
+    // The constructed applications pass model validation.
+    for (i, app) in inst.apps.iter().enumerate() {
+        app.validate(i).unwrap_or_else(|e| panic!("app {i}: {e}"));
+        assert!(app.is_perfectly_parallel());
+        assert!(app.footprint.is_finite());
+    }
+    inst.platform.validate().unwrap();
+    assert!(inst.bound.is_finite() && inst.bound > 0.0);
+    // Proof constants: 0 < epsilon << 1, 0 < eta < 1.
+    assert!(inst.epsilon > 0.0 && inst.epsilon < 0.01);
+    assert!(inst.eta > 0.0 && inst.eta < 1.0);
+}
+
+#[test]
+fn tightening_the_target_flips_the_decision() {
+    let kp = Knapsack::new(vec![2, 3, 4], vec![4, 5, 6], 5, 1);
+    // Optimum within capacity 5 is value 9 ({2,3} -> 4+5).
+    let best = kp.solve_dp().value;
+    assert_eq!(best, 9);
+    let feasible = Knapsack::new(kp.sizes.clone(), kp.values.clone(), 5, best);
+    let infeasible = Knapsack::new(kp.sizes.clone(), kp.values.clone(), 5, best + 1);
+    assert!(knapsack_to_coschedcache(&feasible, 0.5)
+        .decide_bruteforce()
+        .is_some());
+    assert!(knapsack_to_coschedcache(&infeasible, 0.5)
+        .decide_bruteforce()
+        .is_none());
+}
