@@ -32,8 +32,7 @@ fn bench_policies(c: &mut Criterion) {
             |b, &policy| {
                 b.iter(|| {
                     let mut cache = SetAssocCache::new(llc_config(policy));
-                    let mut generator =
-                        TraceGenerator::new(Pattern::pareto(0.5, 64.0), 42);
+                    let mut generator = TraceGenerator::new(Pattern::pareto(0.5, 64.0), 42);
                     for _ in 0..ACCESSES {
                         black_box(cache.access(generator.next_address()));
                     }
@@ -83,9 +82,25 @@ fn bench_trace_generation(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_secs(2));
     group.throughput(Throughput::Elements(ACCESSES));
     let patterns: Vec<(&str, Pattern)> = vec![
-        ("stream", Pattern::Stream { footprint_lines: 1 << 16 }),
-        ("uniform", Pattern::UniformRandom { footprint_lines: 1 << 16 }),
-        ("zipf", Pattern::Zipf { footprint_lines: 1 << 14, exponent: 1.1 }),
+        (
+            "stream",
+            Pattern::Stream {
+                footprint_lines: 1 << 16,
+            },
+        ),
+        (
+            "uniform",
+            Pattern::UniformRandom {
+                footprint_lines: 1 << 16,
+            },
+        ),
+        (
+            "zipf",
+            Pattern::Zipf {
+                footprint_lines: 1 << 14,
+                exponent: 1.1,
+            },
+        ),
         ("pareto", Pattern::pareto(0.5, 32.0)),
     ];
     for (name, pattern) in patterns {
@@ -103,5 +118,10 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_partitioned, bench_trace_generation);
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_partitioned,
+    bench_trace_generation
+);
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 
 use coschedule::algo::{exact, Strategy};
 use coschedule::model::{ExecModel, Platform};
+use coschedule::solver::{Instance, SolveCtx, Solver};
 use coschedule::theory::{cache_alloc, dominance};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -23,16 +24,19 @@ fn bench_strategies(c: &mut Criterion) {
     for &n in &[16usize, 64, 256] {
         let mut rng = StdRng::seed_from_u64(1);
         let apps = Dataset::NpbSynth.generate(n, SeqFraction::paper_default(), &mut rng);
+        // The instance (validation + model derivation) is built once, so
+        // each iteration times the solve itself.
+        let instance = Instance::new(apps, platform.clone()).unwrap();
         let mut strategies = Strategy::all_coscheduling();
         strategies.push(Strategy::AllProcCache);
         for s in strategies {
             group.bench_with_input(
-                BenchmarkId::new(s.name(), n),
-                &apps,
-                |b, apps| {
+                BenchmarkId::new(Solver::name(&s), n),
+                &instance,
+                |b, instance| {
                     b.iter(|| {
-                        let mut r = StdRng::seed_from_u64(7);
-                        black_box(s.run(apps, &platform, &mut r).unwrap().makespan)
+                        let mut ctx = SolveCtx::seeded(7);
+                        black_box(s.solve(instance, &mut ctx).unwrap().makespan)
                     });
                 },
             );

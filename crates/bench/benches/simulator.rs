@@ -52,7 +52,11 @@ fn bench_cosim(c: &mut Criterion) {
                     work_scale: 5e-3,
                     ..CoSimConfig::default()
                 };
-                black_box(CoSimulator::new(apps, &p, &outcome.schedule, cfg).run().makespan)
+                black_box(
+                    CoSimulator::new(apps, &p, &outcome.schedule, cfg)
+                        .run()
+                        .makespan,
+                )
             });
         });
     }

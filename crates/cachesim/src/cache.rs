@@ -90,10 +90,14 @@ impl SetAssocCache {
     /// Like [`Self::new`] with an explicit seed for the Random policy.
     pub fn with_seed(config: CacheConfig, seed: u64) -> Self {
         assert!(config.line_size.is_power_of_two(), "line size must be 2^k");
-        assert!(config.size_bytes >= config.line_size, "cache smaller than a line");
+        assert!(
+            config.size_bytes >= config.line_size,
+            "cache smaller than a line"
+        );
         assert!((1..=64).contains(&config.ways), "ways must be in 1..=64");
         let raw_sets = (config.size_bytes / (config.line_size * config.ways as u64)).max(1);
-        let sets = (raw_sets as usize).next_power_of_two() >> usize::from(!raw_sets.is_power_of_two());
+        let sets =
+            (raw_sets as usize).next_power_of_two() >> usize::from(!raw_sets.is_power_of_two());
         let sets = sets.max(1);
         Self {
             config,

@@ -287,7 +287,10 @@ mod tests {
     fn pqos_commands_match_masks() {
         let t = ClosTable::from_fractions(cfg(), &[0.5, 0.0, 0.25]).unwrap();
         let cmds = t.to_pqos_commands();
-        assert_eq!(cmds, vec!["llc:0=0xff".to_string(), "llc:2=0xf00".to_string()]);
+        assert_eq!(
+            cmds,
+            vec!["llc:0=0xff".to_string(), "llc:2=0xf00".to_string()]
+        );
     }
 
     /// Scales raw draws so they sum to at most 1 (valid scheduler output).

@@ -64,7 +64,9 @@ impl Hierarchy {
     pub fn new(config: HierarchyConfig) -> Self {
         let n = config.masks.len();
         let l1s = match config.l1 {
-            Some(c) => (0..n).map(|i| SetAssocCache::with_seed(c, i as u64)).collect(),
+            Some(c) => (0..n)
+                .map(|i| SetAssocCache::with_seed(c, i as u64))
+                .collect(),
             None => Vec::new(),
         };
         Self {

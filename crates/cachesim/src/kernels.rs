@@ -86,13 +86,19 @@ pub fn npb_like_kernels(scale: KernelScale) -> Vec<KernelSpec> {
             ops: scale.ops(120_000),
             access_freq: 0.54,
             pattern: Pattern::Mix(vec![
-                (0.45, Pattern::Stream {
-                    footprint_lines: l(2_048),
-                }),
-                (0.55, Pattern::Zipf {
-                    footprint_lines: l(16_384),
-                    exponent: 1.1,
-                }),
+                (
+                    0.45,
+                    Pattern::Stream {
+                        footprint_lines: l(2_048),
+                    },
+                ),
+                (
+                    0.55,
+                    Pattern::Zipf {
+                        footprint_lines: l(16_384),
+                        exponent: 1.1,
+                    },
+                ),
             ]),
         },
         KernelSpec {
@@ -112,9 +118,12 @@ pub fn npb_like_kernels(scale: KernelScale) -> Vec<KernelSpec> {
             access_freq: 0.75,
             pattern: Pattern::Mix(vec![
                 (0.6, Pattern::pareto(0.55, 24.0)),
-                (0.4, Pattern::Stream {
-                    footprint_lines: l(12_288),
-                }),
+                (
+                    0.4,
+                    Pattern::Stream {
+                        footprint_lines: l(12_288),
+                    },
+                ),
             ]),
         },
         KernelSpec {
@@ -133,15 +142,24 @@ pub fn npb_like_kernels(scale: KernelScale) -> Vec<KernelSpec> {
             ops: scale.ops(60_000),
             access_freq: 0.54,
             pattern: Pattern::Mix(vec![
-                (0.5, Pattern::Stream {
-                    footprint_lines: l(32_768),
-                }),
-                (0.3, Pattern::Stream {
-                    footprint_lines: l(4_096),
-                }),
-                (0.2, Pattern::Stream {
-                    footprint_lines: l(512),
-                }),
+                (
+                    0.5,
+                    Pattern::Stream {
+                        footprint_lines: l(32_768),
+                    },
+                ),
+                (
+                    0.3,
+                    Pattern::Stream {
+                        footprint_lines: l(4_096),
+                    },
+                ),
+                (
+                    0.2,
+                    Pattern::Stream {
+                        footprint_lines: l(512),
+                    },
+                ),
             ]),
         },
         KernelSpec {
@@ -150,13 +168,19 @@ pub fn npb_like_kernels(scale: KernelScale) -> Vec<KernelSpec> {
             ops: scale.ops(70_000),
             access_freq: 0.58,
             pattern: Pattern::Mix(vec![
-                (0.5, Pattern::Strided {
-                    footprint_lines: l(32_768),
-                    stride_lines: 64,
-                }),
-                (0.5, Pattern::Stream {
-                    footprint_lines: l(32_768),
-                }),
+                (
+                    0.5,
+                    Pattern::Strided {
+                        footprint_lines: l(32_768),
+                        stride_lines: 64,
+                    },
+                ),
+                (
+                    0.5,
+                    Pattern::Stream {
+                        footprint_lines: l(32_768),
+                    },
+                ),
             ]),
         },
     ]
@@ -180,11 +204,7 @@ pub struct MeasuredKernel {
 /// Regenerates a Table-2 analogue: runs every kernel against a ladder of
 /// LLC sizes ending at `ref_bytes`, reports the miss rate at the reference
 /// size and the fitted `(m0, α)`.
-pub fn measure_kernels(
-    kernels: &[KernelSpec],
-    ref_bytes: u64,
-    seed: u64,
-) -> Vec<MeasuredKernel> {
+pub fn measure_kernels(kernels: &[KernelSpec], ref_bytes: u64, seed: u64) -> Vec<MeasuredKernel> {
     // Geometric ladder: ref/64 … ref.
     let sizes: Vec<u64> = (0..=6).map(|k| ref_bytes >> (6 - k)).collect();
     kernels
@@ -278,7 +298,12 @@ mod tests {
         let ks = npb_like_kernels(KernelScale::Test);
         let table = measure_kernels(&ks, reference_llc_bytes(KernelScale::Test), 2);
         let get = |n: &str| table.iter().find(|r| r.name == n).unwrap().miss_rate_ref;
-        assert!(get("SP") > get("CG"), "SP {} vs CG {}", get("SP"), get("CG"));
+        assert!(
+            get("SP") > get("CG"),
+            "SP {} vs CG {}",
+            get("SP"),
+            get("CG")
+        );
     }
 
     #[test]
@@ -286,10 +311,18 @@ mod tests {
         let ks = npb_like_kernels(KernelScale::Test);
         let table = measure_kernels(&ks, reference_llc_bytes(KernelScale::Test), 3);
         let fitted = table.iter().filter(|r| r.fit.is_some()).count();
-        assert!(fitted >= 3, "only {fitted} kernels produced a fittable curve");
+        assert!(
+            fitted >= 3,
+            "only {fitted} kernels produced a fittable curve"
+        );
         for row in table.iter().filter(|r| r.fit.is_some()) {
             let fit = row.fit.unwrap();
-            assert!(fit.alpha > 0.0, "{}: negative alpha {}", row.name, fit.alpha);
+            assert!(
+                fit.alpha > 0.0,
+                "{}: negative alpha {}",
+                row.name,
+                fit.alpha
+            );
         }
     }
 
@@ -299,7 +332,10 @@ mod tests {
         // test reference so partial caching effects are visible.
         let ks = npb_like_kernels(KernelScale::Test);
         let sp = ks.iter().find(|k| k.name == "SP").unwrap();
-        if let Pattern::Strided { footprint_lines, .. } = sp.pattern {
+        if let Pattern::Strided {
+            footprint_lines, ..
+        } = sp.pattern
+        {
             assert!(footprint_lines * LINE_SIZE > reference_llc_bytes(KernelScale::Test) / 2);
         } else {
             panic!("SP should be strided");

@@ -55,11 +55,11 @@ pub mod writeback;
 
 pub use cache::{AccessOutcome, CacheConfig, SetAssocCache};
 pub use clos::{ClosConfig, ClosError, ClosTable};
-pub use prefetch::{PrefetchStats, Prefetcher, PrefetchingCache};
-pub use writeback::{Access, WritebackCache, WritebackStats};
 pub use hierarchy::{Hierarchy, HierarchyConfig, LatencyModel};
 pub use partition::{PartitionId, PartitionedCache, WayMask};
 pub use policy::Policy;
 pub use powerlaw::{measure_miss_curve, MissCurve, PowerLawFit};
+pub use prefetch::{PrefetchStats, Prefetcher, PrefetchingCache};
 pub use stats::AccessStats;
 pub use trace::{Pattern, TraceGenerator};
+pub use writeback::{Access, WritebackCache, WritebackStats};

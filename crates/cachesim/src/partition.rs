@@ -91,7 +91,8 @@ impl PartitionedCache {
         let mut masks = Vec::with_capacity(fractions.len());
         let mut next = 0usize;
         for &f in fractions {
-            let count = ((f * total_ways as f64).round() as usize).min(total_ways - next.min(total_ways));
+            let count =
+                ((f * total_ways as f64).round() as usize).min(total_ways - next.min(total_ways));
             let count = count.min(total_ways - next);
             masks.push(WayMask::contiguous(next, count));
             next += count;

@@ -65,11 +65,8 @@ pub fn measure_miss_curve(
     let miss_rates = sizes
         .iter()
         .map(|&size| {
-            let mut cache = SetAssocCache::new(CacheConfig::fully_associative(
-                size,
-                LINE_SIZE,
-                Policy::Lru,
-            ));
+            let mut cache =
+                SetAssocCache::new(CacheConfig::fully_associative(size, LINE_SIZE, Policy::Lru));
             let mut generator = TraceGenerator::new(pattern.clone(), seed);
             for _ in 0..warmup {
                 cache.access(generator.next_address());
@@ -148,7 +145,10 @@ mod tests {
     fn curve_is_monotone_decreasing() {
         let c = pareto_curve(0.5);
         for w in c.miss_rates.windows(2) {
-            assert!(w[1] <= w[0] + 0.02, "curve not (approximately) monotone: {c:?}");
+            assert!(
+                w[1] <= w[0] + 0.02,
+                "curve not (approximately) monotone: {c:?}"
+            );
         }
     }
 

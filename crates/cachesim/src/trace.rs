@@ -211,10 +211,7 @@ mod tests {
 
     #[test]
     fn stream_wraps_sequentially() {
-        let mut g = TraceGenerator::new(
-            Pattern::Stream { footprint_lines: 4 },
-            0,
-        );
+        let mut g = TraceGenerator::new(Pattern::Stream { footprint_lines: 4 }, 0);
         let lines: Vec<u64> = (0..8).map(|_| g.next_address() / LINE_SIZE).collect();
         assert_eq!(lines, vec![0, 1, 2, 3, 0, 1, 2, 3]);
     }

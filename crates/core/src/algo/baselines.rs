@@ -14,24 +14,34 @@ use rand::{Rng, RngExt as _};
 /// assignment is `(p, 1)`.
 pub fn all_proc_cache(apps: &[Application], platform: &Platform) -> Result<Outcome> {
     crate::model::validate_instance(apps)?;
+    Ok(all_proc_cache_core(apps, platform))
+}
+
+/// [`all_proc_cache`] on an already-validated instance.
+pub(crate) fn all_proc_cache_core(apps: &[Application], platform: &Platform) -> Outcome {
     let schedule = Schedule {
         assignments: apps
             .iter()
             .map(|_| crate::model::Assignment::new(platform.processors, 1.0))
             .collect(),
     };
-    Ok(Outcome {
+    Outcome {
         makespan: sequential_makespan(apps, platform),
         schedule,
         partition: Partition::all(apps.len()),
         concurrent: false,
-    })
+    }
 }
 
 /// Fair: `p_i = p/n` processors and a cache share proportional to the access
 /// frequency, `x_i = f_i / Σ_j f_j`. No equal-finish rebalancing.
 pub fn fair(apps: &[Application], platform: &Platform) -> Result<Outcome> {
     crate::model::validate_instance(apps)?;
+    Ok(fair_core(apps, platform))
+}
+
+/// [`fair`] on an already-validated instance.
+pub(crate) fn fair_core(apps: &[Application], platform: &Platform) -> Outcome {
     let n = apps.len() as f64;
     let total_freq: f64 = apps.iter().map(|a| a.access_freq).sum();
     let cache: Vec<f64> = if total_freq > 0.0 {
@@ -42,18 +52,23 @@ pub fn fair(apps: &[Application], platform: &Platform) -> Result<Outcome> {
     let procs = vec![platform.processors / n; apps.len()];
     let schedule = Schedule::from_parts(&procs, &cache);
     let makespan = schedule.makespan(apps, platform);
-    Ok(Outcome {
+    Outcome {
         makespan,
         schedule,
         partition: Partition::all(apps.len()),
         concurrent: true,
-    })
+    }
 }
 
 /// 0cache: nobody gets any cache (`x_i = 0`, every access misses); the
 /// processors are split so that all applications finish simultaneously.
 pub fn zero_cache(apps: &[Application], platform: &Platform) -> Result<Outcome> {
     crate::model::validate_instance(apps)?;
+    zero_cache_core(apps, platform)
+}
+
+/// [`zero_cache`] on an already-validated instance.
+pub(crate) fn zero_cache_core(apps: &[Application], platform: &Platform) -> Result<Outcome> {
     let cache = vec![0.0; apps.len()];
     let ef = equal_finish_split(apps, platform, &cache)?;
     Ok(Outcome {
@@ -75,9 +90,20 @@ pub fn random_part<R: Rng + ?Sized>(
 ) -> Result<Outcome> {
     crate::model::validate_instance(apps)?;
     let models = ExecModel::of_all(apps, platform);
+    random_part_core(apps, platform, &models, rng)
+}
+
+/// [`random_part`] on an already-validated instance with precomputed
+/// execution models.
+pub(crate) fn random_part_core<R: Rng + ?Sized>(
+    apps: &[Application],
+    platform: &Platform,
+    models: &[ExecModel],
+    rng: &mut R,
+) -> Result<Outcome> {
     let members: Vec<usize> = (0..apps.len()).filter(|_| rng.random::<bool>()).collect();
     let partition = Partition::new(members);
-    let cache = optimal_cache_fractions(&models, &partition);
+    let cache = optimal_cache_fractions(models, &partition);
     let ef = equal_finish_split(apps, platform, &cache)?;
     Ok(Outcome {
         makespan: ef.makespan,

@@ -40,9 +40,8 @@ fn check_size(apps: &[Application]) -> Result<()> {
 }
 
 fn subsets(n: usize) -> impl Iterator<Item = Partition> {
-    (0u64..(1u64 << n)).map(move |mask| {
-        Partition::new((0..n).filter(|i| mask >> i & 1 == 1).collect())
-    })
+    (0u64..(1u64 << n))
+        .map(move |mask| Partition::new((0..n).filter(|i| mask >> i & 1 == 1).collect()))
 }
 
 /// Exact optimum for perfectly parallel applications (`s_i = 0` for all),

@@ -11,7 +11,7 @@
 //! instances (exact for perfectly parallel applications, by the dominance
 //! theory of §4).
 
-mod baselines;
+pub(crate) mod baselines;
 mod choice;
 mod dominant;
 pub mod exact;

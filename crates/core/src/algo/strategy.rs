@@ -1,14 +1,19 @@
-//! The [`Strategy`] façade: one entry point for the six dominant-partition
+//! The [`Strategy`] enum: compact names for the six dominant-partition
 //! heuristics and the four baselines.
+//!
+//! `Strategy` is a thin value type — the algorithm bodies live in its
+//! [`Solver`](crate::solver::Solver) implementation
+//! (see [`crate::solver`]), and [`Strategy::run`] is a convenience wrapper
+//! that builds the [`Instance`](crate::solver::Instance) on the fly.
+//! Figure drivers keep using the enum for its paper legend names; new code
+//! should build an `Instance` once and go through the solver API.
 
-use crate::algo::baselines::{all_proc_cache, fair, random_part, zero_cache};
-use crate::algo::outcome::Outcome;
 use crate::algo::choice::Choice;
-use crate::algo::dominant::{dominant_partition, BuildOrder};
+use crate::algo::dominant::BuildOrder;
+use crate::algo::outcome::Outcome;
 use crate::error::Result;
-use crate::model::{Application, ExecModel, Platform, Schedule};
-use crate::theory::cache_alloc::optimal_cache_fractions;
-use crate::theory::proc_alloc::equal_finish_split;
+use crate::model::{Application, Platform};
+use crate::solver::{Instance, SolveCtx, Solver};
 use rand::Rng;
 
 /// A complete co-scheduling strategy: decides both the cache partition and
@@ -97,51 +102,36 @@ impl Strategy {
         )
     }
 
-    /// Runs the strategy on an instance and returns the resulting
+    /// Boxes this strategy as a [`Solver`] for registry and
+    /// [`Portfolio`](crate::solver::Portfolio) use.
+    pub fn to_solver(&self) -> Box<dyn Solver> {
+        Box::new(*self)
+    }
+
+    /// Runs the strategy on a raw instance and returns the resulting
     /// [`Outcome`].
     ///
-    /// Deterministic strategies ignore `rng`.
+    /// Convenience wrapper over the [`Solver`] API: validates the
+    /// instance, derives a [`SolveCtx`] seed from `rng`, and solves.
+    /// Deterministic strategies leave `rng` untouched (and return the same
+    /// outcome for any seed); callers that solve the same instance
+    /// repeatedly should build an [`Instance`] once and call
+    /// [`Solver::solve`] instead, which skips the per-call validation,
+    /// model derivation, and cloning done here.
     pub fn run<R: Rng + ?Sized>(
         &self,
         apps: &[Application],
         platform: &Platform,
         rng: &mut R,
     ) -> Result<Outcome> {
-        match self {
-            Self::Dominant { order, choice } => {
-                crate::model::validate_instance(apps)?;
-                let models = ExecModel::of_all(apps, platform);
-                let partition = dominant_partition(&models, *order, *choice, rng);
-                let cache = optimal_cache_fractions(&models, &partition);
-                let ef = equal_finish_split(apps, platform, &cache)?;
-                Ok(Outcome {
-                    makespan: ef.makespan,
-                    schedule: Schedule::from_parts(&ef.procs, &cache),
-                    partition,
-                    concurrent: true,
-                })
-            }
-            Self::DominantRefined { max_iters } => {
-                crate::model::validate_instance(apps)?;
-                let models = ExecModel::of_all(apps, platform);
-                let partition =
-                    dominant_partition(&models, BuildOrder::Forward, Choice::MinRatio, rng);
-                let cache = optimal_cache_fractions(&models, &partition);
-                let refined = crate::algo::refine::refine(
-                    apps, platform, &models, &partition, cache, *max_iters,
-                )?;
-                Ok(Outcome {
-                    makespan: refined.makespan,
-                    schedule: refined.schedule,
-                    partition,
-                    concurrent: true,
-                })
-            }
-            Self::RandomPart => random_part(apps, platform, rng),
-            Self::Fair => fair(apps, platform),
-            Self::ZeroCache => zero_cache(apps, platform),
-            Self::AllProcCache => all_proc_cache(apps, platform),
-        }
+        let instance = Instance::new(apps.to_vec(), platform.clone())?;
+        let seed = if self.is_randomized() {
+            rng.next_u64()
+        } else {
+            0
+        };
+        let mut ctx = SolveCtx::seeded(seed);
+        self.solve(&instance, &mut ctx)
     }
 }
 
@@ -265,7 +255,10 @@ mod tests {
             .run(&a, &p, &mut rng)
             .unwrap()
             .makespan;
-        let apc = Strategy::AllProcCache.run(&a, &p, &mut rng).unwrap().makespan;
+        let apc = Strategy::AllProcCache
+            .run(&a, &p, &mut rng)
+            .unwrap()
+            .makespan;
         assert!(dmr < apc, "co-scheduling {dmr} vs sequential {apc}");
     }
 
@@ -279,7 +272,10 @@ mod tests {
             .run(&a, &p, &mut rng)
             .unwrap()
             .makespan;
-        let apc = Strategy::AllProcCache.run(&a, &p, &mut rng).unwrap().makespan;
+        let apc = Strategy::AllProcCache
+            .run(&a, &p, &mut rng)
+            .unwrap()
+            .makespan;
         assert!((dmr - apc).abs() / apc < 1e-9);
     }
 

@@ -37,6 +37,9 @@ pub enum CoschedError {
     },
     /// The equal-finish-time bisection could not bracket a solution.
     NoFeasibleMakespan(String),
+    /// A [`Portfolio`](crate::solver::Portfolio) was built with no member
+    /// solvers.
+    EmptyPortfolio,
 }
 
 impl fmt::Display for CoschedError {
@@ -65,6 +68,7 @@ impl fmt::Display for CoschedError {
             Self::NoFeasibleMakespan(reason) => {
                 write!(f, "no feasible equal-finish-time makespan: {reason}")
             }
+            Self::EmptyPortfolio => write!(f, "portfolio has no member solvers"),
         }
     }
 }

@@ -23,33 +23,48 @@
 //!
 //! # Quick start
 //!
+//! Build a validated [`solver::Instance`] once, then hand it to any
+//! [`solver::Solver`] from the registry — or to all of them at once via
+//! [`solver::Portfolio`]:
+//!
 //! ```
 //! use coschedule::model::{Application, Platform};
-//! use coschedule::algo::{Strategy, BuildOrder, Choice};
-//! use rand::SeedableRng;
+//! use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 //!
-//! let platform = Platform::taihulight();
-//! let apps = vec![
-//!     Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
-//!     Application::new("BT", 2.10e11, 0.05, 0.829, 7.31e-3),
-//!     Application::new("LU", 1.52e11, 0.05, 0.750, 1.51e-3),
-//! ];
+//! let instance = Instance::new(
+//!     vec![
+//!         Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+//!         Application::new("BT", 2.10e11, 0.05, 0.829, 7.31e-3),
+//!         Application::new("LU", 1.52e11, 0.05, 0.750, 1.51e-3),
+//!     ],
+//!     Platform::taihulight(),
+//! )
+//! .unwrap();
 //!
-//! let strategy = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-//! let outcome = strategy.run(&apps, &platform, &mut rng).unwrap();
+//! // The paper's flagship heuristic, by its figure-legend name.
+//! let dmr = solver::by_name("DominantMinRatio").unwrap();
+//! let outcome = dmr.solve(&instance, &mut SolveCtx::seeded(42)).unwrap();
 //! assert!(outcome.makespan.is_finite() && outcome.makespan > 0.0);
+//!
+//! // Or run every registered solver and keep the best schedule.
+//! let report = Portfolio::new(solver::all())
+//!     .solve_detailed(&instance, &SolveCtx::seeded(42))
+//!     .unwrap();
+//! assert!(report.outcome.makespan <= outcome.makespan);
 //! ```
 
 pub mod algo;
 pub mod error;
 pub mod model;
 pub mod npc;
+pub mod parallel;
+pub mod solver;
 pub mod theory;
 
 pub use algo::{BuildOrder, Choice, Outcome, Strategy};
 pub use error::{CoschedError, Result};
 pub use model::{Application, Assignment, Platform, Schedule};
+pub use solver::{Instance, Portfolio, SolveCtx, Solver};
 
 /// Relative tolerance used by the bisection solvers and the equal-finish-time
 /// verification helpers throughout the crate.

@@ -206,9 +206,8 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_app() -> impl Strategy<Value = Application> {
-            (1e8f64..1e12, 0.0f64..0.5, 0.0f64..1.0, 1e-5f64..1.0).prop_map(
-                |(w, s, f, m)| Application::new("P", w, s, f, m),
-            )
+            (1e8f64..1e12, 0.0f64..0.5, 0.0f64..1.0, 1e-5f64..1.0)
+                .prop_map(|(w, s, f, m)| Application::new("P", w, s, f, m))
         }
 
         proptest! {

@@ -20,8 +20,8 @@ mod platform;
 mod powerlaw;
 mod schedule;
 
-pub use application::Application;
 pub(crate) use application::validate_instance;
+pub use application::Application;
 pub use exec::{exec_time, seq_cost, seq_cost_full_miss, ExecModel};
 pub use platform::Platform;
 pub use powerlaw::{effective_fraction, miss_rate, scaled_miss_rate, useful_threshold};

@@ -198,8 +198,14 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_values() {
-        assert!(Platform::taihulight().with_processors(0.0).validate().is_err());
-        assert!(Platform::taihulight().with_cache_size(-1.0).validate().is_err());
+        assert!(Platform::taihulight()
+            .with_processors(0.0)
+            .validate()
+            .is_err());
+        assert!(Platform::taihulight()
+            .with_cache_size(-1.0)
+            .validate()
+            .is_err());
         assert!(Platform::taihulight().with_alpha(0.0).validate().is_err());
         assert!(Platform::taihulight().with_alpha(1.5).validate().is_err());
         assert!(Platform::taihulight()

@@ -260,10 +260,7 @@ mod tests {
         let c0 = exec_time(&a[0], &p, 1.0, 0.5);
         let c1 = exec_time(&a[1], &p, 1.0, 0.5);
         let total = c0 + c1;
-        let s = Schedule::from_parts(
-            &[256.0 * c0 / total, 256.0 * c1 / total],
-            &[0.5, 0.5],
-        );
+        let s = Schedule::from_parts(&[256.0 * c0 / total, 256.0 * c1 / total], &[0.5, 0.5]);
         assert!(s.is_equal_finish(&a, &p, 1e-9));
         let bad = Schedule::from_parts(&[1.0, 255.0], &[0.5, 0.5]);
         assert!(!bad.is_equal_finish(&a, &p, 1e-6));
@@ -279,8 +276,7 @@ mod tests {
     fn sequential_makespan_sums() {
         let a = apps();
         let p = pf();
-        let expected =
-            exec_time(&a[0], &p, 256.0, 1.0) + exec_time(&a[1], &p, 256.0, 1.0);
+        let expected = exec_time(&a[0], &p, 256.0, 1.0) + exec_time(&a[1], &p, 256.0, 1.0);
         assert_eq!(sequential_makespan(&a, &p), expected);
     }
 }

@@ -137,7 +137,12 @@ impl Knapsack {
             let i = st.order[depth];
             if st.kp.sizes[i] <= room {
                 st.current.push(i);
-                recurse(st, depth + 1, room - st.kp.sizes[i], value + st.kp.values[i]);
+                recurse(
+                    st,
+                    depth + 1,
+                    room - st.kp.sizes[i],
+                    value + st.kp.values[i],
+                );
                 st.current.pop();
             }
             recurse(st, depth + 1, room, value);

@@ -123,8 +123,7 @@ pub fn knapsack_to_coschedcache(kp: &Knapsack, alpha: f64) -> ReducedInstance {
         let wi = v / (1.0 - di / ei); // f_i = 1
         let footprint = ei.powf(1.0 / alpha) * cs;
         apps.push(
-            Application::perfectly_parallel(format!("K{i}"), wi, 1.0, di)
-                .with_footprint(footprint),
+            Application::perfectly_parallel(format!("K{i}"), wi, 1.0, di).with_footprint(footprint),
         );
         d.push(di);
         e.push(ei);
@@ -225,8 +224,7 @@ mod tests {
         let total: f64 = x.iter().sum();
         assert!(total <= 1.0);
         let expected =
-            (kp.sizes[0] + kp.sizes[2]) as f64 * inst.eta / kp.capacity as f64
-                + 2.0 * inst.epsilon;
+            (kp.sizes[0] + kp.sizes[2]) as f64 * inst.eta / kp.capacity as f64 + 2.0 * inst.epsilon;
         assert!((total - expected).abs() < 1e-12);
     }
 

@@ -1,0 +1,129 @@
+//! Scoped-thread `parallel_map` for embarrassingly parallel fan-outs.
+//!
+//! Used by [`solver::solve_batch`](crate::solver::solve_batch) and
+//! [`solver::Portfolio`](crate::solver::Portfolio), and re-exported by the
+//! `cosim` crate for the experiment harness' 50-repetition sweeps. Built on
+//! `std::thread::scope`, so closures need no `'static` bound and a panic in
+//! any worker propagates to the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to `0..n` on up to `threads` worker threads and returns the
+/// results in index order.
+///
+/// Work is distributed dynamically via a shared atomic counter, so uneven
+/// per-item costs (e.g. heuristics on instances of different sizes) still
+/// balance.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("slot lock poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every index filled")
+        })
+        .collect()
+}
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped at 8 (the sweeps are short; more threads only add noise).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_index_order() {
+        let out = parallel_map(100, 4, |i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        assert_eq!(parallel_map(5, 1, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_index_is_visited_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map(1000, 8, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(parallel_map(2, 16, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        let t = default_threads();
+        assert!((1..=8).contains(&t));
+    }
+
+    #[test]
+    fn matches_sequential_computation() {
+        let seq: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
+        let par = parallel_map(64, 4, |i| (i as f64).sqrt());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn propagates_errors_as_values() {
+        let out: Vec<Result<usize, String>> = parallel_map(8, 4, |i| {
+            if i == 5 {
+                Err(format!("bad {i}"))
+            } else {
+                Ok(i)
+            }
+        });
+        let collected: Result<Vec<usize>, String> = out.into_iter().collect();
+        assert_eq!(collected, Err("bad 5".to_string()));
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-solve context: the RNG and the knobs a solver may consult.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives a child seed for `(repetition, point)` pairs, so that changing a
+/// sweep's resolution does not reshuffle unrelated repetitions.
+///
+/// SplitMix64-style mixing: cheap, well distributed, dependency-free. This
+/// is the single source of truth for seed derivation across the workspace
+/// (`workloads::rng::child_seed` delegates here).
+pub fn child_seed(root: u64, repetition: u64, point: u64) -> u64 {
+    let mut z = root
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(repetition.wrapping_add(1)))
+        .wrapping_add(0x85EB_CA6Bu64.wrapping_mul(point.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Salt mixed into [`SolveCtx::child`] streams so sub-solver seeds never
+/// collide with the batch-level `(repetition, point)` streams.
+const CHILD_SALT: u64 = 0x5047_F01A_0C05_11ED;
+
+/// Everything a [`Solver`](super::Solver) receives besides the instance:
+/// a deterministically seeded RNG plus per-solve knobs.
+///
+/// Bundling these keeps the [`Solver::solve`](super::Solver::solve)
+/// signature stable — new knobs become fields here instead of parameters
+/// threaded through every call site.
+#[derive(Debug, Clone)]
+pub struct SolveCtx {
+    seed: u64,
+    rng: StdRng,
+    /// Worker threads a meta-solver (e.g. [`Portfolio`](super::Portfolio))
+    /// may fan out on. `1` means run serially; results are identical either
+    /// way because sub-solvers always draw from [`Self::child`] seeds.
+    pub threads: usize,
+}
+
+impl SolveCtx {
+    /// A context whose entire random stream is a function of `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            threads: 1,
+        }
+    }
+
+    /// Returns a copy configured to fan out on `threads` workers.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The seed this context was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The context's random stream. Deterministic solvers simply never
+    /// touch it.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Derives an independent child context for sub-solver `stream`,
+    /// carrying the parent's knobs.
+    ///
+    /// Children depend only on the parent's *seed* (not on how much of the
+    /// parent's stream was consumed), which is what makes parallel and
+    /// serial meta-solving bit-identical.
+    pub fn child(&self, stream: u64) -> SolveCtx {
+        SolveCtx::seeded(child_seed(self.seed ^ CHILD_SALT, stream, 0)).with_threads(self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt as _;
+
+    #[test]
+    fn child_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for rep in 0..50u64 {
+            for point in 0..50u64 {
+                assert!(seen.insert(child_seed(42, rep, point)));
+            }
+        }
+    }
+
+    #[test]
+    fn child_seed_depends_on_root() {
+        assert_ne!(child_seed(1, 0, 0), child_seed(2, 0, 0));
+    }
+
+    #[test]
+    fn ctx_stream_is_reproducible() {
+        let a: u64 = SolveCtx::seeded(9).rng().random();
+        let b: u64 = SolveCtx::seeded(9).rng().random();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn children_ignore_parent_stream_position() {
+        let mut parent = SolveCtx::seeded(5);
+        let before: u64 = parent.child(3).rng().random();
+        let _: u64 = parent.rng().random();
+        let after: u64 = parent.child(3).rng().random();
+        assert_eq!(before, after);
+        let sibling: u64 = parent.child(4).rng().random();
+        assert_ne!(before, sibling);
+    }
+
+    #[test]
+    fn children_inherit_knobs() {
+        let parent = SolveCtx::seeded(1).with_threads(4);
+        let child = parent.child(0);
+        assert_eq!(child.threads, 4);
+    }
+
+    #[test]
+    fn child_streams_avoid_batch_streams() {
+        // A child's seed differs from every plain child_seed the batch
+        // layer would hand out for small (rep, point) pairs.
+        let ctx = SolveCtx::seeded(0xC0FF_EE00);
+        for stream in 0..8u64 {
+            let child = ctx.child(stream);
+            for rep in 0..64u64 {
+                for point in 0..64u64 {
+                    assert_ne!(child.seed(), child_seed(0xC0FF_EE00, rep, point));
+                }
+            }
+        }
+    }
+}

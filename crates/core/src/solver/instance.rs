@@ -1,0 +1,114 @@
+//! A validated co-scheduling problem instance.
+
+use crate::error::Result;
+use crate::model::{Application, ExecModel, Platform};
+
+/// A co-scheduling problem: applications plus the platform they share.
+///
+/// Construction validates every application and the platform **once** and
+/// precomputes the per-application [`ExecModel`]s, so an `Instance` can be
+/// handed to any number of [`Solver`](super::Solver)s (or to a
+/// [`Portfolio`](super::Portfolio), or across a
+/// [`solve_batch`](super::solve_batch) fan-out) without re-deriving them —
+/// the `Strategy::run` entry point of earlier revisions re-ran both on
+/// every call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    apps: Vec<Application>,
+    platform: Platform,
+    models: Vec<ExecModel>,
+}
+
+impl Instance {
+    /// Builds and validates an instance.
+    ///
+    /// # Errors
+    /// Returns the first validation error: an empty application list, an
+    /// application parameter out of its documented domain, or an invalid
+    /// platform.
+    pub fn new(apps: Vec<Application>, platform: Platform) -> Result<Self> {
+        crate::model::validate_instance(&apps)?;
+        platform.validate()?;
+        let models = ExecModel::of_all(&apps, &platform);
+        Ok(Self {
+            apps,
+            platform,
+            models,
+        })
+    }
+
+    /// The applications, in input order.
+    pub fn apps(&self) -> &[Application] {
+        &self.apps
+    }
+
+    /// The shared platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The precomputed Theorem-3 / dominance quantities, aligned with
+    /// [`Self::apps`].
+    pub fn models(&self) -> &[ExecModel] {
+        &self.models
+    }
+
+    /// Number of applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Always `false` — construction rejects empty instances. Provided for
+    /// API completeness alongside [`Self::len`].
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoschedError;
+
+    fn apps() -> Vec<Application> {
+        vec![
+            Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+            Application::new("BT", 2.10e11, 0.03, 0.829, 7.31e-3),
+        ]
+    }
+
+    #[test]
+    fn construction_precomputes_models() {
+        let platform = Platform::taihulight();
+        let inst = Instance::new(apps(), platform.clone()).unwrap();
+        assert_eq!(inst.len(), 2);
+        assert!(!inst.is_empty());
+        assert_eq!(inst.models(), ExecModel::of_all(&apps(), &platform));
+        assert_eq!(inst.platform(), &platform);
+        assert_eq!(inst.apps(), &apps()[..]);
+    }
+
+    #[test]
+    fn empty_instance_is_rejected() {
+        let err = Instance::new(vec![], Platform::taihulight()).unwrap_err();
+        assert_eq!(err, CoschedError::EmptyInstance);
+    }
+
+    #[test]
+    fn invalid_application_is_rejected() {
+        let mut a = apps();
+        a[1].work = -1.0;
+        let err = Instance::new(a, Platform::taihulight()).unwrap_err();
+        assert!(matches!(
+            err,
+            CoschedError::InvalidApplication { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_platform_is_rejected() {
+        let platform = Platform::taihulight().with_processors(0.0);
+        let err = Instance::new(apps(), platform).unwrap_err();
+        assert!(matches!(err, CoschedError::InvalidPlatform(_)));
+    }
+}

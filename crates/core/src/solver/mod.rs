@@ -1,0 +1,199 @@
+//! The open solver API: [`Instance`] → [`Solver`] → [`Outcome`].
+//!
+//! The paper frames co-scheduling as *given applications, a platform, and
+//! an objective, produce a (processors, cache-fraction) assignment
+//! minimising the makespan*. This module is that framing as an API:
+//!
+//! * [`Instance`] — applications + platform, validated **once**, with the
+//!   per-application execution models precomputed and cached;
+//! * [`Solver`] — anything that maps an instance to an [`Outcome`]; the
+//!   ten paper strategies implement it (via the thin
+//!   [`Strategy`](crate::algo::Strategy) enum), and downstream crates can
+//!   add their own without touching this crate;
+//! * [`SolveCtx`] — the RNG and per-solve knobs, bundled so the `solve`
+//!   signature never has to change again;
+//! * [`by_name`] / [`all`] / [`names`] — a string-keyed registry covering
+//!   every paper legend name plus CLI aliases;
+//! * [`Portfolio`] — a meta-solver running many solvers (optionally in
+//!   parallel) and keeping the best schedule;
+//! * [`solve_batch`] — deterministic seeded fan-out over many instances,
+//!   the engine under the experiment harness' sweeps.
+//!
+//! # Example
+//!
+//! ```
+//! use coschedule::model::{Application, Platform};
+//! use coschedule::solver::{self, Instance, SolveCtx};
+//!
+//! let instance = Instance::new(
+//!     vec![
+//!         Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+//!         Application::new("BT", 2.10e11, 0.05, 0.829, 7.31e-3),
+//!     ],
+//!     Platform::taihulight(),
+//! )
+//! .unwrap();
+//!
+//! let dmr = solver::by_name("DominantMinRatio").unwrap();
+//! let outcome = dmr.solve(&instance, &mut SolveCtx::seeded(42)).unwrap();
+//! assert!(outcome.makespan.is_finite() && outcome.makespan > 0.0);
+//! ```
+
+use crate::algo::{Outcome, Strategy};
+use crate::error::Result;
+
+mod batch;
+mod ctx;
+mod instance;
+mod portfolio;
+mod strategies;
+
+pub use batch::{solve_batch, BatchSpec, InstanceSource};
+pub use ctx::{child_seed, SolveCtx};
+pub use instance::Instance;
+pub use portfolio::{MemberOutcome, Portfolio, PortfolioOutcome};
+
+/// A complete co-scheduling algorithm: maps a validated [`Instance`] to an
+/// [`Outcome`] (cache partition, processor split, makespan).
+///
+/// Implementations must be deterministic given the [`SolveCtx`] seed; all
+/// randomness must come from [`SolveCtx::rng`]. `Send + Sync` lets
+/// [`Portfolio`] and [`solve_batch`] fan solvers out across threads.
+pub trait Solver: Send + Sync {
+    /// Display name, matching the paper's figure legends where one exists
+    /// (e.g. `DominantMinRatio`, `0cache`).
+    fn name(&self) -> String;
+
+    /// `true` iff the solver makes random decisions (its outcome depends
+    /// on the [`SolveCtx`] seed and sweeps should average repetitions).
+    fn is_randomized(&self) -> bool {
+        false
+    }
+
+    /// Solves `instance`, drawing any randomness from `ctx`.
+    fn solve(&self, instance: &Instance, ctx: &mut SolveCtx) -> Result<Outcome>;
+}
+
+/// Every registered solver, in the paper's legend order: the six dominant
+/// heuristics, RandomPart, Fair, 0cache, AllProcCache, and the
+/// DominantRefined extension.
+pub fn all() -> Vec<Box<dyn Solver>> {
+    let mut v: Vec<Box<dyn Solver>> = Strategy::all_coscheduling()
+        .into_iter()
+        .map(|s| s.to_solver())
+        .collect();
+    v.push(Strategy::AllProcCache.to_solver());
+    v.push(Strategy::refined().to_solver());
+    v
+}
+
+/// Names addressable through [`by_name`], canonical spellings only (the
+/// individual solvers first, then `Portfolio`).
+pub fn names() -> Vec<String> {
+    let mut v: Vec<String> = all().iter().map(|s| s.name()).collect();
+    v.push("Portfolio".to_string());
+    v
+}
+
+/// Looks a solver up by name, case-insensitively.
+///
+/// Accepts every paper legend name (`DominantMinRatio`,
+/// `DominantRevMaxRatio`, `RandomPart`, `Fair`, `0cache`, `AllProcCache`,
+/// `DominantRefined`), the historical CLI aliases (`dmr`, `refined`,
+/// `zerocache`, `seq`), and `Portfolio` (a [`Portfolio`] over [`all`]).
+pub fn by_name(name: &str) -> Option<Box<dyn Solver>> {
+    for s in all() {
+        if s.name().eq_ignore_ascii_case(name) {
+            return Some(s);
+        }
+    }
+    match name.to_ascii_lowercase().as_str() {
+        "dmr" => Some(
+            Strategy::dominant(
+                crate::algo::BuildOrder::Forward,
+                crate::algo::Choice::MinRatio,
+            )
+            .to_solver(),
+        ),
+        "refined" => Some(Strategy::refined().to_solver()),
+        "zerocache" => Some(Strategy::ZeroCache.to_solver()),
+        "seq" | "sequential" => Some(Strategy::AllProcCache.to_solver()),
+        "portfolio" => Some(Box::new(Portfolio::new(all()))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Application, Platform};
+
+    fn instance() -> Instance {
+        let apps = vec![
+            Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+            Application::new("BT", 2.10e11, 0.03, 0.829, 7.31e-3),
+            Application::new("LU", 1.52e11, 0.07, 0.750, 1.51e-3),
+        ];
+        Instance::new(apps, Platform::taihulight()).unwrap()
+    }
+
+    #[test]
+    fn registry_covers_all_legend_names() {
+        let expected = [
+            "DominantRandom",
+            "DominantMinRatio",
+            "DominantMaxRatio",
+            "DominantRevRandom",
+            "DominantRevMinRatio",
+            "DominantRevMaxRatio",
+            "RandomPart",
+            "Fair",
+            "0cache",
+            "AllProcCache",
+            "DominantRefined",
+        ];
+        let names: Vec<String> = all().iter().map(|s| s.name()).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn by_name_round_trips_every_registered_solver() {
+        let inst = instance();
+        for s in all() {
+            let looked_up = by_name(&s.name())
+                .unwrap_or_else(|| panic!("{} not addressable by name", s.name()));
+            assert_eq!(looked_up.name(), s.name());
+            assert_eq!(looked_up.is_randomized(), s.is_randomized());
+            let a = looked_up.solve(&inst, &mut SolveCtx::seeded(7)).unwrap();
+            let b = s.solve(&inst, &mut SolveCtx::seeded(7)).unwrap();
+            assert_eq!(a, b, "{} behaves differently after lookup", s.name());
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_knows_aliases() {
+        for (alias, canonical) in [
+            ("dominantminratio", "DominantMinRatio"),
+            ("dmr", "DominantMinRatio"),
+            ("FAIR", "Fair"),
+            ("0cache", "0cache"),
+            ("zerocache", "0cache"),
+            ("seq", "AllProcCache"),
+            ("refined", "DominantRefined"),
+        ] {
+            assert_eq!(by_name(alias).unwrap().name(), canonical, "alias {alias}");
+        }
+        assert_eq!(by_name("portfolio").unwrap().name(), "Portfolio");
+        assert!(by_name("no-such-solver").is_none());
+    }
+
+    #[test]
+    fn names_lists_individual_solvers_then_portfolio() {
+        let n = names();
+        assert_eq!(n.last().map(String::as_str), Some("Portfolio"));
+        assert_eq!(n.len(), all().len() + 1);
+        for name in &n {
+            assert!(by_name(name).is_some(), "{name} not resolvable");
+        }
+    }
+}

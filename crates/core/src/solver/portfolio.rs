@@ -1,0 +1,180 @@
+//! The [`Portfolio`] meta-solver: run several solvers on one instance and
+//! keep the best schedule.
+
+use crate::algo::Outcome;
+use crate::error::{CoschedError, Result};
+use crate::parallel::parallel_map;
+use crate::solver::{Instance, SolveCtx, Solver};
+
+/// One member's contribution to a [`PortfolioOutcome`].
+#[derive(Debug, Clone)]
+pub struct MemberOutcome {
+    /// The member solver's [`Solver::name`].
+    pub name: String,
+    /// What it produced (individual members are allowed to fail as long as
+    /// at least one succeeds).
+    pub result: Result<Outcome>,
+}
+
+/// Best outcome plus the full per-solver breakdown.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Index into [`Portfolio::members`] of the winning solver (ties go to
+    /// the earliest member, so the result is deterministic).
+    pub best_index: usize,
+    /// Name of the winning solver.
+    pub best_name: String,
+    /// The winning (minimum-makespan) outcome.
+    pub outcome: Outcome,
+    /// Every member's result, in member order.
+    pub members: Vec<MemberOutcome>,
+}
+
+/// Runs a set of [`Solver`]s on the same instance and returns the
+/// minimum-makespan outcome — a meta-solver the closed `Strategy` enum
+/// could not express.
+///
+/// Member solvers draw from independent [`SolveCtx::child`] seeds, so the
+/// result is bit-identical whether members run serially or in parallel
+/// (see [`SolveCtx::threads`]).
+pub struct Portfolio {
+    members: Vec<Box<dyn Solver>>,
+}
+
+impl Portfolio {
+    /// A portfolio over `members` (typically [`crate::solver::all()`]).
+    pub fn new(members: Vec<Box<dyn Solver>>) -> Self {
+        Self { members }
+    }
+
+    /// The member solvers, in the order outcomes are reported.
+    pub fn members(&self) -> &[Box<dyn Solver>] {
+        &self.members
+    }
+
+    /// Runs every member and returns the best outcome together with the
+    /// per-solver breakdown.
+    ///
+    /// # Errors
+    /// [`CoschedError::EmptyPortfolio`] if there are no members; otherwise
+    /// the first member's error if **every** member failed.
+    pub fn solve_detailed(&self, instance: &Instance, ctx: &SolveCtx) -> Result<PortfolioOutcome> {
+        if self.members.is_empty() {
+            return Err(CoschedError::EmptyPortfolio);
+        }
+        let members: Vec<MemberOutcome> =
+            parallel_map(self.members.len(), ctx.threads.max(1), |i| {
+                let mut child = ctx.child(i as u64);
+                MemberOutcome {
+                    name: self.members[i].name(),
+                    result: self.members[i].solve(instance, &mut child),
+                }
+            });
+        let mut best: Option<usize> = None;
+        for (i, m) in members.iter().enumerate() {
+            if let Ok(o) = &m.result {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        o.makespan < members[b].result.as_ref().expect("best is Ok").makespan
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        match best {
+            Some(i) => Ok(PortfolioOutcome {
+                best_index: i,
+                best_name: members[i].name.clone(),
+                outcome: members[i].result.clone().expect("best is Ok"),
+                members,
+            }),
+            None => Err(members[0].result.clone().expect_err("no member succeeded")),
+        }
+    }
+}
+
+impl Solver for Portfolio {
+    fn name(&self) -> String {
+        "Portfolio".to_string()
+    }
+
+    fn is_randomized(&self) -> bool {
+        self.members.iter().any(|m| m.is_randomized())
+    }
+
+    fn solve(&self, instance: &Instance, ctx: &mut SolveCtx) -> Result<Outcome> {
+        self.solve_detailed(instance, ctx).map(|p| p.outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::Strategy;
+    use crate::model::{Application, Platform};
+
+    fn instance() -> Instance {
+        let apps = vec![
+            Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+            Application::new("BT", 2.10e11, 0.03, 0.829, 7.31e-3),
+            Application::new("SP", 1.38e11, 0.02, 0.762, 1.51e-2),
+        ];
+        Instance::new(apps, Platform::taihulight()).unwrap()
+    }
+
+    #[test]
+    fn portfolio_picks_the_minimum_makespan_member() {
+        let inst = instance();
+        let portfolio = Portfolio::new(crate::solver::all());
+        let report = portfolio
+            .solve_detailed(&inst, &SolveCtx::seeded(11))
+            .unwrap();
+        for m in &report.members {
+            let o = m.result.as_ref().unwrap();
+            assert!(
+                report.outcome.makespan <= o.makespan,
+                "{} beat the reported best",
+                m.name
+            );
+        }
+        assert_eq!(report.members[report.best_index].name, report.best_name);
+    }
+
+    #[test]
+    fn serial_and_parallel_portfolios_agree() {
+        let inst = instance();
+        let portfolio = Portfolio::new(crate::solver::all());
+        let serial = portfolio
+            .solve_detailed(&inst, &SolveCtx::seeded(5))
+            .unwrap();
+        let parallel = portfolio
+            .solve_detailed(&inst, &SolveCtx::seeded(5).with_threads(4))
+            .unwrap();
+        assert_eq!(serial.best_index, parallel.best_index);
+        assert_eq!(serial.outcome, parallel.outcome);
+        for (a, b) in serial.members.iter().zip(&parallel.members) {
+            assert_eq!(
+                a.result, b.result,
+                "{} diverged across thread counts",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn empty_portfolio_is_an_error() {
+        let err = Portfolio::new(vec![])
+            .solve_detailed(&instance(), &SolveCtx::seeded(0))
+            .unwrap_err();
+        assert_eq!(err, CoschedError::EmptyPortfolio);
+    }
+
+    #[test]
+    fn randomization_flag_reflects_members() {
+        assert!(!Portfolio::new(vec![Strategy::Fair.to_solver()]).is_randomized());
+        assert!(Portfolio::new(vec![Strategy::RandomPart.to_solver()]).is_randomized());
+    }
+}

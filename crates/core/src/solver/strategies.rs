@@ -1,0 +1,116 @@
+//! [`Solver`] implementations for the paper's strategies.
+//!
+//! The algorithm bodies live here, operating on a pre-validated
+//! [`Instance`] with cached execution models; the legacy
+//! [`Strategy::run`](crate::algo::Strategy::run) entry point is now a thin
+//! wrapper that builds the `Instance` and delegates.
+
+use crate::algo::baselines::{all_proc_cache_core, fair_core, random_part_core, zero_cache_core};
+use crate::algo::{dominant_partition, BuildOrder, Choice, Outcome, Strategy};
+use crate::error::Result;
+use crate::model::Schedule;
+use crate::solver::{Instance, SolveCtx, Solver};
+use crate::theory::cache_alloc::optimal_cache_fractions;
+use crate::theory::proc_alloc::equal_finish_split;
+
+impl Solver for Strategy {
+    fn name(&self) -> String {
+        Strategy::name(self)
+    }
+
+    fn is_randomized(&self) -> bool {
+        Strategy::is_randomized(self)
+    }
+
+    fn solve(&self, instance: &Instance, ctx: &mut SolveCtx) -> Result<Outcome> {
+        let (apps, platform, models) = (instance.apps(), instance.platform(), instance.models());
+        match self {
+            Self::Dominant { order, choice } => {
+                let partition = dominant_partition(models, *order, *choice, ctx.rng());
+                let cache = optimal_cache_fractions(models, &partition);
+                let ef = equal_finish_split(apps, platform, &cache)?;
+                Ok(Outcome {
+                    makespan: ef.makespan,
+                    schedule: Schedule::from_parts(&ef.procs, &cache),
+                    partition,
+                    concurrent: true,
+                })
+            }
+            Self::DominantRefined { max_iters } => {
+                let partition =
+                    dominant_partition(models, BuildOrder::Forward, Choice::MinRatio, ctx.rng());
+                let cache = optimal_cache_fractions(models, &partition);
+                let refined = crate::algo::refine::refine(
+                    apps, platform, models, &partition, cache, *max_iters,
+                )?;
+                Ok(Outcome {
+                    makespan: refined.makespan,
+                    schedule: refined.schedule,
+                    partition,
+                    concurrent: true,
+                })
+            }
+            Self::RandomPart => random_part_core(apps, platform, models, ctx.rng()),
+            Self::Fair => Ok(fair_core(apps, platform)),
+            Self::ZeroCache => zero_cache_core(apps, platform),
+            Self::AllProcCache => Ok(all_proc_cache_core(apps, platform)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Application, Platform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance() -> Instance {
+        let apps = vec![
+            Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+            Application::new("BT", 2.10e11, 0.03, 0.829, 7.31e-3),
+            Application::new("LU", 1.52e11, 0.07, 0.750, 1.51e-3),
+            Application::new("MG", 1.23e10, 0.12, 0.540, 2.62e-2),
+        ];
+        Instance::new(apps, Platform::taihulight()).unwrap()
+    }
+
+    #[test]
+    fn solver_and_legacy_run_agree_for_deterministic_strategies() {
+        let inst = instance();
+        for s in [
+            Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
+            Strategy::dominant(BuildOrder::Reverse, Choice::MaxRatio),
+            Strategy::refined(),
+            Strategy::Fair,
+            Strategy::ZeroCache,
+            Strategy::AllProcCache,
+        ] {
+            let via_solver = s.solve(&inst, &mut SolveCtx::seeded(0)).unwrap();
+            let via_run = s
+                .run(inst.apps(), inst.platform(), &mut StdRng::seed_from_u64(1))
+                .unwrap();
+            assert_eq!(via_solver, via_run, "{}", Solver::name(&s));
+        }
+    }
+
+    #[test]
+    fn randomized_solvers_draw_from_the_ctx_stream() {
+        let inst = instance();
+        let a = Strategy::RandomPart
+            .solve(&inst, &mut SolveCtx::seeded(3))
+            .unwrap();
+        let b = Strategy::RandomPart
+            .solve(&inst, &mut SolveCtx::seeded(3))
+            .unwrap();
+        assert_eq!(a, b, "same ctx seed must reproduce");
+        let mut partitions = std::collections::HashSet::new();
+        for seed in 0..16 {
+            let o = Strategy::RandomPart
+                .solve(&inst, &mut SolveCtx::seeded(seed))
+                .unwrap();
+            partitions.insert(o.partition.members().to_vec());
+        }
+        assert!(partitions.len() > 1, "ctx seed never changed the partition");
+    }
+}

@@ -177,7 +177,10 @@ mod tests {
         let part = Partition::all(3);
         let x = optimal_cache_fractions_capped(&apps, &pf, &m, &part);
         assert!((x[1] - 0.05).abs() < 1e-12, "BT frozen at its cap");
-        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12, "budget fully used");
+        assert!(
+            (x.iter().sum::<f64>() - 1.0).abs() < 1e-12,
+            "budget fully used"
+        );
         // The freed cache went to the others, proportionally to weights.
         assert!((x[0] / x[2] - m[0].weight / m[2].weight).abs() < 1e-12);
         let unc = optimal_cache_fractions(&m, &part);

@@ -228,21 +228,19 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_models(n: usize) -> impl Strategy<Value = Vec<ExecModel>> {
-            proptest::collection::vec(
-                (1e8f64..1e12, 0.1f64..0.9, 1e-4f64..5e-1),
-                1..=n,
+            proptest::collection::vec((1e8f64..1e12, 0.1f64..0.9, 1e-4f64..5e-1), 1..=n).prop_map(
+                |rows| {
+                    let pf = Platform::taihulight().with_cache_size(200e6);
+                    let apps: Vec<Application> = rows
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (w, f, m))| {
+                            Application::perfectly_parallel(format!("P{i}"), w, f, m)
+                        })
+                        .collect();
+                    ExecModel::of_all(&apps, &pf)
+                },
             )
-            .prop_map(|rows| {
-                let pf = Platform::taihulight().with_cache_size(200e6);
-                let apps: Vec<Application> = rows
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (w, f, m))| {
-                        Application::perfectly_parallel(format!("P{i}"), w, f, m)
-                    })
-                    .collect();
-                ExecModel::of_all(&apps, &pf)
-            })
         }
 
         proptest! {

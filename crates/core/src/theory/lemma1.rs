@@ -165,12 +165,7 @@ mod tests {
         let cache: Vec<f64> = s.assignments.iter().map(|x| x.cache).collect();
         let equalized = equalize(&a, &platform, s, 1e-12, 10_000);
         let expected = crate::theory::proc_alloc::lemma2_proc_split(&a, &platform, &cache);
-        for (got, want) in equalized
-            .assignments
-            .iter()
-            .map(|x| x.procs)
-            .zip(expected)
-        {
+        for (got, want) in equalized.assignments.iter().map(|x| x.procs).zip(expected) {
             assert!((got - want).abs() / want < 1e-6, "{got} vs {want}");
         }
     }

@@ -60,11 +60,7 @@ mod tests {
     fn normalized_objective_is_average_seq_cost_over_p() {
         let (apps, pf, _) = setup();
         let x = vec![0.25; 4];
-        let direct: f64 = apps
-            .iter()
-            .map(|a| seq_cost(a, &pf, 0.25))
-            .sum::<f64>()
-            / 256.0;
+        let direct: f64 = apps.iter().map(|a| seq_cost(a, &pf, 0.25)).sum::<f64>() / 256.0;
         assert!((normalized_objective(&apps, &pf, &x) - direct).abs() < 1e-9);
     }
 
@@ -145,7 +141,10 @@ mod tests {
         let models = ExecModel::of_all(&apps, &pf);
         let full = Partition::all(3);
         let viols = crate::theory::dominance::violators(&models, &full);
-        assert!(!viols.is_empty(), "test premise: partition must be non-dominant");
+        assert!(
+            !viols.is_empty(),
+            "test premise: partition must be non-dominant"
+        );
         let before = partition_objective(&apps, &pf, &models, &full);
         let mut reduced = full.clone();
         reduced.remove(viols[0]);

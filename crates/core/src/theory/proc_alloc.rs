@@ -236,9 +236,7 @@ mod tests {
     fn equal_finish_handles_more_apps_than_processors() {
         let platform = pf().with_processors(4.0);
         let a: Vec<Application> = (0..16)
-            .map(|i| {
-                Application::new(format!("T{i}"), 1e9 * (i + 1) as f64, 0.05, 0.5, 1e-3)
-            })
+            .map(|i| Application::new(format!("T{i}"), 1e9 * (i + 1) as f64, 0.05, 0.5, 1e-3))
             .collect();
         let x = vec![1.0 / 16.0; 16];
         let ef = equal_finish_split(&a, &platform, &x).unwrap();

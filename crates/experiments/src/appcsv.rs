@@ -136,8 +136,7 @@ BT,2.10e11,0.05,0.829,7.31e-3
 
     #[test]
     fn rejects_domain_violations_with_line_numbers() {
-        let err = parse_applications("A,1e9,0.0,0.5,1e-3\nB,1e9,1.5,0.5,1e-3\n")
-            .unwrap_err();
+        let err = parse_applications("A,1e9,0.0,0.5,1e-3\nB,1e9,1.5,0.5,1e-3\n").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.message.contains("sequential fraction"));
     }

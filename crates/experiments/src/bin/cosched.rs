@@ -3,17 +3,24 @@
 //! assignment and the Intel-CAT (`pqos`) commands that would deploy it.
 //!
 //! ```text
-//! cosched apps.csv --procs 256 --cache-gb 32 --ways 16 [--strategy dmr|refined|fair|0cache]
-//! cosched --demo            # run on the built-in NPB Table-2 workload
+//! cosched apps.csv --procs 256 --cache-gb 32 --ways 16 [--strategy NAME]
+//! cosched --demo              # run on the built-in NPB Table-2 workload
+//! cosched --list-strategies   # print every addressable solver name
 //! ```
+//!
+//! `--strategy` goes through the [`coschedule::solver`] registry, so every
+//! solver is addressable by its paper legend name (`DominantMinRatio`,
+//! `DominantRevMaxRatio`, `RandomPart`, `Fair`, `0cache`, `AllProcCache`,
+//! `DominantRefined`), by the historical aliases (`dmr`, `refined`,
+//! `0cache`, `seq`), or as `Portfolio` — which runs every solver and
+//! prints the per-solver breakdown alongside the winning schedule.
 
 use cachesim::clos::{ClosConfig, ClosTable};
-use coschedule::algo::{BuildOrder, Choice, Strategy};
 use coschedule::model::Platform;
+use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 use experiments::appcsv::parse_applications;
 use std::process::ExitCode;
 use workloads::npb::npb6;
-use workloads::rng::seeded_rng;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,13 +28,20 @@ fn main() -> ExitCode {
     let mut procs = 256.0;
     let mut cache_gb = 32.0;
     let mut ways = 16usize;
-    let mut strategy = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio);
+    let mut seed = 0xC05u64;
+    let mut strategy_name = "DominantMinRatio".to_string();
     let mut demo = false;
 
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--demo" => demo = true,
+            "--list-strategies" => {
+                for name in solver::names() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--procs" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(v) => procs = v,
                 None => return usage("--procs expects a number"),
@@ -40,24 +54,25 @@ fn main() -> ExitCode {
                 Some(v) => ways = v,
                 None => return usage("--ways expects an integer"),
             },
-            "--strategy" => {
-                strategy = match iter.next().as_deref() {
-                    Some("dmr") => Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
-                    Some("refined") => Strategy::refined(),
-                    Some("fair") => Strategy::Fair,
-                    Some("0cache") => Strategy::ZeroCache,
-                    Some("seq") => Strategy::AllProcCache,
-                    other => {
-                        return usage(&format!(
-                            "unknown strategy {other:?} (dmr|refined|fair|0cache|seq)"
-                        ))
-                    }
-                };
-            }
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed expects an integer"),
+            },
+            "--strategy" => match iter.next() {
+                Some(name) => strategy_name = name,
+                None => return usage("--strategy expects a name"),
+            },
             path if !path.starts_with('-') => input = Some(path.to_string()),
             other => return usage(&format!("unknown flag {other}")),
         }
     }
+
+    let Some(strategy) = solver::by_name(&strategy_name) else {
+        return usage(&format!(
+            "unknown strategy {strategy_name:?}; valid names: {}",
+            solver::names().join(", ")
+        ));
+    };
 
     let apps = if demo {
         npb6(&[0.05])
@@ -84,17 +99,44 @@ fn main() -> ExitCode {
     let platform = Platform::taihulight()
         .with_processors(procs)
         .with_cache_size(cache_gb * 1e9);
-    if let Err(e) = platform.validate() {
-        eprintln!("invalid platform: {e}");
-        return ExitCode::FAILURE;
-    }
-
-    let mut rng = seeded_rng(0xC05);
-    let outcome = match strategy.run(&apps, &platform, &mut rng) {
-        Ok(o) => o,
+    let napps = apps.len();
+    let instance = match Instance::new(apps, platform) {
+        Ok(i) => i,
         Err(e) => {
-            eprintln!("scheduling failed: {e}");
+            eprintln!("invalid instance: {e}");
             return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ctx = SolveCtx::seeded(seed);
+    let outcome = if strategy.name() == "Portfolio" {
+        // Re-build the portfolio directly so the per-solver breakdown can
+        // be printed alongside the winning schedule.
+        let portfolio = Portfolio::new(solver::all());
+        match portfolio.solve_detailed(&instance, &ctx) {
+            Ok(report) => {
+                println!("# portfolio breakdown ({} solvers):", report.members.len());
+                for m in &report.members {
+                    match &m.result {
+                        Ok(o) => println!("#   {:<22} makespan {:.6e}", m.name, o.makespan),
+                        Err(e) => println!("#   {:<22} failed: {e}", m.name),
+                    }
+                }
+                println!("# winner: {}\n", report.best_name);
+                report.outcome
+            }
+            Err(e) => {
+                eprintln!("scheduling failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match strategy.solve(&instance, &mut ctx) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("scheduling failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -106,15 +148,25 @@ fn main() -> ExitCode {
         outcome.makespan
     );
     println!("{:<12} {:>12} {:>12}", "application", "processors", "cache");
-    for (app, asg) in apps.iter().zip(&outcome.schedule.assignments) {
-        println!("{:<12} {:>12.2} {:>11.2}%", app.name, asg.procs, asg.cache * 100.0);
+    for (app, asg) in instance.apps().iter().zip(&outcome.schedule.assignments) {
+        println!(
+            "{:<12} {:>12.2} {:>11.2}%",
+            app.name,
+            asg.procs,
+            asg.cache * 100.0
+        );
     }
 
-    let fractions: Vec<f64> = outcome.schedule.assignments.iter().map(|a| a.cache).collect();
+    let fractions: Vec<f64> = outcome
+        .schedule
+        .assignments
+        .iter()
+        .map(|a| a.cache)
+        .collect();
     match ClosTable::from_fractions(
         ClosConfig {
             ways,
-            max_clos: apps.len().max(16),
+            max_clos: napps.max(16),
             min_ways: 1,
         },
         &fractions,
@@ -133,8 +185,10 @@ fn main() -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: cosched <apps.csv | --demo> [--procs N] [--cache-gb G] [--ways W] \
-         [--strategy dmr|refined|fair|0cache|seq]"
+        "usage: cosched <apps.csv | --demo | --list-strategies> [--procs N] [--cache-gb G] \
+         [--ways W] [--seed S] [--strategy NAME]\n\
+         strategies: {}",
+        solver::names().join(", ")
     );
     ExitCode::FAILURE
 }

@@ -33,8 +33,7 @@ pub fn run(cfg: &ExpConfig) -> FigureData {
         &|_| Platform::taihulight_small_llc(),
         &move |pi, rng| {
             use rand::RngExt as _;
-            let mut apps =
-                Dataset::Random.generate(16, SeqFraction::Zero, rng);
+            let mut apps = Dataset::Random.generate(16, SeqFraction::Zero, rng);
             for a in &mut apps {
                 // Heterogeneous Amdahl profiles up to the sweep bound and
                 // miss rates high enough that the LLC split matters.

@@ -53,7 +53,8 @@ pub fn sweep_random(
     for pi in 0..xs.len() {
         let platform = platform_at(pi);
         let generate: InstanceGen<'_> = &|rng| instance_at(pi, rng);
-        let means = mean_makespans(generate, &platform, strategies, cfg, pi as u64);
+        let means = mean_makespans(generate, &platform, strategies, cfg, pi as u64)
+            .unwrap_or_else(|e| panic!("sweep {id}: point {pi} failed: {e}"));
         for (c, m) in columns.iter_mut().zip(means) {
             c.push(m);
         }
@@ -164,8 +165,7 @@ pub fn missrate_sweep(
         cfg,
         &|_| Platform::taihulight_small_llc(),
         &move |pi, rng| {
-            let mut apps =
-                Dataset::NpbSynth.generate(n_apps, SeqFraction::paper_default(), rng);
+            let mut apps = Dataset::NpbSynth.generate(n_apps, SeqFraction::paper_default(), rng);
             for a in &mut apps {
                 a.miss_rate_ref = rates_owned[pi];
             }
@@ -209,12 +209,26 @@ pub fn repartition_sweep(
     let strategies = [dmr(), Strategy::Fair, Strategy::ZeroCache];
     let xs: Vec<f64> = counts.iter().map(|&n| n as f64).collect();
     let mut fig = FigureData::new(id, "#applications", xs);
-    let fields = ["procs avg", "procs min", "procs max", "cache avg", "cache min", "cache max"];
+    let fields = [
+        "procs avg",
+        "procs min",
+        "procs max",
+        "cache avg",
+        "cache min",
+        "cache max",
+    ];
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); strategies.len() * fields.len()];
     for (pi, &n) in counts.iter().enumerate() {
         let generate: InstanceGen<'_> =
             &|rng| dataset.generate(n, SeqFraction::paper_default(), rng);
-        let reps = repartition(generate, &Platform::taihulight(), &strategies, cfg, pi as u64);
+        let reps = repartition(
+            generate,
+            &Platform::taihulight(),
+            &strategies,
+            cfg,
+            pi as u64,
+        )
+        .unwrap_or_else(|e| panic!("repartition {id}: point {pi} failed: {e}"));
         for (si, r) in reps.iter().enumerate() {
             let values = [
                 r.procs_avg,

@@ -23,7 +23,11 @@ pub fn run(cfg: &ExpConfig) -> FigureData {
         .map(|s| s.values[last])
         .collect();
     let worst = dominant_values.iter().copied().fold(0.0, f64::max);
-    let spread = worst - dominant_values.iter().copied().fold(f64::INFINITY, f64::min);
+    let spread = worst
+        - dominant_values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
     fig.note(format!(
         "at n = {}, the worst dominant heuristic reaches {:.3}x AllProcCache \
          (paper: ~0.15x, i.e. 85% gain, beyond ~50 apps)",

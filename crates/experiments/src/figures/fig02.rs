@@ -52,10 +52,7 @@ mod tests {
         let fig = run(&cfg);
         for name in ["DominantMaxRatio", "DominantRevMinRatio"] {
             for (i, v) in fig.series_named(name).unwrap().values.iter().enumerate() {
-                assert!(
-                    *v >= 1.0 - 0.02,
-                    "{name} beat DMR at point {i}: {v}"
-                );
+                assert!(*v >= 1.0 - 0.02, "{name} beat DMR at point {i}: {v}");
             }
         }
     }

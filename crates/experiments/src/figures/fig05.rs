@@ -13,7 +13,14 @@ use workloads::synth::Dataset;
 /// Runs the Figure-5 sweep.
 pub fn run(cfg: &ExpConfig) -> FigureData {
     let procs = proc_counts(cfg);
-    let raw = procs_sweep("fig5", Dataset::NpbSynth, 16, &procs, &comparison_set(), cfg);
+    let raw = procs_sweep(
+        "fig5",
+        Dataset::NpbSynth,
+        16,
+        &procs,
+        &comparison_set(),
+        cfg,
+    );
     let mut fig = normalize(raw, "AllProcCache");
     let value = |name: &str, i: usize| fig.series_named(name).unwrap().values[i];
     let last = fig.xs.len() - 1;

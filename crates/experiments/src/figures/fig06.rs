@@ -21,12 +21,7 @@ pub fn run(cfg: &ExpConfig) -> FigureData {
         .xs
         .iter()
         .enumerate()
-        .min_by(|a, b| {
-            (a.1 - 0.01)
-                .abs()
-                .partial_cmp(&(b.1 - 0.01).abs())
-                .unwrap()
-        })
+        .min_by(|a, b| (a.1 - 0.01).abs().partial_cmp(&(b.1 - 0.01).abs()).unwrap())
         .map(|(i, _)| i)
         .unwrap();
     let note_gain = format!(

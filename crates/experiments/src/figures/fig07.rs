@@ -53,7 +53,11 @@ mod tests {
     fn average_processors_is_p_over_n() {
         let fig = run(&ExpConfig::smoke());
         for (i, &n) in fig.xs.iter().enumerate() {
-            for name in ["DominantMinRatio procs avg", "Fair procs avg", "0cache procs avg"] {
+            for name in [
+                "DominantMinRatio procs avg",
+                "Fair procs avg",
+                "0cache procs avg",
+            ] {
                 let v = fig.series_named(name).unwrap().values[i];
                 assert!(
                     (v - 256.0 / n).abs() / (256.0 / n) < 1e-6,
@@ -81,8 +85,13 @@ mod tests {
         let first = fig.xs.iter().position(|&n| n > 1.0).unwrap();
         let last = fig.xs.len() - 1;
         let spread = |i: usize| {
-            fig.series_named("DominantMinRatio procs max").unwrap().values[i]
-                - fig.series_named("DominantMinRatio procs min").unwrap().values[i]
+            fig.series_named("DominantMinRatio procs max")
+                .unwrap()
+                .values[i]
+                - fig
+                    .series_named("DominantMinRatio procs min")
+                    .unwrap()
+                    .values[i]
         };
         assert!(
             spread(last) <= spread(first) + 1e-9,

@@ -12,7 +12,14 @@ use workloads::synth::Dataset;
 /// Runs the Figure-9 sweep.
 pub fn run(cfg: &ExpConfig) -> FigureData {
     let procs = proc_counts(cfg);
-    let raw = procs_sweep("fig9", Dataset::NpbSynth, 64, &procs, &comparison_set(), cfg);
+    let raw = procs_sweep(
+        "fig9",
+        Dataset::NpbSynth,
+        64,
+        &procs,
+        &comparison_set(),
+        cfg,
+    );
     let mut fig = normalize(raw, "DominantMinRatio");
     let last = fig.xs.len() - 1;
     let value = |n: &str| fig.series_named(n).unwrap().values[last];

@@ -37,14 +37,20 @@ mod tests {
         let i = fig.xs.iter().position(|&n| n > 1.0).unwrap();
         let min = fig.series_named("Fair cache min").unwrap().values[i];
         let max = fig.series_named("Fair cache max").unwrap().values[i];
-        assert!(max > min, "expected heterogeneous Fair cache: {min} vs {max}");
+        assert!(
+            max > min,
+            "expected heterogeneous Fair cache: {min} vs {max}"
+        );
     }
 
     #[test]
     fn totals_respected() {
         let fig = run(&ExpConfig::smoke());
         for (i, &n) in fig.xs.iter().enumerate() {
-            let avg = fig.series_named("DominantMinRatio cache avg").unwrap().values[i];
+            let avg = fig
+                .series_named("DominantMinRatio cache avg")
+                .unwrap()
+                .values[i];
             assert!(avg * n <= 1.0 + 1e-9, "cache overallocated at n = {n}");
         }
     }

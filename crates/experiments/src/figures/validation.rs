@@ -79,7 +79,10 @@ pub fn run(cfg: &ExpConfig) -> FigureData {
         shared_penalty.push(pen_acc / reps as f64);
     }
     fig.push_series(Series::new("model relative error", errors.clone()));
-    fig.push_series(Series::new("shared/partitioned makespan", shared_penalty.clone()));
+    fig.push_series(Series::new(
+        "shared/partitioned makespan",
+        shared_penalty.clone(),
+    ));
     let worst = errors.iter().copied().fold(0.0, f64::max);
     fig.note(format!(
         "worst mean model error across sizes: {:.1}% (the paper assumes the model exactly)",
@@ -110,7 +113,10 @@ mod tests {
         let fig = run(&ExpConfig::smoke());
         let pen = fig.series_named("shared/partitioned makespan").unwrap();
         for &v in &pen.values {
-            assert!(v > 0.9, "sharing should not dramatically beat partitioning: {v}");
+            assert!(
+                v > 0.9,
+                "sharing should not dramatically beat partitioning: {v}"
+            );
         }
     }
 }

@@ -169,7 +169,13 @@ impl FigureData {
             pad = width.saturating_sub(12)
         );
         for (si, s) in self.series.iter().enumerate() {
-            let _ = writeln!(out, "{:>14}{} = {}", "", (b'A' + si as u8 % 26) as char, s.name);
+            let _ = writeln!(
+                out,
+                "{:>14}{} = {}",
+                "",
+                (b'A' + si as u8 % 26) as char,
+                s.name
+            );
         }
         out
     }
@@ -206,7 +212,13 @@ impl FigureData {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -1,50 +1,65 @@
 //! Shared sweep machinery: run a set of strategies over seeded repetitions
 //! of a random instance and aggregate mean makespans (as in §6.1, which
 //! averages 50 runs per point).
+//!
+//! Thin wrappers over [`coschedule::solver::solve_batch`]: the batch layer
+//! owns instance construction, per-(repetition, solver) seeding, the
+//! thread fan-out, and error propagation — a failing solve aborts the
+//! sweep with a [`coschedule::Result`] instead of panicking inside a
+//! worker thread — while this module only aggregates outcomes into the
+//! statistics the figures plot.
 
 use crate::config::ExpConfig;
 use coschedule::algo::Strategy;
 use coschedule::model::{Application, Platform};
-use cosim::parallel_map;
-use workloads::rng::{child_seed, seeded_rng};
+use coschedule::solver::{solve_batch, BatchSpec, Instance, Solver};
+use coschedule::{Outcome, Result};
 
 /// Instance generator for one sweep point: given a repetition's RNG, yields
 /// the applications for that repetition.
 pub type InstanceGen<'a> = &'a (dyn Fn(&mut rand::rngs::StdRng) -> Vec<Application> + Sync);
 
 /// Runs every strategy against `reps` seeded instances of one sweep point
-/// and returns the **mean makespan per strategy** (paper: average of 50
-/// runs).
+/// and returns the raw outcomes as `outcomes[rep][strategy]`.
 ///
 /// All strategies see the *same* instance within a repetition, so the
 /// comparison is paired; randomized strategies draw their choices from a
-/// child seed that is independent of the instance seed.
+/// child seed that is independent of the instance seed. The result is
+/// bit-identical for any `cfg.threads`.
+pub fn run_batch(
+    generate: InstanceGen<'_>,
+    platform: &Platform,
+    strategies: &[Strategy],
+    cfg: &ExpConfig,
+    point: u64,
+) -> Result<Vec<Vec<Outcome>>> {
+    let solvers: Vec<&dyn Solver> = strategies.iter().map(|s| s as &dyn Solver).collect();
+    let spec = BatchSpec::new(cfg.reps as usize, cfg.seed)
+        .with_threads(cfg.threads)
+        .with_stream(point);
+    solve_batch(
+        &|_rep, rng| Instance::new(generate(rng), platform.clone()),
+        &solvers,
+        &spec,
+    )
+}
+
+/// Runs every strategy against `reps` seeded instances of one sweep point
+/// and returns the **mean makespan per strategy** (paper: average of 50
+/// runs).
 pub fn mean_makespans(
     generate: InstanceGen<'_>,
     platform: &Platform,
     strategies: &[Strategy],
     cfg: &ExpConfig,
     point: u64,
-) -> Vec<f64> {
-    let per_rep: Vec<Vec<f64>> = parallel_map(cfg.reps as usize, cfg.threads, |rep| {
-        let mut inst_rng = seeded_rng(child_seed(cfg.seed, rep as u64, point));
-        let apps = generate(&mut inst_rng);
-        strategies
-            .iter()
-            .enumerate()
-            .map(|(si, s)| {
-                let mut algo_rng = seeded_rng(child_seed(
-                    cfg.seed ^ 0xA190,
-                    rep as u64,
-                    point * 64 + si as u64,
-                ));
-                s.run(&apps, platform, &mut algo_rng)
-                    .expect("strategy failed")
-                    .makespan
-            })
-            .collect()
-    });
-    mean_columns(&per_rep, strategies.len())
+) -> Result<Vec<f64>> {
+    let outcomes = run_batch(generate, platform, strategies, cfg, point)?;
+    let per_rep: Vec<Vec<f64>> = outcomes
+        .iter()
+        .map(|row| row.iter().map(|o| o.makespan).collect())
+        .collect();
+    Ok(mean_columns(&per_rep, strategies.len()))
 }
 
 /// Per-application resource spread for the repartition figures (Figs 7/17):
@@ -66,6 +81,29 @@ pub struct Repartition {
     pub cache_max: f64,
 }
 
+impl Repartition {
+    fn of_outcome(o: &Outcome) -> Self {
+        let stats = |v: &[f64]| {
+            let avg = v.iter().sum::<f64>() / v.len() as f64;
+            let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (avg, min, max)
+        };
+        let procs: Vec<f64> = o.schedule.assignments.iter().map(|a| a.procs).collect();
+        let cache: Vec<f64> = o.schedule.assignments.iter().map(|a| a.cache).collect();
+        let (procs_avg, procs_min, procs_max) = stats(&procs);
+        let (cache_avg, cache_min, cache_max) = stats(&cache);
+        Self {
+            procs_avg,
+            procs_min,
+            procs_max,
+            cache_avg,
+            cache_min,
+            cache_max,
+        }
+    }
+}
+
 /// Computes the [`Repartition`] of each strategy at one sweep point.
 pub fn repartition(
     generate: InstanceGen<'_>,
@@ -73,46 +111,14 @@ pub fn repartition(
     strategies: &[Strategy],
     cfg: &ExpConfig,
     point: u64,
-) -> Vec<Repartition> {
-    let per_rep: Vec<Vec<Repartition>> = parallel_map(cfg.reps as usize, cfg.threads, |rep| {
-        let mut inst_rng = seeded_rng(child_seed(cfg.seed, rep as u64, point));
-        let apps = generate(&mut inst_rng);
-        strategies
-            .iter()
-            .enumerate()
-            .map(|(si, s)| {
-                let mut algo_rng = seeded_rng(child_seed(
-                    cfg.seed ^ 0xA190,
-                    rep as u64,
-                    point * 64 + si as u64,
-                ));
-                let o = s.run(&apps, platform, &mut algo_rng).expect("strategy failed");
-                let procs: Vec<f64> = o.schedule.assignments.iter().map(|a| a.procs).collect();
-                let cache: Vec<f64> = o.schedule.assignments.iter().map(|a| a.cache).collect();
-                let stats = |v: &[f64]| {
-                    let avg = v.iter().sum::<f64>() / v.len() as f64;
-                    let min = v.iter().copied().fold(f64::INFINITY, f64::min);
-                    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                    (avg, min, max)
-                };
-                let (pa, pn, px) = stats(&procs);
-                let (ca, cn, cx) = stats(&cache);
-                Repartition {
-                    procs_avg: pa,
-                    procs_min: pn,
-                    procs_max: px,
-                    cache_avg: ca,
-                    cache_min: cn,
-                    cache_max: cx,
-                }
-            })
-            .collect()
-    });
+) -> Result<Vec<Repartition>> {
+    let outcomes = run_batch(generate, platform, strategies, cfg, point)?;
     // Average each field over repetitions.
     let n = strategies.len();
     let mut out = vec![Repartition::default(); n];
-    for row in &per_rep {
-        for (acc, r) in out.iter_mut().zip(row) {
+    for row in &outcomes {
+        for (acc, o) in out.iter_mut().zip(row) {
+            let r = Repartition::of_outcome(o);
             acc.procs_avg += r.procs_avg;
             acc.procs_min += r.procs_min;
             acc.procs_max += r.procs_max;
@@ -121,7 +127,7 @@ pub fn repartition(
             acc.cache_max += r.cache_max;
         }
     }
-    let k = per_rep.len() as f64;
+    let k = outcomes.len() as f64;
     for acc in &mut out {
         acc.procs_avg /= k;
         acc.procs_min /= k;
@@ -130,7 +136,7 @@ pub fn repartition(
         acc.cache_min /= k;
         acc.cache_max /= k;
     }
-    out
+    Ok(out)
 }
 
 fn mean_columns(rows: &[Vec<f64>], cols: usize) -> Vec<f64> {
@@ -150,6 +156,7 @@ fn mean_columns(rows: &[Vec<f64>], cols: usize) -> Vec<f64> {
 mod tests {
     use super::*;
     use coschedule::algo::{BuildOrder, Choice};
+    use coschedule::CoschedError;
     use workloads::synth::{Dataset, SeqFraction};
 
     fn strategies() -> Vec<Strategy> {
@@ -166,8 +173,8 @@ mod tests {
         let cfg = ExpConfig::smoke();
         let generate: InstanceGen<'_> =
             &|rng| Dataset::NpbSynth.generate(8, SeqFraction::paper_default(), rng);
-        let a = mean_makespans(generate, &platform, &strategies(), &cfg, 3);
-        let b = mean_makespans(generate, &platform, &strategies(), &cfg, 3);
+        let a = mean_makespans(generate, &platform, &strategies(), &cfg, 3).unwrap();
+        let b = mean_makespans(generate, &platform, &strategies(), &cfg, 3).unwrap();
         assert_eq!(a, b, "same seed must reproduce");
         assert_eq!(a.len(), 3);
         assert!(a.iter().all(|v| v.is_finite() && *v > 0.0));
@@ -179,8 +186,8 @@ mod tests {
         let cfg = ExpConfig::smoke();
         let generate: InstanceGen<'_> =
             &|rng| Dataset::NpbSynth.generate(8, SeqFraction::paper_default(), rng);
-        let a = mean_makespans(generate, &platform, &strategies(), &cfg, 0);
-        let b = mean_makespans(generate, &platform, &strategies(), &cfg, 1);
+        let a = mean_makespans(generate, &platform, &strategies(), &cfg, 0).unwrap();
+        let b = mean_makespans(generate, &platform, &strategies(), &cfg, 1).unwrap();
         assert_ne!(a, b);
     }
 
@@ -194,10 +201,14 @@ mod tests {
         let reps = repartition(
             generate,
             &platform,
-            &[Strategy::Fair, Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)],
+            &[
+                Strategy::Fair,
+                Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
+            ],
             &cfg,
             0,
-        );
+        )
+        .unwrap();
         // Fair: every app gets exactly p/n processors.
         let fair = reps[0];
         assert!((fair.procs_avg - 256.0 / n as f64).abs() < 1e-9);
@@ -214,10 +225,36 @@ mod tests {
         let platform = Platform::taihulight();
         let generate: InstanceGen<'_> =
             &|rng| Dataset::Random.generate(6, SeqFraction::paper_default(), rng);
-        let serial = ExpConfig { reps: 4, threads: 1, seed: 5 };
-        let parallel = ExpConfig { reps: 4, threads: 4, seed: 5 };
-        let a = mean_makespans(generate, &platform, &strategies(), &serial, 2);
-        let b = mean_makespans(generate, &platform, &strategies(), &parallel, 2);
+        let serial = ExpConfig {
+            reps: 4,
+            threads: 1,
+            seed: 5,
+        };
+        let parallel = ExpConfig {
+            reps: 4,
+            threads: 4,
+            seed: 5,
+        };
+        let a = mean_makespans(generate, &platform, &strategies(), &serial, 2).unwrap();
+        let b = mean_makespans(generate, &platform, &strategies(), &parallel, 2).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_instances_surface_as_errors_not_panics() {
+        // A generator producing an out-of-domain application used to abort
+        // the whole sweep by panicking inside a worker thread; now the
+        // error propagates through solve_batch.
+        let platform = Platform::taihulight();
+        let cfg = ExpConfig {
+            reps: 3,
+            threads: 2,
+            seed: 1,
+        };
+        let generate: InstanceGen<'_> = &|_rng| vec![Application::new("bad", -1.0, 0.0, 0.5, 1e-3)];
+        let err = mean_makespans(generate, &platform, &strategies(), &cfg, 0).unwrap_err();
+        assert!(matches!(err, CoschedError::InvalidApplication { .. }));
+        let err = repartition(generate, &platform, &strategies(), &cfg, 0).unwrap_err();
+        assert!(matches!(err, CoschedError::InvalidApplication { .. }));
     }
 }

@@ -167,8 +167,7 @@ impl CoSimulator {
                 let d = platform.full_cache_miss_rate(app);
                 // Calibrate the Pareto stream: miss(C_full) = d  ⇒
                 // scale = C_full · d^{1/θ}, θ = α.
-                let scale_lines =
-                    config.llc_lines as f64 * d.powf(1.0 / platform.alpha);
+                let scale_lines = config.llc_lines as f64 * d.powf(1.0 / platform.alpha);
                 let pattern = Pattern::pareto(platform.alpha, scale_lines.max(1e-6));
                 let work = (app.work * config.work_scale).max(1.0);
                 assert!(
@@ -286,10 +285,7 @@ impl CoSimulator {
                 cost += ls + if outcome.is_hit() { 0.0 } else { ll };
                 if self.config.write_ratio > 0.0 {
                     // Write-back extension: dirty evictions pay extra.
-                    if let cachesim::cache::AccessOutcome::Miss {
-                        evicted: Some(e),
-                    } = outcome
-                    {
+                    if let cachesim::cache::AccessOutcome::Miss { evicted: Some(e) } = outcome {
                         if self.dirty.remove(&e) {
                             state.writebacks += 1;
                             cost += self.config.writeback_cost;
@@ -407,10 +403,7 @@ mod tests {
     fn partitioned_beats_shared_for_cache_hungry_corunners() {
         // Two applications with working sets that each fit in half the LLC
         // but trash each other when sharing.
-        let apps = vec![
-            app("A", 4e6, 0.8, 0.3),
-            app("B", 4e6, 0.8, 0.3),
-        ];
+        let apps = vec![app("A", 4e6, 0.8, 0.3), app("B", 4e6, 0.8, 0.3)];
         let sched = schedule(&[(4.0, 0.5), (4.0, 0.5)]);
         let run = |enforce: bool| {
             let config = CoSimConfig {
@@ -481,8 +474,7 @@ mod tests {
             work_scale: 1e-2,
             ..CoSimConfig::default()
         };
-        let read_only =
-            CoSimulator::new(&apps, &platform(), &sched, base_cfg.clone()).run();
+        let read_only = CoSimulator::new(&apps, &platform(), &sched, base_cfg.clone()).run();
         let wb_cfg = CoSimConfig {
             write_ratio: 0.5,
             ..base_cfg

@@ -1,113 +1,21 @@
-//! Small parallel-map helper for embarrassingly parallel sweeps.
+//! Re-export of the scoped-thread `parallel_map` helper.
 //!
-//! The experiment harness runs 50 seeded repetitions per sweep point; each
-//! repetition is independent, so a scoped-thread fan-out over chunks is all
-//! the parallelism the workload needs (cf. the guidance in the Rust
-//! Performance Book: prefer simple structures, measure before going
-//! fancier).
+//! The implementation moved to [`coschedule::parallel`] so the core
+//! solver layer ([`coschedule::solver::solve_batch`],
+//! [`coschedule::solver::Portfolio`]) can share it; this module keeps the
+//! historical `cosim::parallel_map` path working for the experiment
+//! harness and downstream users.
 
-use parking_lot::Mutex;
-
-/// Applies `f` to `0..n` on up to `threads` worker threads (scoped — no
-/// `'static` bound on `f`) and returns the results in index order.
-///
-/// Work is distributed dynamically via a shared atomic counter, so uneven
-/// per-item costs (e.g. heuristics on instances of different sizes) still
-/// balance.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    assert!(threads >= 1, "need at least one thread");
-    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.min(n);
-    if threads == 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = Mutex::new(&mut out);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                slots.lock()[i] = Some(value);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    out.into_iter()
-        .map(|v| v.expect("every index filled"))
-        .collect()
-}
-
-/// Number of worker threads to use by default: the available parallelism,
-/// capped at 8 (the sweeps are short; more threads only add noise).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-}
+pub use coschedule::parallel::{default_threads, parallel_map};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn results_in_index_order() {
-        let out = parallel_map(100, 4, |i| i * i);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i * i);
-        }
-    }
-
-    #[test]
-    fn single_thread_path() {
-        assert_eq!(parallel_map(5, 1, |i| i + 1), vec![1, 2, 3, 4, 5]);
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<usize> = parallel_map(0, 4, |i| i);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn every_index_is_visited_exactly_once() {
-        let counter = AtomicUsize::new(0);
-        let out = parallel_map(1000, 8, |i| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            i
-        });
-        assert_eq!(counter.load(Ordering::Relaxed), 1000);
-        assert_eq!(out.len(), 1000);
-    }
-
-    #[test]
-    fn more_threads_than_items_is_fine() {
-        assert_eq!(parallel_map(2, 16, |i| i), vec![0, 1]);
-    }
-
-    #[test]
-    fn default_threads_is_positive() {
-        let t = default_threads();
-        assert!((1..=8).contains(&t));
-    }
-
-    #[test]
-    fn matches_sequential_computation() {
-        let seq: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
-        let par = parallel_map(64, 4, |i| (i as f64).sqrt());
-        assert_eq!(seq, par);
+    fn reexport_works_end_to_end() {
+        let out = parallel_map(16, 4, |i| i * 3);
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+        assert!((1..=8).contains(&default_threads()));
     }
 }

@@ -89,10 +89,8 @@ pub fn validate_schedule(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coschedule::algo::{BuildOrder, Choice, Strategy};
     use coschedule::model::Assignment;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use coschedule::solver::{self, Instance, SolveCtx};
 
     fn platform() -> Platform {
         Platform {
@@ -167,9 +165,10 @@ mod tests {
     fn heuristic_schedules_validate_too() {
         let a = apps();
         let p = platform();
-        let mut rng = StdRng::seed_from_u64(0);
-        let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-            .run(&a, &p, &mut rng)
+        let instance = Instance::new(a.clone(), p.clone()).unwrap();
+        let outcome = solver::by_name("DominantMinRatio")
+            .unwrap()
+            .solve(&instance, &mut SolveCtx::seeded(0))
             .unwrap();
         let report = validate_schedule(&a, &p, &outcome.schedule, config());
         assert!(
@@ -209,9 +208,10 @@ mod tests {
             .map(|(i, app)| app.with_seq_fraction(0.02 * (i + 1) as f64))
             .collect();
         let p = platform();
-        let mut rng = StdRng::seed_from_u64(1);
-        let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-            .run(&a, &p, &mut rng)
+        let instance = Instance::new(a.clone(), p.clone()).unwrap();
+        let outcome = solver::by_name("DominantMinRatio")
+            .unwrap()
+            .solve(&instance, &mut SolveCtx::seeded(1))
             .unwrap();
         let report = validate_schedule(&a, &p, &outcome.schedule, config());
         assert!(

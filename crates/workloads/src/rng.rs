@@ -11,14 +11,12 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 
 /// Derives a child seed for (repetition, point) pairs, so that changing the
 /// sweep resolution does not reshuffle unrelated repetitions.
+///
+/// Delegates to [`coschedule::solver::child_seed`], the workspace's single
+/// source of truth for seed derivation, so experiment-level and
+/// solver-level streams stay mutually consistent.
 pub fn child_seed(root: u64, repetition: u64, point: u64) -> u64 {
-    // SplitMix64-style mixing: cheap, well distributed, dependency-free.
-    let mut z = root
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(repetition.wrapping_add(1)))
-        .wrapping_add(0x85EB_CA6Bu64.wrapping_mul(point.wrapping_add(1)));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    coschedule::solver::child_seed(root, repetition, point)
 }
 
 #[cfg(test)]

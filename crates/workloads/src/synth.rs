@@ -193,12 +193,10 @@ mod tests {
     fn random_dataset_mean_matches_uniform_law() {
         let mut rng = seeded_rng(12);
         let apps = Dataset::Random.generate(2000, SeqFraction::Zero, &mut rng);
-        let mean_f: f64 =
-            apps.iter().map(|a| a.access_freq).sum::<f64>() / apps.len() as f64;
+        let mean_f: f64 = apps.iter().map(|a| a.access_freq).sum::<f64>() / apps.len() as f64;
         // U[0.1, 0.9] has mean 0.5.
         assert!((mean_f - 0.5).abs() < 0.02, "mean f = {mean_f}");
-        let mean_m: f64 =
-            apps.iter().map(|a| a.miss_rate_ref).sum::<f64>() / apps.len() as f64;
+        let mean_m: f64 = apps.iter().map(|a| a.miss_rate_ref).sum::<f64>() / apps.len() as f64;
         // U[9e-4, 1e-2] has mean ~5.45e-3.
         assert!((mean_m - 5.45e-3).abs() < 3e-4, "mean m = {mean_m}");
     }
@@ -208,7 +206,11 @@ mod tests {
         let mut rng = seeded_rng(13);
         for ds in Dataset::ALL {
             let apps = ds.generate(20, SeqFraction::Zero, &mut rng);
-            assert!(apps.iter().all(|a| a.is_perfectly_parallel()), "{}", ds.name());
+            assert!(
+                apps.iter().all(|a| a.is_perfectly_parallel()),
+                "{}",
+                ds.name()
+            );
         }
     }
 

@@ -54,7 +54,10 @@ fn main() {
     let (svc_shared, batch_shared) = corun(false);
     let (svc_part, batch_part) = corun(true);
 
-    println!("{:<22} {:>14} {:>14}", "mode", "service miss%", "batch miss%");
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "mode", "service miss%", "batch miss%"
+    );
     println!(
         "{:<22} {:>14.2} {:>14.2}",
         "shared (no CAT)",

@@ -1,13 +1,14 @@
-//! Compare every strategy of the paper — the six dominant-partition
-//! heuristics, the three co-scheduling baselines and AllProcCache —
-//! on one random workload, against the exact optimum.
+//! Compare every registered solver — the six dominant-partition
+//! heuristics, the three co-scheduling baselines, AllProcCache, and the
+//! refined extension — on one random workload, against the exact optimum.
 //!
 //! ```text
 //! cargo run --release --example heuristic_comparison
 //! ```
 
-use coschedule::algo::{exact, Strategy};
+use coschedule::algo::exact;
 use coschedule::model::Platform;
+use coschedule::solver::{self, Instance, SolveCtx};
 use workloads::rng::seeded_rng;
 use workloads::synth::{Dataset, SeqFraction};
 
@@ -18,8 +19,7 @@ fn main() {
     // Perfectly parallel instance so the exact solver applies (§4 theory).
     let apps = Dataset::Random.generate(12, SeqFraction::Zero, &mut rng);
 
-    let reference = exact::exact_perfectly_parallel(&apps, &platform)
-        .expect("exact solve");
+    let reference = exact::exact_perfectly_parallel(&apps, &platform).expect("exact solve");
     println!(
         "exact optimum: {:.4e} with |IC| = {} of {} applications in cache\n",
         reference.makespan,
@@ -27,17 +27,20 @@ fn main() {
         apps.len()
     );
 
+    // The instance is validated and its execution models derived once,
+    // then shared by every solver in the registry.
+    let instance = Instance::new(apps, platform).expect("valid instance");
+
     let mut rows: Vec<(String, f64, usize)> = Vec::new();
-    let mut strategies = Strategy::all_coscheduling();
-    strategies.push(Strategy::AllProcCache);
-    for s in strategies {
-        // Average the randomized strategies over a few seeds.
+    for s in solver::all() {
+        // Average the randomized solvers over a few seeds.
         let runs = if s.is_randomized() { 32 } else { 1 };
         let mut total = 0.0;
         let mut cache_apps = 0;
         for seed in 0..runs {
-            let mut r = seeded_rng(1000 + seed);
-            let o = s.run(&apps, &platform, &mut r).unwrap();
+            let o = s
+                .solve(&instance, &mut SolveCtx::seeded(1000 + seed))
+                .unwrap();
             total += o.makespan;
             cache_apps = o.partition.len();
         }
@@ -45,7 +48,10 @@ fn main() {
     }
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
-    println!("{:<22} {:>12} {:>8} {:>10}", "strategy", "makespan", "|IC|", "vs exact");
+    println!(
+        "{:<22} {:>12} {:>8} {:>10}",
+        "solver", "makespan", "|IC|", "vs exact"
+    );
     for (name, makespan, ic) in rows {
         println!(
             "{:<22} {:>12.4e} {:>8} {:>9.2}%",

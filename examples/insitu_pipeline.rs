@@ -48,7 +48,10 @@ fn main() {
 
     println!("in-situ analysis batch: {} processes", analyses.len());
     println!("batch period          : {period:.2e} time units\n");
-    println!("{:<18} {:>14} {:>10}", "strategy", "makespan", "meets period?");
+    println!(
+        "{:<18} {:>14} {:>10}",
+        "strategy", "makespan", "meets period?"
+    );
     for s in strategies {
         let outcome = s.run(&analyses, &platform, &mut algo_rng).unwrap();
         let fits = outcome.makespan <= period;

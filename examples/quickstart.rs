@@ -1,31 +1,27 @@
 //! Quickstart: co-schedule the six NPB applications of the paper's
-//! Table 2 on the TaihuLight-like platform of §6.1.
+//! Table 2 on the TaihuLight-like platform of §6.1, through the
+//! `Instance` → `Solver` → `Outcome` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use coschedule::algo::{BuildOrder, Choice, Strategy};
 use coschedule::model::Platform;
+use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 use workloads::npb::npb6;
-use workloads::rng::seeded_rng;
 
 fn main() {
-    // The paper's platform: 256 processors, 32 GB shared "LLC",
-    // ls = 0.17, ll = 1, alpha = 0.5.
-    let platform = Platform::taihulight();
+    // The problem is built (and validated) once: the paper's platform —
+    // 256 processors, 32 GB shared "LLC", ls = 0.17, ll = 1, alpha = 0.5 —
+    // plus the six NPB benchmarks with a 5% sequential fraction each.
+    let instance = Instance::new(npb6(&[0.05]), Platform::taihulight()).expect("valid instance");
 
-    // The six NPB benchmarks with a 5% sequential fraction each.
-    let apps = npb6(&[0.05]);
+    // The paper's flagship heuristic, addressed by its figure-legend name.
+    let dmr = solver::by_name("DominantMinRatio").expect("registered solver");
+    let mut ctx = SolveCtx::seeded(42);
+    let outcome = dmr.solve(&instance, &mut ctx).expect("solvable instance");
 
-    // The paper's flagship heuristic: Algorithm 1 with the MinRatio choice.
-    let strategy = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio);
-    let mut rng = seeded_rng(42);
-    let outcome = strategy
-        .run(&apps, &platform, &mut rng)
-        .expect("valid instance");
-
-    println!("strategy  : {}", strategy.name());
+    println!("solver    : {}", dmr.name());
     println!("makespan  : {:.3e} time units", outcome.makespan);
     println!(
         "cache set : {{{}}}",
@@ -33,28 +29,49 @@ fn main() {
             .partition
             .members()
             .iter()
-            .map(|&i| apps[i].name.as_str())
+            .map(|&i| instance.apps()[i].name.as_str())
             .collect::<Vec<_>>()
             .join(", ")
     );
     println!("\n{:<6} {:>10} {:>12}", "app", "procs", "cache frac");
-    for (app, asg) in apps.iter().zip(&outcome.schedule.assignments) {
+    for (app, asg) in instance.apps().iter().zip(&outcome.schedule.assignments) {
         println!("{:<6} {:>10.2} {:>12.4}", app.name, asg.procs, asg.cache);
     }
 
     // Sanity: the schedule respects the resource constraints and all
     // applications finish simultaneously (Lemma 1 structure).
-    outcome.schedule.validate(&apps, &platform).unwrap();
-    assert!(outcome.schedule.is_equal_finish(&apps, &platform, 1e-6));
+    outcome
+        .schedule
+        .validate(instance.apps(), instance.platform())
+        .unwrap();
+    assert!(outcome
+        .schedule
+        .is_equal_finish(instance.apps(), instance.platform(), 1e-6));
+
+    // The same instance can be handed to every registered solver at once:
+    // the Portfolio meta-solver returns the best schedule plus the
+    // per-solver breakdown.
+    let report = Portfolio::new(solver::all())
+        .solve_detailed(&instance, &SolveCtx::seeded(42))
+        .expect("at least one solver succeeds");
+    println!("\n# portfolio breakdown:");
+    for m in &report.members {
+        match &m.result {
+            Ok(o) => println!("{:<22} {:>12.4e}", m.name, o.makespan),
+            Err(e) => println!("{:<22} failed: {e}", m.name),
+        }
+    }
+    println!("winner: {}", report.best_name);
 
     // Compare against running the applications one after another with all
     // resources (the AllProcCache baseline).
-    let apc = Strategy::AllProcCache
-        .run(&apps, &platform, &mut rng)
+    let apc = solver::by_name("AllProcCache")
+        .unwrap()
+        .solve(&instance, &mut SolveCtx::seeded(0))
         .unwrap();
     println!(
         "\nAllProcCache makespan: {:.3e}  (co-scheduling gain: {:.1}%)",
         apc.makespan,
-        (1.0 - outcome.makespan / apc.makespan) * 100.0
+        (1.0 - report.outcome.makespan / apc.makespan) * 100.0
     );
 }

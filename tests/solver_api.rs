@@ -1,0 +1,149 @@
+//! Integration tests of the `Instance` → `Solver` → `Outcome` API across
+//! crates: registry round-trips, batch determinism, and the Portfolio
+//! meta-solver on the paper's NPB-6 workload.
+
+use coschedule::model::Platform;
+use coschedule::solver::{self, solve_batch, BatchSpec, Instance, Portfolio, SolveCtx, Solver};
+use coschedule::Strategy;
+use workloads::npb::npb6;
+use workloads::synth::{Dataset, SeqFraction};
+
+fn npb_instance() -> Instance {
+    Instance::new(npb6(&[0.05]), Platform::taihulight()).unwrap()
+}
+
+#[test]
+fn registry_round_trips_names_and_behaviour() {
+    let inst = npb_instance();
+    for s in solver::all() {
+        let looked_up =
+            solver::by_name(&s.name()).unwrap_or_else(|| panic!("{} not in registry", s.name()));
+        assert_eq!(looked_up.name(), s.name());
+        assert_eq!(looked_up.is_randomized(), s.is_randomized());
+        let a = looked_up.solve(&inst, &mut SolveCtx::seeded(3)).unwrap();
+        let b = s.solve(&inst, &mut SolveCtx::seeded(3)).unwrap();
+        assert_eq!(a, b, "{} diverged after name round-trip", s.name());
+    }
+}
+
+#[test]
+fn strategy_enum_converts_to_registered_solvers() {
+    let inst = npb_instance();
+    let mut strategies = Strategy::all_coscheduling();
+    strategies.push(Strategy::AllProcCache);
+    strategies.push(Strategy::refined());
+    for s in strategies {
+        let boxed = s.to_solver();
+        let via_registry = solver::by_name(&boxed.name()).unwrap();
+        let a = boxed.solve(&inst, &mut SolveCtx::seeded(1)).unwrap();
+        let b = via_registry.solve(&inst, &mut SolveCtx::seeded(1)).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn batch_is_deterministic_across_threads_and_reruns() {
+    let solvers = solver::all();
+    let refs: Vec<&dyn Solver> = solvers.iter().map(|s| s.as_ref()).collect();
+    let source = |_rep: usize, rng: &mut rand::rngs::StdRng| {
+        Instance::new(
+            Dataset::NpbSynth.generate(10, SeqFraction::paper_default(), rng),
+            Platform::taihulight(),
+        )
+    };
+    let serial = solve_batch(&source, &refs, &BatchSpec::new(6, 0xC0FF_EE00)).unwrap();
+    let parallel = solve_batch(
+        &source,
+        &refs,
+        &BatchSpec::new(6, 0xC0FF_EE00).with_threads(4),
+    )
+    .unwrap();
+    let rerun = solve_batch(
+        &source,
+        &refs,
+        &BatchSpec::new(6, 0xC0FF_EE00).with_threads(2),
+    )
+    .unwrap();
+    assert_eq!(serial, parallel, "thread count changed batch results");
+    assert_eq!(serial, rerun, "rerun changed batch results");
+    assert_eq!(serial.len(), 6);
+    assert!(serial.iter().all(|row| row.len() == refs.len()));
+}
+
+#[test]
+fn portfolio_is_never_worse_than_any_member_on_npb6() {
+    let inst = npb_instance();
+    let portfolio = Portfolio::new(solver::all());
+    let report = portfolio
+        .solve_detailed(&inst, &SolveCtx::seeded(42))
+        .unwrap();
+    assert_eq!(report.members.len(), solver::all().len());
+    for m in &report.members {
+        let o = m.result.as_ref().unwrap_or_else(|e| {
+            panic!("{} failed on NPB-6: {e}", m.name);
+        });
+        assert!(
+            report.outcome.makespan <= o.makespan + f64::EPSILON,
+            "Portfolio ({}) worse than member {} ({} vs {})",
+            report.outcome.makespan,
+            m.name,
+            report.outcome.makespan,
+            o.makespan
+        );
+        o.is_solved_by_portfolio_member_sanity(&inst);
+    }
+    // The winner's outcome is one of the members' outcomes.
+    let winner = report.members[report.best_index].result.as_ref().unwrap();
+    assert_eq!(winner, &report.outcome);
+}
+
+/// Helper extension used by the portfolio test: every member outcome must
+/// itself be a feasible schedule for the instance.
+trait OutcomeSanity {
+    fn is_solved_by_portfolio_member_sanity(&self, inst: &Instance);
+}
+
+impl OutcomeSanity for coschedule::Outcome {
+    fn is_solved_by_portfolio_member_sanity(&self, inst: &Instance) {
+        assert!(self.makespan.is_finite() && self.makespan > 0.0);
+        if self.concurrent {
+            self.schedule
+                .validate(inst.apps(), inst.platform())
+                .unwrap();
+        }
+    }
+}
+
+#[test]
+fn portfolio_solves_through_the_registry_too() {
+    let inst = npb_instance();
+    let via_registry = solver::by_name("Portfolio").unwrap();
+    let direct = Portfolio::new(solver::all());
+    let a = via_registry.solve(&inst, &mut SolveCtx::seeded(9)).unwrap();
+    let b = direct.solve(&inst, &mut SolveCtx::seeded(9)).unwrap();
+    assert_eq!(a, b);
+    // On NPB-6 the refined extension wins; the portfolio must match its
+    // makespan exactly.
+    let refined = solver::by_name("DominantRefined")
+        .unwrap()
+        .solve(&inst, &mut SolveCtx::seeded(0))
+        .unwrap();
+    assert!(a.makespan <= refined.makespan);
+}
+
+#[test]
+fn solve_ctx_seed_controls_randomized_solvers_only() {
+    let inst = npb_instance();
+    let dmr = solver::by_name("DominantMinRatio").unwrap();
+    let a = dmr.solve(&inst, &mut SolveCtx::seeded(1)).unwrap();
+    let b = dmr.solve(&inst, &mut SolveCtx::seeded(2)).unwrap();
+    assert_eq!(a, b, "deterministic solver depended on the ctx seed");
+
+    let rp = solver::by_name("RandomPart").unwrap();
+    let mut distinct = std::collections::HashSet::new();
+    for seed in 0..16 {
+        let o = rp.solve(&inst, &mut SolveCtx::seeded(seed)).unwrap();
+        distinct.insert(o.partition.members().to_vec());
+    }
+    assert!(distinct.len() > 1, "RandomPart ignored the ctx seed");
+}
