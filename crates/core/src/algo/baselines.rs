@@ -1,11 +1,18 @@
 //! Baseline strategies of §6.3: AllProcCache, Fair, 0cache, RandomPart.
+//!
+//! The algorithm cores run on the struct-of-arrays [`EvalSet`] view with a
+//! caller-provided [`EvalScratch`] (the [`Solver`](crate::solver::Solver)
+//! path hands in the one owned by [`SolveCtx`](crate::solver::SolveCtx));
+//! the public functions keep the historical `(apps, platform)` signatures
+//! and derive a view on the fly.
 
 use crate::algo::outcome::Outcome;
 use crate::error::Result;
-use crate::model::{sequential_makespan, Application, ExecModel, Platform, Schedule};
-use crate::theory::cache_alloc::optimal_cache_fractions;
+use crate::eval::{EvalScratch, EvalSet};
+use crate::model::{Application, Platform, Schedule};
+use crate::theory::cache_alloc::optimal_cache_fractions_into;
 use crate::theory::dominance::Partition;
-use crate::theory::proc_alloc::equal_finish_split;
+use crate::theory::proc_alloc::equal_finish_split_eval;
 use rand::{Rng, RngExt as _};
 
 /// AllProcCache: no co-scheduling at all — applications run **sequentially**,
@@ -14,22 +21,35 @@ use rand::{Rng, RngExt as _};
 /// assignment is `(p, 1)`.
 pub fn all_proc_cache(apps: &[Application], platform: &Platform) -> Result<Outcome> {
     crate::model::validate_instance(apps)?;
-    Ok(all_proc_cache_core(apps, platform))
+    let eval = EvalSet::of(apps, platform);
+    with_fresh_scratch(|scratch| Ok(all_proc_cache_core(&eval, scratch)))
 }
 
-/// [`all_proc_cache`] on an already-validated instance.
-pub(crate) fn all_proc_cache_core(apps: &[Application], platform: &Platform) -> Outcome {
-    let schedule = Schedule {
-        assignments: apps
-            .iter()
-            .map(|_| crate::model::Assignment::new(platform.processors, 1.0))
-            .collect(),
-    };
+/// Runs a core against a fresh scratch and stamps the recorded evaluation
+/// work into the outcome, so direct (non-[`Solver`](crate::solver::Solver))
+/// callers get real counters too; the solver path overwrites the field
+/// with the [`SolveCtx`](crate::solver::SolveCtx) delta instead.
+fn with_fresh_scratch(core: impl FnOnce(&mut EvalScratch) -> Result<Outcome>) -> Result<Outcome> {
+    let mut scratch = EvalScratch::new();
+    let mut outcome = core(&mut scratch)?;
+    outcome.eval_stats = scratch.stats;
+    Ok(outcome)
+}
+
+/// [`all_proc_cache`] on a pre-derived instance view.
+pub(crate) fn all_proc_cache_core(eval: &EvalSet, scratch: &mut EvalScratch) -> Outcome {
+    let n = eval.len();
+    scratch.stats.record(n);
     Outcome {
-        makespan: sequential_makespan(apps, platform),
-        schedule,
-        partition: Partition::all(apps.len()),
+        makespan: eval.sequential_makespan(),
+        schedule: Schedule {
+            assignments: (0..n)
+                .map(|_| crate::model::Assignment::new(eval.processors(), 1.0))
+                .collect(),
+        },
+        partition: Partition::all(n),
         concurrent: false,
+        eval_stats: Default::default(),
     }
 }
 
@@ -37,26 +57,27 @@ pub(crate) fn all_proc_cache_core(apps: &[Application], platform: &Platform) -> 
 /// frequency, `x_i = f_i / Σ_j f_j`. No equal-finish rebalancing.
 pub fn fair(apps: &[Application], platform: &Platform) -> Result<Outcome> {
     crate::model::validate_instance(apps)?;
-    Ok(fair_core(apps, platform))
+    let eval = EvalSet::of(apps, platform);
+    with_fresh_scratch(|scratch| Ok(fair_core(&eval, scratch)))
 }
 
-/// [`fair`] on an already-validated instance.
-pub(crate) fn fair_core(apps: &[Application], platform: &Platform) -> Outcome {
-    let n = apps.len() as f64;
-    let total_freq: f64 = apps.iter().map(|a| a.access_freq).sum();
+/// [`fair`] on a pre-derived instance view.
+pub(crate) fn fair_core(eval: &EvalSet, scratch: &mut EvalScratch) -> Outcome {
+    let n = eval.len() as f64;
+    let total_freq: f64 = eval.access_freqs().iter().sum();
     let cache: Vec<f64> = if total_freq > 0.0 {
-        apps.iter().map(|a| a.access_freq / total_freq).collect()
+        eval.access_freqs().iter().map(|f| f / total_freq).collect()
     } else {
-        vec![1.0 / n; apps.len()]
+        vec![1.0 / n; eval.len()]
     };
-    let procs = vec![platform.processors / n; apps.len()];
-    let schedule = Schedule::from_parts(&procs, &cache);
-    let makespan = schedule.makespan(apps, platform);
+    let procs = vec![eval.processors() / n; eval.len()];
+    let makespan = scratch.makespan(eval, &procs, &cache);
     Outcome {
         makespan,
-        schedule,
-        partition: Partition::all(apps.len()),
+        schedule: Schedule::from_parts(&procs, &cache),
+        partition: Partition::all(eval.len()),
         concurrent: true,
+        eval_stats: Default::default(),
     }
 }
 
@@ -64,18 +85,20 @@ pub(crate) fn fair_core(apps: &[Application], platform: &Platform) -> Outcome {
 /// processors are split so that all applications finish simultaneously.
 pub fn zero_cache(apps: &[Application], platform: &Platform) -> Result<Outcome> {
     crate::model::validate_instance(apps)?;
-    zero_cache_core(apps, platform)
+    let eval = EvalSet::of(apps, platform);
+    with_fresh_scratch(|scratch| zero_cache_core(&eval, scratch))
 }
 
-/// [`zero_cache`] on an already-validated instance.
-pub(crate) fn zero_cache_core(apps: &[Application], platform: &Platform) -> Result<Outcome> {
-    let cache = vec![0.0; apps.len()];
-    let ef = equal_finish_split(apps, platform, &cache)?;
+/// [`zero_cache`] on a pre-derived instance view.
+pub(crate) fn zero_cache_core(eval: &EvalSet, scratch: &mut EvalScratch) -> Result<Outcome> {
+    let cache = vec![0.0; eval.len()];
+    let ef = equal_finish_split_eval(eval, &cache, scratch)?;
     Ok(Outcome {
         makespan: ef.makespan,
         schedule: Schedule::from_parts(&ef.procs, &cache),
         partition: Partition::empty(),
         concurrent: true,
+        eval_stats: Default::default(),
     })
 }
 
@@ -89,33 +112,36 @@ pub fn random_part<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Outcome> {
     crate::model::validate_instance(apps)?;
-    let models = ExecModel::of_all(apps, platform);
-    random_part_core(apps, platform, &models, rng)
+    let eval = EvalSet::of(apps, platform);
+    with_fresh_scratch(|scratch| random_part_core(&eval, rng, scratch))
 }
 
-/// [`random_part`] on an already-validated instance with precomputed
-/// execution models.
+/// [`random_part`] on a pre-derived instance view.
 pub(crate) fn random_part_core<R: Rng + ?Sized>(
-    apps: &[Application],
-    platform: &Platform,
-    models: &[ExecModel],
+    eval: &EvalSet,
     rng: &mut R,
+    scratch: &mut EvalScratch,
 ) -> Result<Outcome> {
-    let members: Vec<usize> = (0..apps.len()).filter(|_| rng.random::<bool>()).collect();
+    let members: Vec<usize> = (0..eval.len()).filter(|_| rng.random::<bool>()).collect();
     let partition = Partition::new(members);
-    let cache = optimal_cache_fractions(models, &partition);
-    let ef = equal_finish_split(apps, platform, &cache)?;
+    let mut cache = Vec::new();
+    optimal_cache_fractions_into(eval.weights(), &partition, &mut cache);
+    let ef = equal_finish_split_eval(eval, &cache, scratch)?;
     Ok(Outcome {
         makespan: ef.makespan,
         schedule: Schedule::from_parts(&ef.procs, &cache),
         partition,
         concurrent: true,
+        eval_stats: Default::default(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::{sequential_makespan, ExecModel};
+    use crate::theory::cache_alloc::optimal_cache_fractions;
+    use crate::theory::proc_alloc::equal_finish_split;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -152,6 +178,16 @@ mod tests {
         }
         assert!((o.schedule.total_cache() - 1.0).abs() < 1e-12);
         assert!(o.concurrent);
+    }
+
+    #[test]
+    fn fair_makespan_matches_schedule_evaluation() {
+        let a = apps();
+        let o = fair(&a, &pf()).unwrap();
+        assert_eq!(
+            o.makespan.to_bits(),
+            o.schedule.makespan(&a, &pf()).to_bits()
+        );
     }
 
     #[test]
@@ -214,6 +250,21 @@ mod tests {
             seen.insert(o.partition.members().to_vec());
         }
         assert!(seen.len() > 1, "partitions never varied");
+    }
+
+    #[test]
+    fn public_entry_points_report_their_evaluation_work() {
+        let a = apps();
+        let mut rng = StdRng::seed_from_u64(0);
+        for o in [
+            all_proc_cache(&a, &pf()).unwrap(),
+            fair(&a, &pf()).unwrap(),
+            zero_cache(&a, &pf()).unwrap(),
+            random_part(&a, &pf(), &mut rng).unwrap(),
+        ] {
+            assert!(o.eval_stats.kernel_calls > 0);
+            assert!(o.eval_stats.apps_evaluated >= a.len() as u64);
+        }
     }
 
     #[test]

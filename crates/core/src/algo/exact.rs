@@ -8,11 +8,12 @@
 //! against, and an upper bound (`best_partition`) for Amdahl profiles.
 
 use crate::error::{CoschedError, Result};
+use crate::eval::{EvalScratch, EvalSet};
 use crate::model::{Application, ExecModel, Platform};
-use crate::theory::cache_alloc::optimal_cache_fractions;
+use crate::theory::cache_alloc::{optimal_cache_fractions, optimal_cache_fractions_into};
 use crate::theory::dominance::{is_dominant, Partition};
-use crate::theory::objective::partition_objective;
-use crate::theory::proc_alloc::equal_finish_split;
+use crate::theory::objective::partition_objective_eval;
+use crate::theory::proc_alloc::equal_finish_makespan_eval;
 
 /// Largest instance the enumerators accept (`2^n` subsets).
 pub const MAX_EXACT_APPS: usize = 24;
@@ -62,22 +63,26 @@ pub fn exact_perfectly_parallel(
         });
     }
     let models = ExecModel::of_all(apps, platform);
-    let mut best: Option<ExactSolution> = None;
+    let eval = EvalSet::from_models(apps, platform, &models);
+    let mut scratch = EvalScratch::new();
+    let mut best: Option<(Partition, f64)> = None;
     for partition in subsets(apps.len()) {
         if !is_dominant(&models, &partition) {
             continue;
         }
-        let makespan = partition_objective(apps, platform, &models, &partition);
-        if best.as_ref().is_none_or(|b| makespan < b.makespan) {
-            let cache = optimal_cache_fractions(&models, &partition);
-            best = Some(ExactSolution {
-                partition,
-                cache,
-                makespan,
-            });
+        let makespan = partition_objective_eval(&eval, &partition, &mut scratch);
+        if best.as_ref().is_none_or(|&(_, b)| makespan < b) {
+            best = Some((partition, makespan));
         }
     }
-    best.ok_or_else(|| CoschedError::NoFeasibleMakespan("no dominant partition".into()))
+    let (partition, makespan) =
+        best.ok_or_else(|| CoschedError::NoFeasibleMakespan("no dominant partition".into()))?;
+    let cache = optimal_cache_fractions(&models, &partition);
+    Ok(ExactSolution {
+        partition,
+        cache,
+        makespan,
+    })
 }
 
 /// Exhaustive search over **all** sharing subsets for general Amdahl
@@ -87,25 +92,35 @@ pub fn exact_perfectly_parallel(
 pub fn best_partition(apps: &[Application], platform: &Platform) -> Result<ExactSolution> {
     check_size(apps)?;
     let models = ExecModel::of_all(apps, platform);
-    let mut best: Option<ExactSolution> = None;
+    let eval = EvalSet::from_models(apps, platform, &models);
+    let mut scratch = EvalScratch::new();
+    let mut fractions = Vec::new();
+    let mut best: Option<(Partition, f64)> = None;
     for partition in subsets(apps.len()) {
-        let cache = optimal_cache_fractions(&models, &partition);
-        let ef = equal_finish_split(apps, platform, &cache)?;
-        if best.as_ref().is_none_or(|b| ef.makespan < b.makespan) {
-            best = Some(ExactSolution {
-                partition,
-                cache,
-                makespan: ef.makespan,
-            });
+        // Theorem-3 fractions and the bisection run on reusable buffers
+        // (the Partition itself still allocates its member list), and the
+        // processor split is only materialised for the winner below.
+        optimal_cache_fractions_into(eval.weights(), &partition, &mut fractions);
+        let makespan = equal_finish_makespan_eval(&eval, &fractions, &mut scratch)?;
+        if best.as_ref().is_none_or(|&(_, b)| makespan < b) {
+            best = Some((partition, makespan));
         }
     }
-    best.ok_or(CoschedError::EmptyInstance)
+    let (partition, makespan) = best.ok_or(CoschedError::EmptyInstance)?;
+    let cache = optimal_cache_fractions(&models, &partition);
+    Ok(ExactSolution {
+        partition,
+        cache,
+        makespan,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algo::{BuildOrder, Choice, Strategy};
+    use crate::theory::objective::partition_objective;
+    use crate::theory::proc_alloc::equal_finish_split;
     use rand::rngs::StdRng;
     use rand::{RngExt as _, SeedableRng};
 
@@ -240,6 +255,23 @@ mod tests {
                 o.makespan >= reference.makespan * (1.0 - 1e-9),
                 "{} beat the exhaustive reference",
                 s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn best_partition_makespan_matches_scalar_resolve() {
+        // The SoA enumeration must report exactly the makespan the scalar
+        // bisection produces for its winning cache split.
+        for seed in 0..4 {
+            let apps = random_pp_instance(300 + seed, 6);
+            let platform = pf().with_cache_size(120e6);
+            let reference = best_partition(&apps, &platform).unwrap();
+            let ef = equal_finish_split(&apps, &platform, &reference.cache).unwrap();
+            assert_eq!(
+                ef.makespan.to_bits(),
+                reference.makespan.to_bits(),
+                "seed {seed}"
             );
         }
     }

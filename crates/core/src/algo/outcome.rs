@@ -1,5 +1,6 @@
 //! Result type shared by heuristics and baselines.
 
+use crate::eval::EvalStats;
 use crate::model::Schedule;
 use crate::theory::dominance::Partition;
 
@@ -16,4 +17,7 @@ pub struct Outcome {
     /// another (its [`Schedule`] then records the per-run assignment and
     /// the makespan is the sum of completion times).
     pub concurrent: bool,
+    /// Evaluation-engine work this solve performed (kernel calls, total
+    /// applications evaluated). Deterministic for a given solver and seed.
+    pub eval_stats: EvalStats,
 }

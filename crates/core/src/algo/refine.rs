@@ -18,9 +18,10 @@
 //! bisection for processors — until the makespan stops improving.
 
 use crate::error::Result;
-use crate::model::{seq_cost, Application, ExecModel, Platform, Schedule};
+use crate::eval::{EvalScratch, EvalSet};
+use crate::model::{Application, ExecModel, Platform, Schedule};
 use crate::theory::dominance::Partition;
-use crate::theory::proc_alloc::equal_finish_split;
+use crate::theory::proc_alloc::equal_finish_split_eval;
 use crate::REL_TOL;
 
 /// Outcome of the refinement loop, with convergence diagnostics.
@@ -50,29 +51,54 @@ pub fn refine(
     cache: Vec<f64>,
     max_iters: usize,
 ) -> Result<Refined> {
-    let alpha = platform.alpha;
+    refine_eval(
+        &EvalSet::from_models(apps, platform, models),
+        partition,
+        cache,
+        max_iters,
+        &mut EvalScratch::new(),
+    )
+}
+
+/// [`refine`] on a struct-of-arrays instance view with reusable scratch
+/// buffers: each descent iteration costs two batched kernel calls (the
+/// member sequential costs for the re-weighting, and the bisection input
+/// of the candidate split) instead of per-application scalar evaluations.
+/// Bit-identical to the scalar entry point, which now delegates here.
+pub fn refine_eval(
+    eval: &EvalSet,
+    partition: &Partition,
+    cache: Vec<f64>,
+    max_iters: usize,
+    scratch: &mut EvalScratch,
+) -> Result<Refined> {
+    let alpha = eval.alpha();
     let mut best_cache = cache;
-    let mut best = equal_finish_split(apps, platform, &best_cache)?;
+    let mut best = equal_finish_split_eval(eval, &best_cache, scratch)?;
     let mut trajectory = vec![best.makespan];
 
     for _ in 0..max_iters {
         // Re-weight Theorem 3 with the sensitivity factors of the current
-        // iterate.
-        let mut weights = vec![0.0; apps.len()];
+        // iterate. The member costs land in `scratch.times` so the
+        // candidate bisection below is free to clobber `scratch.costs`.
+        eval.seq_costs_into(&best_cache, &mut scratch.times);
+        scratch.stats.record(eval.len());
+        scratch.weights.clear();
+        scratch.weights.resize(eval.len(), 0.0);
         let mut total = 0.0;
         for &i in partition.members() {
-            let c = seq_cost(&apps[i], platform, best_cache[i]);
+            let c = scratch.times[i];
             let p_i = best.procs[i];
-            let mu = p_i * p_i / ((1.0 - apps[i].seq_fraction).max(1e-12) * c * c);
-            let base = apps[i].work * apps[i].access_freq * models[i].d;
-            weights[i] = (mu * base).powf(1.0 / (alpha + 1.0));
-            total += weights[i];
+            let mu = p_i * p_i / ((1.0 - eval.seq_fractions()[i]).max(1e-12) * c * c);
+            let base = eval.work()[i] * eval.access_freqs()[i] * eval.d()[i];
+            scratch.weights[i] = (mu * base).powf(1.0 / (alpha + 1.0));
+            total += scratch.weights[i];
         }
         if total <= 0.0 {
             break;
         }
-        let candidate_cache: Vec<f64> = weights.iter().map(|w| w / total).collect();
-        let candidate = equal_finish_split(apps, platform, &candidate_cache)?;
+        let candidate_cache: Vec<f64> = scratch.weights.iter().map(|w| w / total).collect();
+        let candidate = equal_finish_split_eval(eval, &candidate_cache, scratch)?;
         let improved = candidate.makespan < best.makespan * (1.0 - REL_TOL.max(1e-14));
         trajectory.push(candidate.makespan.min(best.makespan));
         if improved {
@@ -95,6 +121,7 @@ mod tests {
     use crate::algo::dominant::{dominant_partition, BuildOrder};
     use crate::algo::Choice;
     use crate::theory::cache_alloc::optimal_cache_fractions;
+    use crate::theory::proc_alloc::equal_finish_split;
     use rand::rngs::StdRng;
     use rand::{RngExt as _, SeedableRng};
 
@@ -197,6 +224,21 @@ mod tests {
         let refined = refine(&apps, &pf, &models, &part, cache, 50).unwrap();
         refined.schedule.validate(&apps, &pf).unwrap();
         assert!(refined.schedule.is_equal_finish(&apps, &pf, 1e-6));
+    }
+
+    #[test]
+    fn eval_and_scalar_paths_are_bit_identical() {
+        for seed in 0..6 {
+            let apps = instance(seed, 9, 0.4);
+            let pf = platform();
+            let (models, part, cache) = start(&apps, &pf);
+            let scalar = refine(&apps, &pf, &models, &part, cache.clone(), 50).unwrap();
+            let eval = EvalSet::from_models(&apps, &pf, &models);
+            let mut scratch = EvalScratch::new();
+            let soa = refine_eval(&eval, &part, cache, 50, &mut scratch).unwrap();
+            assert_eq!(scalar, soa, "seed {seed}");
+            assert!(scratch.stats.kernel_calls >= 1);
+        }
     }
 
     #[test]

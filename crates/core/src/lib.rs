@@ -55,6 +55,7 @@
 
 pub mod algo;
 pub mod error;
+pub mod eval;
 pub mod model;
 pub mod npc;
 pub mod parallel;
@@ -63,6 +64,7 @@ pub mod theory;
 
 pub use algo::{BuildOrder, Choice, Outcome, Strategy};
 pub use error::{CoschedError, Result};
+pub use eval::{EvalScratch, EvalSet, EvalStats};
 pub use model::{Application, Assignment, Platform, Schedule};
 pub use solver::{Instance, Portfolio, SolveCtx, Solver};
 

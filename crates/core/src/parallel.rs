@@ -20,25 +20,47 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(n, threads, || (), |(), i| f(i))
+}
+
+/// [`parallel_map`] with per-worker state: `init` runs once on each worker
+/// thread (once total on the serial path) and the resulting state is
+/// passed `&mut` to every `f` call that worker executes.
+///
+/// This is how [`solve_batch`](crate::solver::solve_batch) reuses one
+/// [`EvalScratch`](crate::eval::EvalScratch) allocation per worker across
+/// instances. The state must not influence results (scratch buffers,
+/// caches): which worker processes which index is scheduling-dependent, so
+/// anything result-bearing would break the serial == parallel guarantee.
+pub fn parallel_map_with<S, T, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     assert!(threads >= 1, "need at least one thread");
     if n == 0 {
         return Vec::new();
     }
     let threads = threads.min(n);
     if threads == 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(&mut state, i);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(value);
                 }
-                let value = f(i);
-                *slots[i].lock().expect("slot lock poisoned") = Some(value);
             });
         }
     });
@@ -105,6 +127,45 @@ mod tests {
     fn default_threads_is_positive() {
         let t = default_threads();
         assert!((1..=8).contains(&t));
+    }
+
+    #[test]
+    fn with_state_reuses_one_state_per_worker() {
+        // Each worker's state counts how many items it processed; the
+        // counts must partition the input.
+        let out = parallel_map_with(
+            100,
+            4,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        assert_eq!(out.len(), 100);
+        let total_from_last_counts: usize = {
+            // On the serial path one state sees everything.
+            let serial = parallel_map_with(
+                10,
+                1,
+                || 0usize,
+                |c, _| {
+                    *c += 1;
+                    *c
+                },
+            );
+            serial.last().copied().unwrap()
+        };
+        assert_eq!(total_from_last_counts, 10);
+        // State reuse: at least one worker processed more than one item.
+        assert!(out.iter().any(|&(_, c)| c > 1));
+    }
+
+    #[test]
+    fn with_state_matches_stateless_results() {
+        let a = parallel_map(64, 4, |i| i * 3);
+        let b = parallel_map_with(64, 4, || (), |(), i| i * 3);
+        assert_eq!(a, b);
     }
 
     #[test]

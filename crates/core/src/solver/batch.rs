@@ -2,7 +2,8 @@
 
 use crate::algo::Outcome;
 use crate::error::Result;
-use crate::parallel::parallel_map;
+use crate::eval::{EvalScratch, EvalStats};
+use crate::parallel::parallel_map_with;
 use crate::solver::{child_seed, Instance, SolveCtx, Solver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,23 +77,50 @@ pub fn solve_batch(
     solvers: &[&dyn Solver],
     spec: &BatchSpec,
 ) -> Result<Vec<Vec<Outcome>>> {
-    let per_rep: Vec<Result<Vec<Outcome>>> = parallel_map(spec.reps, spec.threads.max(1), |rep| {
-        let mut inst_rng = StdRng::seed_from_u64(child_seed(spec.seed, rep as u64, spec.stream));
-        let instance = source(rep, &mut inst_rng)?;
-        solvers
-            .iter()
-            .enumerate()
-            .map(|(si, s)| {
-                // Two-level derivation: mixing (rep, stream) into a root
-                // first keeps (stream, solver) pairs collision-free for
-                // any solver count.
-                let root = child_seed(spec.seed ^ ALGO_SALT, rep as u64, spec.stream);
-                let mut ctx = SolveCtx::seeded(child_seed(root, si as u64, 0));
-                s.solve(&instance, &mut ctx)
-            })
-            .collect()
-    });
+    // One EvalScratch per worker, recycled across every (rep, solver) pair
+    // that worker executes: the batched kernels then run allocation-free
+    // after the first repetition. Results are unaffected — kernels clear
+    // their output buffers before writing — which the determinism tests
+    // (serial == parallel, fresh == reused) pin down.
+    let per_rep: Vec<Result<Vec<Outcome>>> = parallel_map_with(
+        spec.reps,
+        spec.threads.max(1),
+        EvalScratch::new,
+        |scratch, rep| {
+            let mut inst_rng =
+                StdRng::seed_from_u64(child_seed(spec.seed, rep as u64, spec.stream));
+            let instance = source(rep, &mut inst_rng)?;
+            solvers
+                .iter()
+                .enumerate()
+                .map(|(si, s)| {
+                    // Two-level derivation: mixing (rep, stream) into a root
+                    // first keeps (stream, solver) pairs collision-free for
+                    // any solver count.
+                    let root = child_seed(spec.seed ^ ALGO_SALT, rep as u64, spec.stream);
+                    let mut ctx = SolveCtx::seeded(child_seed(root, si as u64, 0))
+                        .with_recycled_scratch(std::mem::take(scratch));
+                    let outcome = s.solve(&instance, &mut ctx);
+                    *scratch = ctx.take_scratch();
+                    outcome
+                })
+                .collect()
+        },
+    );
     per_rep.into_iter().collect()
+}
+
+/// Aggregates the per-outcome [`EvalStats`] of a [`solve_batch`] result
+/// into one counter per solver (column-wise over repetitions).
+pub fn batch_eval_stats(outcomes: &[Vec<Outcome>]) -> Vec<EvalStats> {
+    let cols = outcomes.first().map_or(0, Vec::len);
+    let mut agg = vec![EvalStats::default(); cols];
+    for row in outcomes {
+        for (acc, o) in agg.iter_mut().zip(row) {
+            acc.merge(o.eval_stats);
+        }
+    }
+    agg
 }
 
 #[cfg(test)]
@@ -157,6 +185,23 @@ mod tests {
         let a = solve_batch(&source, &refs(&s), &BatchSpec::new(2, 7).with_stream(0)).unwrap();
         let b = solve_batch(&source, &refs(&s), &BatchSpec::new(2, 7).with_stream(1)).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eval_stats_aggregate_per_solver_column() {
+        let s = solvers();
+        let outcomes = solve_batch(&source, &refs(&s), &BatchSpec::new(5, 3)).unwrap();
+        let agg = batch_eval_stats(&outcomes);
+        assert_eq!(agg.len(), 3);
+        for (col, acc) in agg.iter().enumerate() {
+            let expected: u64 = outcomes
+                .iter()
+                .map(|r| r[col].eval_stats.kernel_calls)
+                .sum();
+            assert_eq!(acc.kernel_calls, expected);
+            assert!(acc.kernel_calls >= 5, "each rep contributes at least once");
+        }
+        assert!(batch_eval_stats(&[]).is_empty());
     }
 
     #[test]

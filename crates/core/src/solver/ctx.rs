@@ -1,5 +1,7 @@
-//! Per-solve context: the RNG and the knobs a solver may consult.
+//! Per-solve context: the RNG, the evaluation scratch, and the knobs a
+//! solver may consult.
 
+use crate::eval::{EvalScratch, EvalStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,6 +34,7 @@ const CHILD_SALT: u64 = 0x5047_F01A_0C05_11ED;
 pub struct SolveCtx {
     seed: u64,
     rng: StdRng,
+    scratch: EvalScratch,
     /// Worker threads a meta-solver (e.g. [`Portfolio`](super::Portfolio))
     /// may fan out on. `1` means run serially; results are identical either
     /// way because sub-solvers always draw from [`Self::child`] seeds.
@@ -44,6 +47,7 @@ impl SolveCtx {
         Self {
             seed,
             rng: StdRng::seed_from_u64(seed),
+            scratch: EvalScratch::new(),
             threads: 1,
         }
     }
@@ -52,6 +56,17 @@ impl SolveCtx {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Installs a recycled [`EvalScratch`] (buffers cleared, capacity and
+    /// therefore allocations kept, stats zeroed). Used by
+    /// [`solve_batch`](super::solve_batch) to reuse one scratch per worker
+    /// across instances; results are bit-identical either way because every
+    /// kernel clears its output buffer before writing.
+    #[must_use]
+    pub fn with_recycled_scratch(mut self, scratch: EvalScratch) -> Self {
+        self.scratch = scratch.recycle();
         self
     }
 
@@ -64,6 +79,29 @@ impl SolveCtx {
     /// touch it.
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.rng
+    }
+
+    /// The reusable evaluation scratch (buffers + [`EvalStats`]).
+    pub fn scratch(&mut self) -> &mut EvalScratch {
+        &mut self.scratch
+    }
+
+    /// Simultaneous access to the RNG and the scratch, for solvers that
+    /// interleave random decisions with kernel evaluations.
+    pub fn rng_and_scratch(&mut self) -> (&mut StdRng, &mut EvalScratch) {
+        (&mut self.rng, &mut self.scratch)
+    }
+
+    /// Snapshot of the evaluation counters; pair with
+    /// [`EvalStats::since`] to attribute work to one solve.
+    pub fn stats(&self) -> EvalStats {
+        self.scratch.stats
+    }
+
+    /// Takes the scratch out of the context (leaving a fresh one), so a
+    /// batch worker can recycle it into the next solve's context.
+    pub fn take_scratch(&mut self) -> EvalScratch {
+        std::mem::take(&mut self.scratch)
     }
 
     /// Derives an independent child context for sub-solver `stream`,
@@ -120,6 +158,23 @@ mod tests {
         let parent = SolveCtx::seeded(1).with_threads(4);
         let child = parent.child(0);
         assert_eq!(child.threads, 4);
+    }
+
+    #[test]
+    fn recycled_scratch_keeps_capacity_but_not_state() {
+        let mut ctx = SolveCtx::seeded(1);
+        ctx.scratch().costs.extend([1.0, 2.0, 3.0]);
+        ctx.scratch().stats.record(3);
+        let scratch = ctx.take_scratch();
+        assert_eq!(ctx.stats(), crate::eval::EvalStats::default());
+        let cap = scratch.costs.capacity();
+        let mut next = SolveCtx::seeded(2).with_recycled_scratch(scratch);
+        assert_eq!(next.stats(), crate::eval::EvalStats::default());
+        assert!(next.scratch().costs.is_empty());
+        assert!(next.scratch().costs.capacity() >= cap);
+        let (_rng, scratch) = next.rng_and_scratch();
+        scratch.stats.record(1);
+        assert_eq!(next.stats().kernel_calls, 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! A validated co-scheduling problem instance.
 
 use crate::error::Result;
+use crate::eval::EvalSet;
 use crate::model::{Application, ExecModel, Platform};
 
 /// A co-scheduling problem: applications plus the platform they share.
@@ -17,6 +18,7 @@ pub struct Instance {
     apps: Vec<Application>,
     platform: Platform,
     models: Vec<ExecModel>,
+    eval: EvalSet,
 }
 
 impl Instance {
@@ -30,10 +32,12 @@ impl Instance {
         crate::model::validate_instance(&apps)?;
         platform.validate()?;
         let models = ExecModel::of_all(&apps, &platform);
+        let eval = EvalSet::from_models(&apps, &platform, &models);
         Ok(Self {
             apps,
             platform,
             models,
+            eval,
         })
     }
 
@@ -51,6 +55,12 @@ impl Instance {
     /// [`Self::apps`].
     pub fn models(&self) -> &[ExecModel] {
         &self.models
+    }
+
+    /// The cached struct-of-arrays view the batched Eq. 2 kernels run on
+    /// (see [`crate::eval`]), derived once at construction.
+    pub fn eval(&self) -> &EvalSet {
+        &self.eval
     }
 
     /// Number of applications.
@@ -84,6 +94,7 @@ mod tests {
         assert_eq!(inst.len(), 2);
         assert!(!inst.is_empty());
         assert_eq!(inst.models(), ExecModel::of_all(&apps(), &platform));
+        assert_eq!(inst.eval(), &EvalSet::of(&apps(), &platform));
         assert_eq!(inst.platform(), &platform);
         assert_eq!(inst.apps(), &apps()[..]);
     }

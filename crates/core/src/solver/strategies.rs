@@ -11,7 +11,7 @@ use crate::error::Result;
 use crate::model::Schedule;
 use crate::solver::{Instance, SolveCtx, Solver};
 use crate::theory::cache_alloc::optimal_cache_fractions;
-use crate::theory::proc_alloc::equal_finish_split;
+use crate::theory::proc_alloc::equal_finish_split_eval;
 
 impl Solver for Strategy {
     fn name(&self) -> String {
@@ -23,38 +23,50 @@ impl Solver for Strategy {
     }
 
     fn solve(&self, instance: &Instance, ctx: &mut SolveCtx) -> Result<Outcome> {
-        let (apps, platform, models) = (instance.apps(), instance.platform(), instance.models());
-        match self {
+        let (models, eval) = (instance.models(), instance.eval());
+        let before = ctx.stats();
+        let mut outcome = match self {
             Self::Dominant { order, choice } => {
                 let partition = dominant_partition(models, *order, *choice, ctx.rng());
                 let cache = optimal_cache_fractions(models, &partition);
-                let ef = equal_finish_split(apps, platform, &cache)?;
-                Ok(Outcome {
+                let ef = equal_finish_split_eval(eval, &cache, ctx.scratch())?;
+                Outcome {
                     makespan: ef.makespan,
                     schedule: Schedule::from_parts(&ef.procs, &cache),
                     partition,
                     concurrent: true,
-                })
+                    eval_stats: Default::default(),
+                }
             }
             Self::DominantRefined { max_iters } => {
                 let partition =
                     dominant_partition(models, BuildOrder::Forward, Choice::MinRatio, ctx.rng());
                 let cache = optimal_cache_fractions(models, &partition);
-                let refined = crate::algo::refine::refine(
-                    apps, platform, models, &partition, cache, *max_iters,
+                let refined = crate::algo::refine::refine_eval(
+                    eval,
+                    &partition,
+                    cache,
+                    *max_iters,
+                    ctx.scratch(),
                 )?;
-                Ok(Outcome {
+                Outcome {
                     makespan: refined.makespan,
                     schedule: refined.schedule,
                     partition,
                     concurrent: true,
-                })
+                    eval_stats: Default::default(),
+                }
             }
-            Self::RandomPart => random_part_core(apps, platform, models, ctx.rng()),
-            Self::Fair => Ok(fair_core(apps, platform)),
-            Self::ZeroCache => zero_cache_core(apps, platform),
-            Self::AllProcCache => Ok(all_proc_cache_core(apps, platform)),
-        }
+            Self::RandomPart => {
+                let (rng, scratch) = ctx.rng_and_scratch();
+                random_part_core(eval, rng, scratch)?
+            }
+            Self::Fair => fair_core(eval, ctx.scratch()),
+            Self::ZeroCache => zero_cache_core(eval, ctx.scratch())?,
+            Self::AllProcCache => all_proc_cache_core(eval, ctx.scratch()),
+        };
+        outcome.eval_stats = ctx.stats().since(before);
+        Ok(outcome)
     }
 }
 
@@ -92,6 +104,45 @@ mod tests {
                 .unwrap();
             assert_eq!(via_solver, via_run, "{}", Solver::name(&s));
         }
+    }
+
+    #[test]
+    fn every_strategy_reports_its_evaluation_work() {
+        let inst = instance();
+        let mut strategies = Strategy::all_coscheduling();
+        strategies.push(Strategy::AllProcCache);
+        strategies.push(Strategy::refined());
+        for s in strategies {
+            let o = s.solve(&inst, &mut SolveCtx::seeded(1)).unwrap();
+            assert!(
+                o.eval_stats.kernel_calls > 0,
+                "{} reported no kernel calls",
+                Solver::name(&s)
+            );
+            assert!(
+                o.eval_stats.apps_evaluated >= o.eval_stats.kernel_calls,
+                "{} evaluated fewer apps than kernels",
+                Solver::name(&s)
+            );
+            // Stats are part of the outcome and must reproduce under the
+            // same seed.
+            let again = s.solve(&inst, &mut SolveCtx::seeded(1)).unwrap();
+            assert_eq!(o.eval_stats, again.eval_stats, "{}", Solver::name(&s));
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_solves_but_outcomes_report_deltas() {
+        let inst = instance();
+        let mut ctx = SolveCtx::seeded(0);
+        let first = Strategy::ZeroCache.solve(&inst, &mut ctx).unwrap();
+        let second = Strategy::ZeroCache.solve(&inst, &mut ctx).unwrap();
+        assert_eq!(first.eval_stats, second.eval_stats);
+        assert_eq!(
+            ctx.stats().kernel_calls,
+            2 * first.eval_stats.kernel_calls,
+            "context counters accumulate"
+        );
     }
 
     #[test]

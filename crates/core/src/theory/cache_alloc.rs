@@ -25,6 +25,23 @@ pub fn optimal_cache_fractions(models: &[ExecModel], partition: &Partition) -> V
     x
 }
 
+/// Allocation-free form of [`optimal_cache_fractions`] on a raw weight
+/// slice (e.g. [`EvalSet::weights`](crate::eval::EvalSet::weights)), for
+/// enumeration loops that evaluate many partitions against one reusable
+/// buffer. Strength is summed over members in the same order as
+/// [`partition_strength`], so the fractions are bit-identical.
+pub fn optimal_cache_fractions_into(weights: &[f64], partition: &Partition, x: &mut Vec<f64>) {
+    x.clear();
+    x.resize(weights.len(), 0.0);
+    let strength: f64 = partition.members().iter().map(|&i| weights[i]).sum();
+    if strength <= 0.0 {
+        return;
+    }
+    for &i in partition.members() {
+        x[i] = weights[i] / strength;
+    }
+}
+
 /// Footprint-aware extension (not in the paper, which assumes `a_i = ∞` in
 /// §4.2/§5): water-filling variant of Theorem 3 for applications whose
 /// memory footprint caps their useful share at `a_i / Cs`.
@@ -153,6 +170,22 @@ mod tests {
                     total(&y) >= base - 1e-9,
                     "moving cache from {j} to {i} improved the objective"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_is_bit_identical_for_every_partition() {
+        let (_, _, m) = setup();
+        let weights: Vec<f64> = m.iter().map(|em| em.weight).collect();
+        let mut buf = vec![99.0; 7]; // stale content must be overwritten
+        for mask in 0u32..8 {
+            let part = Partition::new((0..3).filter(|i| mask >> i & 1 == 1).collect());
+            let boxed = optimal_cache_fractions(&m, &part);
+            optimal_cache_fractions_into(&weights, &part, &mut buf);
+            assert_eq!(buf.len(), 3);
+            for (u, v) in boxed.iter().zip(&buf) {
+                assert_eq!(u.to_bits(), v.to_bits(), "mask {mask}");
             }
         }
     }

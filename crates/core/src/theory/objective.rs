@@ -1,8 +1,9 @@
 //! The reduced objective of Lemma 3 and the partitioned objective of
 //! Definition 3 (`CoSchedCache-Part`).
 
+use crate::eval::{EvalScratch, EvalSet};
 use crate::model::{seq_cost, seq_cost_full_miss, Application, ExecModel, Platform};
-use crate::theory::cache_alloc::optimal_cache_fractions;
+use crate::theory::cache_alloc::{optimal_cache_fractions, optimal_cache_fractions_into};
 use crate::theory::dominance::Partition;
 
 /// Lemma 3: for perfectly parallel applications the makespan of the optimal
@@ -37,6 +38,25 @@ pub fn partition_objective(
         };
     }
     total / platform.processors
+}
+
+/// [`partition_objective`] on a struct-of-arrays view, reusing `scratch`
+/// buffers instead of allocating per partition — the inner loop of the §4
+/// exact enumerators, which visit up to `2^n` subsets.
+///
+/// Bit-identical to the scalar form: non-members get fraction `0`, where
+/// the kernel's sequential cost equals `seq_cost_full_miss` exactly (the
+/// miss rate saturates at 1), and the sum accumulates in the same index
+/// order.
+pub fn partition_objective_eval(
+    eval: &EvalSet,
+    partition: &Partition,
+    scratch: &mut EvalScratch,
+) -> f64 {
+    optimal_cache_fractions_into(eval.weights(), partition, &mut scratch.fractions);
+    eval.seq_costs_into(&scratch.fractions, &mut scratch.costs);
+    scratch.stats.record(eval.len());
+    scratch.costs.iter().sum::<f64>() / eval.processors()
 }
 
 #[cfg(test)]
@@ -76,6 +96,20 @@ mod tests {
             / 256.0;
         let got = partition_objective(&apps, &pf, &models, &part);
         assert!((got - manual).abs() / manual < 1e-12);
+    }
+
+    #[test]
+    fn eval_objective_is_bit_identical_for_every_partition() {
+        let (apps, pf, models) = setup();
+        let eval = EvalSet::of(&apps, &pf);
+        let mut scratch = EvalScratch::new();
+        for mask in 0u32..16 {
+            let part = Partition::new((0..4).filter(|i| mask >> i & 1 == 1).collect());
+            let scalar = partition_objective(&apps, &pf, &models, &part);
+            let soa = partition_objective_eval(&eval, &part, &mut scratch);
+            assert_eq!(scalar.to_bits(), soa.to_bits(), "mask {mask}");
+        }
+        assert_eq!(scratch.stats.kernel_calls, 16);
     }
 
     #[test]

@@ -1,7 +1,13 @@
 //! Processor allocation (paper Lemma 2 and the §5 equal-finish-time
 //! bisection for Amdahl profiles).
+//!
+//! The bisection itself operates on the vector of sequential costs, which
+//! can come from the scalar reference ([`equal_finish_split`]) or from the
+//! struct-of-arrays kernels ([`equal_finish_split_eval`]); both feed the
+//! same core, so results are bit-identical.
 
 use crate::error::{CoschedError, Result};
+use crate::eval::{EvalScratch, EvalSet};
 use crate::model::{seq_cost, Application, Platform};
 use crate::REL_TOL;
 
@@ -50,74 +56,79 @@ pub fn equal_finish_split(
     platform: &Platform,
     cache: &[f64],
 ) -> Result<EqualFinish> {
-    if apps.is_empty() {
-        return Err(CoschedError::EmptyInstance);
-    }
-    let p = platform.processors;
     let costs: Vec<f64> = apps
         .iter()
         .zip(cache)
         .map(|(a, &x)| seq_cost(a, platform, x))
         .collect();
     let seq: Vec<f64> = apps.iter().map(|a| a.seq_fraction).collect();
+    equal_finish_from_costs(&costs, &seq, platform.processors)
+}
 
-    // Processors demanded to finish every application by time K.
-    let demand = |k: f64| -> f64 {
-        costs
-            .iter()
-            .zip(&seq)
-            .map(|(&c, &s)| {
-                let denom = k / c - s;
-                if denom <= 0.0 {
-                    f64::INFINITY
-                } else {
-                    (1.0 - s) / denom
-                }
-            })
-            .sum()
+/// [`equal_finish_split`] on a struct-of-arrays instance view: the
+/// sequential costs come from one [`EvalSet::seq_costs_into`] kernel call
+/// into `scratch` instead of `n` scalar `seq_cost` evaluations. The
+/// bisection core is shared, so the result is bit-identical to the scalar
+/// entry point.
+pub fn equal_finish_split_eval(
+    eval: &EvalSet,
+    cache: &[f64],
+    scratch: &mut EvalScratch,
+) -> Result<EqualFinish> {
+    let costs = scratch.seq_costs(eval, cache);
+    equal_finish_from_costs(costs, eval.seq_fractions(), eval.processors())
+}
+
+/// Makespan-only variant of [`equal_finish_split_eval`] for enumeration
+/// loops (e.g. [`crate::algo::exact::best_partition`]) that compare many
+/// subsets and only need the processor split of the winner: skips building
+/// and normalising the `procs` vector. The returned `K` is exactly the
+/// [`EqualFinish::makespan`] the full solve would report.
+pub fn equal_finish_makespan_eval(
+    eval: &EvalSet,
+    cache: &[f64],
+    scratch: &mut EvalScratch,
+) -> Result<f64> {
+    let costs = scratch.seq_costs(eval, cache);
+    Ok(bisect_makespan(costs, eval.seq_fractions(), eval.processors())?.value())
+}
+
+/// Outcome of the §5 bisection on a cost vector.
+enum Bisect {
+    /// The bracket was valid and the bisection converged on `K`.
+    Converged(f64),
+    /// Degenerate costs (all ~0): `demand(lo) < p`, callers fall back to a
+    /// uniform processor split at makespan `lo`.
+    Degenerate(f64),
+}
+
+impl Bisect {
+    fn value(&self) -> f64 {
+        match *self {
+            Self::Converged(k) | Self::Degenerate(k) => k,
+        }
+    }
+}
+
+/// The shared §5 solver: given per-application sequential costs `c_i` and
+/// Amdahl fractions `s_i`, finds the equal-finish makespan and processor
+/// split on `p` processors. Both the scalar and the SoA entry points call
+/// this, which is what keeps them bit-identical.
+fn equal_finish_from_costs(costs: &[f64], seq: &[f64], p: f64) -> Result<EqualFinish> {
+    let k = match bisect_makespan(costs, seq, p)? {
+        Bisect::Degenerate(lo) => {
+            // Possible when every c_i is 0-ish; fall back to the trivial
+            // split.
+            return Ok(EqualFinish {
+                makespan: lo,
+                procs: vec![p / costs.len() as f64; costs.len()],
+            });
+        }
+        Bisect::Converged(k) => k,
     };
-
-    let mut lo = costs
-        .iter()
-        .zip(&seq)
-        .map(|(&c, &s)| (s + (1.0 - s) / p) * c)
-        .fold(0.0, f64::max);
-    let mut hi = costs.iter().copied().fold(0.0, f64::max);
-    // n > p (or degenerate profiles): widen until the bracket is valid.
-    let mut guard = 0;
-    while demand(hi) > p {
-        hi *= 2.0;
-        guard += 1;
-        if guard > 1024 {
-            return Err(CoschedError::NoFeasibleMakespan(
-                "upper bound does not converge".into(),
-            ));
-        }
-    }
-    if demand(lo) < p {
-        // Possible when every c_i is 0-ish; fall back to the trivial split.
-        return Ok(EqualFinish {
-            makespan: lo,
-            procs: vec![p / apps.len() as f64; apps.len()],
-        });
-    }
-
-    // Bisection: demand(K) is strictly decreasing in K on (lo, hi].
-    for _ in 0..200 {
-        let mid = 0.5 * (lo + hi);
-        if demand(mid) > p {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-        if (hi - lo) <= REL_TOL * hi {
-            break;
-        }
-    }
-    let k = hi;
     let mut procs: Vec<f64> = costs
         .iter()
-        .zip(&seq)
+        .zip(seq)
         .map(|(&c, &s)| {
             let denom = k / c - s;
             if denom <= 0.0 {
@@ -135,6 +146,62 @@ pub fn equal_finish_split(
         }
     }
     Ok(EqualFinish { makespan: k, procs })
+}
+
+fn bisect_makespan(costs: &[f64], seq: &[f64], p: f64) -> Result<Bisect> {
+    if costs.is_empty() {
+        return Err(CoschedError::EmptyInstance);
+    }
+    // Processors demanded to finish every application by time K.
+    let demand = |k: f64| -> f64 {
+        costs
+            .iter()
+            .zip(seq)
+            .map(|(&c, &s)| {
+                let denom = k / c - s;
+                if denom <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    (1.0 - s) / denom
+                }
+            })
+            .sum()
+    };
+
+    let mut lo = costs
+        .iter()
+        .zip(seq)
+        .map(|(&c, &s)| (s + (1.0 - s) / p) * c)
+        .fold(0.0, f64::max);
+    let mut hi = costs.iter().copied().fold(0.0, f64::max);
+    // n > p (or degenerate profiles): widen until the bracket is valid.
+    let mut guard = 0;
+    while demand(hi) > p {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 1024 {
+            return Err(CoschedError::NoFeasibleMakespan(
+                "upper bound does not converge".into(),
+            ));
+        }
+    }
+    if demand(lo) < p {
+        return Ok(Bisect::Degenerate(lo));
+    }
+
+    // Bisection: demand(K) is strictly decreasing in K on (lo, hi].
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if demand(mid) > p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) <= REL_TOL * hi {
+            break;
+        }
+    }
+    Ok(Bisect::Converged(hi))
 }
 
 #[cfg(test)]
@@ -264,6 +331,56 @@ mod tests {
     fn equal_finish_empty_instance_errors() {
         assert!(matches!(
             equal_finish_split(&[], &pf(), &[]),
+            Err(CoschedError::EmptyInstance)
+        ));
+    }
+
+    #[test]
+    fn eval_entry_points_are_bit_identical_to_scalar() {
+        let a = apps_amdahl();
+        let platform = pf();
+        let eval = EvalSet::of(&a, &platform);
+        let mut scratch = EvalScratch::new();
+        let x = vec![0.3, 0.3, 0.4];
+        let scalar = equal_finish_split(&a, &platform, &x).unwrap();
+        let soa = equal_finish_split_eval(&eval, &x, &mut scratch).unwrap();
+        assert_eq!(scalar.makespan.to_bits(), soa.makespan.to_bits());
+        for (u, v) in scalar.procs.iter().zip(&soa.procs) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        let k = equal_finish_makespan_eval(&eval, &x, &mut scratch).unwrap();
+        assert_eq!(k.to_bits(), scalar.makespan.to_bits());
+        // One kernel call of n apps per entry point.
+        assert_eq!(scratch.stats.kernel_calls, 2);
+        assert_eq!(scratch.stats.apps_evaluated, 6);
+    }
+
+    #[test]
+    fn eval_entry_points_match_on_degenerate_and_oversubscribed_cases() {
+        // n > p exercises the bracket widening; the scalar and SoA paths
+        // must stay in lockstep there too.
+        let platform = pf().with_processors(4.0);
+        let a: Vec<Application> = (0..16)
+            .map(|i| Application::new(format!("T{i}"), 1e9 * (i + 1) as f64, 0.05, 0.5, 1e-3))
+            .collect();
+        let x = vec![1.0 / 16.0; 16];
+        let eval = EvalSet::of(&a, &platform);
+        let mut scratch = EvalScratch::new();
+        let scalar = equal_finish_split(&a, &platform, &x).unwrap();
+        let soa = equal_finish_split_eval(&eval, &x, &mut scratch).unwrap();
+        assert_eq!(scalar, soa);
+    }
+
+    #[test]
+    fn eval_entry_point_rejects_empty_instances() {
+        let eval = EvalSet::of(&[], &pf());
+        let mut scratch = EvalScratch::new();
+        assert!(matches!(
+            equal_finish_split_eval(&eval, &[], &mut scratch),
+            Err(CoschedError::EmptyInstance)
+        ));
+        assert!(matches!(
+            equal_finish_makespan_eval(&eval, &[], &mut scratch),
             Err(CoschedError::EmptyInstance)
         ));
     }

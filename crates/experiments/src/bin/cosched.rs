@@ -5,6 +5,7 @@
 //! ```text
 //! cosched apps.csv --procs 256 --cache-gb 32 --ways 16 [--strategy NAME]
 //! cosched --demo              # run on the built-in NPB Table-2 workload
+//! cosched --demo --eval-stats # also print the evaluation-engine counters
 //! cosched --list-strategies   # print every addressable solver name
 //! ```
 //!
@@ -16,10 +17,12 @@
 //! prints the per-solver breakdown alongside the winning schedule.
 
 use cachesim::clos::{ClosConfig, ClosTable};
+use coschedule::eval::EvalStats;
 use coschedule::model::Platform;
 use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 use experiments::appcsv::parse_applications;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 use workloads::npb::npb6;
 
 fn main() -> ExitCode {
@@ -31,11 +34,13 @@ fn main() -> ExitCode {
     let mut seed = 0xC05u64;
     let mut strategy_name = "DominantMinRatio".to_string();
     let mut demo = false;
+    let mut eval_stats = false;
 
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--demo" => demo = true,
+            "--eval-stats" => eval_stats = true,
             "--list-strategies" => {
                 for name in solver::names() {
                     println!("{name}");
@@ -109,16 +114,27 @@ fn main() -> ExitCode {
     };
 
     let mut ctx = SolveCtx::seeded(seed);
+    // Per-solver evaluation counters, collected for --eval-stats.
+    let mut stats_rows: Vec<(String, EvalStats)> = Vec::new();
+    let solve_wall;
+    let solve_started = Instant::now();
     let outcome = if strategy.name() == "Portfolio" {
         // Re-build the portfolio directly so the per-solver breakdown can
-        // be printed alongside the winning schedule.
+        // be printed alongside the winning schedule. Printing happens
+        // after the wall-time measurement so --eval-stats reports solve
+        // cost, not stdout cost.
         let portfolio = Portfolio::new(solver::all());
-        match portfolio.solve_detailed(&instance, &ctx) {
+        let result = portfolio.solve_detailed(&instance, &ctx);
+        solve_wall = solve_started.elapsed();
+        match result {
             Ok(report) => {
                 println!("# portfolio breakdown ({} solvers):", report.members.len());
                 for m in &report.members {
                     match &m.result {
-                        Ok(o) => println!("#   {:<22} makespan {:.6e}", m.name, o.makespan),
+                        Ok(o) => {
+                            println!("#   {:<22} makespan {:.6e}", m.name, o.makespan);
+                            stats_rows.push((m.name.clone(), o.eval_stats));
+                        }
                         Err(e) => println!("#   {:<22} failed: {e}", m.name),
                     }
                 }
@@ -131,8 +147,13 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        match strategy.solve(&instance, &mut ctx) {
-            Ok(o) => o,
+        let result = strategy.solve(&instance, &mut ctx);
+        solve_wall = solve_started.elapsed();
+        match result {
+            Ok(o) => {
+                stats_rows.push((strategy.name(), o.eval_stats));
+                o
+            }
             Err(e) => {
                 eprintln!("scheduling failed: {e}");
                 return ExitCode::FAILURE;
@@ -155,6 +176,10 @@ fn main() -> ExitCode {
             asg.procs,
             asg.cache * 100.0
         );
+    }
+
+    if eval_stats {
+        print_eval_stats(&stats_rows, solve_wall);
     }
 
     let fractions: Vec<f64> = outcome
@@ -182,11 +207,40 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Prints the per-solver evaluation-engine breakdown: batched kernel
+/// calls, total applications evaluated, and the wall time of the whole
+/// solve (per-member wall time is not attributable when the Portfolio
+/// fans out).
+fn print_eval_stats(rows: &[(String, EvalStats)], wall: Duration) {
+    println!(
+        "\n# eval stats (solve wall time {:.3} ms)",
+        wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "# {:<22} {:>14} {:>16}",
+        "solver", "kernel calls", "apps evaluated"
+    );
+    let mut total = EvalStats::default();
+    for (name, stats) in rows {
+        println!(
+            "# {:<22} {:>14} {:>16}",
+            name, stats.kernel_calls, stats.apps_evaluated
+        );
+        total.merge(*stats);
+    }
+    if rows.len() > 1 {
+        println!(
+            "# {:<22} {:>14} {:>16}",
+            "total", total.kernel_calls, total.apps_evaluated
+        );
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: cosched <apps.csv | --demo | --list-strategies> [--procs N] [--cache-gb G] \
-         [--ways W] [--seed S] [--strategy NAME]\n\
+         [--ways W] [--seed S] [--strategy NAME] [--eval-stats]\n\
          strategies: {}",
         solver::names().join(", ")
     );

@@ -7,7 +7,8 @@
 //! analytic prediction is from the simulated outcome.
 
 use crate::engine::{CoSimConfig, CoSimulator, SimOutcome};
-use coschedule::model::{exec_time, Application, Platform, Schedule};
+use coschedule::eval::EvalSet;
+use coschedule::model::{Application, Platform, Schedule};
 
 /// Per-application and aggregate comparison between the Eq.-2 prediction
 /// and the discrete simulation.
@@ -49,25 +50,23 @@ pub fn validate_schedule(
     let scale = config.work_scale;
     let outcome = CoSimulator::new(apps, platform, schedule, config).run();
 
+    // One struct-of-arrays view of the work-scaled applications feeds both
+    // predictions as batched kernel calls (the scalar loop used to call
+    // `exec_time` and re-derive `d_i` per application).
+    let scaled: Vec<Application> = apps
+        .iter()
+        .map(|app| {
+            let mut a = app.clone();
+            a.work = (app.work * scale).max(1.0);
+            a
+        })
+        .collect();
+    let eval = EvalSet::of(&scaled, platform);
+    let procs: Vec<f64> = schedule.assignments.iter().map(|a| a.procs).collect();
     let mut predicted_times = Vec::with_capacity(apps.len());
+    eval.exec_times_into(&procs, &outcome.effective_fractions, &mut predicted_times);
     let mut predicted_miss_rates = Vec::with_capacity(apps.len());
-    for (i, app) in apps.iter().enumerate() {
-        let x_eff = outcome.effective_fractions[i];
-        let mut scaled = app.clone();
-        scaled.work = (app.work * scale).max(1.0);
-        predicted_times.push(exec_time(
-            &scaled,
-            platform,
-            schedule.assignments[i].procs,
-            x_eff,
-        ));
-        let d = platform.full_cache_miss_rate(app);
-        predicted_miss_rates.push(if x_eff <= 0.0 {
-            1.0
-        } else {
-            (d / x_eff.powf(platform.alpha)).min(1.0)
-        });
-    }
+    eval.power_law_miss_rates_into(&outcome.effective_fractions, &mut predicted_miss_rates);
     let predicted_makespan = predicted_times.iter().copied().fold(0.0, f64::max);
     let relative_error = if predicted_makespan > 0.0 {
         (outcome.makespan - predicted_makespan).abs() / predicted_makespan

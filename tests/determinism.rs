@@ -3,6 +3,7 @@
 
 use coschedule::algo::Strategy;
 use coschedule::model::Platform;
+use coschedule::solver::{self, solve_batch, BatchSpec, Instance, Solver};
 use cosim::{CoSimConfig, CoSimulator};
 use experiments::ExpConfig;
 use workloads::rng::seeded_rng;
@@ -27,6 +28,41 @@ fn strategies_are_reproducible_under_seed() {
         let a = s.run(&apps, &platform, &mut seeded_rng(9)).unwrap();
         let b = s.run(&apps, &platform, &mut seeded_rng(9)).unwrap();
         assert_eq!(a, b, "{}", s.name());
+    }
+}
+
+#[test]
+fn batch_scratch_reuse_keeps_serial_and_parallel_bit_identical() {
+    // solve_batch recycles one EvalScratch per worker across instances;
+    // whether a worker handles one repetition (8 threads) or all of them
+    // (serial), and no matter which repetitions share a warm scratch, the
+    // outcomes — makespans, schedules, partitions AND eval_stats — must be
+    // bit-identical.
+    let platform = Platform::taihulight();
+    let source = |rep: usize, rng: &mut rand::rngs::StdRng| {
+        let n = 6 + rep % 3;
+        Instance::new(
+            Dataset::NpbSynth.generate(n, SeqFraction::paper_default(), rng),
+            platform.clone(),
+        )
+    };
+    let solvers = solver::all();
+    let refs: Vec<&dyn Solver> = solvers.iter().map(|s| s.as_ref() as &dyn Solver).collect();
+    let serial = solve_batch(&source, &refs, &BatchSpec::new(8, 77)).unwrap();
+    for threads in [2, 4, 8] {
+        let parallel =
+            solve_batch(&source, &refs, &BatchSpec::new(8, 77).with_threads(threads)).unwrap();
+        assert_eq!(serial, parallel, "{threads} threads diverged from serial");
+    }
+    // Eval work is itself deterministic and non-trivial.
+    for row in &serial {
+        for (o, s) in row.iter().zip(&solvers) {
+            assert!(
+                o.eval_stats.kernel_calls > 0,
+                "{} did no eval work",
+                s.name()
+            );
+        }
     }
 }
 

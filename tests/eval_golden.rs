@@ -1,0 +1,74 @@
+//! Golden makespans for every registered solver on the NPB-6 workload.
+//!
+//! The bit patterns below were captured from the scalar evaluation path
+//! **before** the struct-of-arrays eval engine landed; the migrated
+//! solvers must reproduce them exactly. Any future change that perturbs a
+//! makespan — even in the last ulp — must either restore bit-identity or
+//! consciously re-capture these constants and document why the iteration
+//! order legitimately changed.
+
+use coschedule::model::Platform;
+use coschedule::solver::{self, Instance, SolveCtx};
+use workloads::npb::npb6;
+
+/// `(solver name, makespan bits)` on NPB-6 (`s = 0.05`), TaihuLight
+/// platform, `SolveCtx::seeded(42)`.
+const GOLDEN: [(&str, u64); 11] = [
+    ("DominantRandom", 0x42089c354d58e432), // 1.32124942511114235e10
+    ("DominantMinRatio", 0x42089c354d58e432), // 1.32124942511114235e10
+    ("DominantMaxRatio", 0x42089c354d58e432), // 1.32124942511114235e10
+    ("DominantRevRandom", 0x42089c354d58e432), // 1.32124942511114235e10
+    ("DominantRevMinRatio", 0x42089c354d58e432), // 1.32124942511114235e10
+    ("DominantRevMaxRatio", 0x42089c354d58e432), // 1.32124942511114235e10
+    ("RandomPart", 0x4214db925d4962da),     // 2.23957870903465347e10
+    ("Fair", 0x421021cd47395274),           // 1.73216444943305206e10
+    ("0cache", 0x42152d090649beaa),         // 2.27374698424361954e10
+    ("AllProcCache", 0x42208678c734485a),   // 3.54877694981413116e10
+    ("DominantRefined", 0x42089ba6c3bb50ee), // 1.32113265834145164e10
+];
+
+fn instance() -> Instance {
+    Instance::new(npb6(&[0.05]), Platform::taihulight()).unwrap()
+}
+
+#[test]
+fn every_registered_solver_reproduces_its_pre_migration_makespan() {
+    let inst = instance();
+    let solvers = solver::all();
+    assert_eq!(solvers.len(), GOLDEN.len(), "registry changed size");
+    for (s, &(name, bits)) in solvers.iter().zip(&GOLDEN) {
+        assert_eq!(s.name(), name, "registry order changed");
+        let outcome = s.solve(&inst, &mut SolveCtx::seeded(42)).unwrap();
+        let golden = f64::from_bits(bits);
+        assert_eq!(
+            outcome.makespan.to_bits(),
+            bits,
+            "{name}: got {:.17e}, golden {golden:.17e} (Δrel {:.3e})",
+            outcome.makespan,
+            (outcome.makespan - golden).abs() / golden
+        );
+    }
+}
+
+#[test]
+fn golden_solves_are_stable_across_repeat_and_scratch_reuse() {
+    // The same context solving twice in a row (warm recycled buffers) must
+    // still hit the golden values — buffer reuse cannot leak state.
+    let inst = instance();
+    let mut ctx = SolveCtx::seeded(42);
+    for &(name, bits) in &GOLDEN {
+        let s = solver::by_name(name).unwrap();
+        if s.is_randomized() {
+            // Randomized solvers consume the ctx stream; give them the
+            // golden stream position instead.
+            let o = s.solve(&inst, &mut SolveCtx::seeded(42)).unwrap();
+            assert_eq!(o.makespan.to_bits(), bits, "{name}");
+            continue;
+        }
+        let first = s.solve(&inst, &mut ctx).unwrap();
+        let second = s.solve(&inst, &mut ctx).unwrap();
+        assert_eq!(first.makespan.to_bits(), bits, "{name} (cold)");
+        assert_eq!(second.makespan.to_bits(), bits, "{name} (warm)");
+        assert_eq!(first.eval_stats, second.eval_stats, "{name} stats");
+    }
+}
