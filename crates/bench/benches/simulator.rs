@@ -3,10 +3,9 @@
 
 use coschedule::algo::{BuildOrder, Choice, Strategy};
 use coschedule::model::{Application, Platform};
+use coschedule::solver::{Instance, SolveCtx, Solver as _};
 use cosim::{validate_schedule, CoSimConfig, CoSimulator};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn platform() -> Platform {
@@ -42,9 +41,11 @@ fn bench_cosim(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[2usize, 4, 8] {
         let apps = instance(n);
-        let mut rng = StdRng::seed_from_u64(0);
         let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-            .run(&apps, &p, &mut rng)
+            .solve(
+                &Instance::new(apps.clone(), p.clone()).unwrap(),
+                &mut SolveCtx::seeded(0),
+            )
             .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &apps, |b, apps| {
             b.iter(|| {
@@ -66,9 +67,11 @@ fn bench_cosim(c: &mut Criterion) {
 fn bench_validation(c: &mut Criterion) {
     let p = platform();
     let apps = instance(4);
-    let mut rng = StdRng::seed_from_u64(0);
     let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-        .run(&apps, &p, &mut rng)
+        .solve(
+            &Instance::new(apps.clone(), p.clone()).unwrap(),
+            &mut SolveCtx::seeded(0),
+        )
         .unwrap();
     let mut group = c.benchmark_group("cosim_validate");
     group

@@ -119,6 +119,7 @@ pub fn best_partition(apps: &[Application], platform: &Platform) -> Result<Exact
 mod tests {
     use super::*;
     use crate::algo::{BuildOrder, Choice, Strategy};
+    use crate::solver::{Instance, SolveCtx, Solver as _};
     use crate::theory::objective::partition_objective;
     use crate::theory::proc_alloc::equal_finish_split;
     use rand::rngs::StdRng;
@@ -182,9 +183,9 @@ mod tests {
             // Stress the partition decision with a small LLC.
             let platform = pf().with_cache_size(100e6);
             let exact = exact_perfectly_parallel(&apps, &platform).unwrap();
-            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = Instance::new(apps, platform).unwrap();
             for s in Strategy::all_coscheduling() {
-                let o = s.run(&apps, &platform, &mut rng).unwrap();
+                let o = s.solve(&inst, &mut SolveCtx::seeded(seed)).unwrap();
                 assert!(
                     o.makespan >= exact.makespan * (1.0 - 1e-9),
                     "seed {seed}: {} beat the exact optimum ({} < {})",
@@ -205,9 +206,9 @@ mod tests {
             let apps = random_pp_instance(100 + seed, 6);
             let platform = pf().with_cache_size(200e6);
             let exact = exact_perfectly_parallel(&apps, &platform).unwrap();
-            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = Instance::new(apps, platform).unwrap();
             let h = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-                .run(&apps, &platform, &mut rng)
+                .solve(&inst, &mut SolveCtx::seeded(seed))
                 .unwrap();
             worst = worst.max(h.makespan / exact.makespan);
         }
@@ -248,9 +249,9 @@ mod tests {
             .collect();
         let platform = pf().with_cache_size(150e6);
         let reference = best_partition(&apps, &platform).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let inst = Instance::new(apps, platform).unwrap();
         for s in Strategy::all_dominant() {
-            let o = s.run(&apps, &platform, &mut rng).unwrap();
+            let o = s.solve(&inst, &mut SolveCtx::seeded(0)).unwrap();
             assert!(
                 o.makespan >= reference.makespan * (1.0 - 1e-9),
                 "{} beat the exhaustive reference",

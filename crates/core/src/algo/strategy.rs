@@ -118,6 +118,12 @@ impl Strategy {
     /// repeatedly should build an [`Instance`] once and call
     /// [`Solver::solve`] instead, which skips the per-call validation,
     /// model derivation, and cloning done here.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `Instance` once and call `Solver::solve` (or hold it in a \
+                `coschedule::session::Session` for repeated re-solves); this wrapper \
+                re-validates and re-derives models on every call"
+    )]
     pub fn run<R: Rng + ?Sized>(
         &self,
         apps: &[Application],
@@ -138,8 +144,6 @@ impl Strategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn apps() -> Vec<Application> {
         vec![
@@ -156,17 +160,24 @@ mod tests {
         Platform::taihulight()
     }
 
+    fn instance() -> Instance {
+        Instance::new(apps(), pf()).unwrap()
+    }
+
+    fn solve(s: Strategy, inst: &Instance, seed: u64) -> Outcome {
+        s.solve(inst, &mut SolveCtx::seeded(seed))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", Solver::name(&s)))
+    }
+
     #[test]
     fn every_strategy_yields_feasible_schedule() {
         let a = apps();
         let p = pf();
-        let mut rng = StdRng::seed_from_u64(0);
+        let inst = instance();
         let mut strategies = Strategy::all_coscheduling();
         strategies.push(Strategy::AllProcCache);
         for s in strategies {
-            let o = s.run(&a, &p, &mut rng).unwrap_or_else(|e| {
-                panic!("{} failed: {e}", s.name());
-            });
+            let o = solve(s, &inst, 0);
             if o.concurrent {
                 // Sequential AllProcCache grants (p, 1) to every run, so the
                 // concurrent resource constraints do not apply to it.
@@ -213,31 +224,30 @@ mod tests {
     fn dominant_beats_zero_cache_on_npb() {
         // The only difference between 0cache and DominantMinRatio is the
         // cache allocation, which the paper reports gains >20% from.
-        let a = apps();
-        let p = pf();
-        let mut rng = StdRng::seed_from_u64(0);
-        let dmr = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-            .run(&a, &p, &mut rng)
-            .unwrap();
-        let zc = Strategy::ZeroCache.run(&a, &p, &mut rng).unwrap();
+        let inst = instance();
+        let dmr = solve(
+            Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
+            &inst,
+            0,
+        );
+        let zc = solve(Strategy::ZeroCache, &inst, 0);
         assert!(dmr.makespan < zc.makespan);
     }
 
     #[test]
     fn dominant_beats_fair_and_random_part_on_npb() {
-        let a = apps();
-        let p = pf();
-        let mut rng = StdRng::seed_from_u64(1);
-        let dmr = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-            .run(&a, &p, &mut rng)
-            .unwrap()
-            .makespan;
-        let fair = Strategy::Fair.run(&a, &p, &mut rng).unwrap().makespan;
+        let inst = instance();
+        let dmr = solve(
+            Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
+            &inst,
+            1,
+        )
+        .makespan;
+        let fair = solve(Strategy::Fair, &inst, 1).makespan;
         // RandomPart averaged over seeds.
         let mut rp_sum = 0.0;
         for seed in 0..32 {
-            let mut r = StdRng::seed_from_u64(seed);
-            rp_sum += Strategy::RandomPart.run(&a, &p, &mut r).unwrap().makespan;
+            rp_sum += solve(Strategy::RandomPart, &inst, seed).makespan;
         }
         let rp = rp_sum / 32.0;
         assert!(dmr <= rp * (1.0 + 1e-9), "DMR {dmr} vs RandomPart {rp}");
@@ -248,44 +258,36 @@ mod tests {
     fn co_scheduling_beats_sequential_with_seq_fraction() {
         // Paper Figure 6: with s around a few percent, co-scheduling gains
         // >50% over AllProcCache on 256 processors and 16 apps.
-        let a = apps();
-        let p = pf();
-        let mut rng = StdRng::seed_from_u64(0);
-        let dmr = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-            .run(&a, &p, &mut rng)
-            .unwrap()
-            .makespan;
-        let apc = Strategy::AllProcCache
-            .run(&a, &p, &mut rng)
-            .unwrap()
-            .makespan;
+        let inst = instance();
+        let dmr = solve(
+            Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
+            &inst,
+            0,
+        )
+        .makespan;
+        let apc = solve(Strategy::AllProcCache, &inst, 0).makespan;
         assert!(dmr < apc, "co-scheduling {dmr} vs sequential {apc}");
     }
 
     #[test]
     fn single_app_all_proc_cache_equals_dominant() {
         // With one application both approaches give it everything.
-        let a = vec![apps().remove(1)];
-        let p = pf();
-        let mut rng = StdRng::seed_from_u64(0);
-        let dmr = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-            .run(&a, &p, &mut rng)
-            .unwrap()
-            .makespan;
-        let apc = Strategy::AllProcCache
-            .run(&a, &p, &mut rng)
-            .unwrap()
-            .makespan;
+        let inst = Instance::new(vec![apps().remove(1)], pf()).unwrap();
+        let dmr = solve(
+            Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
+            &inst,
+            0,
+        )
+        .makespan;
+        let apc = solve(Strategy::AllProcCache, &inst, 0).makespan;
         assert!((dmr - apc).abs() / apc < 1e-9);
     }
 
     #[test]
     fn outcome_partition_consistent_with_cache_assignment() {
-        let a = apps();
-        let p = pf();
-        let mut rng = StdRng::seed_from_u64(0);
+        let inst = instance();
         for s in Strategy::all_dominant() {
-            let o = s.run(&a, &p, &mut rng).unwrap();
+            let o = solve(s, &inst, 0);
             for (i, asg) in o.schedule.assignments.iter().enumerate() {
                 assert_eq!(
                     o.partition.contains(i),
@@ -301,11 +303,13 @@ mod tests {
     fn refined_never_loses_to_dmr() {
         let a = apps();
         let p = pf();
-        let mut rng = StdRng::seed_from_u64(0);
-        let dmr = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-            .run(&a, &p, &mut rng)
-            .unwrap();
-        let refined = Strategy::refined().run(&a, &p, &mut rng).unwrap();
+        let inst = instance();
+        let dmr = solve(
+            Strategy::dominant(BuildOrder::Forward, Choice::MinRatio),
+            &inst,
+            0,
+        );
+        let refined = solve(Strategy::refined(), &inst, 0);
         assert!(refined.makespan <= dmr.makespan * (1.0 + 1e-12));
         refined.schedule.validate(&a, &p).unwrap();
         assert_eq!(refined.partition, dmr.partition);
@@ -313,26 +317,17 @@ mod tests {
 
     #[test]
     fn refined_is_deterministic() {
-        let a = apps();
-        let p = pf();
+        let inst = instance();
         assert!(!Strategy::refined().is_randomized());
-        let r1 = Strategy::refined()
-            .run(&a, &p, &mut StdRng::seed_from_u64(1))
-            .unwrap();
-        let r2 = Strategy::refined()
-            .run(&a, &p, &mut StdRng::seed_from_u64(999))
-            .unwrap();
+        let r1 = solve(Strategy::refined(), &inst, 1);
+        let r2 = solve(Strategy::refined(), &inst, 999);
         assert_eq!(r1, r2);
     }
 
     #[test]
-    fn empty_instance_is_rejected_by_all() {
-        let p = pf();
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut strategies = Strategy::all_coscheduling();
-        strategies.push(Strategy::AllProcCache);
-        for s in strategies {
-            assert!(s.run(&[], &p, &mut rng).is_err(), "{}", s.name());
-        }
+    fn empty_instances_cannot_reach_a_solver() {
+        // Under the Solver API validation happens once, at Instance
+        // construction; no strategy can ever see an empty instance.
+        assert!(Instance::new(vec![], pf()).is_err());
     }
 }

@@ -40,6 +40,28 @@ pub enum CoschedError {
     /// A [`Portfolio`](crate::solver::Portfolio) was built with no member
     /// solvers.
     EmptyPortfolio,
+    /// A name passed to [`by_name`](crate::solver::by_name) matched no
+    /// registered solver (after trimming and case folding).
+    UnknownSolver {
+        /// The name as the caller supplied it.
+        name: String,
+        /// Every name the registry would have accepted.
+        available: Vec<String>,
+    },
+    /// An [`InstanceId`](crate::session::InstanceId) does not refer to a
+    /// live instance of the [`Session`](crate::session::Session).
+    UnknownInstance {
+        /// The raw id that failed to resolve.
+        id: u64,
+    },
+    /// An application index passed to a
+    /// [`session`](crate::session) mutation is out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of applications in the instance.
+        len: usize,
+    },
 }
 
 impl fmt::Display for CoschedError {
@@ -69,6 +91,18 @@ impl fmt::Display for CoschedError {
                 write!(f, "no feasible equal-finish-time makespan: {reason}")
             }
             Self::EmptyPortfolio => write!(f, "portfolio has no member solvers"),
+            Self::UnknownSolver { name, available } => write!(
+                f,
+                "unknown solver {name:?}; available: {}",
+                available.join(", ")
+            ),
+            Self::UnknownInstance { id } => {
+                write!(f, "no instance with id {id} in this session")
+            }
+            Self::IndexOutOfRange { index, len } => write!(
+                f,
+                "application index {index} out of range for an instance of {len}"
+            ),
         }
     }
 }

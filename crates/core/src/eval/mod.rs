@@ -179,6 +179,68 @@ impl EvalSet {
         &self.threshold
     }
 
+    /// Footprint caps `a_i / Cs` (`+∞` for unbounded footprints), aligned
+    /// with instance order.
+    pub fn caps(&self) -> &[f64] {
+        &self.cap
+    }
+
+    /// Appends one application's column, computing exactly the expressions
+    /// [`Self::from_models`] would — so a patched set is bit-identical to a
+    /// full rebuild. Used by [`crate::session`] when an application joins a
+    /// live instance.
+    pub(crate) fn push_column(
+        &mut self,
+        app: &Application,
+        platform: &Platform,
+        model: &ExecModel,
+    ) {
+        self.work.push(app.work);
+        self.seq_fraction.push(app.seq_fraction);
+        self.access_freq.push(app.access_freq);
+        self.cap.push(app.footprint / platform.cache_size);
+        self.d.push(model.d);
+        self.weight.push(model.weight);
+        self.threshold.push(model.threshold);
+    }
+
+    /// Removes application `i`'s column, shifting the tail left so the
+    /// remaining columns keep instance order (what a rebuild without the
+    /// application would produce).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()` (callers bounds-check first).
+    pub(crate) fn remove_column(&mut self, i: usize) {
+        self.work.remove(i);
+        self.seq_fraction.remove(i);
+        self.access_freq.remove(i);
+        self.cap.remove(i);
+        self.d.remove(i);
+        self.weight.remove(i);
+        self.threshold.remove(i);
+    }
+
+    /// Overwrites application `i`'s column in place (the update-app path of
+    /// [`crate::session`]); same expressions as [`Self::from_models`].
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()` (callers bounds-check first).
+    pub(crate) fn set_column(
+        &mut self,
+        i: usize,
+        app: &Application,
+        platform: &Platform,
+        model: &ExecModel,
+    ) {
+        self.work[i] = app.work;
+        self.seq_fraction[i] = app.seq_fraction;
+        self.access_freq[i] = app.access_freq;
+        self.cap[i] = app.footprint / platform.cache_size;
+        self.d[i] = model.d;
+        self.weight[i] = model.weight;
+        self.threshold[i] = model.threshold;
+    }
+
     /// Cost of one computing operation of application `i` holding cache
     /// fraction `x` — mirrors `model::exec::per_op_cost` operation for
     /// operation (the miss rate comes from the shared

@@ -59,6 +59,7 @@ pub mod eval;
 pub mod model;
 pub mod npc;
 pub mod parallel;
+pub mod session;
 pub mod solver;
 pub mod theory;
 
@@ -66,6 +67,7 @@ pub use algo::{BuildOrder, Choice, Outcome, Strategy};
 pub use error::{CoschedError, Result};
 pub use eval::{EvalScratch, EvalSet, EvalStats};
 pub use model::{Application, Assignment, Platform, Schedule};
+pub use session::{InstanceHandle, InstanceId, Session, SessionStats};
 pub use solver::{Instance, Portfolio, SolveCtx, Solver};
 
 /// Relative tolerance used by the bisection solvers and the equal-finish-time

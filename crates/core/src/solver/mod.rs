@@ -95,31 +95,42 @@ pub fn names() -> Vec<String> {
     v
 }
 
-/// Looks a solver up by name, case-insensitively.
+/// Looks a solver up by name.
 ///
-/// Accepts every paper legend name (`DominantMinRatio`,
-/// `DominantRevMaxRatio`, `RandomPart`, `Fair`, `0cache`, `AllProcCache`,
-/// `DominantRefined`), the historical CLI aliases (`dmr`, `refined`,
-/// `zerocache`, `seq`), and `Portfolio` (a [`Portfolio`] over [`all`]).
-pub fn by_name(name: &str) -> Option<Box<dyn Solver>> {
+/// Lookups are normalized — surrounding whitespace is trimmed and the
+/// comparison is case-insensitive — so the names users type at a CLI or
+/// send over the `cosched serve` wire resolve without ceremony. Accepts
+/// every paper legend name (`DominantMinRatio`, `DominantRevMaxRatio`,
+/// `RandomPart`, `Fair`, `0cache`, `AllProcCache`, `DominantRefined`), the
+/// historical CLI aliases (`dmr`, `refined`, `zerocache`, `seq`), and
+/// `Portfolio` (a [`Portfolio`] over [`all`]).
+///
+/// # Errors
+/// [`CoschedError::UnknownSolver`](crate::error::CoschedError::UnknownSolver)
+/// carrying the offending name and the full list of accepted names, so
+/// callers can render a useful message without consulting the registry
+/// themselves.
+pub fn by_name(name: &str) -> Result<Box<dyn Solver>> {
+    let wanted = name.trim();
     for s in all() {
-        if s.name().eq_ignore_ascii_case(name) {
-            return Some(s);
+        if s.name().eq_ignore_ascii_case(wanted) {
+            return Ok(s);
         }
     }
-    match name.to_ascii_lowercase().as_str() {
-        "dmr" => Some(
-            Strategy::dominant(
-                crate::algo::BuildOrder::Forward,
-                crate::algo::Choice::MinRatio,
-            )
-            .to_solver(),
-        ),
-        "refined" => Some(Strategy::refined().to_solver()),
-        "zerocache" => Some(Strategy::ZeroCache.to_solver()),
-        "seq" | "sequential" => Some(Strategy::AllProcCache.to_solver()),
-        "portfolio" => Some(Box::new(Portfolio::new(all()))),
-        _ => None,
+    match wanted.to_ascii_lowercase().as_str() {
+        "dmr" => Ok(Strategy::dominant(
+            crate::algo::BuildOrder::Forward,
+            crate::algo::Choice::MinRatio,
+        )
+        .to_solver()),
+        "refined" => Ok(Strategy::refined().to_solver()),
+        "zerocache" => Ok(Strategy::ZeroCache.to_solver()),
+        "seq" | "sequential" => Ok(Strategy::AllProcCache.to_solver()),
+        "portfolio" => Ok(Box::new(Portfolio::new(all()))),
+        _ => Err(crate::error::CoschedError::UnknownSolver {
+            name: name.to_string(),
+            available: names(),
+        }),
     }
 }
 
@@ -161,7 +172,7 @@ mod tests {
         let inst = instance();
         for s in all() {
             let looked_up = by_name(&s.name())
-                .unwrap_or_else(|| panic!("{} not addressable by name", s.name()));
+                .unwrap_or_else(|e| panic!("{} not addressable by name: {e}", s.name()));
             assert_eq!(looked_up.name(), s.name());
             assert_eq!(looked_up.is_randomized(), s.is_randomized());
             let a = looked_up.solve(&inst, &mut SolveCtx::seeded(7)).unwrap();
@@ -171,20 +182,32 @@ mod tests {
     }
 
     #[test]
-    fn lookup_is_case_insensitive_and_knows_aliases() {
+    fn lookup_is_normalized_and_knows_aliases() {
         for (alias, canonical) in [
             ("dominantminratio", "DominantMinRatio"),
             ("dmr", "DominantMinRatio"),
+            (" dmr ", "DominantMinRatio"),
             ("FAIR", "Fair"),
+            ("Fair\n", "Fair"),
             ("0cache", "0cache"),
             ("zerocache", "0cache"),
             ("seq", "AllProcCache"),
             ("refined", "DominantRefined"),
+            ("\tPortfolio ", "Portfolio"),
         ] {
-            assert_eq!(by_name(alias).unwrap().name(), canonical, "alias {alias}");
+            assert_eq!(by_name(alias).unwrap().name(), canonical, "alias {alias:?}");
         }
-        assert_eq!(by_name("portfolio").unwrap().name(), "Portfolio");
-        assert!(by_name("no-such-solver").is_none());
+    }
+
+    #[test]
+    fn unknown_names_report_the_available_registry() {
+        match by_name("no-such-solver") {
+            Err(crate::error::CoschedError::UnknownSolver { name, available }) => {
+                assert_eq!(name, "no-such-solver");
+                assert_eq!(available, names());
+            }
+            other => panic!("unexpected: {:?}", other.map(|s| s.name())),
+        }
     }
 
     #[test]
@@ -193,7 +216,7 @@ mod tests {
         assert_eq!(n.last().map(String::as_str), Some("Portfolio"));
         assert_eq!(n.len(), all().len() + 1);
         for name in &n {
-            assert!(by_name(name).is_some(), "{name} not resolvable");
+            assert!(by_name(name).is_ok(), "{name} not resolvable");
         }
     }
 }

@@ -148,26 +148,62 @@ fn equal_finish_from_costs(costs: &[f64], seq: &[f64], p: f64) -> Result<EqualFi
     Ok(EqualFinish { makespan: k, procs })
 }
 
+/// Chunk width for the demand scan: small enough to stay L1-resident,
+/// wide enough to amortise the early-exit checks.
+const DEMAND_CHUNK: usize = 512;
+
+/// Per-application processor demand at makespan `K`, written elementwise
+/// into `out`: `(1 - s_i) / (K/c_i - s_i)`, or `+∞` when even a whole
+/// dedicated machine cannot finish `i` by `K` (`K/c_i ≤ s_i`).
+///
+/// Elementwise on purpose: with no reduction in the loop the compiler can
+/// vectorise the divisions (the bisection's actual bottleneck at large
+/// `n`), and IEEE division/subtraction are exactly rounded elementwise, so
+/// the terms are bit-identical to the scalar formulation no matter how the
+/// loop is compiled.
+#[inline]
+fn demand_terms(k: f64, costs: &[f64], seq: &[f64], out: &mut [f64]) {
+    for ((&c, &s), t) in costs.iter().zip(seq).zip(out.iter_mut()) {
+        let denom = k / c - s;
+        let quotient = (1.0 - s) / denom;
+        *t = if denom > 0.0 { quotient } else { f64::INFINITY };
+    }
+}
+
+/// `demand(K) > p` (`strict`) or `demand(K) ≥ p` (`!strict`), where
+/// `demand(K) = Σ_i (1 - s_i) / (K/c_i - s_i)`.
+///
+/// The sum accumulates the chunk terms **in index order**, so the partial
+/// sums are exactly the prefixes of the naive serial fold — the comparison
+/// outcome is bit-identical to evaluating the full sum first. Because
+/// every term is non-negative (and IEEE addition of a non-negative value
+/// is monotone), a partial sum already above the threshold settles the
+/// comparison, so the scan exits early — which is what makes the widening
+/// probes (demand ≫ p) cheap.
+fn demand_compares_ge(costs: &[f64], seq: &[f64], p: f64, k: f64, strict: bool) -> bool {
+    let mut terms = [0.0; DEMAND_CHUNK];
+    let mut total = 0.0;
+    for (chunk_costs, chunk_seq) in costs.chunks(DEMAND_CHUNK).zip(seq.chunks(DEMAND_CHUNK)) {
+        let terms = &mut terms[..chunk_costs.len()];
+        demand_terms(k, chunk_costs, chunk_seq, terms);
+        for &t in terms.iter() {
+            total += t;
+        }
+        if total > p {
+            return true;
+        }
+    }
+    if strict {
+        total > p
+    } else {
+        total >= p
+    }
+}
+
 fn bisect_makespan(costs: &[f64], seq: &[f64], p: f64) -> Result<Bisect> {
     if costs.is_empty() {
         return Err(CoschedError::EmptyInstance);
     }
-    // Processors demanded to finish every application by time K.
-    let demand = |k: f64| -> f64 {
-        costs
-            .iter()
-            .zip(seq)
-            .map(|(&c, &s)| {
-                let denom = k / c - s;
-                if denom <= 0.0 {
-                    f64::INFINITY
-                } else {
-                    (1.0 - s) / denom
-                }
-            })
-            .sum()
-    };
-
     let mut lo = costs
         .iter()
         .zip(seq)
@@ -176,7 +212,7 @@ fn bisect_makespan(costs: &[f64], seq: &[f64], p: f64) -> Result<Bisect> {
     let mut hi = costs.iter().copied().fold(0.0, f64::max);
     // n > p (or degenerate profiles): widen until the bracket is valid.
     let mut guard = 0;
-    while demand(hi) > p {
+    while demand_compares_ge(costs, seq, p, hi, true) {
         hi *= 2.0;
         guard += 1;
         if guard > 1024 {
@@ -185,14 +221,14 @@ fn bisect_makespan(costs: &[f64], seq: &[f64], p: f64) -> Result<Bisect> {
             ));
         }
     }
-    if demand(lo) < p {
+    if !demand_compares_ge(costs, seq, p, lo, false) {
         return Ok(Bisect::Degenerate(lo));
     }
 
     // Bisection: demand(K) is strictly decreasing in K on (lo, hi].
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
-        if demand(mid) > p {
+        if demand_compares_ge(costs, seq, p, mid, true) {
             lo = mid;
         } else {
             hi = mid;

@@ -1,12 +1,18 @@
 //! `cosched` — compute a cache-partitioned co-schedule for a set of
 //! applications described in a CSV file, and print both the resource
-//! assignment and the Intel-CAT (`pqos`) commands that would deploy it.
+//! assignment and the Intel-CAT (`pqos`) commands that would deploy it —
+//! or run the whole thing as a service.
 //!
 //! ```text
 //! cosched apps.csv --procs 256 --cache-gb 32 --ways 16 [--strategy NAME]
 //! cosched --demo              # run on the built-in NPB Table-2 workload
 //! cosched --demo --eval-stats # also print the evaluation-engine counters
 //! cosched --list-strategies   # print every addressable solver name
+//!
+//! cosched serve --addr 127.0.0.1:7878       # line-delimited JSON over TCP
+//! cosched serve --smoke                     # loopback self-test, then exit
+//! cosched client --addr 127.0.0.1:7878 --send '{"op":"list"}'
+//! cosched client --addr 127.0.0.1:7878      # requests from stdin
 //! ```
 //!
 //! `--strategy` goes through the [`coschedule::solver`] registry, so every
@@ -15,18 +21,29 @@
 //! `DominantRefined`), by the historical aliases (`dmr`, `refined`,
 //! `0cache`, `seq`), or as `Portfolio` — which runs every solver and
 //! prints the per-solver breakdown alongside the winning schedule.
+//!
+//! `serve` fronts a long-lived [`coschedule::session::Session`] with the
+//! create/mutate/solve/stats/list protocol of [`experiments::serve`];
+//! `client` is the matching line-oriented driver for scripting.
 
 use cachesim::clos::{ClosConfig, ClosTable};
 use coschedule::eval::EvalStats;
 use coschedule::model::Platform;
 use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 use experiments::appcsv::parse_applications;
+use experiments::serve::{client_exchange, smoke_script, Server};
+use std::io::BufRead;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use workloads::npb::npb6;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(args.split_off(1)),
+        Some("client") => return client_main(args.split_off(1)),
+        _ => {}
+    }
     let mut input: Option<String> = None;
     let mut procs = 256.0;
     let mut cache_gb = 32.0;
@@ -72,11 +89,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let Some(strategy) = solver::by_name(&strategy_name) else {
-        return usage(&format!(
-            "unknown strategy {strategy_name:?}; valid names: {}",
-            solver::names().join(", ")
-        ));
+    let strategy = match solver::by_name(&strategy_name) {
+        Ok(s) => s,
+        // The structured error already carries the offending name and the
+        // full registry — render it verbatim.
+        Err(e) => return usage(&e.to_string()),
     };
 
     let apps = if demo {
@@ -241,8 +258,138 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: cosched <apps.csv | --demo | --list-strategies> [--procs N] [--cache-gb G] \
          [--ways W] [--seed S] [--strategy NAME] [--eval-stats]\n\
+         \x20      cosched serve [--addr HOST:PORT] [--allow-shutdown] [--smoke]\n\
+         \x20      cosched client [--addr HOST:PORT] [--send JSON]...\n\
          strategies: {}",
         solver::names().join(", ")
     );
     ExitCode::FAILURE
+}
+
+/// `cosched serve`: bind, print the address, serve until shutdown. With
+/// `--smoke`, bind `127.0.0.1:0`, run the canned create→mutate→solve→stats
+/// script against ourselves over real TCP, print the transcript, and exit
+/// non-zero if any response is not `"ok":true`.
+fn serve_main(args: Vec<String>) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut allow_shutdown = false;
+    let mut smoke = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(a) => addr = a,
+                None => return usage("--addr expects HOST:PORT"),
+            },
+            "--allow-shutdown" => allow_shutdown = true,
+            "--smoke" => smoke = true,
+            other => return usage(&format!("unknown serve flag {other}")),
+        }
+    }
+    if smoke {
+        addr = "127.0.0.1:0".to_string();
+        allow_shutdown = true;
+    }
+    let mut server = match Server::bind(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    server.state_mut().allow_shutdown = allow_shutdown;
+    let local = server.local_addr().expect("bound listener has an address");
+    if !smoke {
+        println!("# cosched serve listening on {local} (line-delimited JSON)");
+        return match server.run() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("serve failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Loopback self-test: the server runs on a thread, the client here.
+    let handle = std::thread::spawn(move || server.run());
+    let script = smoke_script();
+    let responses = match client_exchange(local, &script) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("smoke client failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut all_ok = true;
+    for (request, response) in script.iter().zip(&responses) {
+        println!("→ {request}");
+        println!("← {response}");
+        all_ok &= minijson::Json::parse(response)
+            .ok()
+            .and_then(|v| v.get("ok").and_then(minijson::Json::as_bool))
+            .unwrap_or(false);
+    }
+    match handle.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            eprintln!("server errored: {e}");
+            all_ok = false;
+        }
+        Err(_) => {
+            eprintln!("server thread panicked");
+            all_ok = false;
+        }
+    }
+    if all_ok {
+        println!("# smoke ok: {} responses", responses.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("smoke failed: a response was not ok");
+        ExitCode::FAILURE
+    }
+}
+
+/// `cosched client`: send `--send` request lines (or stdin lines) to a
+/// serving `cosched serve` and print one response per request.
+fn client_main(args: Vec<String>) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut requests: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(a) => addr = a,
+                None => return usage("--addr expects HOST:PORT"),
+            },
+            "--send" => match iter.next() {
+                Some(json) => requests.push(json),
+                None => return usage("--send expects a JSON request line"),
+            },
+            other => return usage(&format!("unknown client flag {other}")),
+        }
+    }
+    if requests.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            match line {
+                Ok(l) if l.trim().is_empty() => {}
+                Ok(l) => requests.push(l),
+                Err(e) => {
+                    eprintln!("stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    match client_exchange(&addr, &requests) {
+        Ok(responses) => {
+            for response in responses {
+                println!("{response}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot exchange with {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

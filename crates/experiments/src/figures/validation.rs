@@ -11,6 +11,7 @@ use crate::config::ExpConfig;
 use crate::output::{FigureData, Series};
 use coschedule::algo::{BuildOrder, Choice, Strategy};
 use coschedule::model::{Application, Platform};
+use coschedule::solver::{Instance, SolveCtx, Solver as _};
 use cosim::{validate_schedule, CoSimConfig};
 use rand::RngExt as _;
 use workloads::rng::{child_seed, seeded_rng};
@@ -60,9 +61,12 @@ pub fn run(cfg: &ExpConfig) -> FigureData {
         for rep in 0..reps {
             let apps = instance(n, child_seed(cfg.seed, rep, pi as u64));
             let p = platform();
-            let mut rng = seeded_rng(child_seed(cfg.seed ^ 0xF00, rep, pi as u64));
+            let inst = Instance::new(apps.clone(), p.clone()).expect("valid instance");
             let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-                .run(&apps, &p, &mut rng)
+                .solve(
+                    &inst,
+                    &mut SolveCtx::seeded(child_seed(cfg.seed ^ 0xF00, rep, pi as u64)),
+                )
                 .expect("heuristic failed");
             let sim_cfg = CoSimConfig {
                 work_scale: 2e-2,

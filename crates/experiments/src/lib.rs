@@ -12,6 +12,10 @@
 //! Every experiment is deterministic under its seed, runs its repetitions
 //! in parallel, writes `results/<id>.csv` and prints an aligned table plus
 //! the qualitative checks recorded in EXPERIMENTS.md.
+//!
+//! The crate also hosts the [`serve`] module — the line-delimited JSON
+//! protocol behind `cosched serve`/`cosched client`, fronting a
+//! long-lived [`coschedule::session::Session`].
 
 pub mod appcsv;
 pub mod config;
@@ -19,6 +23,7 @@ pub mod figures;
 pub mod output;
 pub mod registry;
 pub mod runner;
+pub mod serve;
 
 pub use config::ExpConfig;
 pub use output::{FigureData, Series};

@@ -1,0 +1,812 @@
+//! `cosched serve` — solves as a service.
+//!
+//! A line-delimited JSON request/response protocol over TCP, fronting a
+//! [`coschedule::session::Session`]: clients create long-lived instances,
+//! mutate them as applications join/leave the platform, and re-solve
+//! incrementally — the online co-scheduling loop the paper motivates,
+//! without paying a full rebuild per change.
+//!
+//! One request per line, one response per line, always an object with an
+//! `"ok"` field:
+//!
+//! ```text
+//! → {"op":"create","apps":[{"name":"CG","work":5.7e10,"seq_fraction":0.05,
+//!                           "access_freq":0.535,"miss_rate_ref":6.59e-4}, …]}
+//! ← {"ok":true,"id":0,"revision":0,"apps":6}
+//! → {"op":"mutate","id":0,"action":"remove_app","index":1}
+//! ← {"ok":true,"id":0,"revision":1,"apps":5,"removed":"BT"}
+//! → {"op":"solve","id":0,"solver":"DominantMinRatio","seed":42}
+//! ← {"ok":true,"id":0,"revision":1,"solver":"DominantMinRatio","seed":42,
+//!    "mode":"incremental","makespan":1.2e10,"assignments":[…],…}
+//! ```
+//!
+//! Ops: `create`, `mutate` (`action` ∈ `add_app` / `remove_app` /
+//! `update_app` / `set_platform`), `solve`, `stats`, `list`, `solvers`,
+//! `close`, and (when enabled) `shutdown`. Failures answer
+//! `{"ok":false,"error":…}` and keep the connection open.
+//!
+//! The module is transport-thin by construction: [`handle_line`] maps one
+//! request string to one response string against a [`ServeState`], so the
+//! protocol is testable without sockets, and the TCP layer
+//! ([`Server::run`]) is a sequential accept loop (deterministic; a
+//! concurrent front-end would shard instances across sessions).
+
+use coschedule::model::{Application, Platform};
+use coschedule::session::Session;
+use coschedule::solver;
+use minijson::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+/// Protocol state: the session plus serve-level knobs.
+pub struct ServeState {
+    session: Session,
+    /// Solver used when a `solve` request names none.
+    pub default_solver: String,
+    /// Seed used when a `solve` request carries none.
+    pub default_seed: u64,
+    /// Whether the `shutdown` op is honoured (`cosched serve
+    /// --allow-shutdown`, and always in loopback smoke tests).
+    pub allow_shutdown: bool,
+    shutdown_requested: bool,
+}
+
+impl Default for ServeState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeState {
+    /// Fresh state with an empty session and the CLI's defaults.
+    pub fn new() -> Self {
+        Self {
+            session: Session::new(),
+            default_solver: "DominantMinRatio".to_string(),
+            default_seed: 0xC05,
+            allow_shutdown: false,
+            shutdown_requested: false,
+        }
+    }
+
+    /// `true` once a `shutdown` request has been accepted.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested
+    }
+
+    /// The underlying session (e.g. for post-test assertions).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+}
+
+/// Handles one request line, returning the response line (without the
+/// trailing newline). Never panics on malformed input.
+pub fn handle_line(state: &mut ServeState, line: &str) -> String {
+    let response = match Json::parse(line) {
+        Ok(request) => match dispatch(state, &request) {
+            Ok(body) => body,
+            Err(message) => error_response(&message),
+        },
+        Err(e) => error_response(&format!("malformed request: {e}")),
+    };
+    response.to_string()
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj([("ok", Json::from(false)), ("error", Json::from(message))])
+}
+
+fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
+    let op = request
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing \"op\" field")?;
+    match op {
+        "create" => op_create(state, request),
+        "mutate" => op_mutate(state, request),
+        // Direct aliases so scripts can skip the "mutate" envelope.
+        "add_app" | "remove_app" | "update_app" | "set_platform" => {
+            apply_mutation(state, request, op)
+        }
+        "solve" => op_solve(state, request),
+        "stats" => Ok(op_stats(state)),
+        "list" => Ok(op_list(state)),
+        "solvers" => Ok(Json::obj([
+            ("ok", Json::from(true)),
+            (
+                "solvers",
+                Json::arr(solver::names().into_iter().map(Json::from)),
+            ),
+        ])),
+        "close" => op_close(state, request),
+        "shutdown" => {
+            if !state.allow_shutdown {
+                return Err("shutdown is not enabled on this server".into());
+            }
+            state.shutdown_requested = true;
+            Ok(Json::obj([
+                ("ok", Json::from(true)),
+                ("shutting_down", Json::from(true)),
+            ]))
+        }
+        other => Err(format!(
+            "unknown op {other:?}; expected create, mutate, solve, stats, list, solvers, \
+             close, or shutdown"
+        )),
+    }
+}
+
+fn require_id(
+    state: &ServeState,
+    request: &Json,
+) -> Result<coschedule::session::InstanceId, String> {
+    let raw = request
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("missing or non-integer \"id\" field")?;
+    let id = coschedule::session::InstanceId::from_raw(raw);
+    // Resolve eagerly so every op reports a dead id the same way.
+    state
+        .session
+        .instance(id)
+        .map_err(|e| e.to_string())
+        .map(|_| id)
+}
+
+/// `{"ok":true,"id":…,"revision":…,"apps":…}` plus op-specific extras.
+fn state_header(state: &ServeState, id: coschedule::session::InstanceId) -> Vec<(String, Json)> {
+    vec![
+        ("ok".into(), Json::from(true)),
+        ("id".into(), Json::from(id.raw())),
+        (
+            "revision".into(),
+            Json::from(state.session.revision(id).expect("live id")),
+        ),
+        (
+            "apps".into(),
+            Json::from(state.session.instance(id).expect("live id").len()),
+        ),
+    ]
+}
+
+fn op_create(state: &mut ServeState, request: &Json) -> Result<Json, String> {
+    let apps = request
+        .get("apps")
+        .and_then(Json::as_array)
+        .ok_or("missing \"apps\" array")?;
+    let apps: Vec<Application> = apps.iter().map(app_from_json).collect::<Result<_, _>>()?;
+    let platform = match request.get("platform") {
+        Some(spec) => platform_from_json(spec)?,
+        None => Platform::taihulight(),
+    };
+    let id = state
+        .session
+        .create(apps, platform)
+        .map_err(|e| e.to_string())?;
+    Ok(Json::Obj(state_header(state, id)))
+}
+
+fn op_mutate(state: &mut ServeState, request: &Json) -> Result<Json, String> {
+    let action = request
+        .get("action")
+        .and_then(Json::as_str)
+        .ok_or("missing \"action\" field (add_app, remove_app, update_app, set_platform)")?
+        // `get` borrows `request`; dispatching needs an owned copy.
+        .to_string();
+    apply_mutation(state, request, &action)
+}
+
+fn apply_mutation(state: &mut ServeState, request: &Json, action: &str) -> Result<Json, String> {
+    let id = require_id(state, request)?;
+    let mut handle = state.session.handle(id).map_err(|e| e.to_string())?;
+    let mut extras: Vec<(String, Json)> = Vec::new();
+    match action {
+        "add_app" => {
+            let app = app_from_json(request.get("app").ok_or("missing \"app\" object")?)?;
+            let index = handle.add_app(app).map_err(|e| e.to_string())?;
+            extras.push(("index".into(), Json::from(index)));
+        }
+        "remove_app" => {
+            let index = request
+                .get("index")
+                .and_then(Json::as_usize)
+                .ok_or("missing or non-integer \"index\" field")?;
+            let removed = handle.remove_app(index).map_err(|e| e.to_string())?;
+            extras.push(("removed".into(), Json::from(removed.name)));
+        }
+        "update_app" => {
+            let index = request
+                .get("index")
+                .and_then(Json::as_usize)
+                .ok_or("missing or non-integer \"index\" field")?;
+            let app = app_from_json(request.get("app").ok_or("missing \"app\" object")?)?;
+            let old = handle.update_app(index, app).map_err(|e| e.to_string())?;
+            extras.push(("replaced".into(), Json::from(old.name)));
+        }
+        "set_platform" => {
+            // Overrides apply on top of the instance's *current* platform:
+            // a partial spec changes only the named fields.
+            let platform = platform_overrides_from_json(
+                handle.instance().platform().clone(),
+                request
+                    .get("platform")
+                    .ok_or("missing \"platform\" object")?,
+            )?;
+            handle.set_platform(platform).map_err(|e| e.to_string())?;
+        }
+        other => return Err(format!("unknown mutation action {other:?}")),
+    }
+    let mut body = state_header(state, id);
+    body.extend(extras);
+    Ok(Json::Obj(body))
+}
+
+fn op_solve(state: &mut ServeState, request: &Json) -> Result<Json, String> {
+    let id = require_id(state, request)?;
+    let solver_name = match request.get("solver") {
+        Some(v) => v.as_str().ok_or("\"solver\" must be a string")?.to_string(),
+        None => state.default_solver.clone(),
+    };
+    let seed = match request.get("seed") {
+        Some(v) => v
+            .as_u64()
+            .ok_or("\"seed\" must be a non-negative integer")?,
+        None => state.default_seed,
+    };
+    let include_schedule = request
+        .get("schedule")
+        .and_then(Json::as_bool)
+        .unwrap_or(true);
+
+    let before = state.session.stats();
+    let outcome = state
+        .session
+        .resolve_by_name(id, &solver_name, seed)
+        .map_err(|e| e.to_string())?;
+    let after = state.session.stats();
+    let mode = if after.memo_hits > before.memo_hits {
+        "memo"
+    } else if after.incremental_solves > before.incremental_solves {
+        "incremental"
+    } else {
+        "cold"
+    };
+
+    let mut body = state_header(state, id);
+    body.extend([
+        ("solver".into(), Json::from(solver_name)),
+        ("seed".into(), Json::from(seed)),
+        ("mode".into(), Json::from(mode)),
+        ("makespan".into(), Json::from(outcome.makespan)),
+        ("concurrent".into(), Json::from(outcome.concurrent)),
+        (
+            "partition".into(),
+            Json::arr(outcome.partition.members().iter().map(|&i| Json::from(i))),
+        ),
+        (
+            "eval_stats".into(),
+            Json::obj([
+                ("kernel_calls", Json::from(outcome.eval_stats.kernel_calls)),
+                (
+                    "apps_evaluated",
+                    Json::from(outcome.eval_stats.apps_evaluated),
+                ),
+            ]),
+        ),
+    ]);
+    if include_schedule {
+        let instance = state.session.instance(id).expect("live id");
+        body.push((
+            "assignments".into(),
+            Json::arr(
+                instance
+                    .apps()
+                    .iter()
+                    .zip(&outcome.schedule.assignments)
+                    .map(|(app, asg)| {
+                        Json::obj([
+                            ("name", Json::from(app.name.as_str())),
+                            ("procs", Json::from(asg.procs)),
+                            ("cache", Json::from(asg.cache)),
+                        ])
+                    }),
+            ),
+        ));
+    }
+    Ok(Json::Obj(body))
+}
+
+fn op_stats(state: &ServeState) -> Json {
+    let stats = state.session.stats();
+    Json::obj([
+        ("ok", Json::from(true)),
+        ("instances", Json::from(state.session.len())),
+        ("instances_created", Json::from(stats.instances_created)),
+        ("mutations", Json::from(stats.mutations)),
+        ("solves", Json::from(stats.solves)),
+        ("incremental_solves", Json::from(stats.incremental_solves)),
+        ("cold_solves", Json::from(stats.cold_solves)),
+        ("memo_hits", Json::from(stats.memo_hits)),
+        ("kernel_calls", Json::from(stats.eval.kernel_calls)),
+        ("apps_evaluated", Json::from(stats.eval.apps_evaluated)),
+    ])
+}
+
+fn op_list(state: &ServeState) -> Json {
+    Json::obj([
+        ("ok", Json::from(true)),
+        (
+            "instances",
+            Json::arr(state.session.list().into_iter().map(|info| {
+                Json::obj([
+                    ("id", Json::from(info.id.raw())),
+                    ("revision", Json::from(info.revision)),
+                    ("apps", Json::from(info.apps)),
+                    ("processors", Json::from(info.processors)),
+                    ("cache_size", Json::from(info.cache_size)),
+                ])
+            })),
+        ),
+    ])
+}
+
+fn op_close(state: &mut ServeState, request: &Json) -> Result<Json, String> {
+    let id = require_id(state, request)?;
+    state.session.close(id).map_err(|e| e.to_string())?;
+    Ok(Json::obj([
+        ("ok", Json::from(true)),
+        ("id", Json::from(id.raw())),
+        ("closed", Json::from(true)),
+    ]))
+}
+
+fn field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("app is missing numeric field {key:?}"))
+}
+
+/// Parses one application object. `seq_fraction` defaults to 0 (perfectly
+/// parallel) and `footprint` to unbounded, matching [`Application::new`].
+pub fn app_from_json(v: &Json) -> Result<Application, String> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("app is missing string field \"name\"")?;
+    let mut app = Application::new(
+        name,
+        field(v, "work")?,
+        v.get("seq_fraction").and_then(Json::as_f64).unwrap_or(0.0),
+        field(v, "access_freq")?,
+        field(v, "miss_rate_ref")?,
+    );
+    if let Some(footprint) = v.get("footprint").and_then(Json::as_f64) {
+        app = app.with_footprint(footprint);
+    }
+    Ok(app)
+}
+
+/// Serializes one application the way [`app_from_json`] reads it (the
+/// infinite default footprint is an absent field — JSON has no `inf`).
+pub fn app_to_json(app: &Application) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::from(app.name.as_str())),
+        ("work".to_string(), Json::from(app.work)),
+        ("seq_fraction".to_string(), Json::from(app.seq_fraction)),
+        ("access_freq".to_string(), Json::from(app.access_freq)),
+        ("miss_rate_ref".to_string(), Json::from(app.miss_rate_ref)),
+    ];
+    if app.footprint.is_finite() {
+        pairs.push(("footprint".to_string(), Json::from(app.footprint)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Parses a platform object for `create`: starts from
+/// [`Platform::taihulight`] and overrides any of `processors`,
+/// `cache_size` (bytes), `cache_gb`, `ref_cache_size`, `latency_cache`,
+/// `latency_mem`, `alpha`.
+pub fn platform_from_json(v: &Json) -> Result<Platform, String> {
+    platform_overrides_from_json(Platform::taihulight(), v)
+}
+
+/// Applies a platform object's fields as **overrides of `base`** —
+/// the `set_platform` mutation path, where a partial spec must change
+/// only the named fields of the instance's current platform (not silently
+/// reset the rest to the Taihulight defaults).
+pub fn platform_overrides_from_json(base: Platform, v: &Json) -> Result<Platform, String> {
+    let num = |key: &str| -> Result<Option<f64>, String> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(value) => value
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| format!("platform field {key:?} must be a number")),
+        }
+    };
+    let mut platform = base;
+    if let Some(p) = num("processors")? {
+        platform.processors = p;
+    }
+    if let Some(cs) = num("cache_size")? {
+        platform.cache_size = cs;
+    }
+    if let Some(gb) = num("cache_gb")? {
+        platform.cache_size = gb * 1e9;
+    }
+    if let Some(c0) = num("ref_cache_size")? {
+        platform.ref_cache_size = c0;
+    }
+    if let Some(ls) = num("latency_cache")? {
+        platform.latency_cache = ls;
+    }
+    if let Some(ll) = num("latency_mem")? {
+        platform.latency_mem = ll;
+    }
+    if let Some(alpha) = num("alpha")? {
+        platform.alpha = alpha;
+    }
+    Ok(platform)
+}
+
+/// A bound-but-not-yet-serving server (binding first lets callers learn
+/// the OS-assigned port of `127.0.0.1:0` before serving starts).
+pub struct Server {
+    listener: TcpListener,
+    state: ServeState,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port 0 for an OS-assigned
+    /// one) with fresh protocol state.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            state: ServeState::new(),
+        })
+    }
+
+    /// The bound address (what clients should dial).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Mutable access to the protocol state, for configuring
+    /// `default_solver` / `default_seed` / `allow_shutdown` before serving.
+    pub fn state_mut(&mut self) -> &mut ServeState {
+        &mut self.state
+    }
+
+    /// Serves connections **sequentially** until a `shutdown` request is
+    /// accepted (never, unless `allow_shutdown` is set). Each connection
+    /// is read line-by-line; per-request failures answer `"ok":false` and
+    /// keep serving, I/O errors drop the connection and keep accepting.
+    pub fn run(mut self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            // Best effort per connection: a broken pipe ends it, not the
+            // server.
+            let _ = serve_connection(&mut self.state, stream);
+            if self.state.shutdown_requested() {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(state: &mut ServeState, stream: TcpStream) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        // Every received line gets exactly one response — blank ones too
+        // (skipping them silently would desynchronise a client that pairs
+        // requests with responses, hanging it on a read).
+        let response = handle_line(state, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if state.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Connects to a serving `cosched serve`, sends each request line, and
+/// returns the response lines (one per request, in order) — the engine of
+/// `cosched client` and the loopback tests.
+pub fn client_exchange(
+    addr: impl ToSocketAddrs,
+    requests: &[String],
+) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(requests.len());
+    for request in requests {
+        writer.write_all(request.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-exchange",
+            ));
+        }
+        responses.push(response.trim_end().to_string());
+    }
+    Ok(responses)
+}
+
+/// The canned create → mutate → solve → stats → list → shutdown script
+/// used by `cosched serve --smoke`, the CI loopback test, and the README
+/// transcript. Ends with `shutdown`, so the serving side must allow it.
+pub fn smoke_script() -> Vec<String> {
+    let apps = Json::arr(workloads::npb::npb6(&[0.05]).iter().map(app_to_json));
+    [
+        Json::obj([("op", Json::from("create")), ("apps", apps)]),
+        Json::obj([
+            ("op", Json::from("solve")),
+            ("id", Json::from(0u64)),
+            ("solver", Json::from("DominantMinRatio")),
+            ("seed", Json::from(42u64)),
+        ]),
+        Json::obj([
+            ("op", Json::from("mutate")),
+            ("id", Json::from(0u64)),
+            ("action", Json::from("remove_app")),
+            ("index", Json::from(1u64)),
+        ]),
+        Json::obj([
+            ("op", Json::from("solve")),
+            ("id", Json::from(0u64)),
+            ("solver", Json::from("DominantMinRatio")),
+            ("seed", Json::from(42u64)),
+        ]),
+        Json::obj([
+            ("op", Json::from("mutate")),
+            ("id", Json::from(0u64)),
+            ("action", Json::from("add_app")),
+            (
+                "app",
+                Json::obj([
+                    ("name", Json::from("HACC-io")),
+                    ("work", Json::from(3.1e10)),
+                    ("seq_fraction", Json::from(0.02)),
+                    ("access_freq", Json::from(0.61)),
+                    ("miss_rate_ref", Json::from(4.2e-3)),
+                ]),
+            ),
+        ]),
+        Json::obj([
+            ("op", Json::from("solve")),
+            ("id", Json::from(0u64)),
+            ("solver", Json::from("Portfolio")),
+            ("seed", Json::from(42u64)),
+            ("schedule", Json::from(false)),
+        ]),
+        Json::obj([("op", Json::from("stats"))]),
+        Json::obj([("op", Json::from("list"))]),
+        Json::obj([("op", Json::from("shutdown"))]),
+    ]
+    .into_iter()
+    .map(|v| v.to_string())
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coschedule::solver::{Instance, SolveCtx};
+
+    fn npb_create_line() -> String {
+        Json::obj([
+            ("op", Json::from("create")),
+            (
+                "apps",
+                Json::arr(workloads::npb::npb6(&[0.05]).iter().map(app_to_json)),
+            ),
+        ])
+        .to_string()
+    }
+
+    fn ok(response: &str) -> Json {
+        let v = Json::parse(response).unwrap_or_else(|e| panic!("bad response {response}: {e}"));
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+        v
+    }
+
+    #[test]
+    fn create_mutate_solve_round_trip_without_sockets() {
+        let mut state = ServeState::new();
+        let created = ok(&handle_line(&mut state, &npb_create_line()));
+        assert_eq!(created.get("id").and_then(Json::as_u64), Some(0));
+        assert_eq!(created.get("apps").and_then(Json::as_u64), Some(6));
+
+        let removed = ok(&handle_line(
+            &mut state,
+            r#"{"op":"mutate","id":0,"action":"remove_app","index":1}"#,
+        ));
+        assert_eq!(removed.get("removed").and_then(Json::as_str), Some("BT"));
+        assert_eq!(removed.get("apps").and_then(Json::as_u64), Some(5));
+
+        let solved = ok(&handle_line(
+            &mut state,
+            r#"{"op":"solve","id":0,"solver":"DominantMinRatio","seed":7}"#,
+        ));
+        // The served makespan equals a direct cold solve bit-exactly.
+        let mut apps = workloads::npb::npb6(&[0.05]);
+        apps.remove(1);
+        let inst = Instance::new(apps, Platform::taihulight()).unwrap();
+        let direct = solver::by_name("DominantMinRatio")
+            .unwrap()
+            .solve(&inst, &mut SolveCtx::seeded(7))
+            .unwrap();
+        assert_eq!(
+            solved
+                .get("makespan")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .to_bits(),
+            direct.makespan.to_bits()
+        );
+        let assignments = solved.get("assignments").unwrap().as_array().unwrap();
+        assert_eq!(assignments.len(), 5);
+        assert_eq!(
+            assignments[0].get("procs").and_then(Json::as_f64).unwrap(),
+            direct.schedule.assignments[0].procs
+        );
+    }
+
+    #[test]
+    fn solve_modes_progress_cold_memo_incremental() {
+        let mut state = ServeState::new();
+        let _ = ok(&handle_line(&mut state, &npb_create_line()));
+        let solve = r#"{"op":"solve","id":0,"seed":1,"schedule":false}"#;
+        let first = ok(&handle_line(&mut state, solve));
+        assert_eq!(first.get("mode").and_then(Json::as_str), Some("cold"));
+        let second = ok(&handle_line(&mut state, solve));
+        assert_eq!(second.get("mode").and_then(Json::as_str), Some("memo"));
+        let _ = ok(&handle_line(
+            &mut state,
+            r#"{"op":"update_app","id":0,"index":0,"app":{"name":"CG","work":6e10,
+                "seq_fraction":0.05,"access_freq":0.535,"miss_rate_ref":6.59e-4}}"#,
+        ));
+        let third = ok(&handle_line(&mut state, solve));
+        assert_eq!(
+            third.get("mode").and_then(Json::as_str),
+            Some("incremental")
+        );
+        let stats = ok(&handle_line(&mut state, r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("solves").and_then(Json::as_u64), Some(2));
+        assert_eq!(stats.get("memo_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            stats.get("incremental_solves").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn errors_keep_state_and_report_reasons() {
+        let mut state = ServeState::new();
+        for (line, needle) in [
+            ("not json", "malformed"),
+            (r#"{"no":"op"}"#, "missing \"op\""),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"solve","id":9}"#, "no instance with id 9"),
+            (r#"{"op":"create","apps":[]}"#, "no applications"),
+            (
+                r#"{"op":"create","apps":[{"name":"A"}]}"#,
+                "missing numeric field",
+            ),
+            (r#"{"op":"shutdown"}"#, "not enabled"),
+        ] {
+            let v = Json::parse(&handle_line(&mut state, line)).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+            let error = v.get("error").and_then(Json::as_str).unwrap();
+            assert!(error.contains(needle), "{line}: {error}");
+        }
+        assert!(!state.shutdown_requested());
+        // Unknown solver errors carry the registry.
+        let _ = ok(&handle_line(&mut state, &npb_create_line()));
+        let v = Json::parse(&handle_line(
+            &mut state,
+            r#"{"op":"solve","id":0,"solver":"Nope"}"#,
+        ))
+        .unwrap();
+        assert!(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("DominantMinRatio"));
+    }
+
+    #[test]
+    fn platform_overrides_apply() {
+        let p = platform_from_json(
+            &Json::parse(r#"{"processors":64,"cache_gb":1,"alpha":0.4}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(p.processors, 64.0);
+        assert_eq!(p.cache_size, 1e9);
+        assert_eq!(p.alpha, 0.4);
+        assert_eq!(p.latency_cache, Platform::taihulight().latency_cache);
+        assert!(platform_from_json(&Json::parse(r#"{"alpha":"x"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn set_platform_keeps_unspecified_fields_of_the_current_platform() {
+        let mut state = ServeState::new();
+        let _ = ok(&handle_line(
+            &mut state,
+            &Json::obj([
+                ("op", Json::from("create")),
+                (
+                    "apps",
+                    Json::arr(workloads::npb::npb6(&[0.05]).iter().map(app_to_json)),
+                ),
+                (
+                    "platform",
+                    Json::parse(r#"{"processors":64,"alpha":0.4}"#).unwrap(),
+                ),
+            ])
+            .to_string(),
+        ));
+        // Change only the LLC size; processors and alpha must survive.
+        let _ = ok(&handle_line(
+            &mut state,
+            r#"{"op":"set_platform","id":0,"platform":{"cache_gb":16}}"#,
+        ));
+        let id = coschedule::session::InstanceId::from_raw(0);
+        let platform = state.session().instance(id).unwrap().platform();
+        assert_eq!(platform.processors, 64.0, "override must not reset p");
+        assert_eq!(platform.alpha, 0.4, "override must not reset alpha");
+        assert_eq!(platform.cache_size, 16e9);
+    }
+
+    #[test]
+    fn every_request_line_gets_exactly_one_response() {
+        // Blank and whitespace-only lines answer with an error instead of
+        // being skipped — a client pairing requests with responses must
+        // never desynchronise.
+        let mut state = ServeState::new();
+        for line in ["", "   ", "\t"] {
+            let v = Json::parse(&handle_line(&mut state, line)).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn app_json_round_trips_including_footprint() {
+        let app = Application::new("MG", 1.23e10, 0.12, 0.540, 2.62e-2).with_footprint(100e6);
+        let back = app_from_json(&app_to_json(&app)).unwrap();
+        assert_eq!(back, app);
+        let unbounded = Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4);
+        let v = app_to_json(&unbounded);
+        assert!(v.get("footprint").is_none(), "inf must be absent");
+        assert_eq!(app_from_json(&v).unwrap(), unbounded);
+    }
+
+    #[test]
+    fn smoke_script_runs_clean_in_process() {
+        let mut state = ServeState::new();
+        state.allow_shutdown = true;
+        let script = smoke_script();
+        for (i, line) in script.iter().enumerate() {
+            let _ = ok(&handle_line(&mut state, line));
+            assert_eq!(
+                state.shutdown_requested(),
+                i == script.len() - 1,
+                "shutdown only at the end"
+            );
+        }
+    }
+}

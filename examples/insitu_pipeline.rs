@@ -13,6 +13,7 @@
 
 use coschedule::algo::{BuildOrder, Choice, Strategy};
 use coschedule::model::{Application, Platform};
+use coschedule::solver::{Instance, SolveCtx, Solver as _};
 use rand::RngExt as _;
 use workloads::rng::seeded_rng;
 
@@ -38,7 +39,8 @@ fn main() {
     // The simulation emits a batch every `period` time units.
     let period = 5.0e10;
 
-    let mut algo_rng = seeded_rng(7);
+    // Validate once, solve many times — the Solver API's whole point.
+    let instance = Instance::new(analyses.clone(), platform).unwrap();
     let strategies = [
         Strategy::AllProcCache,
         Strategy::Fair,
@@ -53,7 +55,7 @@ fn main() {
         "strategy", "makespan", "meets period?"
     );
     for s in strategies {
-        let outcome = s.run(&analyses, &platform, &mut algo_rng).unwrap();
+        let outcome = s.solve(&instance, &mut SolveCtx::seeded(7)).unwrap();
         let fits = outcome.makespan <= period;
         println!(
             "{:<18} {:>14.3e} {:>10}",
@@ -68,7 +70,7 @@ fn main() {
     // producer at 1/period)?
     println!("\nsustained pipeline throughput (batches per 1e11 time units):");
     for s in strategies {
-        let outcome = s.run(&analyses, &platform, &mut algo_rng).unwrap();
+        let outcome = s.solve(&instance, &mut SolveCtx::seeded(7)).unwrap();
         let tput = (1.0 / outcome.makespan).min(1.0 / period) * 1e11;
         println!("{:<18} {:>8.2}", s.name(), tput);
     }

@@ -9,6 +9,7 @@
 
 use coschedule::algo::{BuildOrder, Choice, Strategy};
 use coschedule::model::{Application, Platform};
+use coschedule::solver::{Instance, SolveCtx, Solver as _};
 use cosim::{validate_schedule, CoSimConfig};
 use rand::RngExt as _;
 use workloads::rng::seeded_rng;
@@ -35,8 +36,9 @@ fn main() {
         })
         .collect();
 
+    let instance = Instance::new(apps.clone(), platform.clone()).unwrap();
     let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-        .run(&apps, &platform, &mut rng)
+        .solve(&instance, &mut SolveCtx::seeded(2718))
         .unwrap();
 
     let report = validate_schedule(

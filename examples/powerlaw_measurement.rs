@@ -11,7 +11,7 @@ use cachesim::powerlaw::{fit_power_law, measure_miss_curve};
 use cachesim::trace::{Pattern, LINE_SIZE};
 use coschedule::algo::{BuildOrder, Choice, Strategy};
 use coschedule::model::{Application, Platform};
-use workloads::rng::seeded_rng;
+use coschedule::solver::{Instance, SolveCtx, Solver as _};
 
 fn main() {
     // 1. "Instrument" a kernel: measure its miss-rate curve on a ladder of
@@ -56,9 +56,9 @@ fn main() {
             )
         })
         .collect();
-    let mut rng = seeded_rng(3);
+    let instance = Instance::new(apps, platform).unwrap();
     let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-        .run(&apps, &platform, &mut rng)
+        .solve(&instance, &mut SolveCtx::seeded(3))
         .unwrap();
     println!(
         "\nco-schedule of 4 measured kernels: makespan {:.3e}, cache shares {:?}",

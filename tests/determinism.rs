@@ -3,7 +3,7 @@
 
 use coschedule::algo::Strategy;
 use coschedule::model::Platform;
-use coschedule::solver::{self, solve_batch, BatchSpec, Instance, Solver};
+use coschedule::solver::{self, solve_batch, BatchSpec, Instance, SolveCtx, Solver};
 use cosim::{CoSimConfig, CoSimulator};
 use experiments::ExpConfig;
 use workloads::rng::seeded_rng;
@@ -22,11 +22,12 @@ fn datasets_are_reproducible() {
 fn strategies_are_reproducible_under_seed() {
     let platform = Platform::taihulight();
     let apps = Dataset::Random.generate(16, SeqFraction::paper_default(), &mut seeded_rng(3));
+    let inst = Instance::new(apps, platform).unwrap();
     let mut all = Strategy::all_coscheduling();
     all.push(Strategy::AllProcCache);
     for s in all {
-        let a = s.run(&apps, &platform, &mut seeded_rng(9)).unwrap();
-        let b = s.run(&apps, &platform, &mut seeded_rng(9)).unwrap();
+        let a = s.solve(&inst, &mut SolveCtx::seeded(9)).unwrap();
+        let b = s.solve(&inst, &mut SolveCtx::seeded(9)).unwrap();
         assert_eq!(a, b, "{}", s.name());
     }
 }
@@ -94,7 +95,10 @@ fn simulator_is_reproducible() {
         app.work = 2e6 + 1e6 * i as f64;
     }
     let outcome = Strategy::Fair
-        .run(&apps, &platform, &mut seeded_rng(0))
+        .solve(
+            &Instance::new(apps.clone(), platform.clone()).unwrap(),
+            &mut SolveCtx::seeded(0),
+        )
         .unwrap();
     let run = || {
         CoSimulator::new(

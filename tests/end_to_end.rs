@@ -3,6 +3,7 @@
 
 use coschedule::algo::{BuildOrder, Choice, Strategy};
 use coschedule::model::{Application, Platform};
+use coschedule::solver::{Instance, SolveCtx, Solver as _};
 use cosim::{validate_schedule, CoSimConfig};
 use workloads::rng::seeded_rng;
 use workloads::synth::{Dataset, SeqFraction};
@@ -13,11 +14,13 @@ fn full_pipeline_on_every_dataset() {
     for dataset in Dataset::ALL {
         let mut rng = seeded_rng(1);
         let apps = dataset.generate(12, SeqFraction::paper_default(), &mut rng);
+        let inst = Instance::new(apps.clone(), platform.clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", dataset.name()));
         let mut strategies = Strategy::all_coscheduling();
         strategies.push(Strategy::AllProcCache);
         for s in strategies {
             let o = s
-                .run(&apps, &platform, &mut rng)
+                .solve(&inst, &mut SolveCtx::seeded(1))
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), dataset.name()));
             if o.concurrent {
                 o.schedule.validate(&apps, &platform).unwrap();
@@ -39,7 +42,6 @@ fn heuristic_schedule_survives_discrete_simulation() {
         latency_mem: 1.0,
         alpha: 0.5,
     };
-    let mut rng = seeded_rng(5);
     let apps: Vec<Application> = (0..4)
         .map(|i| {
             Application::perfectly_parallel(
@@ -51,7 +53,10 @@ fn heuristic_schedule_survives_discrete_simulation() {
         })
         .collect();
     let outcome = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-        .run(&apps, &platform, &mut rng)
+        .solve(
+            &Instance::new(apps.clone(), platform.clone()).unwrap(),
+            &mut SolveCtx::seeded(5),
+        )
         .unwrap();
     let report = validate_schedule(
         &apps,
@@ -77,14 +82,14 @@ fn dominant_min_ratio_wins_across_seeds_and_datasets() {
         for seed in 0..5 {
             let mut rng = seeded_rng(seed);
             let apps = dataset.generate(16, SeqFraction::paper_default(), &mut rng);
-            let mut algo_rng = seeded_rng(seed + 100);
+            let inst = Instance::new(apps, platform.clone()).unwrap();
             let dmr = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-                .run(&apps, &platform, &mut algo_rng)
+                .solve(&inst, &mut SolveCtx::seeded(seed + 100))
                 .unwrap()
                 .makespan;
             for baseline in [Strategy::Fair, Strategy::ZeroCache] {
                 let b = baseline
-                    .run(&apps, &platform, &mut algo_rng)
+                    .solve(&inst, &mut SolveCtx::seeded(seed + 100))
                     .unwrap()
                     .makespan;
                 assert!(

@@ -1,0 +1,143 @@
+//! Serve↔client loopback smoke: a real `TcpListener` on `127.0.0.1:0`, the
+//! canned create → mutate → solve → stats → list script over actual
+//! sockets, and a determinism check — two fresh servers given the same
+//! request lines must produce byte-identical response lines (the solve
+//! responses carry round-trip-exact makespans, so this pins numerical
+//! determinism end to end, through the wire format).
+
+use experiments::serve::{client_exchange, smoke_script, Server};
+use minijson::Json;
+
+fn run_script(script: &[String]) -> Vec<String> {
+    let mut server = Server::bind("127.0.0.1:0").expect("bind 127.0.0.1:0");
+    server.state_mut().allow_shutdown = true;
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+    let responses = client_exchange(addr, script).expect("loopback exchange");
+    handle
+        .join()
+        .expect("server thread")
+        .expect("server run result");
+    responses
+}
+
+#[test]
+fn loopback_round_trip_is_ok_and_deterministic() {
+    let script = smoke_script();
+    let responses = run_script(&script);
+    assert_eq!(responses.len(), script.len());
+    for (request, response) in script.iter().zip(&responses) {
+        let v = Json::parse(response).unwrap_or_else(|e| panic!("{response}: {e}"));
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {request} answered {response}"
+        );
+    }
+
+    // Fixed seed ⇒ byte-identical responses from a fresh server.
+    let again = run_script(&script);
+    assert_eq!(responses, again, "same script, same seed, same bytes");
+
+    // Spot-check the solve responses carry the expected shape and modes.
+    let first_solve = Json::parse(&responses[1]).unwrap();
+    assert_eq!(
+        first_solve.get("mode").and_then(Json::as_str),
+        Some("cold"),
+        "first solve of a fresh instance is cold"
+    );
+    assert!(first_solve.get("makespan").and_then(Json::as_f64).unwrap() > 0.0);
+    let second_solve = Json::parse(&responses[3]).unwrap();
+    assert_eq!(
+        second_solve.get("mode").and_then(Json::as_str),
+        Some("incremental"),
+        "post-mutation solve reuses the patched state"
+    );
+    let stats = Json::parse(&responses[6]).unwrap();
+    assert_eq!(stats.get("solves").and_then(Json::as_u64), Some(3));
+    assert_eq!(
+        stats.get("incremental_solves").and_then(Json::as_u64),
+        Some(2)
+    );
+}
+
+#[test]
+fn loopback_solve_matches_direct_solver_bit_exactly() {
+    use coschedule::model::Platform;
+    use coschedule::solver::{self, Instance, SolveCtx};
+
+    let create = Json::obj([
+        ("op", Json::from("create")),
+        (
+            "apps",
+            Json::arr(
+                workloads::npb::npb6(&[0.05])
+                    .iter()
+                    .map(experiments::serve::app_to_json),
+            ),
+        ),
+    ])
+    .to_string();
+    let script = vec![
+        create,
+        r#"{"op":"solve","id":0,"solver":"DominantRefined","seed":42,"schedule":false}"#.into(),
+        r#"{"op":"shutdown"}"#.into(),
+    ];
+    let responses = run_script(&script);
+    let served = Json::parse(&responses[1]).unwrap();
+    let direct = solver::by_name("DominantRefined")
+        .unwrap()
+        .solve(
+            &Instance::new(workloads::npb::npb6(&[0.05]), Platform::taihulight()).unwrap(),
+            &mut SolveCtx::seeded(42),
+        )
+        .unwrap();
+    assert_eq!(
+        served
+            .get("makespan")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .to_bits(),
+        direct.makespan.to_bits(),
+        "makespan must cross the wire bit-exactly"
+    );
+    // Which, transitively, is the eval_golden.rs pinned constant.
+    assert_eq!(direct.makespan.to_bits(), 0x42089ba6c3bb50ee);
+}
+
+#[test]
+fn errors_do_not_poison_the_connection() {
+    let script: Vec<String> = vec![
+        r#"{"op":"solve","id":5}"#.into(), // unknown instance
+        "garbage".into(),                  // malformed JSON
+        "   ".into(),                      // blank line: still one response
+        r#"{"op":"solvers"}"#.into(),      // still served afterwards
+        r#"{"op":"shutdown"}"#.into(),
+    ];
+    let responses = run_script(&script);
+    assert_eq!(
+        Json::parse(&responses[0])
+            .unwrap()
+            .get("ok")
+            .and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        Json::parse(&responses[1])
+            .unwrap()
+            .get("ok")
+            .and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        Json::parse(&responses[2])
+            .unwrap()
+            .get("ok")
+            .and_then(Json::as_bool),
+        Some(false),
+        "blank line must be answered, not skipped"
+    );
+    let solvers = Json::parse(&responses[3]).unwrap();
+    assert_eq!(solvers.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(solvers.get("solvers").unwrap().as_array().unwrap().len() >= 11);
+}

@@ -1,0 +1,161 @@
+//! Golden acceptance test for the session API: on NPB-6-derived mutation
+//! sequences, an incremental re-solve must be **bit-identical** to a cold
+//! solve of the mutated instance — for every registered solver (and the
+//! Portfolio meta-solver), at every step, comparing the *whole* outcome
+//! (makespan bits, schedule, partition, and eval-stats counters).
+//!
+//! Same spirit as `tests/eval_golden.rs`: any divergence, even in the last
+//! ulp, is a failure — the session layer must patch derived state with
+//! exactly the expressions `Instance::new` evaluates and re-run the
+//! canonical solver path on it.
+
+use coschedule::model::{Application, Platform};
+use coschedule::session::{InstanceId, Session};
+use coschedule::solver::{self, Instance, SolveCtx};
+use workloads::npb::npb6;
+
+/// One scripted change to the live instance.
+enum Mutation {
+    Add(Application),
+    Remove(usize),
+    Update(usize, Application),
+    SetPlatform(Platform),
+}
+
+/// An NPB-6-derived workload churn: applications join, change profile,
+/// and leave; finally the platform itself is reconfigured (the cold
+/// fallback path).
+fn mutation_sequence() -> Vec<Mutation> {
+    let npb = npb6(&[0.05]);
+    vec![
+        // LU leaves the platform.
+        Mutation::Remove(2),
+        // A seventh application (an MG re-run with a bounded footprint)
+        // joins.
+        Mutation::Add(npb[4].clone().with_seq_fraction(0.08).with_footprint(150e6)),
+        // CG's profile is re-measured.
+        Mutation::Update(0, npb[0].clone().with_seq_fraction(0.12)),
+        // Back-to-back join/leave churn.
+        Mutation::Add(npb[2].clone()),
+        Mutation::Remove(0),
+        // The operator shrinks the LLC: full cold re-derivation.
+        Mutation::SetPlatform(Platform::taihulight_small_llc()),
+        // Churn continues on the new platform.
+        Mutation::Update(1, npb[3].clone().with_seq_fraction(0.01)),
+        Mutation::Remove(3),
+    ]
+}
+
+fn apply(session: &mut Session, id: InstanceId, mutation: &Mutation) {
+    let mut handle = session.handle(id).unwrap();
+    match mutation {
+        Mutation::Add(app) => {
+            handle.add_app(app.clone()).unwrap();
+        }
+        Mutation::Remove(index) => {
+            handle.remove_app(*index).unwrap();
+        }
+        Mutation::Update(index, app) => {
+            handle.update_app(*index, app.clone()).unwrap();
+        }
+        Mutation::SetPlatform(platform) => {
+            handle.set_platform(platform.clone()).unwrap();
+        }
+    }
+}
+
+/// Every solver name the acceptance bar covers: the 11 registered solvers
+/// plus the Portfolio meta-solver.
+fn solver_names() -> Vec<String> {
+    let mut names: Vec<String> = solver::all().iter().map(|s| s.name()).collect();
+    names.push("Portfolio".to_string());
+    names
+}
+
+#[test]
+fn incremental_resolve_is_bit_identical_to_cold_solve_for_every_solver() {
+    let mut session = Session::new();
+    let id = session
+        .create(npb6(&[0.05]), Platform::taihulight())
+        .unwrap();
+
+    // Step 0 (no mutation yet), then one step per scripted mutation.
+    let steps = mutation_sequence();
+    for step in 0..=steps.len() {
+        if step > 0 {
+            apply(&mut session, id, &steps[step - 1]);
+        }
+        let seed = 42 + step as u64;
+        for name in solver_names() {
+            let warm = session.resolve_by_name(id, &name, seed).unwrap();
+            // The cold reference: what a stateless service would do for
+            // the same request — rebuild everything, then solve.
+            let cold_instance = Instance::new(
+                session.instance(id).unwrap().apps().to_vec(),
+                session.instance(id).unwrap().platform().clone(),
+            )
+            .unwrap();
+            let cold = solver::by_name(&name)
+                .unwrap()
+                .solve(&cold_instance, &mut SolveCtx::seeded(seed))
+                .unwrap();
+            assert_eq!(
+                warm.makespan.to_bits(),
+                cold.makespan.to_bits(),
+                "step {step}, {name}: makespan diverged ({:.17e} vs {:.17e})",
+                warm.makespan,
+                cold.makespan
+            );
+            for (i, (w, c)) in warm
+                .schedule
+                .assignments
+                .iter()
+                .zip(&cold.schedule.assignments)
+                .enumerate()
+            {
+                assert_eq!(
+                    w.procs.to_bits(),
+                    c.procs.to_bits(),
+                    "step {step}, {name}: procs of app {i}"
+                );
+                assert_eq!(
+                    w.cache.to_bits(),
+                    c.cache.to_bits(),
+                    "step {step}, {name}: cache of app {i}"
+                );
+            }
+            // Everything else (partition, flags, eval-work counters) too.
+            assert_eq!(warm, cold, "step {step}, {name}");
+        }
+    }
+
+    // The run exercised both warm and cold solve paths.
+    let stats = session.stats();
+    assert!(stats.incremental_solves > 0, "no incremental solve ran");
+    assert!(stats.cold_solves > 0, "no cold solve ran");
+    assert_eq!(stats.memo_hits, 0, "distinct requests cannot hit the memo");
+}
+
+#[test]
+fn repeated_resolve_memoizes_and_still_matches_cold() {
+    let mut session = Session::new();
+    let id = session
+        .create(npb6(&[0.05]), Platform::taihulight())
+        .unwrap();
+    let first = session.resolve_by_name(id, "DominantRefined", 42).unwrap();
+    let memoized = session.resolve_by_name(id, "DominantRefined", 42).unwrap();
+    assert_eq!(first, memoized);
+    assert_eq!(session.stats().memo_hits, 1);
+
+    let cold = solver::by_name("DominantRefined")
+        .unwrap()
+        .solve(
+            &Instance::new(npb6(&[0.05]), Platform::taihulight()).unwrap(),
+            &mut SolveCtx::seeded(42),
+        )
+        .unwrap();
+    assert_eq!(memoized, cold);
+    // The memoized makespan is the eval_golden.rs constant for this
+    // solver/seed — the session cannot drift from the pinned registry.
+    assert_eq!(memoized.makespan.to_bits(), 0x42089ba6c3bb50ee);
+}

@@ -16,8 +16,8 @@ fn npb_instance() -> Instance {
 fn registry_round_trips_names_and_behaviour() {
     let inst = npb_instance();
     for s in solver::all() {
-        let looked_up =
-            solver::by_name(&s.name()).unwrap_or_else(|| panic!("{} not in registry", s.name()));
+        let looked_up = solver::by_name(&s.name())
+            .unwrap_or_else(|e| panic!("{} not in registry: {e}", s.name()));
         assert_eq!(looked_up.name(), s.name());
         assert_eq!(looked_up.is_randomized(), s.is_randomized());
         let a = looked_up.solve(&inst, &mut SolveCtx::seeded(3)).unwrap();
@@ -129,6 +129,22 @@ fn portfolio_solves_through_the_registry_too() {
         .solve(&inst, &mut SolveCtx::seeded(0))
         .unwrap();
     assert!(a.makespan <= refined.makespan);
+}
+
+#[test]
+fn unknown_solver_lookups_carry_the_registry() {
+    match solver::by_name("  DominantMunRatio ") {
+        Err(coschedule::CoschedError::UnknownSolver { name, available }) => {
+            assert_eq!(name, "  DominantMunRatio ");
+            assert_eq!(available, solver::names());
+        }
+        other => panic!("unexpected: {:?}", other.map(|s| s.name())),
+    }
+    // Normalization: whitespace and case never cause a miss.
+    assert_eq!(
+        solver::by_name("  dominantminratio\n").unwrap().name(),
+        "DominantMinRatio"
+    );
 }
 
 #[test]

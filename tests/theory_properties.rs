@@ -4,6 +4,7 @@
 
 use coschedule::algo::{exact, BuildOrder, Choice, Strategy};
 use coschedule::model::{seq_cost, ExecModel, Platform, Schedule};
+use coschedule::solver::{Instance, SolveCtx, Solver as _};
 use coschedule::theory::{
     equal_finish_split, equalize, is_dominant, lemma2_proc_split, optimal_cache_fractions,
     Partition,
@@ -31,8 +32,9 @@ proptest! {
         let dataset = Dataset::ALL[kind];
         let mut rng = seeded_rng(seed);
         let apps = dataset.generate(n, SeqFraction::paper_default(), &mut rng);
+        let inst = Instance::new(apps.clone(), platform.clone()).unwrap();
         let o = Strategy::dominant(BuildOrder::Forward, Choice::MinRatio)
-            .run(&apps, &platform, &mut rng)
+            .solve(&inst, &mut SolveCtx::seeded(seed))
             .unwrap();
         prop_assert!(o.schedule.is_equal_finish(&apps, &platform, 1e-6));
         prop_assert!((o.schedule.total_procs() - 256.0).abs() < 1e-3);
@@ -96,8 +98,9 @@ proptest! {
         let mut rng = seeded_rng(seed);
         let apps = Dataset::Random.generate(n, SeqFraction::Zero, &mut rng);
         let reference = exact::exact_perfectly_parallel(&apps, &platform).unwrap();
+        let inst = Instance::new(apps, platform).unwrap();
         for s in Strategy::all_coscheduling() {
-            let o = s.run(&apps, &platform, &mut rng).unwrap();
+            let o = s.solve(&inst, &mut SolveCtx::seeded(seed)).unwrap();
             prop_assert!(
                 o.makespan >= reference.makespan * (1.0 - 1e-9),
                 "{} beat the optimum: {} < {}",
@@ -117,8 +120,9 @@ proptest! {
         let platform = Platform::taihulight();
         let mut rng = seeded_rng(seed);
         let apps = Dataset::ALL[kind].generate(n, SeqFraction::paper_default(), &mut rng);
+        let inst = Instance::new(apps.clone(), platform.clone()).unwrap();
         for s in Strategy::all_coscheduling() {
-            let o = s.run(&apps, &platform, &mut rng).unwrap();
+            let o = s.solve(&inst, &mut SolveCtx::seeded(seed)).unwrap();
             prop_assert!(o.schedule.validate(&apps, &platform).is_ok(), "{}", s.name());
         }
     }
@@ -135,7 +139,12 @@ proptest! {
         let mut rng = seeded_rng(seed);
         let apps = Dataset::Random.generate(n, SeqFraction::Zero, &mut rng);
         // Start from Fair's (deliberately unbalanced) processor split.
-        let fair = Strategy::Fair.run(&apps, &platform, &mut rng).unwrap();
+        let fair = Strategy::Fair
+            .solve(
+                &Instance::new(apps.clone(), platform.clone()).unwrap(),
+                &mut SolveCtx::seeded(seed),
+            )
+            .unwrap();
         let before = fair.schedule.makespan(&apps, &platform);
         let improved = equalize(&apps, &platform, fair.schedule, 1e-10, 10_000);
         let after = improved.makespan(&apps, &platform);
@@ -153,8 +162,9 @@ proptest! {
         let platform = Platform::taihulight();
         let mut rng = seeded_rng(seed);
         let apps = Dataset::NpbSynth.generate(n, SeqFraction::paper_default(), &mut rng);
+        let inst = Instance::new(apps.clone(), platform.clone()).unwrap();
         for s in Strategy::all_coscheduling() {
-            let o = s.run(&apps, &platform, &mut rng).unwrap();
+            let o = s.solve(&inst, &mut SolveCtx::seeded(seed)).unwrap();
             let evaluated = Schedule::makespan(&o.schedule, &apps, &platform);
             prop_assert!(
                 (evaluated - o.makespan).abs() / o.makespan < 1e-6,
