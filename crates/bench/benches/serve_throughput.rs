@@ -1,0 +1,144 @@
+//! Serve front-end throughput: requests/sec at workers ∈ {1, 4} and
+//! concurrent clients ∈ {1, 8}, over a fixed NPB-6 mutate/solve trace.
+//!
+//! Each client models an interactive tenant of the service: it creates
+//! its own NPB-6 instance, then lock-steps `ROUNDS` × (update_app →
+//! solve) requests with a small think time between them. The measured
+//! quantity is aggregate requests/sec from first spawn to last join.
+//!
+//! What the matrix shows:
+//!
+//! * `workers = 1` is the **sequential single-worker server** (one
+//!   blocking accept loop, one session) — with 8 clients, seven of them
+//!   are parked in the TCP backlog while the eighth is served, so the
+//!   aggregate rate stays a single client's rate;
+//! * `workers = 4` is the **sharded server**: connections are served
+//!   concurrently (per-connection reader/writer threads) and instances
+//!   pin round-robin across four sessions, so the clients' think times
+//!   and round trips overlap and the aggregate rate scales until the
+//!   shards (or the machine's cores) saturate.
+//!
+//! Results are recorded in `BENCH_serve.json` at the repository root.
+//! Not a criterion target: the unit of measurement is a whole
+//! multi-threaded client fleet, so the harness is a plain `main` (still
+//! compiled by `cargo bench --no-run` in CI).
+
+use experiments::serve::{app_to_json, client_exchange, Server};
+use minijson::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// (update_app → solve) rounds per client.
+const ROUNDS: usize = 300;
+/// Interactive think time between a response and the next request.
+const THINK: Duration = Duration::from_micros(100);
+/// Timed repetitions per configuration (the best is what counts: the
+/// others absorb scheduler warm-up noise).
+const REPS: usize = 3;
+
+fn create_request(k: usize) -> String {
+    let mut apps = workloads::npb::npb6(&[0.05]);
+    for app in &mut apps {
+        app.work *= 1.0 + 0.01 * k as f64;
+    }
+    Json::obj([
+        ("op", Json::from("create")),
+        ("apps", Json::arr(apps.iter().map(app_to_json))),
+    ])
+    .to_string()
+}
+
+/// One client's run: create, then the fixed mutate/solve trace,
+/// lock-step over a single connection. Returns its request count.
+fn run_client(addr: std::net::SocketAddr, k: usize) -> usize {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut exchange = move |line: &str| -> String {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("recv");
+        assert!(
+            response.contains("\"ok\":true"),
+            "request {line} failed: {response}"
+        );
+        response
+    };
+
+    let created = exchange(&create_request(k));
+    // The id comes back in the create response; parse it once.
+    let id = Json::parse(created.trim_end())
+        .expect("create response")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("created id");
+    let mut requests = 1;
+    for round in 0..ROUNDS {
+        std::thread::sleep(THINK);
+        exchange(&format!(
+            r#"{{"op":"update_app","id":{id},"index":0,"app":{{"name":"W{k}","work":{work},"seq_fraction":0.04,"access_freq":0.61,"miss_rate_ref":4.2e-3}}}}"#,
+            work = 3.1e10 * (1.0 + 0.001 * (round % 7 + 1) as f64),
+        ));
+        std::thread::sleep(THINK);
+        exchange(&format!(
+            r#"{{"op":"solve","id":{id},"solver":"DominantMinRatio","seed":{seed},"schedule":false}}"#,
+            seed = 40 + (round % 5),
+        ));
+        requests += 2;
+    }
+    requests
+}
+
+/// Runs one (workers, clients) cell and returns the best requests/sec
+/// over `REPS` repetitions.
+fn run_config(workers: usize, clients: usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let mut server = Server::bind("127.0.0.1:0").expect("bind");
+        server.config_mut().allow_shutdown = true;
+        server.config_mut().workers = workers;
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+        let started = Instant::now();
+        let total: usize = std::thread::scope(|scope| {
+            let fleet: Vec<_> = (0..clients)
+                .map(|k| scope.spawn(move || run_client(addr, k)))
+                .collect();
+            fleet.into_iter().map(|c| c.join().expect("client")).sum()
+        });
+        let elapsed = started.elapsed();
+
+        client_exchange(addr, &[r#"{"op":"shutdown"}"#.to_string()]).expect("shutdown");
+        handle.join().expect("server thread");
+        best = best.max(total as f64 / elapsed.as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    println!(
+        "# serve_throughput: {ROUNDS} x (update_app + solve) per client, NPB-6, \
+         DominantMinRatio, {THINK:?} think time, best of {REPS}"
+    );
+    let mut single_worker_at_8 = 0.0;
+    for workers in [1usize, 4] {
+        for clients in [1usize, 8] {
+            let rate = run_config(workers, clients);
+            println!("serve_throughput/workers={workers}/clients={clients}: {rate:>10.0} req/s");
+            if workers == 1 && clients == 8 {
+                single_worker_at_8 = rate;
+            }
+            if workers == 4 && clients == 8 {
+                println!(
+                    "# speedup at 8 clients: {:.2}x over single-worker",
+                    rate / single_worker_at_8
+                );
+            }
+        }
+    }
+}

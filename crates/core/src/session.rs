@@ -125,6 +125,21 @@ pub struct SessionStats {
     pub eval: EvalStats,
 }
 
+impl SessionStats {
+    /// Adds `other`'s counters into `self` — the cross-shard aggregation
+    /// of a sharded server (every field is a sum; keep this next to the
+    /// struct so a new counter cannot be added without updating it).
+    pub fn merge(&mut self, other: SessionStats) {
+        self.instances_created += other.instances_created;
+        self.mutations += other.mutations;
+        self.solves += other.solves;
+        self.incremental_solves += other.incremental_solves;
+        self.cold_solves += other.cold_solves;
+        self.memo_hits += other.memo_hits;
+        self.eval.merge(other.eval);
+    }
+}
+
 /// Public summary of one live instance (the `list` op of `cosched serve`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstanceInfo {
@@ -169,19 +184,65 @@ impl Entry {
 /// re-solve — see the [module docs](self) for semantics and guarantees.
 ///
 /// A session is single-threaded by design (one `&mut self` at a time); a
-/// server wanting concurrency shards instances across sessions.
-#[derive(Debug, Default)]
+/// server wanting concurrency shards instances across sessions — one
+/// session per worker thread, each built with [`Session::with_id_stride`]
+/// so the shards draw from disjoint id sequences. `Session` is `Send`
+/// (asserted at compile time below), so moving one onto a worker thread is
+/// safe; it is deliberately not `Sync`-oriented — nothing here locks.
+///
+/// [`Session::stats`] is a cheap `Copy` snapshot (a handful of counters),
+/// so a metrics layer can sample it per request without touching the
+/// instances.
+#[derive(Debug)]
 pub struct Session {
     entries: BTreeMap<u64, Entry>,
     next_id: u64,
+    id_stride: u64,
     scratch: EvalScratch,
     stats: SessionStats,
 }
 
+impl Default for Session {
+    fn default() -> Self {
+        Self::with_id_stride(0, 1)
+    }
+}
+
+// Sharded servers move whole sessions onto worker threads; keep that a
+// compile-time guarantee rather than a per-refactor audit.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
+
 impl Session {
-    /// An empty session.
+    /// An empty session allocating ids 0, 1, 2, ….
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty session allocating ids `first`, `first + stride`,
+    /// `first + 2·stride`, ….
+    ///
+    /// This is the sharding constructor: shard `k` of `n` uses
+    /// `with_id_stride(k, n)`, so the shards' id sequences are disjoint
+    /// and — when creates are dealt round-robin — collectively identical
+    /// to the single-session sequence 0, 1, 2, … (the `m`-th successful
+    /// create lands on shard `m mod n` as that shard's `⌊m/n⌋`-th create,
+    /// i.e. id `m`). Failed creates consume no id, exactly like
+    /// [`Session::new`].
+    ///
+    /// # Panics
+    /// If `stride` is zero (ids would collide).
+    pub fn with_id_stride(first: u64, stride: u64) -> Self {
+        assert!(stride >= 1, "id stride must be at least 1");
+        Self {
+            entries: BTreeMap::new(),
+            next_id: first,
+            id_stride: stride,
+            scratch: EvalScratch::default(),
+            stats: SessionStats::default(),
+        }
     }
 
     /// Validates and stores a new instance, returning its id.
@@ -191,7 +252,7 @@ impl Session {
     pub fn create(&mut self, apps: Vec<Application>, platform: Platform) -> Result<InstanceId> {
         let instance = Instance::new(apps, platform)?;
         let id = self.next_id;
-        self.next_id += 1;
+        self.next_id += self.id_stride;
         self.entries.insert(
             id,
             Entry {
@@ -503,6 +564,22 @@ mod tests {
             s.resolve_by_name(a, "Fair", 0),
             Err(CoschedError::UnknownInstance { .. })
         ));
+    }
+
+    #[test]
+    fn strided_sessions_tile_the_id_space() {
+        // Two shards dealing creates round-robin reproduce 0, 1, 2, 3 …
+        let mut shards = [Session::with_id_stride(0, 2), Session::with_id_stride(1, 2)];
+        let mut got = Vec::new();
+        for m in 0..6u64 {
+            let id = shards[(m % 2) as usize].create(apps(), pf()).unwrap();
+            got.push(id.raw());
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        // A failed create consumes no id on its shard.
+        assert!(shards[0].create(vec![], pf()).is_err());
+        assert_eq!(shards[0].create(apps(), pf()).unwrap().raw(), 6);
+        assert_eq!(shards[1].create(apps(), pf()).unwrap().raw(), 7);
     }
 
     #[test]

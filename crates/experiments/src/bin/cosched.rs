@@ -10,9 +10,11 @@
 //! cosched --list-strategies   # print every addressable solver name
 //!
 //! cosched serve --addr 127.0.0.1:7878       # line-delimited JSON over TCP
-//! cosched serve --smoke                     # loopback self-test, then exit
+//! cosched serve --workers 4                 # shard instances over 4 sessions
+//! cosched serve --smoke [--workers N]       # loopback self-test, then exit
 //! cosched client --addr 127.0.0.1:7878 --send '{"op":"list"}'
 //! cosched client --addr 127.0.0.1:7878      # requests from stdin
+//! cosched client --requests trace.jsonl     # replay a file, pipelined
 //! ```
 //!
 //! `--strategy` goes through the [`coschedule::solver`] registry, so every
@@ -22,16 +24,22 @@
 //! `0cache`, `seq`), or as `Portfolio` — which runs every solver and
 //! prints the per-solver breakdown alongside the winning schedule.
 //!
-//! `serve` fronts a long-lived [`coschedule::session::Session`] with the
-//! create/mutate/solve/stats/list protocol of [`experiments::serve`];
-//! `client` is the matching line-oriented driver for scripting.
+//! `serve` fronts long-lived [`coschedule::session::Session`]s with the
+//! create/mutate/solve/stats/list/metrics protocol of
+//! [`experiments::serve`] — `--workers N` shards instances across N
+//! per-worker sessions with multiplexed connections (`--workers 1` is the
+//! deterministic sequential server); `client` is the matching
+//! line-oriented driver for scripting, with `--requests FILE` replaying a
+//! newline-delimited JSON trace pipelined.
 
 use cachesim::clos::{ClosConfig, ClosTable};
 use coschedule::eval::EvalStats;
 use coschedule::model::Platform;
 use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 use experiments::appcsv::parse_applications;
-use experiments::serve::{client_exchange, smoke_script, Server};
+use experiments::serve::{
+    available_workers, client_exchange, pipelined_exchange, smoke_script, Server,
+};
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -258,8 +266,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: cosched <apps.csv | --demo | --list-strategies> [--procs N] [--cache-gb G] \
          [--ways W] [--seed S] [--strategy NAME] [--eval-stats]\n\
-         \x20      cosched serve [--addr HOST:PORT] [--allow-shutdown] [--smoke]\n\
-         \x20      cosched client [--addr HOST:PORT] [--send JSON]...\n\
+         \x20      cosched serve [--addr HOST:PORT] [--workers N] [--allow-shutdown] [--smoke]\n\
+         \x20      cosched client [--addr HOST:PORT] [--send JSON]... [--requests FILE]\n\
          strategies: {}",
         solver::names().join(", ")
     );
@@ -270,16 +278,26 @@ fn usage(msg: &str) -> ExitCode {
 /// `--smoke`, bind `127.0.0.1:0`, run the canned create→mutate→solve→stats
 /// script against ourselves over real TCP, print the transcript, and exit
 /// non-zero if any response is not `"ok":true`.
+///
+/// `--workers N` shards instances across N per-worker sessions (1 = the
+/// deterministic sequential server). Default: the machine's available
+/// parallelism — except under `--smoke`, which stays single-worker unless
+/// `--workers` is given, so the default smoke transcript is byte-stable.
 fn serve_main(args: Vec<String>) -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut allow_shutdown = false;
     let mut smoke = false;
+    let mut workers: Option<usize> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--addr" => match iter.next() {
                 Some(a) => addr = a,
                 None => return usage("--addr expects HOST:PORT"),
+            },
+            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workers = Some(n),
+                _ => return usage("--workers expects an integer >= 1"),
             },
             "--allow-shutdown" => allow_shutdown = true,
             "--smoke" => smoke = true,
@@ -290,6 +308,7 @@ fn serve_main(args: Vec<String>) -> ExitCode {
         addr = "127.0.0.1:0".to_string();
         allow_shutdown = true;
     }
+    let workers = workers.unwrap_or(if smoke { 1 } else { available_workers() });
     let mut server = match Server::bind(&addr) {
         Ok(s) => s,
         Err(e) => {
@@ -297,10 +316,14 @@ fn serve_main(args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    server.state_mut().allow_shutdown = allow_shutdown;
+    server.config_mut().allow_shutdown = allow_shutdown;
+    server.config_mut().workers = workers;
     let local = server.local_addr().expect("bound listener has an address");
     if !smoke {
-        println!("# cosched serve listening on {local} (line-delimited JSON)");
+        println!(
+            "# cosched serve listening on {local} (line-delimited JSON, {workers} worker{})",
+            if workers == 1 { "" } else { "s" }
+        );
         return match server.run() {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -350,10 +373,15 @@ fn serve_main(args: Vec<String>) -> ExitCode {
 }
 
 /// `cosched client`: send `--send` request lines (or stdin lines) to a
-/// serving `cosched serve` and print one response per request.
+/// serving `cosched serve` and print one response per request. With
+/// `--requests FILE`, replay the file's newline-delimited JSON requests
+/// **pipelined** (all in flight on one connection, responses printed in
+/// request order) — the trace driver for smoke tests and the throughput
+/// bench.
 fn client_main(args: Vec<String>) -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut requests: Vec<String> = Vec::new();
+    let mut batch_file: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -365,10 +393,31 @@ fn client_main(args: Vec<String>) -> ExitCode {
                 Some(json) => requests.push(json),
                 None => return usage("--send expects a JSON request line"),
             },
+            "--requests" => match iter.next() {
+                Some(path) => batch_file = Some(path),
+                None => return usage("--requests expects a file of JSON request lines"),
+            },
             other => return usage(&format!("unknown client flag {other}")),
         }
     }
-    if requests.is_empty() {
+    let batch = batch_file.is_some();
+    if let Some(path) = batch_file {
+        if !requests.is_empty() {
+            return usage("--requests and --send are mutually exclusive");
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        requests.extend(
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(str::to_string),
+        );
+    } else if requests.is_empty() {
         for line in std::io::stdin().lock().lines() {
             match line {
                 Ok(l) if l.trim().is_empty() => {}
@@ -380,7 +429,12 @@ fn client_main(args: Vec<String>) -> ExitCode {
             }
         }
     }
-    match client_exchange(&addr, &requests) {
+    let exchanged = if batch {
+        pipelined_exchange(&addr, &requests)
+    } else {
+        client_exchange(&addr, &requests)
+    };
+    match exchanged {
         Ok(responses) => {
             for response in responses {
                 println!("{response}");

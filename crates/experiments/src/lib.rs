@@ -13,9 +13,12 @@
 //! in parallel, writes `results/<id>.csv` and prints an aligned table plus
 //! the qualitative checks recorded in EXPERIMENTS.md.
 //!
-//! The crate also hosts the [`serve`] module — the line-delimited JSON
-//! protocol behind `cosched serve`/`cosched client`, fronting a
-//! long-lived [`coschedule::session::Session`].
+//! The crate also hosts the [`serve`] module tree — the line-delimited
+//! JSON protocol behind `cosched serve`/`cosched client`, fronting one
+//! long-lived [`coschedule::session::Session`] per worker: `--workers N`
+//! shards instances across per-worker sessions with multiplexed
+//! connections (see [`serve`] for the protocol/router/worker/conn/metrics
+//! layering).
 
 pub mod appcsv;
 pub mod config;

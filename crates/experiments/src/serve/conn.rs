@@ -1,0 +1,152 @@
+//! Connection plumbing: the multiplexing reader/writer pair on the server
+//! side, and the line-oriented clients (`cosched client` and the tests).
+//!
+//! Each accepted connection gets **two** threads:
+//!
+//! * the **reader** (the connection's own thread) tags every request line
+//!   with a per-connection sequence number and hands it to the
+//!   [`Router`](super::router::Router) — it does *not* wait for the
+//!   response, so one connection can keep several shards busy at once
+//!   (in-flight requests are bounded only by the shard queues);
+//! * the **writer** thread receives `(seq, response)` pairs from whichever
+//!   shard finished and writes them back **in request order**, holding
+//!   out-of-order completions in a reorder buffer — the wire contract
+//!   stays "one response per line, in order", so lock-step clients like
+//!   [`client_exchange`] and pipelining clients like
+//!   [`pipelined_exchange`] both just work.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver};
+
+use super::router::Router;
+use super::worker::TaggedResponse;
+
+/// Serves one accepted connection against the sharded router; returns
+/// when the peer closes (or after a `shutdown` request is accepted).
+pub(super) fn serve_connection(router: &Router, stream: TcpStream) -> std::io::Result<()> {
+    // Request/response lines are tiny; Nagle would hold them hostage to
+    // the peer's delayed-ACK timer (~40 ms per exchange on loopback).
+    stream.set_nodelay(true)?;
+    let writer_stream = stream.try_clone()?;
+    let (tx, rx) = channel::<TaggedResponse>();
+    let writer = std::thread::Builder::new()
+        .name("cosched-conn-writer".into())
+        .spawn(move || write_in_order(writer_stream, rx))
+        .expect("spawn connection writer");
+
+    let reader = BufReader::new(stream);
+    for (seq, line) in reader.lines().enumerate() {
+        let Ok(line) = line else { break };
+        // Every received line gets exactly one response — blank ones too
+        // (skipping them silently would desynchronise a client that pairs
+        // requests with responses, hanging it on a read).
+        router.dispatch(&line, seq as u64, &tx);
+        if router.shutdown_requested() {
+            break;
+        }
+    }
+    // The reader's sender is gone; in-flight shard replies still hold
+    // clones, so the writer drains everything before its channel closes.
+    drop(tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// Writes tagged responses back in sequence order, buffering completions
+/// that arrive early. Flushes once per drained batch: low latency when
+/// idle, syscall batching under pipelined load.
+fn write_in_order(stream: TcpStream, rx: Receiver<TaggedResponse>) {
+    let mut out = BufWriter::new(stream);
+    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+    let mut next = 0u64;
+    while let Ok((seq, response)) = rx.recv() {
+        pending.insert(seq, response);
+        while let Ok((seq, response)) = rx.try_recv() {
+            pending.insert(seq, response);
+        }
+        let mut wrote = false;
+        while let Some(response) = pending.remove(&next) {
+            if out.write_all(response.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                return; // peer gone; drop the rest
+            }
+            next += 1;
+            wrote = true;
+        }
+        if wrote && out.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Connects to a serving `cosched serve`, sends each request line, and
+/// returns the response lines (one per request, in order) — the engine of
+/// `cosched client` and the loopback tests. **Lock-step**: each request
+/// is written only after the previous response arrived.
+pub fn client_exchange(
+    addr: impl ToSocketAddrs,
+    requests: &[String],
+) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(requests.len());
+    let mut line = String::new();
+    for request in requests {
+        // One write per request: a split payload/newline write would
+        // interact with Nagle + delayed ACK into a ~40 ms stall each.
+        line.clear();
+        line.push_str(request);
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-exchange",
+            ));
+        }
+        responses.push(response.trim_end().to_string());
+    }
+    Ok(responses)
+}
+
+/// [`client_exchange`], pipelined: all requests are written by a side
+/// thread while responses are collected, so many requests are in flight
+/// on one connection at once — the batch engine of `cosched client
+/// --requests` and the multiplexing tests. Responses come back in request
+/// order (the server's writer guarantees it).
+pub fn pipelined_exchange(
+    addr: impl ToSocketAddrs,
+    requests: &[String],
+) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let writer_stream = stream.try_clone()?;
+    std::thread::scope(|scope| {
+        let sender = scope.spawn(move || -> std::io::Result<()> {
+            let mut out = BufWriter::new(writer_stream);
+            for request in requests {
+                out.write_all(request.as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.flush()
+        });
+        let mut reader = BufReader::new(stream);
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            let mut response = String::new();
+            if reader.read_line(&mut response)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-exchange",
+                ));
+            }
+            responses.push(response.trim_end().to_string());
+        }
+        sender.join().expect("pipeline sender thread")?;
+        Ok(responses)
+    })
+}

@@ -1,0 +1,144 @@
+//! Per-shard observability: queue counters shared between the router and
+//! the workers, and the `metrics` op response built from them.
+//!
+//! Each shard owns one [`ShardMetrics`]: the router bumps `enqueued` when
+//! it queues a request, the worker bumps `completed` when it has answered
+//! one, so `enqueued - completed` is the shard's instantaneous queue
+//! depth (the backpressure signal). Solve-tier counters (memo /
+//! incremental / cold) and the aggregated
+//! [`EvalStats`](coschedule::eval::EvalStats) come from the session's own
+//! [`SessionStats`](coschedule::session::SessionStats) snapshot, gathered
+//! through the shard queue so the numbers reflect a drained queue on a
+//! quiet server.
+//!
+//! Unlike every other op, the `metrics` response is **not** required to be
+//! payload-identical across worker counts — its `shards` array has one
+//! entry per worker by design.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use coschedule::session::SessionStats;
+use minijson::Json;
+
+/// Lock-free request counters of one shard (see the module docs for who
+/// bumps what).
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    enqueued: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl ShardMetrics {
+    /// The router queued one request for this shard.
+    pub fn record_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The worker finished (answered) one request.
+    pub fn record_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests ever routed to this shard.
+    pub fn requests(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Requests queued but not yet answered.
+    pub fn queue_depth(&self) -> u64 {
+        self.enqueued
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.completed.load(Ordering::Relaxed))
+    }
+}
+
+/// One shard's row of the `metrics` response.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Requests ever routed to the shard.
+    pub requests: u64,
+    /// Requests queued but not yet answered when the report was taken.
+    pub queue_depth: u64,
+    /// Live instances owned by the shard.
+    pub instances: usize,
+    /// The shard session's lifetime counters.
+    pub stats: SessionStats,
+}
+
+/// Serializes the `metrics` op response: per-shard rows plus the request
+/// total. The single-session server reports itself as one shard of one.
+pub(super) fn metrics_body(workers: usize, reports: &[ShardReport]) -> Json {
+    let total: u64 = reports.iter().map(|r| r.requests).sum();
+    Json::obj([
+        ("ok", Json::from(true)),
+        ("workers", Json::from(workers)),
+        ("requests", Json::from(total)),
+        (
+            "shards",
+            Json::arr(reports.iter().map(|r| {
+                Json::obj([
+                    ("shard", Json::from(r.shard)),
+                    ("requests", Json::from(r.requests)),
+                    ("queue_depth", Json::from(r.queue_depth)),
+                    ("instances", Json::from(r.instances)),
+                    ("mutations", Json::from(r.stats.mutations)),
+                    ("solves", Json::from(r.stats.solves)),
+                    ("memo_hits", Json::from(r.stats.memo_hits)),
+                    ("incremental_solves", Json::from(r.stats.incremental_solves)),
+                    ("cold_solves", Json::from(r.stats.cold_solves)),
+                    ("kernel_calls", Json::from(r.stats.eval.kernel_calls)),
+                    ("apps_evaluated", Json::from(r.stats.eval.apps_evaluated)),
+                ])
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_depth_is_enqueued_minus_completed() {
+        let m = ShardMetrics::default();
+        assert_eq!(m.queue_depth(), 0);
+        m.record_enqueued();
+        m.record_enqueued();
+        assert_eq!(m.requests(), 2);
+        assert_eq!(m.queue_depth(), 2);
+        m.record_completed();
+        assert_eq!(m.queue_depth(), 1);
+        m.record_completed();
+        assert_eq!(m.queue_depth(), 0);
+        assert_eq!(m.requests(), 2);
+    }
+
+    #[test]
+    fn body_sums_requests_across_shards() {
+        let rows = [
+            ShardReport {
+                shard: 0,
+                requests: 3,
+                queue_depth: 1,
+                instances: 2,
+                stats: SessionStats::default(),
+            },
+            ShardReport {
+                shard: 1,
+                requests: 4,
+                queue_depth: 0,
+                instances: 1,
+                stats: SessionStats::default(),
+            },
+        ];
+        let v = metrics_body(2, &rows);
+        assert_eq!(v.get("workers").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("requests").and_then(Json::as_u64), Some(7));
+        let shards = v.get("shards").and_then(Json::as_array).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[1].get("shard").and_then(Json::as_u64), Some(1));
+        assert_eq!(shards[0].get("queue_depth").and_then(Json::as_u64), Some(1));
+    }
+}

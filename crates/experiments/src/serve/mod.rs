@@ -1,0 +1,336 @@
+//! `cosched serve` — solves as a service.
+//!
+//! A line-delimited JSON request/response protocol over TCP, fronting
+//! [`coschedule::session::Session`]s: clients create long-lived
+//! instances, mutate them as applications join/leave the platform, and
+//! re-solve incrementally — the online co-scheduling loop the paper
+//! motivates, without paying a full rebuild per change.
+//!
+//! One request per line, one response per line, always an object with an
+//! `"ok"` field:
+//!
+//! ```text
+//! → {"op":"create","apps":[{"name":"CG","work":5.7e10,"seq_fraction":0.05,
+//!                           "access_freq":0.535,"miss_rate_ref":6.59e-4}, …]}
+//! ← {"ok":true,"id":0,"revision":0,"apps":6}
+//! → {"op":"mutate","id":0,"action":"remove_app","index":1}
+//! ← {"ok":true,"id":0,"revision":1,"apps":5,"removed":"BT"}
+//! → {"op":"solve","id":0,"solver":"DominantMinRatio","seed":42}
+//! ← {"ok":true,"id":0,"revision":1,"solver":"DominantMinRatio","seed":42,
+//!    "mode":"incremental","makespan":1.2e10,"assignments":[…],…}
+//! ```
+//!
+//! Ops: `create`, `mutate` (`action` ∈ `add_app` / `remove_app` /
+//! `update_app` / `set_platform`), `solve`, `stats`, `list`, `solvers`,
+//! `metrics`, `close`, and (when enabled) `shutdown`. Failures answer
+//! `{"ok":false,…,"error":…}` — echoing the request's instance id when it
+//! carried one — and keep the connection open.
+//!
+//! # Architecture
+//!
+//! The module tree separates the layers:
+//!
+//! * [`protocol`] — request/response types and the minijson codec glue;
+//!   transport-free ([`handle_line`] maps a request string to a response
+//!   string against a [`ServeState`]), so the protocol is testable
+//!   without sockets;
+//! * [`router`] — deterministic `InstanceId → shard` mapping: round-robin
+//!   creates, instance pinning, snapshot fan-out for the global ops, and
+//!   queue backpressure;
+//! * [`worker`] — one single-threaded [`Session`] per shard on its own
+//!   thread (ids strided per shard, so the id sequence matches the
+//!   single-worker server), fed by a bounded mpsc channel;
+//! * [`conn`] — per-connection reader/writer threads multiplexing
+//!   in-flight requests by sequence number (responses return in request
+//!   order whichever shard finishes first), plus the lock-step and
+//!   pipelined clients;
+//! * [`metrics`] — per-shard counters behind the `metrics` op: requests,
+//!   queue depth, solves by tier (memo / incremental / cold), aggregated
+//!   eval-engine work.
+//!
+//! [`Server::run`] picks the front-end by [`ServeConfig::workers`]:
+//!
+//! * `workers == 1` — the **single-worker server**: one [`ServeState`],
+//!   one sequential accept loop, connections served one at a time. Fully
+//!   deterministic, byte for byte; the reference the sharded mode is
+//!   pinned against.
+//! * `workers >= 2` — the **sharded server**: instances are distributed
+//!   across per-worker sessions, every connection multiplexes, and a slow
+//!   solve only stalls its own shard. For a fixed lock-step request trace
+//!   the responses are payload-identical to the single-worker server
+//!   (`tests/serve_concurrent.rs` pins this); only the `metrics` op
+//!   differs, reporting one row per shard by design.
+//!
+//! [`Session`]: coschedule::session::Session
+
+pub mod conn;
+pub mod metrics;
+pub mod protocol;
+pub mod router;
+pub mod worker;
+
+pub use conn::{client_exchange, pipelined_exchange};
+pub use protocol::{
+    app_from_json, app_to_json, handle_line, platform_from_json, platform_overrides_from_json,
+    ServeState,
+};
+
+use minijson::Json;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+
+/// Serve-level configuration, applied when [`Server::run`] starts.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard count: 1 = the sequential single-worker server, N ≥ 2 = the
+    /// sharded concurrent server with N sessions. The CLI defaults to
+    /// [`available_workers`]; the library default is 1 (deterministic).
+    pub workers: usize,
+    /// Solver used when a `solve` request names none.
+    pub default_solver: String,
+    /// Seed used when a `solve` request carries none.
+    pub default_seed: u64,
+    /// Whether the `shutdown` op is honoured (`cosched serve
+    /// --allow-shutdown`, and always in loopback smoke tests).
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            default_solver: "DominantMinRatio".to_string(),
+            default_seed: 0xC05,
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// What `cosched serve` uses when `--workers` is not given: the machine's
+/// available parallelism (1 on a single-core box — i.e. the sequential
+/// server).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A bound-but-not-yet-serving server (binding first lets callers learn
+/// the OS-assigned port of `127.0.0.1:0` before serving starts).
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port 0 for an OS-assigned
+    /// one) with the default configuration.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            config: ServeConfig::default(),
+        })
+    }
+
+    /// The bound address (what clients should dial).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Mutable access to the configuration (worker count, defaults,
+    /// `allow_shutdown`) before serving starts.
+    pub fn config_mut(&mut self) -> &mut ServeConfig {
+        &mut self.config
+    }
+
+    /// Serves until a `shutdown` request is accepted (never, unless
+    /// `allow_shutdown` is set). Per-request failures answer
+    /// `"ok":false` and keep serving; I/O errors drop the affected
+    /// connection and keep accepting.
+    pub fn run(self) -> std::io::Result<()> {
+        if self.config.workers <= 1 {
+            self.run_sequential()
+        } else {
+            self.run_sharded()
+        }
+    }
+
+    /// The single-worker front-end: one state, one connection at a time.
+    fn run_sequential(self) -> std::io::Result<()> {
+        let mut state = ServeState::new();
+        state.default_solver = self.config.default_solver.clone();
+        state.default_seed = self.config.default_seed;
+        state.allow_shutdown = self.config.allow_shutdown;
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            // Best effort per connection: a broken pipe ends it, not the
+            // server.
+            let _ = serve_sequential_connection(&mut state, stream);
+            if state.shutdown_requested() {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// The sharded front-end: a router over per-shard sessions, one
+    /// reader/writer thread pair per connection.
+    fn run_sharded(self) -> std::io::Result<()> {
+        let wake = wake_addr(self.listener.local_addr()?);
+        let router = Arc::new(router::Router::new(&self.config));
+        // Live connections, so shutdown can unblock readers parked in a
+        // TCP read (each entry is removed by its own thread on exit).
+        let open: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut connections = Vec::new();
+        let mut result = Ok(());
+        for (token, stream) in self.listener.incoming().enumerate() {
+            let stream = match stream {
+                Ok(stream) => stream,
+                // Run the teardown below even on an accept failure —
+                // returning here would leave shard workers and open
+                // connections running detached.
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            if router.shutdown_requested() {
+                // The wake-up connection (below) lands here.
+                break;
+            }
+            let token = token as u64;
+            if let Ok(clone) = stream.try_clone() {
+                open.lock()
+                    .expect("open-connection map")
+                    .insert(token, clone);
+            }
+            let conn_router = Arc::clone(&router);
+            let conn_open = Arc::clone(&open);
+            connections.push(std::thread::spawn(move || {
+                let _ = conn::serve_connection(&conn_router, stream);
+                conn_open
+                    .lock()
+                    .expect("open-connection map")
+                    .remove(&token);
+                if conn_router.shutdown_requested() {
+                    // Unblock the accept loop so it can observe the flag.
+                    // Retried: shutdown was already acknowledged to the
+                    // client, so a transiently dropped SYN (full backlog
+                    // under a connection flood) must not hang the server.
+                    for backoff_ms in [0u64, 10, 50, 250, 1000] {
+                        std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                        if TcpStream::connect(wake).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        // Unblock every reader still parked in a read (idle clients would
+        // otherwise stall the join below indefinitely).
+        for (_, stream) in open.lock().expect("open-connection map").drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        if let Ok(router) = Arc::try_unwrap(router) {
+            router.join();
+        }
+        result
+    }
+}
+
+/// Where a connection thread dials to wake the accept loop after a
+/// shutdown: the bound port, but always via loopback — connecting to a
+/// wildcard bind address (`0.0.0.0` / `::`) is platform-dependent.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+    let ip = match bound.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, bound.port())
+}
+
+fn serve_sequential_connection(state: &mut ServeState, stream: TcpStream) -> std::io::Result<()> {
+    // Tiny lines + Nagle + the peer's delayed ACK = ~40 ms per exchange;
+    // disable Nagle and send each response as a single write.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        // Every received line gets exactly one response — blank ones too
+        // (skipping them silently would desynchronise a client that pairs
+        // requests with responses, hanging it on a read).
+        let mut response = handle_line(state, &line);
+        response.push('\n');
+        writer.write_all(response.as_bytes())?;
+        if state.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// The canned create → mutate → solve → stats → list → metrics → shutdown
+/// script used by `cosched serve --smoke`, the CI loopback test, and the
+/// README transcript. Ends with `shutdown`, so the serving side must
+/// allow it.
+pub fn smoke_script() -> Vec<String> {
+    let apps = Json::arr(workloads::npb::npb6(&[0.05]).iter().map(app_to_json));
+    [
+        Json::obj([("op", Json::from("create")), ("apps", apps)]),
+        Json::obj([
+            ("op", Json::from("solve")),
+            ("id", Json::from(0u64)),
+            ("solver", Json::from("DominantMinRatio")),
+            ("seed", Json::from(42u64)),
+        ]),
+        Json::obj([
+            ("op", Json::from("mutate")),
+            ("id", Json::from(0u64)),
+            ("action", Json::from("remove_app")),
+            ("index", Json::from(1u64)),
+        ]),
+        Json::obj([
+            ("op", Json::from("solve")),
+            ("id", Json::from(0u64)),
+            ("solver", Json::from("DominantMinRatio")),
+            ("seed", Json::from(42u64)),
+        ]),
+        Json::obj([
+            ("op", Json::from("mutate")),
+            ("id", Json::from(0u64)),
+            ("action", Json::from("add_app")),
+            (
+                "app",
+                Json::obj([
+                    ("name", Json::from("HACC-io")),
+                    ("work", Json::from(3.1e10)),
+                    ("seq_fraction", Json::from(0.02)),
+                    ("access_freq", Json::from(0.61)),
+                    ("miss_rate_ref", Json::from(4.2e-3)),
+                ]),
+            ),
+        ]),
+        Json::obj([
+            ("op", Json::from("solve")),
+            ("id", Json::from(0u64)),
+            ("solver", Json::from("Portfolio")),
+            ("seed", Json::from(42u64)),
+            ("schedule", Json::from(false)),
+        ]),
+        Json::obj([("op", Json::from("stats"))]),
+        Json::obj([("op", Json::from("list"))]),
+        Json::obj([("op", Json::from("metrics"))]),
+        Json::obj([("op", Json::from("shutdown"))]),
+    ]
+    .into_iter()
+    .map(|v| v.to_string())
+    .collect()
+}

@@ -1,42 +1,24 @@
-//! `cosched serve` — solves as a service.
+//! Request/response layer of the serve protocol: one parsed JSON request
+//! in, one JSON response out, against a [`ServeState`].
 //!
-//! A line-delimited JSON request/response protocol over TCP, fronting a
-//! [`coschedule::session::Session`]: clients create long-lived instances,
-//! mutate them as applications join/leave the platform, and re-solve
-//! incrementally — the online co-scheduling loop the paper motivates,
-//! without paying a full rebuild per change.
+//! Everything here is transport-free by construction — [`handle_line`]
+//! maps one request string to one response string, so the whole protocol
+//! is testable without sockets. The TCP layers (`--workers 1`'s
+//! sequential loop and the sharded [`Router`](super::router::Router))
+//! both funnel into [`respond`], so a sharded server answers every
+//! request with the same bytes the single-worker server would.
 //!
-//! One request per line, one response per line, always an object with an
-//! `"ok"` field:
-//!
-//! ```text
-//! → {"op":"create","apps":[{"name":"CG","work":5.7e10,"seq_fraction":0.05,
-//!                           "access_freq":0.535,"miss_rate_ref":6.59e-4}, …]}
-//! ← {"ok":true,"id":0,"revision":0,"apps":6}
-//! → {"op":"mutate","id":0,"action":"remove_app","index":1}
-//! ← {"ok":true,"id":0,"revision":1,"apps":5,"removed":"BT"}
-//! → {"op":"solve","id":0,"solver":"DominantMinRatio","seed":42}
-//! ← {"ok":true,"id":0,"revision":1,"solver":"DominantMinRatio","seed":42,
-//!    "mode":"incremental","makespan":1.2e10,"assignments":[…],…}
-//! ```
-//!
-//! Ops: `create`, `mutate` (`action` ∈ `add_app` / `remove_app` /
-//! `update_app` / `set_platform`), `solve`, `stats`, `list`, `solvers`,
-//! `close`, and (when enabled) `shutdown`. Failures answer
-//! `{"ok":false,"error":…}` and keep the connection open.
-//!
-//! The module is transport-thin by construction: [`handle_line`] maps one
-//! request string to one response string against a [`ServeState`], so the
-//! protocol is testable without sockets, and the TCP layer
-//! ([`Server::run`]) is a sequential accept loop (deterministic; a
-//! concurrent front-end would shard instances across sessions).
+//! Error responses echo the request's `"id"` field whenever the request
+//! parsed and carried a numeric one, so a client multiplexing several
+//! instances over one connection can attribute a failure without relying
+//! on response order alone.
 
 use coschedule::model::{Application, Platform};
-use coschedule::session::Session;
+use coschedule::session::{InstanceInfo, Session, SessionStats};
 use coschedule::solver;
 use minijson::Json;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+use super::metrics::{metrics_body, ShardReport};
 
 /// Protocol state: the session plus serve-level knobs.
 pub struct ServeState {
@@ -49,6 +31,11 @@ pub struct ServeState {
     /// --allow-shutdown`, and always in loopback smoke tests).
     pub allow_shutdown: bool,
     shutdown_requested: bool,
+    /// Shard-routed requests handled (what the `metrics` op reports as
+    /// this state's `requests`; global ops like `stats` are excluded so
+    /// the counter matches the per-shard queue counters of the sharded
+    /// server).
+    requests: u64,
 }
 
 impl Default for ServeState {
@@ -60,12 +47,19 @@ impl Default for ServeState {
 impl ServeState {
     /// Fresh state with an empty session and the CLI's defaults.
     pub fn new() -> Self {
+        Self::with_session(Session::new())
+    }
+
+    /// Fresh state around an existing session (the sharded server builds
+    /// per-worker sessions with [`Session::with_id_stride`]).
+    pub fn with_session(session: Session) -> Self {
         Self {
-            session: Session::new(),
+            session,
             default_solver: "DominantMinRatio".to_string(),
             default_seed: 0xC05,
             allow_shutdown: false,
             shutdown_requested: false,
+            requests: 0,
         }
     }
 
@@ -78,23 +72,61 @@ impl ServeState {
     pub fn session(&self) -> &Session {
         &self.session
     }
+
+    /// Shard-routed requests handled so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
 }
 
 /// Handles one request line, returning the response line (without the
 /// trailing newline). Never panics on malformed input.
 pub fn handle_line(state: &mut ServeState, line: &str) -> String {
     let response = match Json::parse(line) {
-        Ok(request) => match dispatch(state, &request) {
-            Ok(body) => body,
-            Err(message) => error_response(&message),
-        },
-        Err(e) => error_response(&format!("malformed request: {e}")),
+        Ok(request) => respond(state, &request),
+        Err(e) => error_response(&format!("malformed request: {e}"), None),
     };
     response.to_string()
 }
 
-fn error_response(message: &str) -> Json {
-    Json::obj([("ok", Json::from(false)), ("error", Json::from(message))])
+/// Ops the sharded router answers itself rather than enqueueing to a
+/// shard (`create` is shard-routed despite its special round-robin
+/// handling). Single source of truth shared by the router's dispatch and
+/// the `requests` counting below — the two must agree, or the metrics
+/// op's per-shard request totals drift between `--workers 1` and
+/// `--workers N`.
+pub(super) fn is_global_op(op: &str) -> bool {
+    matches!(op, "stats" | "list" | "solvers" | "metrics" | "shutdown")
+}
+
+/// Answers one parsed request: [`dispatch`] plus the error envelope. The
+/// sharded worker calls this directly (the router already parsed the line
+/// to route it), `handle_line` after parsing.
+pub fn respond(state: &mut ServeState, request: &Json) -> Json {
+    if !request
+        .get("op")
+        .and_then(Json::as_str)
+        .is_some_and(is_global_op)
+    {
+        // Count what a shard queue would carry; global ops are answered
+        // by the router in the sharded server and never reach a shard.
+        state.requests += 1;
+    }
+    match dispatch(state, request) {
+        Ok(body) => body,
+        Err(message) => error_response(&message, request.get("id").and_then(Json::as_u64)),
+    }
+}
+
+/// `{"ok":false,…}` with the offending request's instance id echoed when
+/// it carried one (a multiplexing client needs it to correlate failures).
+pub(super) fn error_response(message: &str, id: Option<u64>) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::from(false))];
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), Json::from(id)));
+    }
+    pairs.push(("error".to_string(), Json::from(message)));
+    Json::Obj(pairs)
 }
 
 fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
@@ -110,31 +142,88 @@ fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
             apply_mutation(state, request, op)
         }
         "solve" => op_solve(state, request),
-        "stats" => Ok(op_stats(state)),
-        "list" => Ok(op_list(state)),
-        "solvers" => Ok(Json::obj([
-            ("ok", Json::from(true)),
-            (
-                "solvers",
-                Json::arr(solver::names().into_iter().map(Json::from)),
-            ),
-        ])),
+        "stats" => Ok(stats_body(state.session.len(), state.session.stats())),
+        "list" => Ok(list_body(&state.session.list())),
+        "solvers" => Ok(solvers_body()),
+        "metrics" => Ok(metrics_body(
+            1,
+            &[ShardReport {
+                shard: 0,
+                requests: state.requests,
+                queue_depth: 0,
+                instances: state.session.len(),
+                stats: state.session.stats(),
+            }],
+        )),
         "close" => op_close(state, request),
         "shutdown" => {
             if !state.allow_shutdown {
                 return Err("shutdown is not enabled on this server".into());
             }
             state.shutdown_requested = true;
-            Ok(Json::obj([
-                ("ok", Json::from(true)),
-                ("shutting_down", Json::from(true)),
-            ]))
+            Ok(shutdown_body())
         }
         other => Err(format!(
             "unknown op {other:?}; expected create, mutate, solve, stats, list, solvers, \
-             close, or shutdown"
+             metrics, close, or shutdown"
         )),
     }
+}
+
+/// The `stats` response for `live` instances and aggregate counters —
+/// shared by the single-session path and the router's cross-shard merge,
+/// so both serialize identically.
+pub(super) fn stats_body(live: usize, stats: SessionStats) -> Json {
+    Json::obj([
+        ("ok", Json::from(true)),
+        ("instances", Json::from(live)),
+        ("instances_created", Json::from(stats.instances_created)),
+        ("mutations", Json::from(stats.mutations)),
+        ("solves", Json::from(stats.solves)),
+        ("incremental_solves", Json::from(stats.incremental_solves)),
+        ("cold_solves", Json::from(stats.cold_solves)),
+        ("memo_hits", Json::from(stats.memo_hits)),
+        ("kernel_calls", Json::from(stats.eval.kernel_calls)),
+        ("apps_evaluated", Json::from(stats.eval.apps_evaluated)),
+    ])
+}
+
+/// The `list` response for instance summaries already sorted by id.
+pub(super) fn list_body(infos: &[InstanceInfo]) -> Json {
+    Json::obj([
+        ("ok", Json::from(true)),
+        (
+            "instances",
+            Json::arr(infos.iter().map(|info| {
+                Json::obj([
+                    ("id", Json::from(info.id.raw())),
+                    ("revision", Json::from(info.revision)),
+                    ("apps", Json::from(info.apps)),
+                    ("processors", Json::from(info.processors)),
+                    ("cache_size", Json::from(info.cache_size)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// The `solvers` response (static: the registry contents).
+pub(super) fn solvers_body() -> Json {
+    Json::obj([
+        ("ok", Json::from(true)),
+        (
+            "solvers",
+            Json::arr(solver::names().into_iter().map(Json::from)),
+        ),
+    ])
+}
+
+/// The accepted-`shutdown` response.
+pub(super) fn shutdown_body() -> Json {
+    Json::obj([
+        ("ok", Json::from(true)),
+        ("shutting_down", Json::from(true)),
+    ])
 }
 
 fn require_id(
@@ -317,40 +406,6 @@ fn op_solve(state: &mut ServeState, request: &Json) -> Result<Json, String> {
     Ok(Json::Obj(body))
 }
 
-fn op_stats(state: &ServeState) -> Json {
-    let stats = state.session.stats();
-    Json::obj([
-        ("ok", Json::from(true)),
-        ("instances", Json::from(state.session.len())),
-        ("instances_created", Json::from(stats.instances_created)),
-        ("mutations", Json::from(stats.mutations)),
-        ("solves", Json::from(stats.solves)),
-        ("incremental_solves", Json::from(stats.incremental_solves)),
-        ("cold_solves", Json::from(stats.cold_solves)),
-        ("memo_hits", Json::from(stats.memo_hits)),
-        ("kernel_calls", Json::from(stats.eval.kernel_calls)),
-        ("apps_evaluated", Json::from(stats.eval.apps_evaluated)),
-    ])
-}
-
-fn op_list(state: &ServeState) -> Json {
-    Json::obj([
-        ("ok", Json::from(true)),
-        (
-            "instances",
-            Json::arr(state.session.list().into_iter().map(|info| {
-                Json::obj([
-                    ("id", Json::from(info.id.raw())),
-                    ("revision", Json::from(info.revision)),
-                    ("apps", Json::from(info.apps)),
-                    ("processors", Json::from(info.processors)),
-                    ("cache_size", Json::from(info.cache_size)),
-                ])
-            })),
-        ),
-    ])
-}
-
 fn op_close(state: &mut ServeState, request: &Json) -> Result<Json, String> {
     let id = require_id(state, request)?;
     state.session.close(id).map_err(|e| e.to_string())?;
@@ -448,154 +503,6 @@ pub fn platform_overrides_from_json(base: Platform, v: &Json) -> Result<Platform
         platform.alpha = alpha;
     }
     Ok(platform)
-}
-
-/// A bound-but-not-yet-serving server (binding first lets callers learn
-/// the OS-assigned port of `127.0.0.1:0` before serving starts).
-pub struct Server {
-    listener: TcpListener,
-    state: ServeState,
-}
-
-impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port 0 for an OS-assigned
-    /// one) with fresh protocol state.
-    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        Ok(Self {
-            listener: TcpListener::bind(addr)?,
-            state: ServeState::new(),
-        })
-    }
-
-    /// The bound address (what clients should dial).
-    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.listener.local_addr()
-    }
-
-    /// Mutable access to the protocol state, for configuring
-    /// `default_solver` / `default_seed` / `allow_shutdown` before serving.
-    pub fn state_mut(&mut self) -> &mut ServeState {
-        &mut self.state
-    }
-
-    /// Serves connections **sequentially** until a `shutdown` request is
-    /// accepted (never, unless `allow_shutdown` is set). Each connection
-    /// is read line-by-line; per-request failures answer `"ok":false` and
-    /// keep serving, I/O errors drop the connection and keep accepting.
-    pub fn run(mut self) -> std::io::Result<()> {
-        for stream in self.listener.incoming() {
-            let stream = stream?;
-            // Best effort per connection: a broken pipe ends it, not the
-            // server.
-            let _ = serve_connection(&mut self.state, stream);
-            if self.state.shutdown_requested() {
-                return Ok(());
-            }
-        }
-        Ok(())
-    }
-}
-
-fn serve_connection(state: &mut ServeState, stream: TcpStream) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        // Every received line gets exactly one response — blank ones too
-        // (skipping them silently would desynchronise a client that pairs
-        // requests with responses, hanging it on a read).
-        let response = handle_line(state, &line);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if state.shutdown_requested() {
-            break;
-        }
-    }
-    Ok(())
-}
-
-/// Connects to a serving `cosched serve`, sends each request line, and
-/// returns the response lines (one per request, in order) — the engine of
-/// `cosched client` and the loopback tests.
-pub fn client_exchange(
-    addr: impl ToSocketAddrs,
-    requests: &[String],
-) -> std::io::Result<Vec<String>> {
-    let stream = TcpStream::connect(addr)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut responses = Vec::with_capacity(requests.len());
-    for request in requests {
-        writer.write_all(request.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        let mut response = String::new();
-        if reader.read_line(&mut response)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-exchange",
-            ));
-        }
-        responses.push(response.trim_end().to_string());
-    }
-    Ok(responses)
-}
-
-/// The canned create → mutate → solve → stats → list → shutdown script
-/// used by `cosched serve --smoke`, the CI loopback test, and the README
-/// transcript. Ends with `shutdown`, so the serving side must allow it.
-pub fn smoke_script() -> Vec<String> {
-    let apps = Json::arr(workloads::npb::npb6(&[0.05]).iter().map(app_to_json));
-    [
-        Json::obj([("op", Json::from("create")), ("apps", apps)]),
-        Json::obj([
-            ("op", Json::from("solve")),
-            ("id", Json::from(0u64)),
-            ("solver", Json::from("DominantMinRatio")),
-            ("seed", Json::from(42u64)),
-        ]),
-        Json::obj([
-            ("op", Json::from("mutate")),
-            ("id", Json::from(0u64)),
-            ("action", Json::from("remove_app")),
-            ("index", Json::from(1u64)),
-        ]),
-        Json::obj([
-            ("op", Json::from("solve")),
-            ("id", Json::from(0u64)),
-            ("solver", Json::from("DominantMinRatio")),
-            ("seed", Json::from(42u64)),
-        ]),
-        Json::obj([
-            ("op", Json::from("mutate")),
-            ("id", Json::from(0u64)),
-            ("action", Json::from("add_app")),
-            (
-                "app",
-                Json::obj([
-                    ("name", Json::from("HACC-io")),
-                    ("work", Json::from(3.1e10)),
-                    ("seq_fraction", Json::from(0.02)),
-                    ("access_freq", Json::from(0.61)),
-                    ("miss_rate_ref", Json::from(4.2e-3)),
-                ]),
-            ),
-        ]),
-        Json::obj([
-            ("op", Json::from("solve")),
-            ("id", Json::from(0u64)),
-            ("solver", Json::from("Portfolio")),
-            ("seed", Json::from(42u64)),
-            ("schedule", Json::from(false)),
-        ]),
-        Json::obj([("op", Json::from("stats"))]),
-        Json::obj([("op", Json::from("list"))]),
-        Json::obj([("op", Json::from("shutdown"))]),
-    ]
-    .into_iter()
-    .map(|v| v.to_string())
-    .collect()
 }
 
 #[cfg(test)]
@@ -730,6 +637,59 @@ mod tests {
     }
 
     #[test]
+    fn error_responses_echo_the_request_id() {
+        let mut state = ServeState::new();
+        // Dead instance: the id the client asked about comes back.
+        let v = Json::parse(&handle_line(&mut state, r#"{"op":"solve","id":9}"#)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
+        // Bad mutation on a live instance: still echoed.
+        let _ = ok(&handle_line(&mut state, &npb_create_line()));
+        for line in [
+            r#"{"op":"mutate","id":0,"action":"frobnicate"}"#,
+            r#"{"op":"remove_app","id":0,"index":99}"#,
+            r#"{"op":"solve","id":0,"solver":"Nope"}"#,
+            r#"{"op":"mutate","id":0}"#,
+        ] {
+            let v = Json::parse(&handle_line(&mut state, line)).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+            assert_eq!(v.get("id").and_then(Json::as_u64), Some(0), "{line}");
+        }
+        // No id in the request (or unparseable request): no id to echo.
+        for line in ["not json", r#"{"op":"frobnicate"}"#, r#"{"op":"solve"}"#] {
+            let v = Json::parse(&handle_line(&mut state, line)).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+            assert!(v.get("id").is_none(), "{line} must not invent an id");
+        }
+    }
+
+    #[test]
+    fn metrics_reports_the_single_state_as_shard_zero() {
+        let mut state = ServeState::new();
+        let _ = ok(&handle_line(&mut state, &npb_create_line()));
+        let _ = ok(&handle_line(
+            &mut state,
+            r#"{"op":"solve","id":0,"seed":1,"schedule":false}"#,
+        ));
+        let v = ok(&handle_line(&mut state, r#"{"op":"metrics"}"#));
+        assert_eq!(v.get("workers").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("requests").and_then(Json::as_u64), Some(2));
+        let shards = v.get("shards").and_then(Json::as_array).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].get("shard").and_then(Json::as_u64), Some(0));
+        assert_eq!(shards[0].get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(shards[0].get("queue_depth").and_then(Json::as_u64), Some(0));
+        assert_eq!(shards[0].get("cold_solves").and_then(Json::as_u64), Some(1));
+        assert!(
+            shards[0]
+                .get("kernel_calls")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
     fn platform_overrides_apply() {
         let p = platform_from_json(
             &Json::parse(r#"{"processors":64,"cache_gb":1,"alpha":0.4}"#).unwrap(),
@@ -799,7 +759,7 @@ mod tests {
     fn smoke_script_runs_clean_in_process() {
         let mut state = ServeState::new();
         state.allow_shutdown = true;
-        let script = smoke_script();
+        let script = super::super::smoke_script();
         for (i, line) in script.iter().enumerate() {
             let _ = ok(&handle_line(&mut state, line));
             assert_eq!(

@@ -1,0 +1,268 @@
+//! Deterministic request routing for the sharded server.
+//!
+//! The router owns the shard workers, the instance directory (global
+//! instance id → owning shard), and the round-robin create cursor:
+//!
+//! * `create` requests are dealt **round-robin** over the shards; the
+//!   router waits for the shard's reply while holding the create cursor,
+//!   so the new id is registered in the directory (and the cursor only
+//!   advances on success) before the client can see the response —
+//!   combined with [`Session::with_id_stride`] this reproduces the
+//!   single-worker id sequence 0, 1, 2, … for any worker count;
+//! * requests that carry a live instance id **pin to the owning shard**,
+//!   so the session's incremental re-solve state stays warm;
+//! * requests with no routable id (unknown ids, missing ids, unknown
+//!   ops) go to shard 0, whose protocol layer produces exactly the error
+//!   the single-worker server would — error payloads stay identical by
+//!   construction instead of by duplication;
+//! * `stats` / `list` are answered by **fanning a snapshot marker through
+//!   every shard queue** and merging: sums for the counters, an id-sorted
+//!   merge for the instance summaries — both serialize through the same
+//!   body builders as the single-session path, so a fixed lock-step
+//!   request trace gets payload-identical responses at any `--workers`;
+//! * `solvers`, `metrics`, and `shutdown` are answered in place.
+//!
+//! Backpressure: shard queues are bounded, so routing to a saturated
+//! shard blocks that connection's reader (see
+//! [`QUEUE_CAPACITY`](super::worker::QUEUE_CAPACITY)).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+
+use minijson::Json;
+
+use super::metrics::ShardReport;
+use super::protocol::{self, error_response};
+use super::worker::{Directory, ShardMsg, ShardSnapshot, TaggedResponse, Worker};
+use super::ServeConfig;
+
+/// The shared routing core of a sharded server; one per [`Server`]
+/// (`Arc`-shared with every connection thread).
+///
+/// [`Server`]: super::Server
+pub(super) struct Router {
+    workers: Vec<Worker>,
+    directory: Directory,
+    /// Round-robin cursor over *successful* creates (failed creates
+    /// consume neither an id nor a turn, matching the single worker).
+    create_cursor: Mutex<u64>,
+    shutdown: AtomicBool,
+    allow_shutdown: bool,
+}
+
+impl Router {
+    /// Spawns `config.workers` shard workers and the routing state.
+    pub fn new(config: &ServeConfig) -> Router {
+        let shards = config.workers.max(1);
+        let directory: Directory = Arc::new(Mutex::new(HashMap::new()));
+        let workers = (0..shards)
+            .map(|k| {
+                Worker::spawn(
+                    k,
+                    shards,
+                    config.default_solver.clone(),
+                    config.default_seed,
+                    Arc::clone(&directory),
+                )
+            })
+            .collect();
+        Router {
+            workers,
+            directory,
+            create_cursor: Mutex::new(0),
+            shutdown: AtomicBool::new(false),
+            allow_shutdown: config.allow_shutdown,
+        }
+    }
+
+    /// `true` once a `shutdown` request has been accepted.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Routes one raw request line; the response (tagged with `seq`) is
+    /// delivered to `out` — immediately for router-answered ops, from the
+    /// owning shard's worker for instance ops.
+    pub fn dispatch(&self, line: &str, seq: u64, out: &Sender<TaggedResponse>) {
+        let request = match Json::parse(line) {
+            Ok(request) => request,
+            Err(e) => {
+                let body = error_response(&format!("malformed request: {e}"), None);
+                let _ = out.send((seq, body.to_string()));
+                return;
+            }
+        };
+        match request.get("op").and_then(Json::as_str) {
+            Some("create") => self.dispatch_create(request, seq, out),
+            // `protocol::is_global_op` is the single definition of which
+            // ops the router answers itself; the per-shard `requests`
+            // counting in `protocol::respond` keys off the same predicate.
+            Some(op) if protocol::is_global_op(op) => self.dispatch_global(op, &request, seq, out),
+            // Instance ops (and anything unroutable — unknown ops,
+            // missing or dead ids): the owning shard, or shard 0, whose
+            // dispatch reports the identical error a single worker would.
+            _ => {
+                let id = request.get("id").and_then(Json::as_u64);
+                let shard = id
+                    .and_then(|id| {
+                        self.directory
+                            .lock()
+                            .expect("directory lock")
+                            .get(&id)
+                            .copied()
+                    })
+                    .unwrap_or(0);
+                let worker = &self.workers[shard];
+                worker.metrics.record_enqueued();
+                let sent = worker.tx.send(ShardMsg::Apply {
+                    request,
+                    seq,
+                    out: out.clone(),
+                });
+                if sent.is_err() {
+                    // The shard worker is gone (it panicked mid-request).
+                    // Every seq must still be answered, or the writer's
+                    // reorder buffer stalls the connection forever.
+                    worker.metrics.record_completed();
+                    let body = error_response("shard worker died", id);
+                    let _ = out.send((seq, body.to_string()));
+                }
+            }
+        }
+    }
+
+    /// Answers one router-level (global) op — exactly the ops
+    /// [`protocol::is_global_op`] names.
+    fn dispatch_global(&self, op: &str, request: &Json, seq: u64, out: &Sender<TaggedResponse>) {
+        match op {
+            "stats" => {
+                let snapshots = self.snapshots();
+                let live = snapshots.iter().map(|s| s.live).sum();
+                let mut stats = coschedule::session::SessionStats::default();
+                for s in &snapshots {
+                    stats.merge(s.stats);
+                }
+                let _ = out.send((seq, protocol::stats_body(live, stats).to_string()));
+            }
+            "list" => {
+                let mut infos: Vec<_> =
+                    self.snapshots().into_iter().flat_map(|s| s.infos).collect();
+                // Each shard lists its instances in ascending id order;
+                // the merged view must too (ids interleave mod `shards`).
+                infos.sort_by_key(|info| info.id.raw());
+                let _ = out.send((seq, protocol::list_body(&infos).to_string()));
+            }
+            "solvers" => {
+                let _ = out.send((seq, protocol::solvers_body().to_string()));
+            }
+            "metrics" => {
+                let reports: Vec<ShardReport> = self
+                    .snapshots()
+                    .into_iter()
+                    .zip(&self.workers)
+                    .enumerate()
+                    .map(|(shard, (snapshot, worker))| ShardReport {
+                        shard,
+                        requests: worker.metrics.requests(),
+                        queue_depth: worker.metrics.queue_depth(),
+                        instances: snapshot.live,
+                        stats: snapshot.stats,
+                    })
+                    .collect();
+                let body = super::metrics::metrics_body(self.workers.len(), &reports);
+                let _ = out.send((seq, body.to_string()));
+            }
+            "shutdown" => {
+                let body = if self.allow_shutdown {
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    protocol::shutdown_body()
+                } else {
+                    error_response(
+                        "shutdown is not enabled on this server",
+                        request.get("id").and_then(Json::as_u64),
+                    )
+                };
+                let _ = out.send((seq, body.to_string()));
+            }
+            // Defensive: is_global_op and this match are adjacent single
+            // sources; a drift still answers instead of dropping the seq.
+            other => {
+                let body = error_response(&format!("unhandled global op {other:?}"), None);
+                let _ = out.send((seq, body.to_string()));
+            }
+        }
+    }
+
+    /// Routes a `create`: round-robin shard choice, then a synchronous
+    /// wait for the shard's reply so the directory registration happens
+    /// before the response escapes (a pipelining client may address the
+    /// new id on its very next line).
+    fn dispatch_create(&self, request: Json, seq: u64, out: &Sender<TaggedResponse>) {
+        let mut cursor = self.create_cursor.lock().expect("create cursor lock");
+        let shard = (*cursor % self.workers.len() as u64) as usize;
+        let worker = &self.workers[shard];
+        let (done_tx, done_rx) = std::sync::mpsc::sync_channel(1);
+        worker.metrics.record_enqueued();
+        let response = match worker.tx.send(ShardMsg::Create {
+            request,
+            done: done_tx,
+        }) {
+            Ok(()) => match done_rx.recv() {
+                Ok((response, created)) => {
+                    if let Some(id) = created {
+                        self.directory
+                            .lock()
+                            .expect("directory lock")
+                            .insert(id, shard);
+                        *cursor += 1;
+                    }
+                    response
+                }
+                Err(_) => {
+                    worker.metrics.record_completed();
+                    error_response("shard worker died", None).to_string()
+                }
+            },
+            Err(_) => {
+                worker.metrics.record_completed();
+                error_response("shard worker died", None).to_string()
+            }
+        };
+        drop(cursor);
+        let _ = out.send((seq, response));
+    }
+
+    /// Fans a snapshot marker through every shard queue and gathers the
+    /// replies (all markers are enqueued before any reply is awaited, so
+    /// the shards drain in parallel).
+    fn snapshots(&self) -> Vec<ShardSnapshot> {
+        let receivers: Vec<_> = self
+            .workers
+            .iter()
+            .map(|worker| {
+                let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                let _ = worker.tx.send(ShardMsg::Snapshot { done: tx });
+                rx
+            })
+            .collect();
+        receivers
+            .into_iter()
+            .map(|rx| {
+                rx.recv().unwrap_or(ShardSnapshot {
+                    live: 0,
+                    stats: Default::default(),
+                    infos: Vec::new(),
+                })
+            })
+            .collect()
+    }
+
+    /// Stops every shard worker (drops their queues, joins their threads).
+    pub fn join(self) {
+        for worker in self.workers {
+            worker.join();
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Shard workers: one [`Session`] per shard, owned by a dedicated thread
+//! and fed by a bounded mpsc request channel.
+//!
+//! The session API is deliberately single-threaded (`&mut self`
+//! everywhere), so the concurrency unit of the sharded server is the
+//! whole session: worker `k` of `n` owns every instance whose id ≡ `k`
+//! (mod `n`) — ids come from [`Session::with_id_stride`], so the shards'
+//! sequences are disjoint and collectively reproduce the single-worker
+//! sequence. Pinning all requests for an instance to its owning shard
+//! keeps the session's incremental re-solve state (patched `EvalSet`
+//! columns, recycled scratch, resolve memo) warm across requests.
+//!
+//! The request channel is bounded ([`QUEUE_CAPACITY`]): when a shard
+//! falls behind, `send` blocks the connection reader that is routing to
+//! it — backpressure instead of unbounded buffering.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use coschedule::session::{InstanceInfo, Session, SessionStats};
+use minijson::Json;
+
+use super::metrics::ShardMetrics;
+use super::protocol::{self, ServeState};
+
+/// Bound of each shard's request queue; a full queue blocks the routing
+/// reader (backpressure) rather than buffering without limit.
+pub(super) const QUEUE_CAPACITY: usize = 128;
+
+/// The shared instance directory: global instance id → owning shard.
+pub(super) type Directory = Arc<Mutex<HashMap<u64, usize>>>;
+
+/// A response tagged with the per-connection sequence number of its
+/// request, on its way to that connection's writer thread.
+pub(super) type TaggedResponse = (u64, String);
+
+/// One message on a shard's request queue.
+pub(super) enum ShardMsg {
+    /// An instance-routed request; the response goes straight to the
+    /// connection's writer (the reader does not wait — this is what lets
+    /// one connection keep several shards busy at once).
+    Apply {
+        request: Json,
+        seq: u64,
+        out: Sender<TaggedResponse>,
+    },
+    /// A `create`: the router waits for the reply so it can register the
+    /// new id in the directory (and advance its round-robin cursor)
+    /// before the client can possibly see the response and address the
+    /// instance.
+    Create {
+        request: Json,
+        done: SyncSender<(String, Option<u64>)>,
+    },
+    /// State snapshot for the `stats` / `list` / `metrics` fan-outs.
+    /// Travels through the queue like any request, so the reply reflects
+    /// everything enqueued before it.
+    Snapshot { done: SyncSender<ShardSnapshot> },
+}
+
+/// One shard's contribution to a cross-shard `stats` / `list` / `metrics`
+/// response.
+pub(super) struct ShardSnapshot {
+    pub live: usize,
+    pub stats: SessionStats,
+    pub infos: Vec<InstanceInfo>,
+}
+
+/// A running shard: its queue sender, its counters, and its thread.
+pub(super) struct Worker {
+    pub tx: SyncSender<ShardMsg>,
+    pub metrics: Arc<ShardMetrics>,
+    handle: JoinHandle<()>,
+}
+
+impl Worker {
+    /// Spawns shard `shard` of `shards`, with its strided session and the
+    /// serve-level defaults.
+    pub fn spawn(
+        shard: usize,
+        shards: usize,
+        default_solver: String,
+        default_seed: u64,
+        directory: Directory,
+    ) -> Worker {
+        let (tx, rx) = std::sync::mpsc::sync_channel(QUEUE_CAPACITY);
+        let metrics = Arc::new(ShardMetrics::default());
+        let worker_metrics = Arc::clone(&metrics);
+        let handle = std::thread::Builder::new()
+            .name(format!("cosched-shard-{shard}"))
+            .spawn(move || {
+                run(
+                    shard,
+                    shards,
+                    default_solver,
+                    default_seed,
+                    directory,
+                    rx,
+                    &worker_metrics,
+                )
+            })
+            .expect("spawn shard worker");
+        Worker {
+            tx,
+            metrics,
+            handle,
+        }
+    }
+
+    /// Stops the worker: drops the queue sender and joins the thread.
+    pub fn join(self) {
+        let Worker { tx, handle, .. } = self;
+        drop(tx);
+        let _ = handle.join();
+    }
+}
+
+fn run(
+    shard: usize,
+    shards: usize,
+    default_solver: String,
+    default_seed: u64,
+    directory: Directory,
+    rx: Receiver<ShardMsg>,
+    metrics: &ShardMetrics,
+) {
+    let mut state = ServeState::with_session(Session::with_id_stride(shard as u64, shards as u64));
+    state.default_solver = default_solver;
+    state.default_seed = default_seed;
+    // `shutdown` never reaches a shard (the router intercepts it), so the
+    // per-shard flag stays false; `allow_shutdown` is router state.
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Apply { request, seq, out } => {
+                let response = protocol::respond(&mut state, &request);
+                // Unregister a closed instance before the client can see
+                // the response (a stale entry would still be answered
+                // correctly — the session rejects the dead id — but the
+                // directory should not outlive the instance).
+                if is_ok(&response) && op_is(&request, "close") {
+                    if let Some(id) = request.get("id").and_then(Json::as_u64) {
+                        directory.lock().expect("directory lock").remove(&id);
+                    }
+                }
+                // A send error means the connection died mid-flight; the
+                // shard keeps serving everyone else.
+                let _ = out.send((seq, response.to_string()));
+                metrics.record_completed();
+            }
+            ShardMsg::Create { request, done } => {
+                let response = protocol::respond(&mut state, &request);
+                let created = if is_ok(&response) {
+                    response.get("id").and_then(Json::as_u64)
+                } else {
+                    None
+                };
+                let _ = done.send((response.to_string(), created));
+                metrics.record_completed();
+            }
+            ShardMsg::Snapshot { done } => {
+                // Not a routed request: no completed tick (the router did
+                // not tick enqueued for it either).
+                let _ = done.send(ShardSnapshot {
+                    live: state.session().len(),
+                    stats: state.session().stats(),
+                    infos: state.session().list(),
+                });
+            }
+        }
+    }
+}
+
+fn is_ok(response: &Json) -> bool {
+    response.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn op_is(request: &Json, op: &str) -> bool {
+    request.get("op").and_then(Json::as_str) == Some(op)
+}

@@ -1,0 +1,224 @@
+//! The sharded server's identity contract under real concurrency:
+//! several client threads issue interleaved create/mutate/solve traffic
+//! on distinct instances against a `--workers 4` server, and every
+//! client's per-instance response stream must be **byte-identical** to a
+//! single-worker replay of the same per-instance subtrace.
+//!
+//! Why this holds: instances pin to their owning shard, each shard is one
+//! single-threaded `Session` (so per-instance request order is preserved
+//! end to end), and incremental re-solves are bit-identical to cold
+//! solves — so whatever the cross-client interleaving, each instance's
+//! responses are a pure function of its own subtrace.
+
+use experiments::serve::{app_to_json, client_exchange, pipelined_exchange, Server};
+use minijson::Json;
+
+fn spawn_server(workers: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let mut server = Server::bind("127.0.0.1:0").expect("bind 127.0.0.1:0");
+    server.config_mut().allow_shutdown = true;
+    server.config_mut().workers = workers;
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shutdown(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
+    client_exchange(addr, &[r#"{"op":"shutdown"}"#.to_string()]).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// Client `k`'s create request: NPB-6 with the work vector perturbed per
+/// client, so the instances (and their makespans) are all distinct.
+fn create_request(k: usize) -> String {
+    let mut apps = workloads::npb::npb6(&[0.05]);
+    for app in &mut apps {
+        app.work *= 1.0 + 0.01 * k as f64;
+    }
+    Json::obj([
+        ("op", Json::from("create")),
+        ("apps", Json::arr(apps.iter().map(app_to_json))),
+    ])
+    .to_string()
+}
+
+/// Client `k`'s post-create subtrace against its own instance `id`:
+/// update/add/remove mutations interleaved with solves (different
+/// solvers and seeds per client, memo and error cases included).
+fn subtrace(k: usize, id: u64) -> Vec<String> {
+    let solvers = [
+        "DominantMinRatio",
+        "DominantRefined",
+        "Fair",
+        "RandomPart",
+        "DominantRevMaxRatio",
+        "AllProcCache",
+    ];
+    let solver = solvers[k % solvers.len()];
+    let mut lines = Vec::new();
+    for round in 0..3u64 {
+        // A real profile change every round (never a memoizable repeat).
+        lines.push(format!(
+            r#"{{"op":"update_app","id":{id},"index":{index},"app":{{"name":"W{k}r{round}","work":{work},"seq_fraction":0.04,"access_freq":0.61,"miss_rate_ref":4.2e-3}}}}"#,
+            index = round % 3,
+            work = 3.1e10 * (1.0 + 0.003 * (k as f64 + 1.0) * (round as f64 + 1.0)),
+        ));
+        lines.push(format!(
+            r#"{{"op":"solve","id":{id},"solver":"{solver}","seed":{seed},"schedule":{schedule}}}"#,
+            seed = 40 + round,
+            schedule = round % 2 == 0,
+        ));
+    }
+    lines.push(format!(
+        r#"{{"op":"mutate","id":{id},"action":"add_app","app":{{"name":"late{k}","work":2.2e10,"seq_fraction":0.03,"access_freq":0.55,"miss_rate_ref":1.3e-3}}}}"#
+    ));
+    // An error mid-trace: out-of-range index (the response echoes the id
+    // and must replay identically).
+    lines.push(format!(r#"{{"op":"remove_app","id":{id},"index":99}}"#));
+    lines.push(format!(r#"{{"op":"remove_app","id":{id},"index":1}}"#));
+    lines.push(format!(
+        r#"{{"op":"solve","id":{id},"solver":"{solver}","seed":77}}"#
+    ));
+    // Same revision, solver, seed: the memo tier must answer.
+    lines.push(format!(
+        r#"{{"op":"solve","id":{id},"solver":"{solver}","seed":77}}"#
+    ));
+    lines
+}
+
+#[test]
+fn concurrent_clients_match_a_single_worker_replay_byte_for_byte() {
+    const CLIENTS: usize = 6;
+    let (addr, server) = spawn_server(4);
+
+    // Phase 1 — live: one thread per client; each creates its instance
+    // (lock-step, to learn the id), then runs its subtrace — even clients
+    // pipelined (many requests in flight on one connection), odd clients
+    // lock-step.
+    let mut clients: Vec<(u64, Vec<String>, Vec<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|k| {
+                scope.spawn(move || {
+                    let create = create_request(k);
+                    let created =
+                        client_exchange(addr, std::slice::from_ref(&create)).expect("create");
+                    let v = Json::parse(&created[0]).expect("create response");
+                    assert_eq!(
+                        v.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "{created:?}"
+                    );
+                    let id = v.get("id").and_then(Json::as_u64).expect("created id");
+                    let trace = subtrace(k, id);
+                    let responses = if k % 2 == 0 {
+                        pipelined_exchange(addr, &trace).expect("pipelined subtrace")
+                    } else {
+                        client_exchange(addr, &trace).expect("lock-step subtrace")
+                    };
+                    let mut requests = vec![create];
+                    requests.extend(trace);
+                    let mut all = created;
+                    all.extend(responses);
+                    (id, requests, all)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Distinct ids 0..CLIENTS were handed out (round-robin creates with
+    // strided per-shard sessions reproduce the single-worker sequence).
+    let mut ids: Vec<u64> = clients.iter().map(|(id, _, _)| *id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..CLIENTS as u64).collect::<Vec<_>>());
+
+    // The post-traffic global view, for comparison after the replay.
+    let globals = vec![
+        r#"{"op":"stats"}"#.to_string(),
+        r#"{"op":"list"}"#.to_string(),
+    ];
+    let live_globals = client_exchange(addr, &globals).expect("stats+list");
+    shutdown(addr, server);
+
+    // Phase 2 — replay: one single-worker server, the same per-instance
+    // subtraces, clients ordered by their live id so the creates hand out
+    // the same ids. Every response line must match the live run exactly.
+    clients.sort_by_key(|(id, _, _)| *id);
+    let (addr, server) = spawn_server(1);
+    for (id, requests, live_responses) in &clients {
+        let replayed = client_exchange(addr, requests).expect("replay");
+        assert_eq!(
+            &replayed, live_responses,
+            "instance {id}: single-worker replay diverged from the sharded live run"
+        );
+    }
+    // Totals are conserved too: the merged stats/list of the sharded
+    // server equal the single worker's, byte for byte.
+    let replay_globals = client_exchange(addr, &globals).expect("stats+list");
+    assert_eq!(replay_globals, live_globals);
+    shutdown(addr, server);
+}
+
+#[test]
+fn sharded_shutdown_completes_while_other_connections_sit_idle() {
+    // Regression: `run_sharded` joins every connection thread; an idle
+    // client parked in a TCP read must not stall the shutdown — the
+    // server shuts the socket down to unblock its reader.
+    let (addr, server) = spawn_server(2);
+    let idle = std::net::TcpStream::connect(addr).expect("idle connect");
+    client_exchange(addr, &[r#"{"op":"shutdown"}"#.to_string()]).expect("shutdown");
+    server
+        .join()
+        .expect("server must exit despite the idle client");
+    drop(idle);
+}
+
+#[test]
+fn lock_step_trace_with_closes_is_identical_at_any_worker_count() {
+    // One connection, lock-step, exercising the cross-shard directory:
+    // eight instances dealt round-robin, closes, a re-create (ids are
+    // never reused), global stats/list, and dead-id errors. Everything —
+    // including the error payloads — must be byte-identical between the
+    // sharded and the single-worker server.
+    let mut trace: Vec<String> = (0..8).map(create_request).collect();
+    for id in [2u64, 5] {
+        trace.push(format!(r#"{{"op":"close","id":{id}}}"#));
+    }
+    trace.push(create_request(8)); // must get id 8, not recycle 2
+    for id in [0u64, 3, 8] {
+        trace.push(format!(
+            r#"{{"op":"solve","id":{id},"solver":"DominantMinRatio","seed":9}}"#
+        ));
+    }
+    trace.push(r#"{"op":"solve","id":2,"seed":9}"#.into()); // closed: error
+    trace.push(r#"{"op":"list"}"#.into());
+    trace.push(r#"{"op":"stats"}"#.into());
+    trace.push(r#"{"op":"solvers"}"#.into());
+
+    let mut by_workers = Vec::new();
+    for workers in [1usize, 4] {
+        let (addr, server) = spawn_server(workers);
+        let responses = client_exchange(addr, &trace).expect("trace");
+        shutdown(addr, server);
+        by_workers.push(responses);
+    }
+    assert_eq!(
+        by_workers[0], by_workers[1],
+        "workers=4 diverged from workers=1"
+    );
+    let responses = &by_workers[0];
+    // Sanity on the shape: the re-create got a fresh id…
+    let recreated = Json::parse(&responses[10]).unwrap();
+    assert_eq!(recreated.get("id").and_then(Json::as_u64), Some(8));
+    // …the closed id errors with the id echoed…
+    let dead = Json::parse(&responses[14]).unwrap();
+    assert_eq!(dead.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(dead.get("id").and_then(Json::as_u64), Some(2));
+    // …and the list holds exactly the seven live instances.
+    let list = Json::parse(&responses[15]).unwrap();
+    let infos = list.get("instances").and_then(Json::as_array).unwrap();
+    let listed: Vec<u64> = infos
+        .iter()
+        .map(|i| i.get("id").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert_eq!(listed, vec![0, 1, 3, 4, 6, 7, 8]);
+}

@@ -1,16 +1,19 @@
 //! Serve↔client loopback smoke: a real `TcpListener` on `127.0.0.1:0`, the
-//! canned create → mutate → solve → stats → list script over actual
-//! sockets, and a determinism check — two fresh servers given the same
-//! request lines must produce byte-identical response lines (the solve
-//! responses carry round-trip-exact makespans, so this pins numerical
-//! determinism end to end, through the wire format).
+//! canned create → mutate → solve → stats → list → metrics script over
+//! actual sockets, and determinism checks — two fresh servers given the
+//! same request lines must produce byte-identical response lines (the
+//! solve responses carry round-trip-exact makespans, so this pins
+//! numerical determinism end to end, through the wire format), and the
+//! sharded server (`workers = 4`) must answer every non-`metrics` request
+//! with the same bytes as the single-worker server.
 
-use experiments::serve::{client_exchange, smoke_script, Server};
+use experiments::serve::{client_exchange, pipelined_exchange, smoke_script, Server};
 use minijson::Json;
 
-fn run_script(script: &[String]) -> Vec<String> {
+fn run_script(workers: usize, script: &[String]) -> Vec<String> {
     let mut server = Server::bind("127.0.0.1:0").expect("bind 127.0.0.1:0");
-    server.state_mut().allow_shutdown = true;
+    server.config_mut().allow_shutdown = true;
+    server.config_mut().workers = workers;
     let addr = server.local_addr().unwrap();
     let handle = std::thread::spawn(move || server.run());
     let responses = client_exchange(addr, script).expect("loopback exchange");
@@ -24,7 +27,7 @@ fn run_script(script: &[String]) -> Vec<String> {
 #[test]
 fn loopback_round_trip_is_ok_and_deterministic() {
     let script = smoke_script();
-    let responses = run_script(&script);
+    let responses = run_script(1, &script);
     assert_eq!(responses.len(), script.len());
     for (request, response) in script.iter().zip(&responses) {
         let v = Json::parse(response).unwrap_or_else(|e| panic!("{response}: {e}"));
@@ -36,7 +39,7 @@ fn loopback_round_trip_is_ok_and_deterministic() {
     }
 
     // Fixed seed ⇒ byte-identical responses from a fresh server.
-    let again = run_script(&script);
+    let again = run_script(1, &script);
     assert_eq!(responses, again, "same script, same seed, same bytes");
 
     // Spot-check the solve responses carry the expected shape and modes.
@@ -62,6 +65,77 @@ fn loopback_round_trip_is_ok_and_deterministic() {
 }
 
 #[test]
+fn sharded_smoke_matches_single_worker_byte_for_byte() {
+    // The identity contract of the sharded front-end: a fixed lock-step
+    // trace gets payload-identical responses at any worker count. Only
+    // `metrics` is exempt — it reports one row per shard by design.
+    let script = smoke_script();
+    let single = run_script(1, &script);
+    let sharded = run_script(4, &script);
+    // And the sharded server is deterministic across restarts too.
+    assert_eq!(sharded, run_script(4, &script), "sharded restarts differ");
+    for ((request, one), four) in script.iter().zip(&single).zip(&sharded) {
+        let is_metrics = Json::parse(request)
+            .unwrap()
+            .get("op")
+            .and_then(Json::as_str)
+            == Some("metrics");
+        if is_metrics {
+            let v = Json::parse(four).unwrap();
+            assert_eq!(v.get("workers").and_then(Json::as_u64), Some(4), "{four}");
+            assert_eq!(
+                v.get("shards").and_then(Json::as_array).unwrap().len(),
+                4,
+                "{four}"
+            );
+            continue;
+        }
+        assert_eq!(one, four, "workers=4 diverged from workers=1 on {request}");
+    }
+}
+
+#[test]
+fn pipelined_client_gets_in_order_responses_from_the_sharded_server() {
+    // The multiplexing path: every request of the script is in flight on
+    // one connection at once; the server's per-connection writer must
+    // still deliver responses in request order, byte-identical to the
+    // lock-step exchange.
+    let script = smoke_script();
+    let lock_step = run_script(4, &script);
+
+    let mut server = Server::bind("127.0.0.1:0").expect("bind 127.0.0.1:0");
+    server.config_mut().allow_shutdown = true;
+    server.config_mut().workers = 4;
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+    let piped = pipelined_exchange(addr, &script).expect("pipelined exchange");
+    handle.join().expect("server thread").expect("server run");
+
+    assert_eq!(piped.len(), script.len());
+    // The pipelined trace is NOT lock-step, so ops with cross-instance
+    // visibility (`stats`, `list`, `metrics`) may legitimately observe
+    // requests that are still in flight; the per-instance ops must match
+    // exactly.
+    for ((request, a), b) in script.iter().zip(&lock_step).zip(&piped) {
+        let op = Json::parse(request)
+            .unwrap()
+            .get("op")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        if matches!(op.as_str(), "stats" | "list" | "metrics") {
+            assert_eq!(
+                Json::parse(b).unwrap().get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{b}"
+            );
+            continue;
+        }
+        assert_eq!(a, b, "pipelined {op} diverged from lock-step");
+    }
+}
+
+#[test]
 fn loopback_solve_matches_direct_solver_bit_exactly() {
     use coschedule::model::Platform;
     use coschedule::solver::{self, Instance, SolveCtx};
@@ -83,7 +157,7 @@ fn loopback_solve_matches_direct_solver_bit_exactly() {
         r#"{"op":"solve","id":0,"solver":"DominantRefined","seed":42,"schedule":false}"#.into(),
         r#"{"op":"shutdown"}"#.into(),
     ];
-    let responses = run_script(&script);
+    let responses = run_script(1, &script);
     let served = Json::parse(&responses[1]).unwrap();
     let direct = solver::by_name("DominantRefined")
         .unwrap()
@@ -103,6 +177,8 @@ fn loopback_solve_matches_direct_solver_bit_exactly() {
     );
     // Which, transitively, is the eval_golden.rs pinned constant.
     assert_eq!(direct.makespan.to_bits(), 0x42089ba6c3bb50ee);
+    // The sharded server serves the same bits.
+    assert_eq!(responses, run_script(4, &script));
 }
 
 #[test]
@@ -114,30 +190,35 @@ fn errors_do_not_poison_the_connection() {
         r#"{"op":"solvers"}"#.into(),      // still served afterwards
         r#"{"op":"shutdown"}"#.into(),
     ];
-    let responses = run_script(&script);
-    assert_eq!(
-        Json::parse(&responses[0])
-            .unwrap()
-            .get("ok")
-            .and_then(Json::as_bool),
-        Some(false)
-    );
-    assert_eq!(
-        Json::parse(&responses[1])
-            .unwrap()
-            .get("ok")
-            .and_then(Json::as_bool),
-        Some(false)
-    );
-    assert_eq!(
-        Json::parse(&responses[2])
-            .unwrap()
-            .get("ok")
-            .and_then(Json::as_bool),
-        Some(false),
-        "blank line must be answered, not skipped"
-    );
-    let solvers = Json::parse(&responses[3]).unwrap();
-    assert_eq!(solvers.get("ok").and_then(Json::as_bool), Some(true));
-    assert!(solvers.get("solvers").unwrap().as_array().unwrap().len() >= 11);
+    for workers in [1, 4] {
+        let responses = run_script(workers, &script);
+        let unknown = Json::parse(&responses[0]).unwrap();
+        assert_eq!(unknown.get("ok").and_then(Json::as_bool), Some(false));
+        // Regression (multiplexing clients correlate by id): the error
+        // echoes the id the request carried.
+        assert_eq!(
+            unknown.get("id").and_then(Json::as_u64),
+            Some(5),
+            "workers={workers}: {}",
+            responses[0]
+        );
+        assert_eq!(
+            Json::parse(&responses[1])
+                .unwrap()
+                .get("ok")
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            Json::parse(&responses[2])
+                .unwrap()
+                .get("ok")
+                .and_then(Json::as_bool),
+            Some(false),
+            "blank line must be answered, not skipped"
+        );
+        let solvers = Json::parse(&responses[3]).unwrap();
+        assert_eq!(solvers.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(solvers.get("solvers").unwrap().as_array().unwrap().len() >= 11);
+    }
 }
