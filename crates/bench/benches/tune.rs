@@ -1,0 +1,85 @@
+//! Autotuned solve (`"auto"`, warmed up) vs always-Portfolio under
+//! session churn — the ISSUE-5 acceptance measurement.
+//!
+//! Both sides serve the identical request stream (the canned NPB-6
+//! mutation/solve trace of `experiments::tune`): one application
+//! re-profiles / joins / leaves, then the session re-solves. The
+//! `Portfolio` side runs all 11 members per request forever; the `auto`
+//! side pays a short full-portfolio warm-up and then runs only the
+//! learned leader (plus one challenger every 4th committed solve).
+//!
+//! Makespan equality is asserted before timing — over the whole trace
+//! `"auto"`'s answers are bit-identical to the portfolio's (the golden
+//! test pins the same property), so the timing really compares equal
+//! answers at different cost. Results are recorded in `BENCH_tune.json`
+//! at the repository root alongside the member-solve counts printed by
+//! `cosched tune`.
+
+use coschedule::model::Platform;
+use coschedule::session::Session;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::tune::{apply_mutation, compare, TraceSpec};
+use std::hint::black_box;
+use workloads::npb::npb6;
+
+const SEED: u64 = 0xC05;
+/// Steps driven through each session before timing starts: enough for
+/// the default TuneConfig (4 explore rounds) to commit with margin.
+const WARMUP_STEPS: usize = 16;
+
+fn bench_steady_state_resolve(c: &mut Criterion) {
+    // Quality gate first: on this exact trace, auto answers the same
+    // makespans as the portfolio, bit for bit, at >= 2x fewer member
+    // solves. If either stops holding, fail loudly instead of timing a
+    // solver that gives different answers.
+    let comparison = compare(&TraceSpec {
+        solves: 64,
+        seed: SEED,
+    })
+    .unwrap();
+    assert_eq!(
+        comparison.committed_matches, comparison.committed_steps,
+        "auto no longer matches the portfolio bit-for-bit"
+    );
+    assert!(
+        comparison.solve_reduction() >= 2.0,
+        "auto no longer avoids 2x the member solves"
+    );
+
+    let mut group = c.benchmark_group("tune_steady_state");
+    group
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    for solver in ["Portfolio", "auto"] {
+        // One session per side, warmed through the same trace prefix so
+        // the auto side is committed before measurement begins.
+        let mut session = Session::new();
+        let id = session
+            .create(npb6(&[0.05]), Platform::taihulight())
+            .unwrap();
+        for t in 0..WARMUP_STEPS {
+            apply_mutation(&mut session, id, t, SEED).unwrap();
+            session.resolve_by_name(id, solver, SEED).unwrap();
+        }
+        if solver == "auto" {
+            let stats = session.stats().tuner;
+            assert!(
+                stats.committed > 0,
+                "warm-up must reach the committed phase"
+            );
+        }
+        let mut t = WARMUP_STEPS;
+        group.bench_with_input(BenchmarkId::new(solver, "npb6_churn"), &solver, |b, _| {
+            b.iter(|| {
+                apply_mutation(&mut session, id, t, SEED).unwrap();
+                t += 1;
+                black_box(session.resolve_by_name(id, solver, SEED).unwrap().makespan)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state_resolve);
+criterion_main!(benches);

@@ -62,6 +62,7 @@ pub mod parallel;
 pub mod session;
 pub mod solver;
 pub mod theory;
+pub mod tune;
 
 pub use algo::{BuildOrder, Choice, Outcome, Strategy};
 pub use error::{CoschedError, Result};
@@ -69,6 +70,7 @@ pub use eval::{EvalScratch, EvalSet, EvalStats};
 pub use model::{Application, Assignment, Platform, Schedule};
 pub use session::{InstanceHandle, InstanceId, Session, SessionStats};
 pub use solver::{Instance, Portfolio, SolveCtx, Solver};
+pub use tune::{Auto, TuneConfig, TunerStats};
 
 /// Relative tolerance used by the bisection solvers and the equal-finish-time
 /// verification helpers throughout the crate.

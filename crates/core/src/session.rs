@@ -67,12 +67,14 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::algo::Outcome;
 use crate::error::{CoschedError, Result};
 use crate::eval::{EvalScratch, EvalStats};
 use crate::model::{Application, Platform};
 use crate::solver::{Instance, SolveCtx, Solver};
+use crate::tune::{Auto, TunerStats};
 
 /// Opaque handle to one live instance of a [`Session`].
 ///
@@ -123,6 +125,9 @@ pub struct SessionStats {
     pub memo_hits: u64,
     /// Evaluation-engine work performed by the executed solves.
     pub eval: EvalStats,
+    /// Counters of the session's autotuner (advanced only by `"auto"`
+    /// resolves; see [`crate::tune`]).
+    pub tuner: TunerStats,
 }
 
 impl SessionStats {
@@ -137,6 +142,7 @@ impl SessionStats {
         self.cold_solves += other.cold_solves;
         self.memo_hits += other.memo_hits;
         self.eval.merge(other.eval);
+        self.tuner.merge(other.tuner);
     }
 }
 
@@ -193,13 +199,29 @@ impl Entry {
 /// [`Session::stats`] is a cheap `Copy` snapshot (a handful of counters),
 /// so a metrics layer can sample it per request without touching the
 /// instances.
-#[derive(Debug)]
 pub struct Session {
     entries: BTreeMap<u64, Entry>,
     next_id: u64,
     id_stride: u64,
     scratch: EvalScratch,
     stats: SessionStats,
+    /// The session's autotuner ([`crate::tune`]): one shared history for
+    /// every `"auto"` resolve, so learning survives incremental re-solves
+    /// and mutations (the signature is recomputed from the patched
+    /// instance on every solve). Behind an `Arc` so a resolve can run it
+    /// while `&mut self` is otherwise engaged.
+    auto: Arc<Auto>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("entries", &self.entries)
+            .field("next_id", &self.next_id)
+            .field("id_stride", &self.id_stride)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for Session {
@@ -242,6 +264,7 @@ impl Session {
             id_stride: stride,
             scratch: EvalScratch::default(),
             stats: SessionStats::default(),
+            auto: Arc::new(Auto::new()),
         }
     }
 
@@ -345,6 +368,15 @@ impl Session {
         self.stats
     }
 
+    /// The session's autotuner — the solver every `"auto"` resolve runs,
+    /// and the place to read the learned table from (`cosched tune`
+    /// prints it). The tuner's history is shared across all of this
+    /// session's instances (observations are keyed by signature bucket,
+    /// not by instance id).
+    pub fn tuner(&self) -> &Auto {
+        &self.auto
+    }
+
     /// Re-solves an instance with `solver`, warm-starting from the
     /// session's cached state.
     ///
@@ -404,10 +436,28 @@ impl Session {
     /// identify solver behaviour (what the registry round-trip tests pin),
     /// which is what makes the name a sound memo key here.
     ///
+    /// `"auto"` is special on both counts: it resolves to the **session's
+    /// own** [`Auto`] tuner (one shared [`tune::History`](crate::tune::History)
+    /// across every resolve, so learning survives incremental re-solves
+    /// and keys off the patched instance's signature), and it bypasses the
+    /// memo entirely — a learning solver may legitimately answer the same
+    /// `(revision, seed)` differently as it converges, and a memo hit
+    /// would silently skip a learning observation.
+    ///
     /// # Errors
     /// [`CoschedError::UnknownSolver`] for an unknown name, otherwise as
     /// [`Self::resolve`].
     pub fn resolve_by_name(&mut self, id: InstanceId, solver: &str, seed: u64) -> Result<Outcome> {
+        // Match `"auto"` before the registry lookup (same trim +
+        // case-fold normalization `by_name` applies): `by_name("auto")`
+        // would construct — and this path immediately discard — a whole
+        // fresh tuner per request, on what is the serve hot path.
+        if solver.trim().eq_ignore_ascii_case("auto") {
+            let auto = Arc::clone(&self.auto);
+            let outcome = self.resolve(id, auto.as_ref(), seed)?;
+            self.stats.tuner = auto.tuner_stats();
+            return Ok(outcome);
+        }
         let solver = crate::solver::by_name(solver)?;
         let name = solver.name();
         let entry = self

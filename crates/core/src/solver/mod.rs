@@ -87,11 +87,13 @@ pub fn all() -> Vec<Box<dyn Solver>> {
     v
 }
 
-/// Names addressable through [`by_name`], canonical spellings only (the
-/// individual solvers first, then `Portfolio`).
+/// Names addressable through [`by_name`], canonical spellings only: the
+/// individual solvers first, then the meta-solvers `Portfolio` and
+/// `auto`.
 pub fn names() -> Vec<String> {
     let mut v: Vec<String> = all().iter().map(|s| s.name()).collect();
     v.push("Portfolio".to_string());
+    v.push("auto".to_string());
     v
 }
 
@@ -102,8 +104,12 @@ pub fn names() -> Vec<String> {
 /// send over the `cosched serve` wire resolve without ceremony. Accepts
 /// every paper legend name (`DominantMinRatio`, `DominantRevMaxRatio`,
 /// `RandomPart`, `Fair`, `0cache`, `AllProcCache`, `DominantRefined`), the
-/// historical CLI aliases (`dmr`, `refined`, `zerocache`, `seq`), and
-/// `Portfolio` (a [`Portfolio`] over [`all`]).
+/// historical CLI aliases (`dmr`, `refined`, `zerocache`, `seq`),
+/// `Portfolio` (a [`Portfolio`] over [`all`]), and `auto` (a **fresh**
+/// [`Auto`](crate::tune::Auto) autotuner over [`all`] — its learning
+/// lives as long as the returned solver instance; a
+/// [`Session`](crate::session::Session) instead shares one tuner across
+/// all its resolves).
 ///
 /// # Errors
 /// [`CoschedError::UnknownSolver`](crate::error::CoschedError::UnknownSolver)
@@ -127,6 +133,7 @@ pub fn by_name(name: &str) -> Result<Box<dyn Solver>> {
         "zerocache" => Ok(Strategy::ZeroCache.to_solver()),
         "seq" | "sequential" => Ok(Strategy::AllProcCache.to_solver()),
         "portfolio" => Ok(Box::new(Portfolio::new(all()))),
+        "auto" => Ok(Box::new(crate::tune::Auto::new())),
         _ => Err(crate::error::CoschedError::UnknownSolver {
             name: name.to_string(),
             available: names(),
@@ -194,6 +201,8 @@ mod tests {
             ("seq", "AllProcCache"),
             ("refined", "DominantRefined"),
             ("\tPortfolio ", "Portfolio"),
+            ("AUTO", "auto"),
+            (" auto ", "auto"),
         ] {
             assert_eq!(by_name(alias).unwrap().name(), canonical, "alias {alias:?}");
         }
@@ -211,10 +220,11 @@ mod tests {
     }
 
     #[test]
-    fn names_lists_individual_solvers_then_portfolio() {
+    fn names_lists_individual_solvers_then_meta_solvers() {
         let n = names();
-        assert_eq!(n.last().map(String::as_str), Some("Portfolio"));
-        assert_eq!(n.len(), all().len() + 1);
+        assert_eq!(n.last().map(String::as_str), Some("auto"));
+        assert_eq!(n[n.len() - 2].as_str(), "Portfolio");
+        assert_eq!(n.len(), all().len() + 2);
         for name in &n {
             assert!(by_name(name).is_ok(), "{name} not resolvable");
         }

@@ -1,6 +1,8 @@
 //! The [`Portfolio`] meta-solver: run several solvers on one instance and
 //! keep the best schedule.
 
+use std::time::{Duration, Instant};
+
 use crate::algo::Outcome;
 use crate::error::{CoschedError, Result};
 use crate::parallel::parallel_map;
@@ -14,6 +16,12 @@ pub struct MemberOutcome {
     /// What it produced (individual members are allowed to fail as long as
     /// at least one succeeds).
     pub result: Result<Outcome>,
+    /// Wall time the member's solve took — the cost side of the
+    /// quality/cost tradeoff ([`crate::tune`] learns from it, `cosched
+    /// --eval-stats` prints it). Measured per member even when the
+    /// portfolio fans out on threads; *not* part of any determinism
+    /// guarantee (the numeric fields are).
+    pub elapsed: Duration,
 }
 
 /// Best outcome plus the full per-solver breakdown.
@@ -65,9 +73,12 @@ impl Portfolio {
         let members: Vec<MemberOutcome> =
             parallel_map(self.members.len(), ctx.threads.max(1), |i| {
                 let mut child = ctx.child(i as u64);
+                let started = Instant::now();
+                let result = self.members[i].solve(instance, &mut child);
                 MemberOutcome {
                     name: self.members[i].name(),
-                    result: self.members[i].solve(instance, &mut child),
+                    result,
+                    elapsed: started.elapsed(),
                 }
             });
         let mut best: Option<usize> = None;

@@ -1,0 +1,892 @@
+//! `coschedule::tune` — an online autotuner that learns the best solver
+//! per instance.
+//!
+//! The paper's experimental section is one large bake-off: every legend
+//! strategy runs on every instance and the figures report who wins where.
+//! This module is the production version of that insight: instead of
+//! re-running the whole [`Portfolio`] forever, an [`Auto`] solver *learns*
+//! which member wins on which kind of instance and converges to running
+//! only the learned front-runner (plus an epsilon of challengers that keep
+//! the learned table honest).
+//!
+//! Pieces, in dataflow order:
+//!
+//! * [`Signature`] — a small deterministic fingerprint of an
+//!   [`Instance`]: bucketed size, platform capabilities, and quantiles of
+//!   the Theorem-3 weight distribution read straight off the cached
+//!   [`EvalSet`](crate::eval::EvalSet) (no extra model evaluation).
+//!   Instances with the same signature are assumed to have the same
+//!   winner; the buckets are coarse on purpose so the single-application
+//!   churn of a [`Session`](crate::session::Session) rarely moves an
+//!   instance out of its bucket.
+//! * [`History`] — per-`(signature, member)` observations: makespan ratio
+//!   against the best member of the same round, win counts,
+//!   [`EvalStats`] kernel work, and per-member wall time (the cost side
+//!   of the quality/cost tradeoff). Wall time is **recorded but never
+//!   consulted by the policy** — selections stay bit-deterministic.
+//! * The policy — *explore then commit*: a fresh bucket runs the full
+//!   portfolio for [`TuneConfig::explore_rounds`] rounds (bit-identical
+//!   to [`Portfolio::solve_detailed`] on the same seed, because members
+//!   draw the same [`SolveCtx::child`] streams); afterwards only the
+//!   learned leader runs, with one challenger added every
+//!   [`TuneConfig::challenger_period`]-th committed solve. Ties break
+//!   through a seeded mix of the [`SolveCtx`] seed, never through
+//!   `HashMap` iteration or wall time.
+//! * [`Auto`] — the policy as a [`Solver`], registered as `"auto"` in the
+//!   [`solver::by_name`](crate::solver::by_name) registry, so it works
+//!   everywhere a solver name works today: `solve_batch`,
+//!   [`Session::resolve_by_name`](crate::session::Session::resolve_by_name)
+//!   (the session shares one history across incremental re-solves), and
+//!   `cosched serve` (one tuner per shard).
+//!
+//! # Example
+//!
+//! ```
+//! use coschedule::model::{Application, Platform};
+//! use coschedule::solver::{Instance, SolveCtx};
+//! use coschedule::tune::{Auto, TuneConfig};
+//! use coschedule::Solver;
+//!
+//! let instance = Instance::new(
+//!     vec![
+//!         Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+//!         Application::new("BT", 2.10e11, 0.05, 0.829, 7.31e-3),
+//!     ],
+//!     Platform::taihulight(),
+//! )
+//! .unwrap();
+//!
+//! let auto = Auto::with_config(TuneConfig {
+//!     explore_rounds: 2,
+//!     challenger_period: 4,
+//! });
+//! // First solves explore (full portfolio), later solves run the leader.
+//! for _ in 0..4 {
+//!     auto.solve(&instance, &mut SolveCtx::seeded(42)).unwrap();
+//! }
+//! let stats = auto.tuner_stats();
+//! assert_eq!(stats.explored, 2);
+//! assert_eq!(stats.committed, 2);
+//! assert!(stats.member_solves < 4 * auto.members().len() as u64);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::algo::Outcome;
+use crate::error::Result;
+use crate::eval::EvalStats;
+use crate::solver::{child_seed, Instance, Portfolio, SolveCtx, Solver};
+
+/// Salt mixed into the seeded tie-breaks so tuner decisions never reuse a
+/// member's own child-seed stream.
+const TIE_SALT: u64 = 0x70BE_7E57_0C05_4E4E;
+
+/// Knobs of the explore-then-commit policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneConfig {
+    /// Comparative (full-portfolio) rounds a fresh signature bucket runs
+    /// before committing to its leader. Must be ≥ 1 for the tuner to ever
+    /// learn anything; 0 commits blind (leader = seeded tie-break only).
+    pub explore_rounds: u64,
+    /// Every `challenger_period`-th committed solve also runs one
+    /// challenger next to the leader (0 disables challengers entirely).
+    /// The challenger keeps the learned table honest: if the workload
+    /// drifts and a different member starts winning, its ratio statistics
+    /// improve until it takes the leadership.
+    pub challenger_period: u64,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        Self {
+            explore_rounds: 4,
+            challenger_period: 4,
+        }
+    }
+}
+
+/// Lifetime counters of one tuner, exposed through
+/// [`SessionStats`](crate::session::SessionStats) and the serve `metrics`
+/// op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TunerStats {
+    /// Solves answered by a full-portfolio explore round.
+    pub explored: u64,
+    /// Solves answered by the committed leader (with or without a
+    /// challenger).
+    pub committed: u64,
+    /// Committed rounds in which the challenger strictly beat the leader.
+    pub challenger_wins: u64,
+    /// Total member solves executed — the denominator of the "solves
+    /// avoided vs always-Portfolio" comparison (`always-Portfolio` costs
+    /// `members × requests`).
+    pub member_solves: u64,
+}
+
+impl TunerStats {
+    /// Adds `other`'s counters into `self` (cross-shard aggregation).
+    pub fn merge(&mut self, other: TunerStats) {
+        self.explored += other.explored;
+        self.committed += other.committed;
+        self.challenger_wins += other.challenger_wins;
+        self.member_solves += other.member_solves;
+    }
+}
+
+/// `⌊log2 x⌋` for positive finite `x`, read from the IEEE-754 exponent
+/// bits — exact, branch-light, and free of libm (so bucket boundaries can
+/// never drift between platforms or optimisation levels). Non-positive
+/// and non-finite inputs collapse to `i32::MIN` (one shared "degenerate"
+/// bucket).
+fn log2_bucket(x: f64) -> i32 {
+    // NaN and non-positive values fail the first test, infinities the
+    // second: one shared "degenerate" bucket for all of them.
+    if x.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !x.is_finite() {
+        return i32::MIN;
+    }
+    let exponent = ((x.to_bits() >> 52) & 0x7ff) as i32;
+    if exponent == 0 {
+        // Subnormals: everything below 2^-1022 lands in one bucket.
+        -1023
+    } else {
+        exponent - 1023
+    }
+}
+
+/// Deterministic fingerprint of an instance: which signature bucket its
+/// tuning observations accumulate under.
+///
+/// Derived from the cached [`EvalSet`](crate::eval::EvalSet) only —
+/// building a signature performs no model evaluation and allocates one
+/// scratch copy of the weight column (for the quantile sort). All fields
+/// are coarse integer buckets, so the session's single-application patches
+/// (an app joins, leaves, or re-scales its work) usually keep an instance
+/// in its bucket and the learned leader stays applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signature {
+    /// `⌊log2 n⌋` — instance size class.
+    pub n: i32,
+    /// `⌊log2 p⌋` — processor count class.
+    pub processors: i32,
+    /// `⌊log2 Cs⌋` — LLC size class (bytes).
+    pub cache: i32,
+    /// `round(4α)` — power-law exponent class.
+    pub alpha: i32,
+    /// `⌊log4(q75/q25)⌋` of the Theorem-3 weights — heterogeneity of the
+    /// interquartile cost distribution (0 = the middle half of the
+    /// applications is within a factor 4 of uniform). Factor-4 classes,
+    /// coarser than the size classes, and deliberately built from the
+    /// *interquartile* range: the extremes (min, max) move with every
+    /// single-application mutation, the quartiles rarely do, and a bucket
+    /// that flips on profile churn would throw the learned leader away
+    /// exactly when it is most useful.
+    pub spread: i32,
+}
+
+impl Signature {
+    /// Fingerprints `instance` (see the type docs for the bucket scheme).
+    pub fn of(instance: &Instance) -> Signature {
+        let eval = instance.eval();
+        let platform = instance.platform();
+        let mut weights: Vec<f64> = eval.weights().to_vec();
+        weights.sort_by(f64::total_cmp);
+        let quantile = |f: f64| weights[(f * (weights.len() - 1) as f64) as usize];
+        let (q25, q75) = (quantile(0.25), quantile(0.75));
+        Signature {
+            n: log2_bucket(instance.len() as f64),
+            processors: log2_bucket(platform.processors),
+            cache: log2_bucket(platform.cache_size),
+            alpha: (platform.alpha * 4.0).round() as i32,
+            // `⌊log2(x)/2⌋ == ⌊⌊log2 x⌋/2⌋` for every positive x, so the
+            // exact exponent-bit bucket composes into an exact log4 one.
+            spread: log2_bucket(q75 / q25).div_euclid(2),
+        }
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n=2^{} p=2^{} Cs=2^{} α/4={} spread=4^{}",
+            self.n, self.processors, self.cache, self.alpha, self.spread
+        )
+    }
+}
+
+/// Accumulated observations of one member solver inside one signature
+/// bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemberObs {
+    /// Comparative observations recorded (rounds in which this member ran
+    /// alongside at least one other).
+    pub observations: u64,
+    /// Rounds in which this member's makespan was the round's best.
+    pub wins: u64,
+    /// `Σ makespan / round_best` — 1.0 means "always the winner".
+    pub ratio_sum: f64,
+    /// Evaluation-engine work this member performed in this bucket.
+    pub eval: EvalStats,
+    /// Wall time this member spent solving in this bucket. Reported (the
+    /// cost signal of the learned table); never consulted by the policy.
+    pub wall: Duration,
+}
+
+impl MemberObs {
+    /// Mean makespan ratio against the per-round best (`+∞` when the
+    /// member was never observed, so unobserved members cannot lead).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.observations == 0 {
+            f64::INFINITY
+        } else {
+            self.ratio_sum / self.observations as f64
+        }
+    }
+
+    fn record(&mut self, ratio: f64, won: bool, eval: EvalStats, wall: Duration) {
+        self.observations += 1;
+        self.ratio_sum += ratio;
+        self.wins += u64::from(won);
+        self.eval.merge(eval);
+        self.wall += wall;
+    }
+}
+
+/// One signature bucket's history: per-member observations plus the
+/// explore/commit progress counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketHistory {
+    /// Comparative rounds recorded (explore rounds + challenger rounds).
+    pub rounds: u64,
+    /// Committed-phase solves served from this bucket.
+    pub committed: u64,
+    /// Per-member observations, aligned with [`Auto::members`] order.
+    pub members: Vec<MemberObs>,
+}
+
+impl BucketHistory {
+    fn new(members: usize) -> Self {
+        Self {
+            rounds: 0,
+            committed: 0,
+            members: vec![MemberObs::default(); members],
+        }
+    }
+
+    /// The member the committed phase runs: minimum mean ratio, ties
+    /// broken by a seeded mix (never by map order or timing) and finally
+    /// by member index, so the choice is a pure function of
+    /// `(history, seed)`.
+    pub fn leader(&self, seed: u64) -> usize {
+        (0..self.members.len())
+            .min_by(|&a, &b| {
+                self.members[a]
+                    .mean_ratio()
+                    .total_cmp(&self.members[b].mean_ratio())
+                    .then_with(|| tie_mix(seed, a).cmp(&tie_mix(seed, b)))
+                    .then(a.cmp(&b))
+            })
+            .expect("bucket has at least one member")
+    }
+
+    /// The challenger of a committed round: the least-observed non-leader
+    /// (so coverage spreads), ties broken by a round-salted seeded mix so
+    /// consecutive challenger rounds cycle through different members even
+    /// under a constant request seed.
+    pub fn challenger(&self, leader: usize, seed: u64) -> usize {
+        (0..self.members.len())
+            .filter(|&i| i != leader)
+            .min_by(|&a, &b| {
+                self.members[a]
+                    .observations
+                    .cmp(&self.members[b].observations)
+                    .then_with(|| {
+                        tie_mix(seed ^ self.rounds, a).cmp(&tie_mix(seed ^ self.rounds, b))
+                    })
+                    .then(a.cmp(&b))
+            })
+            .expect("committed rounds only run with ≥ 2 members")
+    }
+
+    /// Records one comparative round: `samples` holds `(member index,
+    /// makespan, eval stats, wall)` for every member that produced an
+    /// outcome this round. Ratios are taken against the round's best
+    /// makespan; every sample at the best (ties included) counts a win.
+    fn observe(&mut self, samples: &[(usize, f64, EvalStats, Duration)]) {
+        debug_assert!(samples.len() >= 2, "a comparative round needs ≥ 2 members");
+        let best = samples
+            .iter()
+            .map(|&(_, makespan, _, _)| makespan)
+            .fold(f64::INFINITY, f64::min);
+        for &(index, makespan, eval, wall) in samples {
+            // Degenerate best (0 or ±∞) would poison the ratio; fall back
+            // to the neutral observation 1.0.
+            let ratio = if best > 0.0 && best.is_finite() {
+                makespan / best
+            } else {
+                1.0
+            };
+            self.members[index].record(ratio, makespan == best, eval, wall);
+        }
+        self.rounds += 1;
+    }
+}
+
+/// Seeded tie-break mix for member `index` (salted so it can never collide
+/// with a member's own RNG stream).
+fn tie_mix(seed: u64, index: usize) -> u64 {
+    child_seed(seed ^ TIE_SALT, index as u64, 0)
+}
+
+/// The tuner's learned state: per-signature buckets plus lifetime
+/// counters. Owned behind a [`Mutex`] by [`Auto`]; obtain a read snapshot
+/// through [`Auto::table`] / [`Auto::tuner_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct History {
+    config: TuneConfig,
+    buckets: BTreeMap<Signature, BucketHistory>,
+    stats: TunerStats,
+}
+
+impl History {
+    fn new(config: TuneConfig) -> Self {
+        Self {
+            config,
+            buckets: BTreeMap::new(),
+            stats: TunerStats::default(),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TunerStats {
+        self.stats
+    }
+
+    /// The buckets in deterministic (signature) order.
+    pub fn buckets(&self) -> impl Iterator<Item = (&Signature, &BucketHistory)> {
+        self.buckets.iter()
+    }
+}
+
+/// One row of the learned table ([`Auto::table`]): a signature bucket with
+/// its per-member statistics, ready for printing (`cosched tune`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketReport {
+    /// The bucket's signature.
+    pub signature: Signature,
+    /// Comparative rounds recorded.
+    pub rounds: u64,
+    /// Committed-phase solves served.
+    pub committed: u64,
+    /// Index (into [`BucketReport::members`]) of the current leader under
+    /// the neutral tie-break seed 0.
+    pub leader: usize,
+    /// `(member name, observations)` in member order.
+    pub members: Vec<(String, MemberObs)>,
+}
+
+/// What one [`Auto::solve`] decided to run, resolved under the history
+/// lock and executed outside it.
+enum Decision {
+    Explore,
+    Committed {
+        leader: usize,
+        challenger: Option<usize>,
+    },
+}
+
+/// The autotuning meta-solver: a [`Portfolio`] that learns which member to
+/// run (registered as `"auto"`).
+///
+/// `Auto` carries its [`History`] behind a mutex, so one instance can be
+/// shared (e.g. [`Session`](crate::session::Session) holds one per
+/// session; `cosched serve` therefore gets one per shard) and keeps
+/// learning across solves. A fresh `Auto` from the registry starts with an
+/// empty history — the learning lives exactly as long as whoever owns the
+/// solver instance.
+///
+/// Determinism: given the same history state, instance, and
+/// [`SolveCtx`] seed, the selection and the outcome are bit-identical —
+/// explore rounds reproduce [`Portfolio::solve_detailed`] exactly (same
+/// [`SolveCtx::child`] streams), committed rounds run members on the same
+/// child streams they would draw inside the portfolio. Wall-clock timing
+/// is recorded in the history but never feeds back into a decision.
+pub struct Auto {
+    portfolio: Portfolio,
+    names: Vec<String>,
+    history: Mutex<History>,
+}
+
+impl Default for Auto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Auto {
+    /// An autotuner over the full registry ([`crate::solver::all`]) with
+    /// the default [`TuneConfig`].
+    pub fn new() -> Self {
+        Self::with_config(TuneConfig::default())
+    }
+
+    /// An autotuner over the full registry with explicit knobs.
+    pub fn with_config(config: TuneConfig) -> Self {
+        Self::over(Portfolio::new(crate::solver::all()), config)
+    }
+
+    /// An autotuner over an explicit member portfolio.
+    ///
+    /// # Panics
+    /// If the portfolio has no members (there would be nothing to learn).
+    pub fn over(portfolio: Portfolio, config: TuneConfig) -> Self {
+        assert!(
+            !portfolio.members().is_empty(),
+            "an autotuner needs at least one member solver"
+        );
+        let names = portfolio.members().iter().map(|m| m.name()).collect();
+        Auto {
+            portfolio,
+            names,
+            history: Mutex::new(History::new(config)),
+        }
+    }
+
+    /// The member solvers, in observation order.
+    pub fn members(&self) -> &[Box<dyn Solver>] {
+        self.portfolio.members()
+    }
+
+    /// Member names, aligned with [`BucketHistory::members`].
+    pub fn member_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn tuner_stats(&self) -> TunerStats {
+        self.lock().stats
+    }
+
+    /// Snapshot of the learned table, in deterministic signature order.
+    pub fn table(&self) -> Vec<BucketReport> {
+        let history = self.lock();
+        history
+            .buckets
+            .iter()
+            .map(|(&signature, bucket)| BucketReport {
+                signature,
+                rounds: bucket.rounds,
+                committed: bucket.committed,
+                leader: bucket.leader(0),
+                members: self
+                    .names
+                    .iter()
+                    .cloned()
+                    .zip(bucket.members.iter().copied())
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, History> {
+        // The tuner holds the lock only for bookkeeping (never across a
+        // member solve), so a poisoned lock can only mean a panic inside
+        // plain counter arithmetic — propagating it helps nobody.
+        match self.history.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Resolves what to run for `sig` under the current history.
+    fn decide(&self, sig: Signature, seed: u64) -> Decision {
+        let mut history = self.lock();
+        let config = history.config;
+        let members = self.names.len();
+        let bucket = history
+            .buckets
+            .entry(sig)
+            .or_insert_with(|| BucketHistory::new(members));
+        if bucket.rounds < config.explore_rounds || members == 1 {
+            return Decision::Explore;
+        }
+        let leader = bucket.leader(seed);
+        let challenger = (config.challenger_period > 0
+            && (bucket.committed + 1).is_multiple_of(config.challenger_period))
+        .then(|| bucket.challenger(leader, seed));
+        Decision::Committed { leader, challenger }
+    }
+
+    /// Runs member `index` exactly as the portfolio would: same child
+    /// stream, timed.
+    fn run_member(
+        &self,
+        index: usize,
+        instance: &Instance,
+        ctx: &SolveCtx,
+    ) -> (Result<Outcome>, Duration) {
+        let mut child = ctx.child(index as u64);
+        let started = Instant::now();
+        let result = self.portfolio.members()[index].solve(instance, &mut child);
+        (result, started.elapsed())
+    }
+
+    /// One full-portfolio round: solve, record every successful member,
+    /// return the round's best outcome.
+    fn explore(&self, sig: Signature, instance: &Instance, ctx: &mut SolveCtx) -> Result<Outcome> {
+        let report = self.portfolio.solve_detailed(instance, ctx)?;
+        let samples: Vec<(usize, f64, EvalStats, Duration)> = report
+            .members
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| {
+                m.result
+                    .as_ref()
+                    .ok()
+                    .map(|o| (i, o.makespan, o.eval_stats, m.elapsed))
+            })
+            .collect();
+        let mut history = self.lock();
+        let bucket = history
+            .buckets
+            .get_mut(&sig)
+            .expect("decide() created the bucket");
+        if samples.len() >= 2 {
+            bucket.observe(&samples);
+        } else {
+            // Not comparative (≤ 1 member succeeded); count the round so a
+            // pathological bucket still leaves the explore phase.
+            bucket.rounds += 1;
+        }
+        history.stats.explored += 1;
+        history.stats.member_solves += report.members.len() as u64;
+        Ok(report.outcome)
+    }
+
+    /// One committed round: leader (plus optionally one challenger), best
+    /// of the two returned. Falls back to a full explore round if the
+    /// leader fails.
+    fn committed(
+        &self,
+        sig: Signature,
+        leader: usize,
+        challenger: Option<usize>,
+        instance: &Instance,
+        ctx: &mut SolveCtx,
+    ) -> Result<Outcome> {
+        let (leader_result, leader_wall) = self.run_member(leader, instance, ctx);
+        let leader_outcome = match leader_result {
+            Ok(outcome) => outcome,
+            // The learned leader failing is pathological (members that
+            // fail rank last); answer the request with the full portfolio
+            // and learn from the round like any explore. The failed solve
+            // still executed — count it, or the "solves avoided" metric
+            // would overstate the savings.
+            Err(_) => {
+                self.lock().stats.member_solves += 1;
+                return self.explore(sig, instance, ctx);
+            }
+        };
+        let challenge = challenger.and_then(|index| {
+            let (result, wall) = self.run_member(index, instance, ctx);
+            result.ok().map(|outcome| (index, outcome, wall))
+        });
+
+        let mut history = self.lock();
+        let bucket = history
+            .buckets
+            .get_mut(&sig)
+            .expect("decide() created the bucket");
+        bucket.committed += 1;
+        let mut best = leader_outcome.clone();
+        let mut challenger_won = false;
+        if let Some((index, outcome, wall)) = challenge {
+            bucket.observe(&[
+                (
+                    leader,
+                    leader_outcome.makespan,
+                    leader_outcome.eval_stats,
+                    leader_wall,
+                ),
+                (index, outcome.makespan, outcome.eval_stats, wall),
+            ]);
+            if outcome.makespan < leader_outcome.makespan {
+                best = outcome;
+                challenger_won = true;
+            }
+        }
+        history.stats.committed += 1;
+        history.stats.challenger_wins += u64::from(challenger_won);
+        history.stats.member_solves += 1 + u64::from(challenger.is_some());
+        Ok(best)
+    }
+}
+
+impl Solver for Auto {
+    fn name(&self) -> String {
+        "auto".to_string()
+    }
+
+    fn is_randomized(&self) -> bool {
+        // The seed steers both the members and the tie-breaks.
+        true
+    }
+
+    fn solve(&self, instance: &Instance, ctx: &mut SolveCtx) -> Result<Outcome> {
+        let sig = Signature::of(instance);
+        match self.decide(sig, ctx.seed()) {
+            Decision::Explore => self.explore(sig, instance, ctx),
+            Decision::Committed { leader, challenger } => {
+                self.committed(sig, leader, challenger, instance, ctx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::Strategy;
+    use crate::model::{Application, Platform};
+    use crate::solver;
+
+    fn apps() -> Vec<Application> {
+        vec![
+            Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+            Application::new("BT", 2.10e11, 0.03, 0.829, 7.31e-3),
+            Application::new("LU", 1.52e11, 0.07, 0.750, 1.51e-3),
+        ]
+    }
+
+    fn instance() -> Instance {
+        Instance::new(apps(), Platform::taihulight()).unwrap()
+    }
+
+    #[test]
+    fn log2_buckets_are_exact() {
+        assert_eq!(log2_bucket(1.0), 0);
+        assert_eq!(log2_bucket(1.5), 0);
+        assert_eq!(log2_bucket(2.0), 1);
+        assert_eq!(log2_bucket(6.0), 2);
+        assert_eq!(log2_bucket(8.0), 3);
+        assert_eq!(log2_bucket(0.5), -1);
+        assert_eq!(log2_bucket(0.0), i32::MIN);
+        assert_eq!(log2_bucket(-3.0), i32::MIN);
+        assert_eq!(log2_bucket(f64::INFINITY), i32::MIN);
+        assert_eq!(log2_bucket(f64::NAN), i32::MIN);
+    }
+
+    /// The six NPB Table-2 applications (the workload the serve layer and
+    /// `cosched tune` replay), hard-coded because the core crate cannot
+    /// depend on `workloads`.
+    fn npb6() -> Vec<Application> {
+        vec![
+            Application::new("CG", 5.70e10, 0.05, 0.535, 6.59e-4),
+            Application::new("BT", 2.10e11, 0.05, 0.829, 7.31e-3),
+            Application::new("LU", 1.52e11, 0.05, 0.750, 1.51e-3),
+            Application::new("SP", 1.38e11, 0.05, 0.762, 1.51e-2),
+            Application::new("MG", 1.23e10, 0.05, 0.540, 2.62e-2),
+            Application::new("FT", 1.65e10, 0.05, 0.582, 1.78e-2),
+        ]
+    }
+
+    #[test]
+    fn signatures_are_stable_under_small_churn() {
+        let base = Signature::of(&Instance::new(npb6(), Platform::taihulight()).unwrap());
+        // Re-scaling any single application's work by 25% must not move
+        // the NPB-6 instance out of its bucket (the committed leader
+        // stays valid across the profile churn a session sees).
+        for i in 0..6 {
+            for factor in [0.8, 1.25] {
+                let mut perturbed = npb6();
+                perturbed[i].work *= factor;
+                let sig = Signature::of(&Instance::new(perturbed, Platform::taihulight()).unwrap());
+                assert_eq!(base, sig, "app {i} × {factor} moved the bucket");
+            }
+        }
+        // Doubling the platform moves it (different processor class).
+        let grown = Signature::of(
+            &Instance::new(npb6(), Platform::taihulight().with_processors(512.0)).unwrap(),
+        );
+        assert_ne!(base, grown);
+    }
+
+    #[test]
+    fn explore_rounds_match_the_portfolio_bit_for_bit() {
+        let inst = instance();
+        let auto = Auto::new();
+        let portfolio = Portfolio::new(solver::all());
+        for seed in [0u64, 7, 42] {
+            let a = auto.solve(&inst, &mut SolveCtx::seeded(seed)).unwrap();
+            let p = portfolio.solve(&inst, &mut SolveCtx::seeded(seed)).unwrap();
+            assert_eq!(a, p, "explore round diverged from the portfolio");
+        }
+    }
+
+    #[test]
+    fn converges_to_the_winner_and_stops_running_everyone() {
+        let inst = instance();
+        let config = TuneConfig {
+            explore_rounds: 2,
+            challenger_period: 3,
+        };
+        let auto = Auto::with_config(config);
+        let portfolio = Portfolio::new(solver::all());
+        let expected = portfolio
+            .solve(&inst, &mut SolveCtx::seeded(9))
+            .unwrap()
+            .makespan;
+        for _ in 0..12 {
+            let outcome = auto.solve(&inst, &mut SolveCtx::seeded(9)).unwrap();
+            assert_eq!(
+                outcome.makespan.to_bits(),
+                expected.to_bits(),
+                "auto must keep answering with the portfolio-best makespan"
+            );
+        }
+        let stats = auto.tuner_stats();
+        assert_eq!(stats.explored, 2);
+        assert_eq!(stats.committed, 10);
+        // 2 explore rounds × 11 members + 10 committed solves + ⌊…⌋
+        // challenger add-ons — far fewer than 12 × 11.
+        assert!(stats.member_solves < 12 * auto.members().len() as u64 / 2);
+        let table = auto.table();
+        assert_eq!(table.len(), 1, "one bucket for one instance");
+        assert_eq!(table[0].rounds as usize, 2 + 10 / 3);
+        assert_eq!(table[0].committed, 10);
+    }
+
+    /// Everything decision-relevant in a table snapshot — i.e. all of it
+    /// except the wall times, which vary run to run by design.
+    #[allow(clippy::type_complexity)]
+    fn decisions(
+        table: &[BucketReport],
+    ) -> Vec<(
+        Signature,
+        u64,
+        u64,
+        usize,
+        Vec<(String, u64, u64, u64, EvalStats)>,
+    )> {
+        table
+            .iter()
+            .map(|b| {
+                (
+                    b.signature,
+                    b.rounds,
+                    b.committed,
+                    b.leader,
+                    b.members
+                        .iter()
+                        .map(|(n, o)| {
+                            (
+                                n.clone(),
+                                o.observations,
+                                o.wins,
+                                o.ratio_sum.to_bits(),
+                                o.eval,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selections_are_deterministic_and_thread_independent() {
+        let inst = instance();
+        let run = |threads: usize| {
+            let auto = Auto::with_config(TuneConfig {
+                explore_rounds: 2,
+                challenger_period: 2,
+            });
+            let mut makespans = Vec::new();
+            for step in 0..8u64 {
+                let mut ctx = SolveCtx::seeded(step).with_threads(threads);
+                makespans.push(auto.solve(&inst, &mut ctx).unwrap().makespan.to_bits());
+            }
+            (makespans, auto.tuner_stats(), decisions(&auto.table()))
+        };
+        let serial = run(1);
+        let rerun = run(1);
+        let parallel = run(4);
+        // Wall times (excluded from `decisions`) differ run to run;
+        // everything decision-relevant must not — across reruns and
+        // across thread counts alike.
+        assert_eq!(serial, rerun, "same trace + seeds must replay exactly");
+        assert_eq!(serial, parallel, "thread count must not change results");
+    }
+
+    #[test]
+    fn challengers_keep_observing_non_leaders() {
+        let inst = instance();
+        let auto = Auto::with_config(TuneConfig {
+            explore_rounds: 1,
+            challenger_period: 1, // every committed round runs a challenger
+        });
+        for _ in 0..30 {
+            auto.solve(&inst, &mut SolveCtx::seeded(3)).unwrap();
+        }
+        let table = auto.table();
+        let bucket = &table[0];
+        // One explore round + 29 challenger rounds: every member has been
+        // observed more than once (challengers cycle by least-observed).
+        for (name, obs) in &bucket.members {
+            assert!(
+                obs.observations >= 2,
+                "{name} starved: {} observations",
+                obs.observations
+            );
+        }
+        // Challenger rounds never made the answer worse than the leader's.
+        let stats = auto.tuner_stats();
+        assert_eq!(stats.explored, 1);
+        assert_eq!(stats.committed, 29);
+        assert_eq!(stats.member_solves, 11 + 29 * 2);
+    }
+
+    #[test]
+    fn zero_challenger_period_disables_challengers() {
+        let inst = instance();
+        let auto = Auto::with_config(TuneConfig {
+            explore_rounds: 1,
+            challenger_period: 0,
+        });
+        for _ in 0..10 {
+            auto.solve(&inst, &mut SolveCtx::seeded(5)).unwrap();
+        }
+        let stats = auto.tuner_stats();
+        assert_eq!(stats.member_solves, 11 + 9);
+        assert_eq!(stats.challenger_wins, 0);
+    }
+
+    #[test]
+    fn single_member_portfolio_always_explores_but_runs_one_solve() {
+        let inst = instance();
+        let auto = Auto::over(
+            Portfolio::new(vec![Strategy::Fair.to_solver()]),
+            TuneConfig::default(),
+        );
+        for _ in 0..5 {
+            auto.solve(&inst, &mut SolveCtx::seeded(1)).unwrap();
+        }
+        assert_eq!(auto.tuner_stats().member_solves, 5);
+    }
+
+    #[test]
+    fn wall_time_is_recorded_but_never_decides() {
+        let inst = instance();
+        let auto = Auto::with_config(TuneConfig {
+            explore_rounds: 1,
+            challenger_period: 0,
+        });
+        auto.solve(&inst, &mut SolveCtx::seeded(2)).unwrap();
+        let table = auto.table();
+        let total_wall: Duration = table[0].members.iter().map(|(_, o)| o.wall).sum();
+        assert!(total_wall > Duration::ZERO, "explore must record wall time");
+    }
+}

@@ -11,10 +11,15 @@
 //!
 //! cosched serve --addr 127.0.0.1:7878       # line-delimited JSON over TCP
 //! cosched serve --workers 4                 # shard instances over 4 sessions
-//! cosched serve --smoke [--workers N]       # loopback self-test, then exit
+//! cosched serve --smoke [--workers N] [--strategy NAME]  # loopback test
 //! cosched client --addr 127.0.0.1:7878 --send '{"op":"list"}'
 //! cosched client --addr 127.0.0.1:7878      # requests from stdin
 //! cosched client --requests trace.jsonl     # replay a file, pipelined
+//! cosched client --requests trace.jsonl --batch  # …as one batch op
+//!
+//! cosched tune [--solves N] [--seed S]      # replay a workload, print the
+//!                                           # autotuner's learned table
+//! cosched tune --smoke                      # tuner self-test, then exit
 //! ```
 //!
 //! `--strategy` goes through the [`coschedule::solver`] registry, so every
@@ -38,7 +43,7 @@ use coschedule::model::Platform;
 use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 use experiments::appcsv::parse_applications;
 use experiments::serve::{
-    available_workers, client_exchange, pipelined_exchange, smoke_script, Server,
+    available_workers, client_exchange, pipelined_exchange, smoke_script, smoke_script_for, Server,
 };
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -50,6 +55,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => return serve_main(args.split_off(1)),
         Some("client") => return client_main(args.split_off(1)),
+        Some("tune") => return tune_main(args.split_off(1)),
         _ => {}
     }
     let mut input: Option<String> = None;
@@ -139,8 +145,9 @@ fn main() -> ExitCode {
     };
 
     let mut ctx = SolveCtx::seeded(seed);
-    // Per-solver evaluation counters, collected for --eval-stats.
-    let mut stats_rows: Vec<(String, EvalStats)> = Vec::new();
+    // Per-solver evaluation counters + wall time, collected for
+    // --eval-stats.
+    let mut stats_rows: Vec<(String, EvalStats, Duration)> = Vec::new();
     let solve_wall;
     let solve_started = Instant::now();
     let outcome = if strategy.name() == "Portfolio" {
@@ -158,7 +165,7 @@ fn main() -> ExitCode {
                     match &m.result {
                         Ok(o) => {
                             println!("#   {:<22} makespan {:.6e}", m.name, o.makespan);
-                            stats_rows.push((m.name.clone(), o.eval_stats));
+                            stats_rows.push((m.name.clone(), o.eval_stats, m.elapsed));
                         }
                         Err(e) => println!("#   {:<22} failed: {e}", m.name),
                     }
@@ -176,7 +183,7 @@ fn main() -> ExitCode {
         solve_wall = solve_started.elapsed();
         match result {
             Ok(o) => {
-                stats_rows.push((strategy.name(), o.eval_stats));
+                stats_rows.push((strategy.name(), o.eval_stats, solve_wall));
                 o
             }
             Err(e) => {
@@ -233,30 +240,40 @@ fn main() -> ExitCode {
 }
 
 /// Prints the per-solver evaluation-engine breakdown: batched kernel
-/// calls, total applications evaluated, and the wall time of the whole
-/// solve (per-member wall time is not attributable when the Portfolio
-/// fans out).
-fn print_eval_stats(rows: &[(String, EvalStats)], wall: Duration) {
+/// calls, total applications evaluated, and per-member wall time (the
+/// Portfolio times each member's solve individually via
+/// [`MemberOutcome::elapsed`](coschedule::solver::MemberOutcome), so the
+/// cost column is attributable even when the portfolio fans out; the
+/// header carries the whole solve's wall time).
+fn print_eval_stats(rows: &[(String, EvalStats, Duration)], wall: Duration) {
     println!(
         "\n# eval stats (solve wall time {:.3} ms)",
         wall.as_secs_f64() * 1e3
     );
     println!(
-        "# {:<22} {:>14} {:>16}",
-        "solver", "kernel calls", "apps evaluated"
+        "# {:<22} {:>14} {:>16} {:>12}",
+        "solver", "kernel calls", "apps evaluated", "wall ms"
     );
     let mut total = EvalStats::default();
-    for (name, stats) in rows {
+    let mut total_wall = Duration::ZERO;
+    for (name, stats, member_wall) in rows {
         println!(
-            "# {:<22} {:>14} {:>16}",
-            name, stats.kernel_calls, stats.apps_evaluated
+            "# {:<22} {:>14} {:>16} {:>12.3}",
+            name,
+            stats.kernel_calls,
+            stats.apps_evaluated,
+            member_wall.as_secs_f64() * 1e3
         );
         total.merge(*stats);
+        total_wall += *member_wall;
     }
     if rows.len() > 1 {
         println!(
-            "# {:<22} {:>14} {:>16}",
-            "total", total.kernel_calls, total.apps_evaluated
+            "# {:<22} {:>14} {:>16} {:>12.3}",
+            "total",
+            total.kernel_calls,
+            total.apps_evaluated,
+            total_wall.as_secs_f64() * 1e3
         );
     }
 }
@@ -266,8 +283,11 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: cosched <apps.csv | --demo | --list-strategies> [--procs N] [--cache-gb G] \
          [--ways W] [--seed S] [--strategy NAME] [--eval-stats]\n\
-         \x20      cosched serve [--addr HOST:PORT] [--workers N] [--allow-shutdown] [--smoke]\n\
-         \x20      cosched client [--addr HOST:PORT] [--send JSON]... [--requests FILE]\n\
+         \x20      cosched serve [--addr HOST:PORT] [--workers N] [--strategy NAME] \
+         [--allow-shutdown] [--smoke]\n\
+         \x20      cosched client [--addr HOST:PORT] [--send JSON]... [--requests FILE] \
+         [--batch]\n\
+         \x20      cosched tune [--solves N] [--seed S] [--smoke]\n\
          strategies: {}",
         solver::names().join(", ")
     );
@@ -288,6 +308,7 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     let mut allow_shutdown = false;
     let mut smoke = false;
     let mut workers: Option<usize> = None;
+    let mut strategy: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -298,6 +319,15 @@ fn serve_main(args: Vec<String>) -> ExitCode {
             "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => workers = Some(n),
                 _ => return usage("--workers expects an integer >= 1"),
+            },
+            "--strategy" => match iter.next() {
+                // Validated through the registry now, so a typo fails at
+                // startup instead of on every solve request.
+                Some(name) => match solver::by_name(&name) {
+                    Ok(s) => strategy = Some(s.name()),
+                    Err(e) => return usage(&e.to_string()),
+                },
+                None => return usage("--strategy expects a name"),
             },
             "--allow-shutdown" => allow_shutdown = true,
             "--smoke" => smoke = true,
@@ -318,6 +348,9 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     };
     server.config_mut().allow_shutdown = allow_shutdown;
     server.config_mut().workers = workers;
+    if let Some(name) = &strategy {
+        server.config_mut().default_solver = name.clone();
+    }
     let local = server.local_addr().expect("bound listener has an address");
     if !smoke {
         println!(
@@ -334,8 +367,13 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     }
 
     // Loopback self-test: the server runs on a thread, the client here.
+    // With --strategy, the whole script runs through that solver (CI
+    // smokes the sharded server with `--strategy auto`).
     let handle = std::thread::spawn(move || server.run());
-    let script = smoke_script();
+    let script = match &strategy {
+        Some(name) => smoke_script_for(name, name),
+        None => smoke_script(),
+    };
     let responses = match client_exchange(local, &script) {
         Ok(r) => r,
         Err(e) => {
@@ -377,11 +415,15 @@ fn serve_main(args: Vec<String>) -> ExitCode {
 /// `--requests FILE`, replay the file's newline-delimited JSON requests
 /// **pipelined** (all in flight on one connection, responses printed in
 /// request order) — the trace driver for smoke tests and the throughput
-/// bench.
+/// bench. Adding `--batch` wraps the file's requests into a single
+/// `batch` op instead (one line out, one combined line back — the
+/// codec-amortised replay); the printed output is identical either way,
+/// one response per request in request order.
 fn client_main(args: Vec<String>) -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut requests: Vec<String> = Vec::new();
     let mut batch_file: Option<String> = None;
+    let mut batch_op = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -397,10 +439,14 @@ fn client_main(args: Vec<String>) -> ExitCode {
                 Some(path) => batch_file = Some(path),
                 None => return usage("--requests expects a file of JSON request lines"),
             },
+            "--batch" => batch_op = true,
             other => return usage(&format!("unknown client flag {other}")),
         }
     }
-    let batch = batch_file.is_some();
+    let from_file = batch_file.is_some();
+    if batch_op && !from_file {
+        return usage("--batch requires --requests FILE");
+    }
     if let Some(path) = batch_file {
         if !requests.is_empty() {
             return usage("--requests and --send are mutually exclusive");
@@ -429,7 +475,10 @@ fn client_main(args: Vec<String>) -> ExitCode {
             }
         }
     }
-    let exchanged = if batch {
+    if batch_op {
+        return client_batch(&addr, &requests);
+    }
+    let exchanged = if from_file {
         pipelined_exchange(&addr, &requests)
     } else {
         client_exchange(&addr, &requests)
@@ -443,6 +492,155 @@ fn client_main(args: Vec<String>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("cannot exchange with {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cosched tune`: replay the canned NPB-6 mutation/solve trace through
+/// the `"auto"` autotuner and through the full `Portfolio`, print the
+/// learned table, and report the member solves avoided at equal makespan.
+/// With `--smoke`, additionally verify determinism (a second replay must
+/// reproduce the first bit for bit), committed-phase quality (every
+/// committed makespan equals the portfolio's), and the ≥ 2× solve
+/// reduction — exiting non-zero on any violation (the CI self-test).
+fn tune_main(args: Vec<String>) -> ExitCode {
+    let mut spec = experiments::tune::TraceSpec::default();
+    let mut smoke = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--solves" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => spec.solves = n,
+                _ => return usage("--solves expects an integer >= 1"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => spec.seed = s,
+                None => return usage("--seed expects an integer"),
+            },
+            "--smoke" => smoke = true,
+            other => return usage(&format!("unknown tune flag {other}")),
+        }
+    }
+
+    let comparison = match experiments::tune::compare(&spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tune replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = comparison.auto.tuner_stats();
+    println!(
+        "# cosched tune — NPB-6 mutation/solve trace, {} solves, seed {}",
+        spec.solves, spec.seed
+    );
+    println!(
+        "# auto: {} explored + {} committed rounds, {} challenger wins",
+        stats.explored, stats.committed, stats.challenger_wins
+    );
+    println!(
+        "# member solves: auto {} vs always-Portfolio {} — {:.2}× fewer",
+        comparison.auto_member_solves,
+        comparison.portfolio_member_solves,
+        comparison.solve_reduction()
+    );
+    println!(
+        "# committed-phase makespans matching the full Portfolio bit-for-bit: {}/{}",
+        comparison.committed_matches, comparison.committed_steps
+    );
+    println!("#\n# learned table:");
+    print!(
+        "{}",
+        experiments::tune::format_table(&comparison.auto.session)
+    );
+
+    if !smoke {
+        return ExitCode::SUCCESS;
+    }
+    let mut ok = true;
+    if comparison.committed_matches != comparison.committed_steps {
+        eprintln!(
+            "smoke failed: {} of {} committed solves diverged from the portfolio",
+            comparison.committed_steps - comparison.committed_matches,
+            comparison.committed_steps
+        );
+        ok = false;
+    }
+    if comparison.solve_reduction() < 2.0 {
+        eprintln!(
+            "smoke failed: only {:.2}× fewer member solves (need >= 2×)",
+            comparison.solve_reduction()
+        );
+        ok = false;
+    }
+    match experiments::tune::replay("auto", &spec) {
+        Ok(second) => {
+            let bits = |r: &experiments::tune::Replay| -> Vec<u64> {
+                r.steps.iter().map(|s| s.makespan.to_bits()).collect()
+            };
+            if bits(&second) != bits(&comparison.auto) || second.tuner_stats() != stats {
+                eprintln!("smoke failed: replay is not deterministic");
+                ok = false;
+            }
+        }
+        Err(e) => {
+            eprintln!("smoke failed: second replay errored: {e}");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("# tune smoke ok");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Sends `requests` as one `batch` op and prints the unpacked
+/// sub-responses, one per line in request order — indistinguishable from
+/// the pipelined replay's output, but a single codec round-trip.
+fn client_batch(addr: &str, requests: &[String]) -> ExitCode {
+    let mut subs = Vec::with_capacity(requests.len());
+    for request in requests {
+        match minijson::Json::parse(request) {
+            Ok(v) => subs.push(v),
+            Err(e) => {
+                eprintln!("--batch requires parseable requests: {e} in {request}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let envelope = minijson::Json::obj([
+        ("op", minijson::Json::from("batch")),
+        ("requests", minijson::Json::Arr(subs)),
+    ])
+    .to_string();
+    let combined = match client_exchange(addr, &[envelope]) {
+        Ok(mut responses) => responses.remove(0),
+        Err(e) => {
+            eprintln!("cannot exchange with {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match minijson::Json::parse(&combined) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("unparseable batch response: {e}\n{combined}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parsed.get("responses").and_then(minijson::Json::as_array) {
+        Some(responses) => {
+            for response in responses {
+                println!("{response}");
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            // The batch itself failed (e.g. old server); show the raw
+            // response so the error is visible.
+            println!("{combined}");
             ExitCode::FAILURE
         }
     }

@@ -18,7 +18,9 @@
 //! long-lived [`coschedule::session::Session`] per worker: `--workers N`
 //! shards instances across per-worker sessions with multiplexed
 //! connections (see [`serve`] for the protocol/router/worker/conn/metrics
-//! layering).
+//! layering) — and the [`tune`] replay harness behind `cosched tune`,
+//! which drives the [`coschedule::tune`] autotuner over an NPB-6
+//! mutation/solve trace and prints the learned table.
 
 pub mod appcsv;
 pub mod config;
@@ -27,6 +29,7 @@ pub mod output;
 pub mod registry;
 pub mod runner;
 pub mod serve;
+pub mod tune;
 
 pub use config::ExpConfig;
 pub use output::{FigureData, Series};

@@ -90,6 +90,19 @@ pub(super) fn metrics_body(workers: usize, reports: &[ShardReport]) -> Json {
                     ("cold_solves", Json::from(r.stats.cold_solves)),
                     ("kernel_calls", Json::from(r.stats.eval.kernel_calls)),
                     ("apps_evaluated", Json::from(r.stats.eval.apps_evaluated)),
+                    // The shard's autotuner ("auto" solves only; see
+                    // coschedule::tune — each shard session learns its own
+                    // table, so these do not merge across shards).
+                    ("tuner_explored", Json::from(r.stats.tuner.explored)),
+                    ("tuner_committed", Json::from(r.stats.tuner.committed)),
+                    (
+                        "tuner_challenger_wins",
+                        Json::from(r.stats.tuner.challenger_wins),
+                    ),
+                    (
+                        "tuner_member_solves",
+                        Json::from(r.stats.tuner.member_solves),
+                    ),
                 ])
             })),
         ),

@@ -21,10 +21,13 @@
 //! ```
 //!
 //! Ops: `create`, `mutate` (`action` ∈ `add_app` / `remove_app` /
-//! `update_app` / `set_platform`), `solve`, `stats`, `list`, `solvers`,
-//! `metrics`, `close`, and (when enabled) `shutdown`. Failures answer
-//! `{"ok":false,…,"error":…}` — echoing the request's instance id when it
-//! carried one — and keep the connection open.
+//! `update_app` / `set_platform`), `solve`, `batch` (several requests in
+//! one line — `{"op":"batch","requests":[…]}` — answered by one combined
+//! response whose `responses` array is byte-identical to the sequential
+//! exchanges), `stats`, `list`, `solvers`, `metrics`, `close`, and (when
+//! enabled) `shutdown`. Failures answer `{"ok":false,…,"error":…}` —
+//! echoing the request's instance id when it carried one — and keep the
+//! connection open.
 //!
 //! # Architecture
 //!
@@ -282,13 +285,22 @@ fn serve_sequential_connection(state: &mut ServeState, stream: TcpStream) -> std
 /// README transcript. Ends with `shutdown`, so the serving side must
 /// allow it.
 pub fn smoke_script() -> Vec<String> {
+    smoke_script_for("DominantMinRatio", "Portfolio")
+}
+
+/// [`smoke_script`] with the solver names substituted — `cosched serve
+/// --smoke --strategy NAME` runs the script entirely through `NAME`
+/// (e.g. `auto`, which CI smokes through the sharded server), the default
+/// script uses `DominantMinRatio` for the incremental solves and
+/// `Portfolio` for the final one.
+pub fn smoke_script_for(solver: &str, final_solver: &str) -> Vec<String> {
     let apps = Json::arr(workloads::npb::npb6(&[0.05]).iter().map(app_to_json));
     [
         Json::obj([("op", Json::from("create")), ("apps", apps)]),
         Json::obj([
             ("op", Json::from("solve")),
             ("id", Json::from(0u64)),
-            ("solver", Json::from("DominantMinRatio")),
+            ("solver", Json::from(solver)),
             ("seed", Json::from(42u64)),
         ]),
         Json::obj([
@@ -300,7 +312,7 @@ pub fn smoke_script() -> Vec<String> {
         Json::obj([
             ("op", Json::from("solve")),
             ("id", Json::from(0u64)),
-            ("solver", Json::from("DominantMinRatio")),
+            ("solver", Json::from(solver)),
             ("seed", Json::from(42u64)),
         ]),
         Json::obj([
@@ -321,7 +333,7 @@ pub fn smoke_script() -> Vec<String> {
         Json::obj([
             ("op", Json::from("solve")),
             ("id", Json::from(0u64)),
-            ("solver", Json::from("Portfolio")),
+            ("solver", Json::from(final_solver)),
             ("seed", Json::from(42u64)),
             ("schedule", Json::from(false)),
         ]),

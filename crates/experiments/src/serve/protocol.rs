@@ -91,12 +91,16 @@ pub fn handle_line(state: &mut ServeState, line: &str) -> String {
 
 /// Ops the sharded router answers itself rather than enqueueing to a
 /// shard (`create` is shard-routed despite its special round-robin
-/// handling). Single source of truth shared by the router's dispatch and
-/// the `requests` counting below — the two must agree, or the metrics
-/// op's per-shard request totals drift between `--workers 1` and
-/// `--workers N`.
+/// handling; `batch` is an envelope — the router answers it by routing
+/// each **sub**-request, so only the sub-requests count). Single source
+/// of truth shared by the router's dispatch and the `requests` counting
+/// below — the two must agree, or the metrics op's per-shard request
+/// totals drift between `--workers 1` and `--workers N`.
 pub(super) fn is_global_op(op: &str) -> bool {
-    matches!(op, "stats" | "list" | "solvers" | "metrics" | "shutdown")
+    matches!(
+        op,
+        "stats" | "list" | "solvers" | "metrics" | "shutdown" | "batch"
+    )
 }
 
 /// Answers one parsed request: [`dispatch`] plus the error envelope. The
@@ -142,6 +146,7 @@ fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
             apply_mutation(state, request, op)
         }
         "solve" => op_solve(state, request),
+        "batch" => op_batch(state, request),
         "stats" => Ok(stats_body(state.session.len(), state.session.stats())),
         "list" => Ok(list_body(&state.session.list())),
         "solvers" => Ok(solvers_body()),
@@ -164,10 +169,48 @@ fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
             Ok(shutdown_body())
         }
         other => Err(format!(
-            "unknown op {other:?}; expected create, mutate, solve, stats, list, solvers, \
-             metrics, close, or shutdown"
+            "unknown op {other:?}; expected create, mutate, solve, batch, stats, list, \
+             solvers, metrics, close, or shutdown"
         )),
     }
+}
+
+/// The `batch` op: several requests in one line, one combined response.
+/// Each element of `"requests"` is handled exactly as if it had arrived
+/// on its own line, in order, and its response lands at the same index of
+/// `"responses"` — byte-identical to the sequential exchanges (pinned by
+/// the loopback tests). One level only: a batch inside a batch answers an
+/// error at its slot (unbounded nesting would be a recursion hazard, and
+/// the sharded router flattens exactly one level).
+fn op_batch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
+    let subs = request
+        .get("requests")
+        .and_then(Json::as_array)
+        .ok_or("missing \"requests\" array")?;
+    let responses: Vec<Json> = subs
+        .iter()
+        .map(|sub| {
+            if sub.get("op").and_then(Json::as_str) == Some("batch") {
+                error_response(
+                    "nested batch is not supported",
+                    sub.get("id").and_then(Json::as_u64),
+                )
+            } else {
+                respond(state, sub)
+            }
+        })
+        .collect();
+    Ok(batch_body(responses))
+}
+
+/// The combined `batch` response — shared with the sharded router, so
+/// both front-ends serialize the envelope identically.
+pub(super) fn batch_body(responses: Vec<Json>) -> Json {
+    Json::obj([
+        ("ok", Json::from(true)),
+        ("count", Json::from(responses.len())),
+        ("responses", Json::Arr(responses)),
+    ])
 }
 
 /// The `stats` response for `live` instances and aggregate counters —
@@ -742,6 +785,145 @@ mod tests {
             let v = Json::parse(&handle_line(&mut state, line)).unwrap();
             assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line:?}");
         }
+    }
+
+    #[test]
+    fn batch_is_byte_identical_to_sequential_exchanges() {
+        let script = [
+            npb_create_line(),
+            r#"{"op":"solve","id":0,"solver":"DominantMinRatio","seed":7}"#.to_string(),
+            r#"{"op":"mutate","id":0,"action":"remove_app","index":1}"#.to_string(),
+            r#"{"op":"solve","id":0,"solver":"auto","seed":7,"schedule":false}"#.to_string(),
+            r#"{"op":"stats"}"#.to_string(),
+            r#"{"op":"solve","id":9}"#.to_string(), // an error mid-batch
+            r#"{"op":"list"}"#.to_string(),
+        ];
+        // Sequential reference.
+        let mut sequential = ServeState::new();
+        let expected: Vec<String> = script
+            .iter()
+            .map(|line| handle_line(&mut sequential, line))
+            .collect();
+        // One batch envelope over a fresh state.
+        let mut batched = ServeState::new();
+        let envelope = Json::obj([
+            ("op", Json::from("batch")),
+            (
+                "requests",
+                Json::Arr(script.iter().map(|l| Json::parse(l).unwrap()).collect()),
+            ),
+        ])
+        .to_string();
+        let combined = ok(&handle_line(&mut batched, &envelope));
+        assert_eq!(
+            combined.get("count").and_then(Json::as_u64),
+            Some(script.len() as u64)
+        );
+        let responses = combined.get("responses").and_then(Json::as_array).unwrap();
+        assert_eq!(responses.len(), expected.len());
+        for (got, want) in responses.iter().zip(&expected) {
+            assert_eq!(&got.to_string(), want, "batch response diverged");
+        }
+        // Both states saw the identical request stream.
+        assert_eq!(
+            batched.session().stats(),
+            sequential.session().stats(),
+            "batch must drive the session exactly like sequential requests"
+        );
+        assert_eq!(batched.requests(), sequential.requests());
+    }
+
+    #[test]
+    fn batch_rejects_nesting_and_missing_requests() {
+        let mut state = ServeState::new();
+        let v = Json::parse(&handle_line(&mut state, r#"{"op":"batch"}"#)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("requests"));
+        // A nested batch errors at its slot; its neighbours still run.
+        let v = ok(&handle_line(
+            &mut state,
+            r#"{"op":"batch","requests":[{"op":"batch","requests":[]},{"op":"solvers"}]}"#,
+        ));
+        let responses = v.get("responses").and_then(Json::as_array).unwrap();
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert!(responses[0]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("nested batch"));
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+        // An empty batch is a valid no-op.
+        let v = ok(&handle_line(&mut state, r#"{"op":"batch","requests":[]}"#));
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn shutdown_inside_a_batch_still_shuts_down() {
+        let mut state = ServeState::new();
+        state.allow_shutdown = true;
+        let v = ok(&handle_line(
+            &mut state,
+            r#"{"op":"batch","requests":[{"op":"stats"},{"op":"shutdown"}]}"#,
+        ));
+        let responses = v.get("responses").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            responses[1].get("shutting_down").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert!(state.shutdown_requested());
+    }
+
+    #[test]
+    fn metrics_reports_tuner_counters_after_auto_solves() {
+        let mut state = ServeState::new();
+        let _ = ok(&handle_line(&mut state, &npb_create_line()));
+        for _ in 0..2 {
+            // Mutate first so no memo path could ever interfere.
+            let _ = ok(&handle_line(
+                &mut state,
+                r#"{"op":"update_app","id":0,"index":0,"app":{"name":"CG","work":6e10,
+                    "seq_fraction":0.05,"access_freq":0.535,"miss_rate_ref":6.59e-4}}"#,
+            ));
+            let _ = ok(&handle_line(
+                &mut state,
+                r#"{"op":"solve","id":0,"solver":"auto","seed":1,"schedule":false}"#,
+            ));
+        }
+        let v = ok(&handle_line(&mut state, r#"{"op":"metrics"}"#));
+        let shards = v.get("shards").and_then(Json::as_array).unwrap();
+        let explored = shards[0].get("tuner_explored").and_then(Json::as_u64);
+        let member_solves = shards[0].get("tuner_member_solves").and_then(Json::as_u64);
+        assert_eq!(explored, Some(2), "fresh tuner explores first");
+        assert_eq!(
+            member_solves,
+            Some(2 * coschedule::solver::all().len() as u64)
+        );
+        assert_eq!(
+            shards[0]
+                .get("tuner_challenger_wins")
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn auto_solves_never_hit_the_memo() {
+        let mut state = ServeState::new();
+        let _ = ok(&handle_line(&mut state, &npb_create_line()));
+        let solve = r#"{"op":"solve","id":0,"solver":"auto","seed":1,"schedule":false}"#;
+        let first = ok(&handle_line(&mut state, solve));
+        assert_eq!(first.get("mode").and_then(Json::as_str), Some("cold"));
+        // Identical (revision, solver, seed): a learning solver must still
+        // execute — the tuner needs the observation.
+        let second = ok(&handle_line(&mut state, solve));
+        assert_ne!(second.get("mode").and_then(Json::as_str), Some("memo"));
+        let stats = ok(&handle_line(&mut state, r#"{"op":"stats"}"#));
+        assert_eq!(stats.get("memo_hits").and_then(Json::as_u64), Some(0));
+        assert_eq!(stats.get("solves").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

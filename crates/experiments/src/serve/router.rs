@@ -94,8 +94,14 @@ impl Router {
                 return;
             }
         };
+        self.dispatch_parsed(request, seq, out);
+    }
+
+    /// Routes one parsed request (see [`Self::dispatch`]).
+    fn dispatch_parsed(&self, request: Json, seq: u64, out: &Sender<TaggedResponse>) {
         match request.get("op").and_then(Json::as_str) {
             Some("create") => self.dispatch_create(request, seq, out),
+            Some("batch") => self.dispatch_batch(request, seq, out),
             // `protocol::is_global_op` is the single definition of which
             // ops the router answers itself; the per-shard `requests`
             // counting in `protocol::respond` keys off the same predicate.
@@ -193,6 +199,57 @@ impl Router {
                 let _ = out.send((seq, body.to_string()));
             }
         }
+    }
+
+    /// Answers a `batch` envelope by routing each sub-request through the
+    /// normal dispatch **lock-step** (each sub-response is awaited before
+    /// the next sub-request is routed), so the combined response is
+    /// byte-identical to the sequential exchanges — including the ordering
+    /// a lock-step client would observe between mutations and the global
+    /// snapshot ops. Nested batches answer an error at their slot, exactly
+    /// like the single-worker protocol layer.
+    fn dispatch_batch(&self, request: Json, seq: u64, out: &Sender<TaggedResponse>) {
+        // Take the envelope apart by value — a batched trace replay can
+        // carry the whole workload in one line, and deep-cloning every
+        // sub-request would defeat the op's amortization purpose.
+        let id = request.get("id").and_then(Json::as_u64);
+        let subs = match request {
+            Json::Obj(pairs) => pairs
+                .into_iter()
+                // First match, like `Json::get`.
+                .find(|(key, _)| key == "requests")
+                .map(|(_, value)| value),
+            _ => None,
+        };
+        let Some(Json::Arr(subs)) = subs else {
+            // The identical envelope error the protocol layer produces.
+            let body = error_response("missing \"requests\" array", id);
+            let _ = out.send((seq, body.to_string()));
+            return;
+        };
+        let mut responses = Vec::with_capacity(subs.len());
+        for sub in subs {
+            if sub.get("op").and_then(Json::as_str) == Some("batch") {
+                responses.push(error_response(
+                    "nested batch is not supported",
+                    sub.get("id").and_then(Json::as_u64),
+                ));
+                continue;
+            }
+            let (tx, rx) = std::sync::mpsc::channel::<TaggedResponse>();
+            self.dispatch_parsed(sub, 0, &tx);
+            drop(tx);
+            let line = match rx.recv() {
+                Ok((_, line)) => line,
+                Err(_) => error_response("shard worker died", None).to_string(),
+            };
+            // Shard responses arrive serialized; minijson's round-trip-
+            // exact numbers make re-embedding them byte-preserving.
+            responses.push(Json::parse(&line).unwrap_or_else(|e| {
+                error_response(&format!("unparseable shard response: {e}"), None)
+            }));
+        }
+        let _ = out.send((seq, protocol::batch_body(responses).to_string()));
     }
 
     /// Routes a `create`: round-robin shard choice, then a synchronous

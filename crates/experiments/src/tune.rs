@@ -1,0 +1,311 @@
+//! Workload replay for the [`coschedule::tune`] autotuner — the engine
+//! under `cosched tune`, the tune bench, and the integration tests.
+//!
+//! The trace is the paper's online scenario on the NPB-6 workload: a
+//! session-held instance whose applications re-profile, join, and leave,
+//! with a re-solve after every change. [`replay`] drives it with any
+//! registry solver name; [`compare`] runs it with `"auto"` and
+//! `"Portfolio"` side by side and reports how many member solves the
+//! tuner avoided and whether its committed-phase makespans still match
+//! the full portfolio's, bit for bit.
+//!
+//! The mutation schedule is deterministic under the spec's seed (profile
+//! re-scales draw from [`child_seed`] streams) and deliberately mild:
+//! work factors in `[0.8, 1.25)` and a join/leave pair every 8 steps keep
+//! the instance inside one tuner signature bucket, which is the regime
+//! the autotuner is built for (the signature-stability unit tests pin the
+//! bucket arithmetic itself).
+
+use coschedule::error::Result;
+use coschedule::model::Platform;
+use coschedule::session::{InstanceId, Session};
+use coschedule::solver::child_seed;
+use coschedule::tune::TunerStats;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng as _};
+use workloads::npb::npb6;
+
+/// Stream id separating the trace's mutation randomness from everything
+/// else derived from the same root seed.
+const MUTATION_STREAM: u64 = 0x7E4;
+
+/// Shape of one replay: how many solves, from which root seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Number of mutate → solve steps.
+    pub solves: usize,
+    /// Root seed: mutations and every solve's `SolveCtx` derive from it.
+    pub seed: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        Self {
+            solves: 64,
+            seed: 0xC05,
+        }
+    }
+}
+
+/// One step of a replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// The solve's makespan.
+    pub makespan: f64,
+    /// `true` iff the step was answered by a full-portfolio explore round
+    /// (always `false` for non-`"auto"` solvers).
+    pub explored: bool,
+    /// Member solves the step cost (0 for solvers that are not the
+    /// tuner — their cost is their own single solve).
+    pub member_solves: u64,
+}
+
+/// A finished replay: the per-step records plus the session that served
+/// it (whose tuner holds the learned table when the solver was `"auto"`).
+pub struct Replay {
+    /// The registry name the trace ran under.
+    pub solver: String,
+    /// Per-step records, in trace order.
+    pub steps: Vec<StepRecord>,
+    /// The serving session (read the learned table via
+    /// [`Session::tuner`]).
+    pub session: Session,
+}
+
+impl Replay {
+    /// The session tuner's lifetime counters.
+    pub fn tuner_stats(&self) -> TunerStats {
+        self.session.stats().tuner
+    }
+}
+
+/// Applies step `t`'s mutation: every 8th step an application joins and
+/// leaves on the next, every other step one application re-profiles
+/// (work re-scaled by a seeded factor in `[0.8, 1.25)` of its *base*
+/// profile, so perturbations never compound out of the signature bucket).
+/// Step 0 solves the pristine instance.
+pub fn apply_mutation(session: &mut Session, id: InstanceId, t: usize, seed: u64) -> Result<()> {
+    if t == 0 {
+        return Ok(());
+    }
+    let base = npb6(&[0.05]);
+    let mut handle = session.handle(id)?;
+    match t % 8 {
+        6 => {
+            let mut joiner = base[0].clone();
+            joiner.name = format!("HACC-{t}");
+            joiner.work = 3.1e10;
+            joiner.access_freq = 0.61;
+            joiner.miss_rate_ref = 4.2e-3;
+            handle.add_app(joiner)?;
+        }
+        7 => {
+            handle.remove_app(base.len())?;
+        }
+        _ => {
+            let index = t % base.len();
+            let mut app = base[index].clone();
+            let mut rng = StdRng::seed_from_u64(child_seed(seed, t as u64, MUTATION_STREAM));
+            app.work *= rng.random_range(0.8..1.25);
+            handle.update_app(index, app)?;
+        }
+    }
+    Ok(())
+}
+
+/// Replays the NPB-6 mutation/solve trace against a fresh [`Session`]
+/// with the named registry solver (every solve uses `spec.seed`).
+///
+/// # Errors
+/// An unknown solver name, or any session/solve error (the canned trace
+/// itself is always valid).
+pub fn replay(solver: &str, spec: &TraceSpec) -> Result<Replay> {
+    let mut session = Session::new();
+    let id = session.create(npb6(&[0.05]), Platform::taihulight())?;
+    let mut steps = Vec::with_capacity(spec.solves);
+    let mut previous = session.stats().tuner;
+    for t in 0..spec.solves {
+        apply_mutation(&mut session, id, t, spec.seed)?;
+        let outcome = session.resolve_by_name(id, solver, spec.seed)?;
+        let now = session.stats().tuner;
+        steps.push(StepRecord {
+            makespan: outcome.makespan,
+            explored: now.explored > previous.explored,
+            member_solves: now.member_solves - previous.member_solves,
+        });
+        previous = now;
+    }
+    Ok(Replay {
+        solver: solver.to_string(),
+        steps,
+        session,
+    })
+}
+
+/// `"auto"` vs `"Portfolio"` on the same trace: solve quality and solve
+/// count, plus where the warm-up ended.
+pub struct Comparison {
+    /// The `"auto"` replay (its session holds the learned table).
+    pub auto: Replay,
+    /// The `"Portfolio"` replay of the identical trace.
+    pub portfolio: Replay,
+    /// Steps answered by committed (non-explore) rounds.
+    pub committed_steps: usize,
+    /// Committed steps whose makespan equals the full portfolio's on the
+    /// same instance and seed, **bit for bit**.
+    pub committed_matches: usize,
+    /// Member solves the tuner executed across the whole trace.
+    pub auto_member_solves: u64,
+    /// Member solves always-Portfolio costs: `members × steps`.
+    pub portfolio_member_solves: u64,
+}
+
+impl Comparison {
+    /// `portfolio_member_solves / auto_member_solves` — the "solves
+    /// avoided" headline (≥ 2.0 is the acceptance bar).
+    pub fn solve_reduction(&self) -> f64 {
+        self.portfolio_member_solves as f64 / self.auto_member_solves as f64
+    }
+}
+
+/// Runs [`replay`] with `"auto"` and `"Portfolio"` on the same spec and
+/// pairs the results.
+///
+/// # Errors
+/// As [`replay`].
+pub fn compare(spec: &TraceSpec) -> Result<Comparison> {
+    let auto = replay("auto", spec)?;
+    let portfolio = replay("Portfolio", spec)?;
+    let members = auto.session.tuner().members().len() as u64;
+    let committed: Vec<(&StepRecord, &StepRecord)> = auto
+        .steps
+        .iter()
+        .zip(&portfolio.steps)
+        .filter(|(a, _)| !a.explored)
+        .collect();
+    let committed_matches = committed
+        .iter()
+        .filter(|(a, p)| a.makespan.to_bits() == p.makespan.to_bits())
+        .count();
+    let auto_member_solves = auto.tuner_stats().member_solves;
+    Ok(Comparison {
+        committed_steps: committed.len(),
+        committed_matches,
+        auto_member_solves,
+        portfolio_member_solves: members * spec.solves as u64,
+        auto,
+        portfolio,
+    })
+}
+
+/// Renders the learned table of a session's tuner as aligned text — what
+/// `cosched tune` prints.
+pub fn format_table(session: &Session) -> String {
+    use std::fmt::Write as _;
+    let tuner = session.tuner();
+    let mut out = String::new();
+    let table = tuner.table();
+    if table.is_empty() {
+        out.push_str("# (no observations yet)\n");
+        return out;
+    }
+    for bucket in &table {
+        let _ = writeln!(
+            out,
+            "# bucket [{}] — {} comparative rounds, {} committed solves",
+            bucket.signature, bucket.rounds, bucket.committed
+        );
+        let _ = writeln!(
+            out,
+            "# {:<22} {:>4} {:>4} {:>11} {:>13} {:>12} {:>10}",
+            "solver", "obs", "wins", "mean ratio", "kernel calls", "wall ms", "role"
+        );
+        for (index, (name, obs)) in bucket.members.iter().enumerate() {
+            let role = if index == bucket.leader { "leader" } else { "" };
+            let _ = writeln!(
+                out,
+                "# {:<22} {:>4} {:>4} {:>11} {:>13} {:>12.3} {:>10}",
+                name,
+                obs.observations,
+                obs.wins,
+                if obs.observations == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.6}", obs.mean_ratio())
+                },
+                obs.eval.kernel_calls,
+                obs.wall.as_secs_f64() * 1e3,
+                role
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_reproducible_and_stays_in_one_bucket() {
+        let spec = TraceSpec {
+            solves: 24,
+            seed: 11,
+        };
+        let a = replay("auto", &spec).unwrap();
+        let b = replay("auto", &spec).unwrap();
+        let key = |r: &Replay| -> Vec<(u64, bool, u64)> {
+            r.steps
+                .iter()
+                .map(|s| (s.makespan.to_bits(), s.explored, s.member_solves))
+                .collect()
+        };
+        assert_eq!(key(&a), key(&b), "replay must be deterministic");
+        assert_eq!(
+            a.session.tuner().table().len(),
+            1,
+            "the canned trace is designed to stay in one signature bucket"
+        );
+    }
+
+    #[test]
+    fn comparison_reports_reduction_and_quality() {
+        let comparison = compare(&TraceSpec {
+            solves: 32,
+            seed: 5,
+        })
+        .unwrap();
+        assert!(comparison.committed_steps > 0);
+        assert_eq!(
+            comparison.committed_matches, comparison.committed_steps,
+            "committed-phase makespans must match the full portfolio bit for bit"
+        );
+        assert!(
+            comparison.solve_reduction() >= 2.0,
+            "tuner must at least halve the member solves (got {:.2}×)",
+            comparison.solve_reduction()
+        );
+        // Explore steps pay the full portfolio and match it exactly too.
+        for (a, p) in comparison
+            .auto
+            .steps
+            .iter()
+            .zip(&comparison.portfolio.steps)
+        {
+            if a.explored {
+                assert_eq!(a.makespan.to_bits(), p.makespan.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders_every_member_and_marks_a_leader() {
+        let replayed = replay("auto", &TraceSpec { solves: 8, seed: 3 }).unwrap();
+        let text = format_table(&replayed.session);
+        for name in replayed.session.tuner().member_names() {
+            assert!(text.contains(name.as_str()), "table must list {name}");
+        }
+        assert!(text.contains("leader"), "table must mark the leader");
+        assert!(format_table(&Session::new()).contains("no observations"));
+    }
+}

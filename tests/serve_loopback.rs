@@ -182,6 +182,68 @@ fn loopback_solve_matches_direct_solver_bit_exactly() {
 }
 
 #[test]
+fn batch_op_is_byte_identical_to_sequential_exchanges_at_any_worker_count() {
+    // The same requests, once as individual lines and once wrapped in a
+    // single `batch` envelope: the combined response must embed exactly
+    // the bytes the sequential exchange produced — through real sockets,
+    // against both front-ends (the sharded router flattens the batch by
+    // routing each sub-request lock-step).
+    let script: Vec<String> = smoke_script()
+        .into_iter()
+        .filter(|line| {
+            // `metrics` is worker-count-dependent by design; `shutdown`
+            // must stay a top-level line so the server exits.
+            let op = Json::parse(line)
+                .unwrap()
+                .get("op")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            !matches!(op.as_str(), "metrics" | "shutdown")
+        })
+        .collect();
+    let envelope = Json::obj([
+        ("op", Json::from("batch")),
+        (
+            "requests",
+            Json::Arr(script.iter().map(|l| Json::parse(l).unwrap()).collect()),
+        ),
+    ])
+    .to_string();
+    let batch_script = vec![envelope, r#"{"op":"shutdown"}"#.to_string()];
+
+    let mut sequential_script = script.clone();
+    sequential_script.push(r#"{"op":"shutdown"}"#.to_string());
+
+    for workers in [1, 4] {
+        let sequential = run_script(workers, &sequential_script);
+        let batched = run_script(workers, &batch_script);
+        let combined = Json::parse(&batched[0]).unwrap();
+        assert_eq!(combined.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            combined.get("count").and_then(Json::as_u64),
+            Some(script.len() as u64),
+            "workers={workers}"
+        );
+        let responses = combined.get("responses").and_then(Json::as_array).unwrap();
+        for (i, (embedded, direct)) in responses.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                &embedded.to_string(),
+                direct,
+                "workers={workers}: batch slot {i} diverged from the sequential exchange"
+            );
+        }
+    }
+
+    // And the two front-ends agree with each other on the whole batch.
+    assert_eq!(
+        run_script(1, &batch_script)[0],
+        run_script(4, &batch_script)[0],
+        "sharded batch diverged from single-worker batch"
+    );
+}
+
+#[test]
 fn errors_do_not_poison_the_connection() {
     let script: Vec<String> = vec![
         r#"{"op":"solve","id":5}"#.into(), // unknown instance

@@ -1,0 +1,189 @@
+//! Integration suite for the `coschedule::tune` autotuner (ISSUE-5):
+//!
+//! * **determinism** — same seed + trace ⇒ the same selections, solve for
+//!   solve; serial == parallel portfolio fan-out;
+//! * **golden convergence** — on the canned NPB-6 mutation/solve trace,
+//!   `"auto"` converges to the known Portfolio winner (DominantRefined)
+//!   and keeps answering with the portfolio-best makespan bit for bit,
+//!   while running ≥ 2× fewer member solves;
+//! * **property** — for arbitrary seeds, a committed-phase solve's
+//!   makespan never exceeds the winner the full Portfolio would have
+//!   picked on the same instance and seed.
+
+use coschedule::model::Platform;
+use coschedule::solver::{self, Instance, SolveCtx, Solver};
+use coschedule::tune::{Auto, TuneConfig};
+use experiments::tune::{compare, replay, Replay, TraceSpec};
+use proptest::prelude::*;
+use workloads::npb::npb6;
+
+/// The decision-relevant projection of a replay (wall times excluded —
+/// they vary run to run by design).
+fn selections(r: &Replay) -> Vec<(u64, bool, u64)> {
+    r.steps
+        .iter()
+        .map(|s| (s.makespan.to_bits(), s.explored, s.member_solves))
+        .collect()
+}
+
+#[test]
+fn same_seed_and_trace_replay_the_same_selections() {
+    let spec = TraceSpec {
+        solves: 40,
+        seed: 0xAB,
+    };
+    let a = replay("auto", &spec).unwrap();
+    let b = replay("auto", &spec).unwrap();
+    assert_eq!(selections(&a), selections(&b));
+    assert_eq!(a.tuner_stats(), b.tuner_stats());
+    let leaders = |r: &Replay| -> Vec<(String, usize)> {
+        r.session
+            .tuner()
+            .table()
+            .iter()
+            .map(|bucket| (bucket.signature.to_string(), bucket.leader))
+            .collect()
+    };
+    assert_eq!(leaders(&a), leaders(&b), "learned leaders must replay too");
+}
+
+#[test]
+fn serial_and_parallel_tuners_make_the_same_selections() {
+    // The portfolio fan-out inside explore rounds (and nothing else) uses
+    // ctx.threads; selections and outcomes must not depend on it.
+    let instance = Instance::new(npb6(&[0.05]), Platform::taihulight()).unwrap();
+    let run = |threads: usize| -> (Vec<u64>, coschedule::tune::TunerStats) {
+        let auto = Auto::with_config(TuneConfig {
+            explore_rounds: 3,
+            challenger_period: 2,
+        });
+        let makespans = (0..10u64)
+            .map(|step| {
+                let mut ctx = SolveCtx::seeded(step ^ 0x5EED).with_threads(threads);
+                auto.solve(&instance, &mut ctx).unwrap().makespan.to_bits()
+            })
+            .collect();
+        (makespans, auto.tuner_stats())
+    };
+    assert_eq!(run(1), run(4), "threads changed the tuner's behaviour");
+}
+
+#[test]
+fn golden_npb6_trace_converges_to_the_portfolio_winner() {
+    let spec = TraceSpec {
+        solves: 48,
+        seed: 0xC05,
+    };
+    let comparison = compare(&spec).unwrap();
+
+    // The learned leader is the known NPB-6 winner: the refinement
+    // descent (it post-optimises the best dominant start, so no other
+    // member can beat it on this workload).
+    let table = comparison.auto.session.tuner().table();
+    assert_eq!(table.len(), 1, "the canned trace stays in one bucket");
+    let bucket = &table[0];
+    assert_eq!(
+        bucket.members[bucket.leader].0, "DominantRefined",
+        "auto must learn the known Portfolio winner"
+    );
+    let (_, leader_obs) = &bucket.members[bucket.leader];
+    assert_eq!(
+        leader_obs.wins, leader_obs.observations,
+        "the leader won every comparative round it appeared in"
+    );
+    assert_eq!(leader_obs.mean_ratio(), 1.0);
+
+    // After warm-up, every committed solve answers with the same makespan
+    // the full Portfolio finds — bit for bit — at ≥ 2× fewer member
+    // solves (the ISSUE-5 acceptance bar; the canned trace clears it with
+    // margin).
+    assert!(comparison.committed_steps >= 40);
+    assert_eq!(comparison.committed_matches, comparison.committed_steps);
+    assert!(
+        comparison.solve_reduction() >= 2.0,
+        "only {:.2}× fewer member solves",
+        comparison.solve_reduction()
+    );
+
+    // The explore prefix is the full portfolio, so those steps match too:
+    // the whole trace is makespan-identical to always-Portfolio.
+    for (i, (a, p)) in comparison
+        .auto
+        .steps
+        .iter()
+        .zip(&comparison.portfolio.steps)
+        .enumerate()
+    {
+        assert_eq!(
+            a.makespan.to_bits(),
+            p.makespan.to_bits(),
+            "step {i} diverged from the portfolio"
+        );
+    }
+}
+
+#[test]
+fn session_auto_survives_mutations_and_matches_registry_auto() {
+    // The session's shared tuner keys off the *patched* signature: after
+    // warm-up on the mutated instance stream it must still answer every
+    // solve without re-exploring, and a second identical session must
+    // reproduce it (the tuner state is session-local, not global).
+    let spec = TraceSpec {
+        solves: 24,
+        seed: 7,
+    };
+    let a = replay("auto", &spec).unwrap();
+    assert!(
+        a.steps[a.steps.len() - 4..].iter().all(|s| !s.explored),
+        "the trace tail must be committed (history survived the churn)"
+    );
+    let b = replay("auto", &spec).unwrap();
+    assert_eq!(selections(&a), selections(&b));
+}
+
+#[test]
+fn registry_auto_is_a_fresh_tuner_each_lookup() {
+    let instance = Instance::new(npb6(&[0.05]), Platform::taihulight()).unwrap();
+    let first = solver::by_name("auto").unwrap();
+    let again = solver::by_name("auto").unwrap();
+    // Both fresh: identical first-solve behaviour (the full portfolio).
+    let a = first.solve(&instance, &mut SolveCtx::seeded(3)).unwrap();
+    let b = again.solve(&instance, &mut SolveCtx::seeded(3)).unwrap();
+    assert_eq!(a, b);
+    assert!(first.is_randomized());
+    assert_eq!(first.name(), "auto");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary seeds: a committed-phase solve never answers a
+    /// makespan worse than the winner the full Portfolio picks on the
+    /// same instance and seed. (It cannot be better either — the members
+    /// are a subset — so this pins equality; the assertion states the
+    /// ISSUE-5 property as the one-sided bound.)
+    #[test]
+    fn committed_phase_never_exceeds_the_portfolio_winner(seed in 0u64..1_000_000) {
+        let spec = TraceSpec { solves: 20, seed };
+        let comparison = compare(&spec).unwrap();
+        for (i, (a, p)) in comparison
+            .auto
+            .steps
+            .iter()
+            .zip(&comparison.portfolio.steps)
+            .enumerate()
+        {
+            if !a.explored {
+                prop_assert!(
+                    a.makespan <= p.makespan,
+                    "seed {seed} step {i}: committed makespan {} exceeds the \
+                     portfolio winner {}",
+                    a.makespan,
+                    p.makespan
+                );
+            }
+        }
+        // And the tuner really did commit within the trace.
+        prop_assert!(comparison.committed_steps > 0);
+    }
+}
