@@ -59,6 +59,7 @@ pub mod eval;
 pub mod model;
 pub mod npc;
 pub mod parallel;
+pub mod persist;
 pub mod session;
 pub mod solver;
 pub mod theory;

@@ -162,22 +162,28 @@ pub struct InstanceInfo {
 }
 
 /// Memoized result of the most recent solve of one instance.
+///
+/// `pub(crate)` (fields included) for [`crate::persist`], which must
+/// serialize the memo so a restored session answers repeat solves from
+/// the identical stored outcome.
 #[derive(Debug, Clone)]
-struct LastSolve {
-    solver: String,
-    seed: u64,
-    revision: u64,
-    outcome: Outcome,
+pub(crate) struct LastSolve {
+    pub(crate) solver: String,
+    pub(crate) seed: u64,
+    pub(crate) revision: u64,
+    pub(crate) outcome: Outcome,
 }
 
+/// One live instance with its session-level bookkeeping; `pub(crate)` for
+/// [`crate::persist`].
 #[derive(Debug, Clone)]
-struct Entry {
-    instance: Instance,
-    revision: u64,
+pub(crate) struct Entry {
+    pub(crate) instance: Instance,
+    pub(crate) revision: u64,
     /// `true` once the entry's derived state has been through a solve and
     /// only app-level patches happened since; `set_platform` resets it.
-    warm: bool,
-    last: Option<LastSolve>,
+    pub(crate) warm: bool,
+    pub(crate) last: Option<LastSolve>,
 }
 
 impl Entry {
@@ -200,17 +206,17 @@ impl Entry {
 /// so a metrics layer can sample it per request without touching the
 /// instances.
 pub struct Session {
-    entries: BTreeMap<u64, Entry>,
-    next_id: u64,
-    id_stride: u64,
+    pub(crate) entries: BTreeMap<u64, Entry>,
+    pub(crate) next_id: u64,
+    pub(crate) id_stride: u64,
     scratch: EvalScratch,
-    stats: SessionStats,
+    pub(crate) stats: SessionStats,
     /// The session's autotuner ([`crate::tune`]): one shared history for
     /// every `"auto"` resolve, so learning survives incremental re-solves
     /// and mutations (the signature is recomputed from the patched
     /// instance on every solve). Behind an `Arc` so a resolve can run it
     /// while `&mut self` is otherwise engaged.
-    auto: Arc<Auto>,
+    pub(crate) auto: Arc<Auto>,
 }
 
 impl std::fmt::Debug for Session {
@@ -265,6 +271,29 @@ impl Session {
             scratch: EvalScratch::default(),
             stats: SessionStats::default(),
             auto: Arc::new(Auto::new()),
+        }
+    }
+
+    /// Reassembles a session from snapshot parts ([`crate::persist`]).
+    ///
+    /// The scratch space is rebuilt empty — it is a pure evaluation cache,
+    /// sized lazily on first use, so a restored session's observable
+    /// behaviour is identical to the session that was snapshotted.
+    pub(crate) fn from_restored(
+        entries: BTreeMap<u64, Entry>,
+        next_id: u64,
+        id_stride: u64,
+        stats: SessionStats,
+        auto: Arc<Auto>,
+    ) -> Self {
+        assert!(id_stride >= 1, "id stride must be at least 1");
+        Self {
+            entries,
+            next_id,
+            id_stride,
+            scratch: EvalScratch::default(),
+            stats,
+            auto,
         }
     }
 

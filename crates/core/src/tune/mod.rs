@@ -365,9 +365,27 @@ impl History {
         self.stats
     }
 
+    /// The knobs this history was built with.
+    pub fn config(&self) -> TuneConfig {
+        self.config
+    }
+
     /// The buckets in deterministic (signature) order.
     pub fn buckets(&self) -> impl Iterator<Item = (&Signature, &BucketHistory)> {
         self.buckets.iter()
+    }
+
+    /// Reassembles a history from snapshot parts ([`crate::persist`]).
+    pub(crate) fn from_parts(
+        config: TuneConfig,
+        buckets: BTreeMap<Signature, BucketHistory>,
+        stats: TunerStats,
+    ) -> Self {
+        Self {
+            config,
+            buckets,
+            stats,
+        }
     }
 }
 
@@ -453,6 +471,25 @@ impl Auto {
             names,
             history: Mutex::new(History::new(config)),
         }
+    }
+
+    /// An autotuner over the full registry resuming a restored history
+    /// ([`crate::persist`]). The caller has already validated that the
+    /// history's member columns line up with the registry order.
+    pub(crate) fn with_history(history: History) -> Self {
+        let portfolio = Portfolio::new(crate::solver::all());
+        let names = portfolio.members().iter().map(|m| m.name()).collect();
+        Auto {
+            portfolio,
+            names,
+            history: Mutex::new(history),
+        }
+    }
+
+    /// A deep copy of the learned state, for snapshotting
+    /// ([`crate::persist`]).
+    pub(crate) fn history_clone(&self) -> History {
+        self.lock().clone()
     }
 
     /// The member solvers, in observation order.

@@ -12,10 +12,15 @@
 //! cosched serve --addr 127.0.0.1:7878       # line-delimited JSON over TCP
 //! cosched serve --workers 4                 # shard instances over 4 sessions
 //! cosched serve --smoke [--workers N] [--strategy NAME]  # loopback test
+//! cosched serve --durability log --wal-dir DIR   # snapshot + write-ahead log
+//! cosched serve --restore DIR               # recover a crashed server
+//! cosched serve --smoke-recover             # kill -9 + restore self-test
+//! cosched standby --dir DIR [--promote ADDR]  # warm replica tailing a primary
 //! cosched client --addr 127.0.0.1:7878 --send '{"op":"list"}'
 //! cosched client --addr 127.0.0.1:7878      # requests from stdin
 //! cosched client --requests trace.jsonl     # replay a file, pipelined
 //! cosched client --requests trace.jsonl --batch  # …as one batch op
+//! cosched client --retries N                # backoff on refused connects
 //!
 //! cosched tune [--solves N] [--seed S]      # replay a workload, print the
 //!                                           # autotuner's learned table
@@ -43,9 +48,12 @@ use coschedule::model::Platform;
 use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 use experiments::appcsv::parse_applications;
 use experiments::serve::{
-    available_workers, client_exchange, pipelined_exchange, smoke_script, smoke_script_for, Server,
+    available_workers, client_exchange, client_exchange_with_retries,
+    pipelined_exchange_with_retries, smoke_script, smoke_script_for, wal, Durability, Server,
+    Standby, DEFAULT_CLIENT_RETRIES,
 };
 use std::io::BufRead;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use workloads::npb::npb6;
@@ -54,6 +62,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => return serve_main(args.split_off(1)),
+        Some("standby") => return standby_main(args.split_off(1)),
         Some("client") => return client_main(args.split_off(1)),
         Some("tune") => return tune_main(args.split_off(1)),
         _ => {}
@@ -284,9 +293,12 @@ fn usage(msg: &str) -> ExitCode {
         "usage: cosched <apps.csv | --demo | --list-strategies> [--procs N] [--cache-gb G] \
          [--ways W] [--seed S] [--strategy NAME] [--eval-stats]\n\
          \x20      cosched serve [--addr HOST:PORT] [--workers N] [--strategy NAME] \
-         [--allow-shutdown] [--smoke]\n\
+         [--allow-shutdown] [--durability none|log|fsync] [--wal-dir DIR] [--restore DIR] \
+         [--snapshot-every N] [--smoke] [--smoke-recover]\n\
+         \x20      cosched standby --dir DIR [--interval-ms N] [--once] [--promote HOST:PORT] \
+         [--strategy NAME]\n\
          \x20      cosched client [--addr HOST:PORT] [--send JSON]... [--requests FILE] \
-         [--batch]\n\
+         [--batch] [--retries N]\n\
          \x20      cosched tune [--solves N] [--seed S] [--smoke]\n\
          strategies: {}",
         solver::names().join(", ")
@@ -307,8 +319,13 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut allow_shutdown = false;
     let mut smoke = false;
+    let mut smoke_recover = false;
     let mut workers: Option<usize> = None;
     let mut strategy: Option<String> = None;
+    let mut durability: Option<Durability> = None;
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut restore = false;
+    let mut snapshot_every: Option<u64> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -331,13 +348,44 @@ fn serve_main(args: Vec<String>) -> ExitCode {
             },
             "--allow-shutdown" => allow_shutdown = true,
             "--smoke" => smoke = true,
+            "--smoke-recover" => smoke_recover = true,
+            "--durability" => match iter.next().map(|v| v.parse()) {
+                Some(Ok(level)) => durability = Some(level),
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--durability expects none, log, or fsync"),
+            },
+            "--wal-dir" => match iter.next() {
+                Some(dir) => wal_dir = Some(PathBuf::from(dir)),
+                None => return usage("--wal-dir expects a directory"),
+            },
+            "--restore" => match iter.next() {
+                Some(dir) => {
+                    wal_dir = Some(PathBuf::from(dir));
+                    restore = true;
+                }
+                None => return usage("--restore expects a durability directory"),
+            },
+            "--snapshot-every" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => snapshot_every = Some(n),
+                _ => return usage("--snapshot-every expects an integer >= 1"),
+            },
             other => return usage(&format!("unknown serve flag {other}")),
         }
+    }
+    if smoke_recover {
+        return serve_smoke_recover(workers.unwrap_or(4), strategy.as_deref());
     }
     if smoke {
         addr = "127.0.0.1:0".to_string();
         allow_shutdown = true;
     }
+    // A configured durability directory means "log" unless the level was
+    // set explicitly; a restored server keeps logging by default.
+    let durability = durability.unwrap_or(if wal_dir.is_some() {
+        Durability::Log
+    } else {
+        Durability::None
+    });
     let workers = workers.unwrap_or(if smoke { 1 } else { available_workers() });
     let mut server = match Server::bind(&addr) {
         Ok(s) => s,
@@ -348,15 +396,49 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     };
     server.config_mut().allow_shutdown = allow_shutdown;
     server.config_mut().workers = workers;
+    server.config_mut().durability = durability;
+    server.config_mut().wal_dir = wal_dir.clone();
+    server.config_mut().restore = restore;
+    if let Some(n) = snapshot_every {
+        server.config_mut().snapshot_every = n;
+    }
     if let Some(name) = &strategy {
         server.config_mut().default_solver = name.clone();
     }
     let local = server.local_addr().expect("bound listener has an address");
     if !smoke {
+        // On restore the effective worker count comes from the
+        // directory's meta.json, not --workers.
+        let workers = match (restore, &wal_dir) {
+            (true, Some(dir)) => match wal::read_meta(dir) {
+                Ok(Some(n)) => n,
+                Ok(None) => {
+                    eprintln!(
+                        "cannot restore from {}: no meta.json — has a server ever \
+                         logged to this directory?",
+                        dir.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("cannot restore from {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => workers,
+        };
         println!(
             "# cosched serve listening on {local} (line-delimited JSON, {workers} worker{})",
             if workers == 1 { "" } else { "s" }
         );
+        if durability.enabled() {
+            let dir = wal_dir.as_ref().expect("durability requires a directory");
+            println!(
+                "# durability {durability} in {}{}",
+                dir.display(),
+                if restore { ", restored" } else { "" }
+            );
+        }
         return match server.run() {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -410,6 +492,357 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// The `--smoke-recover` trace, split at the crash point. Solves go
+/// through `"auto"` by default so recovery must also reproduce the
+/// tuner's learned state — an `"auto"` decision depends on every solve
+/// before it, so a byte-identical remainder proves the histories match.
+fn smoke_recover_trace(solver: &str) -> (Vec<String>, Vec<String>) {
+    use minijson::Json;
+    let apps = || Json::arr(npb6(&[0.05]).iter().map(experiments::serve::app_to_json));
+    let solve = |id: u64, seed: u64| {
+        Json::obj([
+            ("op", Json::from("solve")),
+            ("id", Json::from(id)),
+            ("solver", Json::from(solver)),
+            ("seed", Json::from(seed)),
+            ("schedule", Json::from(false)),
+        ])
+        .to_string()
+    };
+    let before = vec![
+        Json::obj([("op", Json::from("create")), ("apps", apps())]).to_string(),
+        solve(0, 1),
+        Json::obj([
+            ("op", Json::from("mutate")),
+            ("id", Json::from(0u64)),
+            ("action", Json::from("remove_app")),
+            ("index", Json::from(1u64)),
+        ])
+        .to_string(),
+        solve(0, 2),
+        Json::obj([("op", Json::from("create")), ("apps", apps())]).to_string(),
+        solve(1, 3),
+    ];
+    let after = vec![
+        Json::obj([
+            ("op", Json::from("mutate")),
+            ("id", Json::from(0u64)),
+            ("action", Json::from("add_app")),
+            (
+                "app",
+                Json::obj([
+                    ("name", Json::from("HACC-io")),
+                    ("work", Json::from(3.1e10)),
+                    ("seq_fraction", Json::from(0.02)),
+                    ("access_freq", Json::from(0.61)),
+                    ("miss_rate_ref", Json::from(4.2e-3)),
+                ]),
+            ),
+        ])
+        .to_string(),
+        solve(0, 4),
+        solve(1, 5),
+        Json::obj([
+            ("op", Json::from("solve")),
+            ("id", Json::from(0u64)),
+            ("solver", Json::from("DominantMinRatio")),
+            ("seed", Json::from(42u64)),
+            ("schedule", Json::from(false)),
+        ])
+        .to_string(),
+        Json::obj([("op", Json::from("stats"))]).to_string(),
+        Json::obj([("op", Json::from("list"))]).to_string(),
+    ];
+    (before, after)
+}
+
+/// Spawns `cosched serve <args>` as a child process (so it can be
+/// `kill -9`'d for real) and returns it with the address it printed.
+fn spawn_serve_child(args: &[String]) -> Result<(std::process::Child, String), String> {
+    use std::io::Read;
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut child = std::process::Command::new(exe)
+        .arg("serve")
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn serve child: {e}"))?;
+    let stdout = child.stdout.take().expect("piped child stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    if let Err(e) = reader.read_line(&mut line) {
+        let _ = child.kill();
+        return Err(format!("child printed no listening line: {e}"));
+    }
+    // "# cosched serve listening on ADDR (line-delimited JSON, …)"
+    let Some(addr) = line.split_whitespace().nth(5).map(str::to_string) else {
+        let _ = child.kill();
+        return Err(format!("unparseable listening line: {line:?}"));
+    };
+    // Keep draining so later prints never block (or EPIPE) the child.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    Ok((child, addr))
+}
+
+/// `cosched serve --smoke-recover`: the end-to-end crash/recovery
+/// self-test. Runs a real child server with `--durability log`, drives
+/// half a trace lock-step (every reply ⇒ the op is committed), SIGKILLs
+/// the child mid-stream, restarts it with `--restore`, and asserts the
+/// remainder of the trace — `"auto"` tuner decisions included — answers
+/// **byte-identically** to one uninterrupted in-process run.
+fn serve_smoke_recover(workers: usize, strategy: Option<&str>) -> ExitCode {
+    let solver = strategy.unwrap_or("auto");
+    let (before, after) = smoke_recover_trace(solver);
+    let shutdown_line = r#"{"op":"shutdown"}"#.to_string();
+
+    // The uninterrupted reference: same worker count, no durability.
+    let mut reference_server = match Server::bind("127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smoke-recover: cannot bind reference server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    reference_server.config_mut().workers = workers;
+    reference_server.config_mut().allow_shutdown = true;
+    let reference_addr = reference_server
+        .local_addr()
+        .expect("bound listener has an address");
+    let reference_thread = std::thread::spawn(move || reference_server.run());
+    let full: Vec<String> = before
+        .iter()
+        .chain(&after)
+        .chain(std::iter::once(&shutdown_line))
+        .cloned()
+        .collect();
+    let reference = match client_exchange(reference_addr, &full) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("smoke-recover: reference run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = reference_thread.join();
+
+    let dir = std::env::temp_dir().join(format!(
+        "cosched-smoke-recover-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0)
+    ));
+    let dir_arg = dir.display().to_string();
+    let result = (|| -> Result<(), String> {
+        // Phase 1: a durable child, killed -9 mid-trace.
+        let (mut child, addr) = spawn_serve_child(&[
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--workers".into(),
+            workers.to_string(),
+            "--durability".into(),
+            "log".into(),
+            "--wal-dir".into(),
+            dir_arg.clone(),
+        ])?;
+        println!("# smoke-recover: primary on {addr}, {workers} workers, wal in {dir_arg}");
+        let first = client_exchange(&*addr, &before)
+            .map_err(|e| format!("pre-crash exchange failed: {e}"))?;
+        for (got, want) in first.iter().zip(&reference) {
+            if got != want {
+                return Err(format!(
+                    "pre-crash response diverged from reference:\n got {got}\nwant {want}"
+                ));
+            }
+        }
+        child.kill().map_err(|e| format!("kill -9 failed: {e}"))?;
+        let _ = child.wait();
+        println!(
+            "# smoke-recover: killed the primary after {} committed ops",
+            before.len()
+        );
+
+        // Phase 2: restore and finish the trace.
+        let (mut child, addr) = spawn_serve_child(&[
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--restore".into(),
+            dir_arg.clone(),
+            "--allow-shutdown".into(),
+        ])?;
+        println!("# smoke-recover: restored server on {addr}");
+        let rest = client_exchange_with_retries(&*addr, &after, 10)
+            .map_err(|e| format!("post-restore exchange failed: {e}"))?;
+        let mut mismatches = 0;
+        for ((request, got), want) in after.iter().zip(&rest).zip(&reference[before.len()..]) {
+            let marker = if got == want { "=" } else { "≠" };
+            println!("{marker} {request}");
+            if got != want {
+                println!("  got  {got}\n  want {want}");
+                mismatches += 1;
+            }
+        }
+        let _ = client_exchange(&*addr, std::slice::from_ref(&shutdown_line));
+        let _ = child.wait();
+        if mismatches > 0 {
+            return Err(format!(
+                "{mismatches} of {} post-restore responses diverged",
+                after.len()
+            ));
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    match result {
+        Ok(()) => {
+            println!(
+                "# smoke-recover ok: {} post-restore responses byte-identical (solver {solver})",
+                after.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("smoke-recover failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cosched standby`: maintain a warm replica by tailing a primary's
+/// durability directory (read-only — safe next to the live primary).
+/// With `--promote ADDR`, a line (or EOF) on stdin triggers promotion:
+/// one final catch-up, then the replicas serve on ADDR. `--once` does a
+/// single catch-up pass and exits (scripting / tests).
+fn standby_main(args: Vec<String>) -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut interval = Duration::from_millis(200);
+    let mut once = false;
+    let mut promote_addr: Option<String> = None;
+    let mut strategy: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--dir" => match iter.next() {
+                Some(d) => dir = Some(PathBuf::from(d)),
+                None => return usage("--dir expects a durability directory"),
+            },
+            "--interval-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => interval = Duration::from_millis(ms),
+                None => return usage("--interval-ms expects an integer"),
+            },
+            "--once" => once = true,
+            "--promote" => match iter.next() {
+                Some(a) => promote_addr = Some(a),
+                None => return usage("--promote expects HOST:PORT"),
+            },
+            "--strategy" => match iter.next() {
+                Some(name) => match solver::by_name(&name) {
+                    Ok(s) => strategy = Some(s.name()),
+                    Err(e) => return usage(&e.to_string()),
+                },
+                None => return usage("--strategy expects a name"),
+            },
+            other => return usage(&format!("unknown standby flag {other}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage("standby requires --dir");
+    };
+    let default_solver = strategy.as_deref().unwrap_or("DominantMinRatio");
+    let mut standby = match Standby::open(&dir, default_solver, 0xC05) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open standby over {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# cosched standby tailing {} ({} shard{})",
+        dir.display(),
+        standby.workers(),
+        if standby.workers() == 1 { "" } else { "s" }
+    );
+
+    // Promotion trigger: any stdin line, or stdin closing.
+    let promote_requested = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    if promote_addr.is_some() {
+        let flag = std::sync::Arc::clone(&promote_requested);
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            let _ = std::io::stdin().read_line(&mut line);
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        println!("# promotion armed: a line (or EOF) on stdin promotes to a serving primary");
+    }
+
+    loop {
+        match standby.catch_up() {
+            Ok(progress) => {
+                if progress.snapshots_loaded > 0 || progress.records_applied > 0 {
+                    println!(
+                        "# caught up: {} snapshot(s), {} record(s); {} live instance(s)",
+                        progress.snapshots_loaded,
+                        progress.records_applied,
+                        standby.instances()
+                    );
+                }
+            }
+            Err(e) => {
+                // Transient by assumption (e.g. racing a rotation): report
+                // and retry next tick — unless this is a one-shot pass.
+                eprintln!("standby catch-up failed: {e}");
+                if once {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if once {
+            println!(
+                "# standby pass done: {} live instance(s) across {} shard(s)",
+                standby.instances(),
+                standby.workers()
+            );
+            return ExitCode::SUCCESS;
+        }
+        if promote_requested.load(std::sync::atomic::Ordering::SeqCst) {
+            let addr = promote_addr.expect("flag only set when --promote was given");
+            // One final pass picks up anything logged since the last tick.
+            // Promote only once the old primary is dead: the promoted
+            // server does not log (restart it with --restore to resume
+            // durability).
+            if let Err(e) = standby.catch_up() {
+                eprintln!("final catch-up failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let server = match Server::bind(&addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let local = server.local_addr().expect("bound listener has an address");
+            let states = standby.promote();
+            println!(
+                "# promoted: serving on {local} ({} worker{})",
+                states.len(),
+                if states.len() == 1 { "" } else { "s" }
+            );
+            return match server.run_with_states(states) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("promoted server failed: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 /// `cosched client`: send `--send` request lines (or stdin lines) to a
 /// serving `cosched serve` and print one response per request. With
 /// `--requests FILE`, replay the file's newline-delimited JSON requests
@@ -424,12 +857,17 @@ fn client_main(args: Vec<String>) -> ExitCode {
     let mut requests: Vec<String> = Vec::new();
     let mut batch_file: Option<String> = None;
     let mut batch_op = false;
+    let mut retries = DEFAULT_CLIENT_RETRIES;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--addr" => match iter.next() {
                 Some(a) => addr = a,
                 None => return usage("--addr expects HOST:PORT"),
+            },
+            "--retries" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retries = n,
+                None => return usage("--retries expects an integer"),
             },
             "--send" => match iter.next() {
                 Some(json) => requests.push(json),
@@ -476,12 +914,16 @@ fn client_main(args: Vec<String>) -> ExitCode {
         }
     }
     if batch_op {
-        return client_batch(&addr, &requests);
+        return client_batch(&addr, &requests, retries);
     }
+    // Connects retry with bounded exponential backoff (a restoring server
+    // replaying its WAL is the expected cause of a refused connect);
+    // failures after the trace started are never retried — re-sending a
+    // half-delivered trace would re-apply its mutations.
     let exchanged = if from_file {
-        pipelined_exchange(&addr, &requests)
+        pipelined_exchange_with_retries(&addr, &requests, retries)
     } else {
-        client_exchange(&addr, &requests)
+        client_exchange_with_retries(&addr, &requests, retries)
     };
     match exchanged {
         Ok(responses) => {
@@ -600,7 +1042,7 @@ fn tune_main(args: Vec<String>) -> ExitCode {
 /// Sends `requests` as one `batch` op and prints the unpacked
 /// sub-responses, one per line in request order — indistinguishable from
 /// the pipelined replay's output, but a single codec round-trip.
-fn client_batch(addr: &str, requests: &[String]) -> ExitCode {
+fn client_batch(addr: &str, requests: &[String], retries: u32) -> ExitCode {
     let mut subs = Vec::with_capacity(requests.len());
     for request in requests {
         match minijson::Json::parse(request) {
@@ -616,7 +1058,7 @@ fn client_batch(addr: &str, requests: &[String]) -> ExitCode {
         ("requests", minijson::Json::Arr(subs)),
     ])
     .to_string();
-    let combined = match client_exchange(addr, &[envelope]) {
+    let combined = match client_exchange_with_retries(addr, &[envelope], retries) {
         Ok(mut responses) => responses.remove(0),
         Err(e) => {
             eprintln!("cannot exchange with {addr}: {e}");

@@ -19,9 +19,14 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, Receiver};
+use std::time::Duration;
 
 use super::router::Router;
 use super::worker::TaggedResponse;
+
+/// Connection attempts `cosched client` makes beyond the first
+/// (`--retries` overrides).
+pub const DEFAULT_CLIENT_RETRIES: u32 = 3;
 
 /// Serves one accepted connection against the sharded router; returns
 /// when the peer closes (or after a `shutdown` request is accepted).
@@ -88,7 +93,64 @@ pub fn client_exchange(
     addr: impl ToSocketAddrs,
     requests: &[String],
 ) -> std::io::Result<Vec<String>> {
-    let stream = TcpStream::connect(addr)?;
+    exchange_on(TcpStream::connect(addr)?, requests)
+}
+
+/// [`client_exchange`] with bounded-backoff connection retries — see
+/// [`connect_with_retries`]. Only the *connect* is retried: once any
+/// request has been written, a dead connection aborts the exchange
+/// (blindly re-sending a half-delivered trace would re-apply mutations).
+pub fn client_exchange_with_retries(
+    addr: impl ToSocketAddrs + Copy,
+    requests: &[String],
+    retries: u32,
+) -> std::io::Result<Vec<String>> {
+    exchange_on(connect_with_retries(addr, retries)?, requests)
+}
+
+/// Connects, retrying refused/reset/unreachable attempts up to `retries`
+/// times with exponential backoff (50 ms doubling, capped at 2 s) — a
+/// just-restarting server (`--restore` replaying a long WAL) is the
+/// expected cause. Non-transient errors and exhausted retries return a
+/// structured [`std::io::Error`] naming the attempt count; callers exit
+/// with it instead of panicking mid-trace.
+pub fn connect_with_retries(
+    addr: impl ToSocketAddrs + Copy,
+    retries: u32,
+) -> std::io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(50);
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if attempt < retries && is_transient(&e) => {
+                attempt += 1;
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_secs(2));
+            }
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    e.kind(),
+                    format!("connect failed after {} attempt(s): {e}", attempt + 1),
+                ));
+            }
+        }
+    }
+}
+
+/// Connect errors worth retrying: the server is down or mid-restart, not
+/// misaddressed.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn exchange_on(stream: TcpStream, requests: &[String]) -> std::io::Result<Vec<String>> {
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -122,7 +184,20 @@ pub fn pipelined_exchange(
     addr: impl ToSocketAddrs,
     requests: &[String],
 ) -> std::io::Result<Vec<String>> {
-    let stream = TcpStream::connect(addr)?;
+    pipeline_on(TcpStream::connect(addr)?, requests)
+}
+
+/// [`pipelined_exchange`] with the same connect-only retry policy as
+/// [`client_exchange_with_retries`].
+pub fn pipelined_exchange_with_retries(
+    addr: impl ToSocketAddrs + Copy,
+    requests: &[String],
+    retries: u32,
+) -> std::io::Result<Vec<String>> {
+    pipeline_on(connect_with_retries(addr, retries)?, requests)
+}
+
+fn pipeline_on(stream: TcpStream, requests: &[String]) -> std::io::Result<Vec<String>> {
     stream.set_nodelay(true)?;
     let writer_stream = stream.try_clone()?;
     std::thread::scope(|scope| {
@@ -146,7 +221,55 @@ pub fn pipelined_exchange(
             }
             responses.push(response.trim_end().to_string());
         }
-        sender.join().expect("pipeline sender thread")?;
+        // A structured error, not a panic: the sender thread dying (e.g.
+        // the server vanished mid-write) is an exchange failure the
+        // caller reports like any other I/O error.
+        match sender.join() {
+            Ok(result) => result?,
+            Err(_) => return Err(std::io::Error::other("pipeline sender thread panicked")),
+        }
         Ok(responses)
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn zero_retries_fails_fast_with_attempt_count() {
+        // Bind-then-drop yields a port with (very likely) no listener.
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let e = connect_with_retries(addr, 0).unwrap_err();
+        assert!(e.to_string().contains("after 1 attempt(s)"), "{e}");
+    }
+
+    #[test]
+    fn retries_ride_out_a_late_starting_server() {
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let listener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(80));
+            let listener = TcpListener::bind(addr).expect("rebind test port");
+            let _ = listener.accept();
+        });
+        // First attempt refused, a retry lands after the server is up.
+        let stream = connect_with_retries(addr, 5).expect("retry until listening");
+        drop(stream);
+        listener.join().unwrap();
+    }
+
+    #[test]
+    fn misaddressed_connects_are_not_retried() {
+        let started = std::time::Instant::now();
+        // An invalid address errors in resolution — no backoff sleeps.
+        assert!(client_exchange_with_retries("definitely-not-a-host:1", &[], 3).is_err());
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
 }

@@ -20,6 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use coschedule::session::SessionStats;
 use minijson::Json;
 
+use super::wal::WalStats;
+
 /// Lock-free request counters of one shard (see the module docs for who
 /// bumps what).
 #[derive(Debug, Default)]
@@ -29,6 +31,17 @@ pub struct ShardMetrics {
 }
 
 impl ShardMetrics {
+    /// Counters resuming at `base` — a restored shard starts with both
+    /// `enqueued` and `completed` at the requests the crashed server had
+    /// already answered, so the `metrics` op's per-shard totals continue
+    /// seamlessly across a `--restore` (and queue depth starts at 0).
+    pub fn with_base(base: u64) -> Self {
+        Self {
+            enqueued: AtomicU64::new(base),
+            completed: AtomicU64::new(base),
+        }
+    }
+
     /// The router queued one request for this shard.
     pub fn record_enqueued(&self) {
         self.enqueued.fetch_add(1, Ordering::Relaxed);
@@ -65,6 +78,10 @@ pub struct ShardReport {
     pub instances: usize,
     /// The shard session's lifetime counters.
     pub stats: SessionStats,
+    /// Durability counters — `None` when the server runs `--durability
+    /// none`, in which case no `wal_*` fields appear in the response (the
+    /// pre-durability payload stays byte-identical).
+    pub wal: Option<WalStats>,
 }
 
 /// Serializes the `metrics` op response: per-shard rows plus the request
@@ -78,7 +95,7 @@ pub(super) fn metrics_body(workers: usize, reports: &[ShardReport]) -> Json {
         (
             "shards",
             Json::arr(reports.iter().map(|r| {
-                Json::obj([
+                let mut row = Json::obj([
                     ("shard", Json::from(r.shard)),
                     ("requests", Json::from(r.requests)),
                     ("queue_depth", Json::from(r.queue_depth)),
@@ -103,7 +120,18 @@ pub(super) fn metrics_body(workers: usize, reports: &[ShardReport]) -> Json {
                         "tuner_member_solves",
                         Json::from(r.stats.tuner.member_solves),
                     ),
-                ])
+                ]);
+                if let (Json::Obj(pairs), Some(wal)) = (&mut row, r.wal) {
+                    pairs.push(("wal_records".to_string(), Json::from(wal.records)));
+                    pairs.push(("wal_bytes".to_string(), Json::from(wal.bytes)));
+                    pairs.push(("wal_fsyncs".to_string(), Json::from(wal.fsyncs)));
+                    pairs.push((
+                        "wal_snapshot_generation".to_string(),
+                        Json::from(wal.snapshot_generation),
+                    ));
+                    pairs.push(("wal_replayed".to_string(), Json::from(wal.replayed)));
+                }
+                row
             })),
         ),
     ])
@@ -137,6 +165,7 @@ mod tests {
                 queue_depth: 1,
                 instances: 2,
                 stats: SessionStats::default(),
+                wal: None,
             },
             ShardReport {
                 shard: 1,
@@ -144,6 +173,7 @@ mod tests {
                 queue_depth: 0,
                 instances: 1,
                 stats: SessionStats::default(),
+                wal: None,
             },
         ];
         let v = metrics_body(2, &rows);
@@ -153,5 +183,41 @@ mod tests {
         assert_eq!(shards.len(), 2);
         assert_eq!(shards[1].get("shard").and_then(Json::as_u64), Some(1));
         assert_eq!(shards[0].get("queue_depth").and_then(Json::as_u64), Some(1));
+        // No durability → no wal_* columns (payload unchanged from the
+        // pre-durability protocol).
+        assert!(shards[0].get("wal_records").is_none());
+    }
+
+    #[test]
+    fn wal_columns_appear_when_durability_is_on() {
+        let row = ShardReport {
+            shard: 0,
+            requests: 9,
+            queue_depth: 0,
+            instances: 1,
+            stats: SessionStats::default(),
+            wal: Some(WalStats {
+                records: 5,
+                bytes: 99,
+                fsyncs: 2,
+                snapshot_generation: 3,
+                replayed: 4,
+            }),
+        };
+        let v = metrics_body(1, &[row]);
+        let shards = v.get("shards").and_then(Json::as_array).unwrap();
+        assert_eq!(shards[0].get("wal_records").and_then(Json::as_u64), Some(5));
+        assert_eq!(shards[0].get("wal_bytes").and_then(Json::as_u64), Some(99));
+        assert_eq!(shards[0].get("wal_fsyncs").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            shards[0]
+                .get("wal_snapshot_generation")
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            shards[0].get("wal_replayed").and_then(Json::as_u64),
+            Some(4)
+        );
     }
 }

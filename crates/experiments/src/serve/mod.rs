@@ -49,7 +49,12 @@
 //!   pipelined clients;
 //! * [`metrics`] — per-shard counters behind the `metrics` op: requests,
 //!   queue depth, solves by tier (memo / incremental / cold), aggregated
-//!   eval-engine work.
+//!   eval-engine work;
+//! * [`wal`] — durability: per-shard snapshots + write-ahead logs
+//!   (`--durability log|fsync`), crash recovery (`--restore DIR`), and
+//!   the warm standby (`cosched standby`). Recovery replays the log
+//!   through [`handle_line`], so a restored server answers the remainder
+//!   of a trace byte-identically to one that never crashed.
 //!
 //! [`Server::run`] picks the front-end by [`ServeConfig::workers`]:
 //!
@@ -70,18 +75,25 @@ pub mod conn;
 pub mod metrics;
 pub mod protocol;
 pub mod router;
+pub mod wal;
 pub mod worker;
 
-pub use conn::{client_exchange, pipelined_exchange};
+pub use conn::{
+    client_exchange, client_exchange_with_retries, connect_with_retries, pipelined_exchange,
+    pipelined_exchange_with_retries, DEFAULT_CLIENT_RETRIES,
+};
 pub use protocol::{
     app_from_json, app_to_json, handle_line, platform_from_json, platform_overrides_from_json,
     ServeState,
 };
+pub use wal::{Durability, Standby};
 
+use coschedule::session::Session;
 use minijson::Json;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// Serve-level configuration, applied when [`Server::run`] starts.
@@ -98,6 +110,19 @@ pub struct ServeConfig {
     /// Whether the `shutdown` op is honoured (`cosched serve
     /// --allow-shutdown`, and always in loopback smoke tests).
     pub allow_shutdown: bool,
+    /// Durability level (`--durability none|log|fsync`); anything but
+    /// [`Durability::None`] requires [`ServeConfig::wal_dir`].
+    pub durability: Durability,
+    /// Directory holding the per-shard snapshots + logs and `meta.json`.
+    pub wal_dir: Option<PathBuf>,
+    /// Recover from [`ServeConfig::wal_dir`] at startup (`--restore DIR`).
+    /// The directory's `meta.json` **overrides** [`ServeConfig::workers`]:
+    /// shard files only compose at the worker count they were written
+    /// with.
+    pub restore: bool,
+    /// WAL records per shard between snapshot rotations
+    /// (`--snapshot-every N`).
+    pub snapshot_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -107,8 +132,93 @@ impl Default for ServeConfig {
             default_solver: "DominantMinRatio".to_string(),
             default_seed: 0xC05,
             allow_shutdown: false,
+            durability: Durability::None,
+            wal_dir: None,
+            restore: false,
+            snapshot_every: wal::DEFAULT_SNAPSHOT_EVERY,
         }
     }
+}
+
+/// Builds the per-shard [`ServeState`]s a server (or a test) serves with:
+/// fresh strided sessions, or — with [`ServeConfig::restore`] — the
+/// recovered states of a previous run, each with a [`wal::WalWriter`]
+/// attached when durability is on. Mutates `config.workers` to the
+/// effective shard count (a restore adopts the directory's layout).
+pub fn build_states(config: &mut ServeConfig) -> Result<Vec<ServeState>, String> {
+    if config.restore {
+        let dir = config
+            .wal_dir
+            .as_ref()
+            .ok_or("restore requires a durability directory")?;
+        let workers = wal::read_meta(dir)?.ok_or_else(|| {
+            format!(
+                "{}: no meta.json — has a server ever logged to this directory?",
+                dir.display()
+            )
+        })?;
+        config.workers = workers;
+    }
+    let shards = config.workers.max(1);
+    config.workers = shards;
+    if config.durability.enabled() && config.wal_dir.is_none() {
+        return Err(format!(
+            "--durability {} requires --wal-dir",
+            config.durability
+        ));
+    }
+    let mut states = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let (mut state, replayed, generation) = if config.restore {
+            let dir = config.wal_dir.as_ref().expect("checked above");
+            let recovered = wal::recover_shard(
+                dir,
+                shard,
+                shards,
+                &config.default_solver,
+                config.default_seed,
+            )?;
+            (
+                recovered.state,
+                recovered.replayed,
+                recovered.next_generation,
+            )
+        } else {
+            let mut state =
+                ServeState::with_session(Session::with_id_stride(shard as u64, shards as u64));
+            state.default_solver = config.default_solver.clone();
+            state.default_seed = config.default_seed;
+            (state, 0, 0)
+        };
+        if config.durability.enabled() {
+            let dir = config.wal_dir.as_ref().expect("checked above");
+            let writer = wal::WalWriter::create(
+                dir,
+                shard,
+                shards,
+                config.durability,
+                config.snapshot_every,
+                generation,
+                state.session(),
+                state.requests(),
+                replayed,
+            )
+            .map_err(|e| {
+                format!(
+                    "shard {shard}: cannot set up durability in {}: {e}",
+                    dir.display()
+                )
+            })?;
+            state.attach_wal(writer);
+        }
+        states.push(state);
+    }
+    if config.durability.enabled() {
+        let dir = config.wal_dir.as_ref().expect("checked above");
+        wal::write_meta(dir, shards)
+            .map_err(|e| format!("cannot write {}/meta.json: {e}", dir.display()))?;
+    }
+    Ok(states)
 }
 
 /// What `cosched serve` uses when `--workers` is not given: the machine's
@@ -152,20 +262,36 @@ impl Server {
     /// `allow_shutdown` is set). Per-request failures answer
     /// `"ok":false` and keep serving; I/O errors drop the affected
     /// connection and keep accepting.
-    pub fn run(self) -> std::io::Result<()> {
-        if self.config.workers <= 1 {
-            self.run_sequential()
+    ///
+    /// Builds its shard states per the configuration — including recovery
+    /// when [`ServeConfig::restore`] is set, in which case the worker
+    /// count comes from the durability directory, not the config.
+    pub fn run(mut self) -> std::io::Result<()> {
+        let states = build_states(&mut self.config)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        self.run_states(states)
+    }
+
+    /// Serves pre-built shard states — the promotion path of a warm
+    /// [`Standby`] (whose replicas must not be rebuilt from disk: the
+    /// point of the standby is that they are already hot).
+    pub fn run_with_states(mut self, states: Vec<ServeState>) -> std::io::Result<()> {
+        self.config.workers = states.len().max(1);
+        self.run_states(states)
+    }
+
+    fn run_states(self, mut states: Vec<ServeState>) -> std::io::Result<()> {
+        if states.len() <= 1 {
+            let mut state = states.pop().unwrap_or_default();
+            state.allow_shutdown = self.config.allow_shutdown;
+            self.run_sequential(state)
         } else {
-            self.run_sharded()
+            self.run_sharded(states)
         }
     }
 
     /// The single-worker front-end: one state, one connection at a time.
-    fn run_sequential(self) -> std::io::Result<()> {
-        let mut state = ServeState::new();
-        state.default_solver = self.config.default_solver.clone();
-        state.default_seed = self.config.default_seed;
-        state.allow_shutdown = self.config.allow_shutdown;
+    fn run_sequential(self, mut state: ServeState) -> std::io::Result<()> {
         for stream in self.listener.incoming() {
             let stream = stream?;
             // Best effort per connection: a broken pipe ends it, not the
@@ -180,9 +306,9 @@ impl Server {
 
     /// The sharded front-end: a router over per-shard sessions, one
     /// reader/writer thread pair per connection.
-    fn run_sharded(self) -> std::io::Result<()> {
+    fn run_sharded(self, states: Vec<ServeState>) -> std::io::Result<()> {
         let wake = wake_addr(self.listener.local_addr()?);
-        let router = Arc::new(router::Router::new(&self.config));
+        let router = Arc::new(router::Router::new(&self.config, states));
         // Live connections, so shutdown can unblock readers parked in a
         // TCP read (each entry is removed by its own thread on exit).
         let open: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -271,8 +397,13 @@ fn serve_sequential_connection(state: &mut ServeState, stream: TcpStream) -> std
         // (skipping them silently would desynchronise a client that pairs
         // requests with responses, hanging it on a read).
         let mut response = handle_line(state, &line);
+        // Durability contract: the op is on disk before the reply can
+        // reach the client.
+        state.wal_commit();
         response.push('\n');
         writer.write_all(response.as_bytes())?;
+        // Snapshot rotation after the reply — off the latency path.
+        state.wal_maybe_snapshot();
         if state.shutdown_requested() {
             break;
         }

@@ -19,6 +19,7 @@ use coschedule::solver;
 use minijson::Json;
 
 use super::metrics::{metrics_body, ShardReport};
+use super::wal::{WalStats, WalWriter};
 
 /// Protocol state: the session plus serve-level knobs.
 pub struct ServeState {
@@ -36,6 +37,11 @@ pub struct ServeState {
     /// the counter matches the per-shard queue counters of the sharded
     /// server).
     requests: u64,
+    /// Write-ahead log, attached when the server runs with `--durability
+    /// log|fsync`. [`respond`] appends every shard-routed request to it
+    /// *before* dispatching; the transport layer calls
+    /// [`ServeState::wal_commit`] before the reply escapes.
+    wal: Option<WalWriter>,
 }
 
 impl Default for ServeState {
@@ -60,7 +66,58 @@ impl ServeState {
             allow_shutdown: false,
             shutdown_requested: false,
             requests: 0,
+            wal: None,
         }
+    }
+
+    /// State rebuilt by recovery ([`super::wal::recover_shard`]): the
+    /// restored session plus the request counter the crashed server had
+    /// reached at its last snapshot (replaying the WAL tail through
+    /// [`respond`] then advances it exactly as the original ops did).
+    pub fn restore(session: Session, requests: u64) -> Self {
+        let mut state = Self::with_session(session);
+        state.requests = requests;
+        state
+    }
+
+    /// Starts logging every shard-routed op to `writer`. Attached *after*
+    /// any WAL replay, so recovery never re-logs what it replays.
+    pub fn attach_wal(&mut self, writer: WalWriter) {
+        self.wal = Some(writer);
+    }
+
+    /// The group-commit point: makes every op appended since the last
+    /// call durable. Transports call this after handling a line and
+    /// **before** writing the reply — the durability contract is that no
+    /// acknowledged op is ever lost.
+    ///
+    /// # Panics
+    /// On I/O failure. Durability is fail-stop by design: a server that
+    /// cannot log must not keep acknowledging ops it cannot recover.
+    pub fn wal_commit(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            wal.commit().expect("write-ahead log commit failed");
+        }
+    }
+
+    /// Rotates to a fresh snapshot + empty log once enough records have
+    /// accumulated (`--snapshot-every`). Transports call this *after*
+    /// replying, keeping snapshot writes out of the request latency path.
+    ///
+    /// # Panics
+    /// On I/O failure (fail-stop, as for [`Self::wal_commit`]).
+    pub fn wal_maybe_snapshot(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            if wal.should_rotate() {
+                wal.rotate(&self.session, self.requests)
+                    .expect("write-ahead log rotation failed");
+            }
+        }
+    }
+
+    /// This state's durability counters; `None` without an attached WAL.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(WalWriter::stats)
     }
 
     /// `true` once a `shutdown` request has been accepted.
@@ -112,6 +169,15 @@ pub fn respond(state: &mut ServeState, request: &Json) -> Json {
         .and_then(Json::as_str)
         .is_some_and(is_global_op)
     {
+        // Log before dispatch, in the canonical serialization — replaying
+        // the log re-enters here and reproduces the dispatch bit for bit.
+        // Failed ops are logged too: they bump counters and eval stats,
+        // and recovery must reproduce those. Fail-stop on I/O error (see
+        // [`ServeState::wal_commit`]).
+        if let Some(wal) = &mut state.wal {
+            wal.append(&request.to_string())
+                .expect("write-ahead log append failed");
+        }
         // Count what a shard queue would carry; global ops are answered
         // by the router in the sharded server and never reach a shard.
         state.requests += 1;
@@ -158,6 +224,7 @@ fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
                 queue_depth: 0,
                 instances: state.session.len(),
                 stats: state.session.stats(),
+                wal: state.wal_stats(),
             }],
         )),
         "close" => op_close(state, request),

@@ -26,7 +26,6 @@
 //! shard blocks that connection's reader (see
 //! [`QUEUE_CAPACITY`](super::worker::QUEUE_CAPACITY)).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
@@ -53,25 +52,24 @@ pub(super) struct Router {
 }
 
 impl Router {
-    /// Spawns `config.workers` shard workers and the routing state.
-    pub fn new(config: &ServeConfig) -> Router {
-        let shards = config.workers.max(1);
-        let directory: Directory = Arc::new(Mutex::new(HashMap::new()));
-        let workers = (0..shards)
-            .map(|k| {
-                Worker::spawn(
-                    k,
-                    shards,
-                    config.default_solver.clone(),
-                    config.default_seed,
-                    Arc::clone(&directory),
-                )
-            })
+    /// Spawns one shard worker per state and the routing state. The
+    /// states come from [`super::build_states`] — fresh, or recovered
+    /// from a durability directory, in which case the instance directory
+    /// and the round-robin create cursor are rebuilt from them (the
+    /// cursor is the total count of successful creates: the `m`-th create
+    /// landed on shard `m mod n`, so the count *is* the cursor).
+    pub fn new(config: &ServeConfig, states: Vec<super::protocol::ServeState>) -> Router {
+        let (restored_directory, create_cursor) = super::wal::routing_state(&states);
+        let directory: Directory = Arc::new(Mutex::new(restored_directory.into_iter().collect()));
+        let workers = states
+            .into_iter()
+            .enumerate()
+            .map(|(k, state)| Worker::spawn(k, state, Arc::clone(&directory)))
             .collect();
         Router {
             workers,
             directory,
-            create_cursor: Mutex::new(0),
+            create_cursor: Mutex::new(create_cursor),
             shutdown: AtomicBool::new(false),
             allow_shutdown: config.allow_shutdown,
         }
@@ -175,6 +173,7 @@ impl Router {
                         queue_depth: worker.metrics.queue_depth(),
                         instances: snapshot.live,
                         stats: snapshot.stats,
+                        wal: snapshot.wal,
                     })
                     .collect();
                 let body = super::metrics::metrics_body(self.workers.len(), &reports);
@@ -311,6 +310,7 @@ impl Router {
                     live: 0,
                     stats: Default::default(),
                     infos: Vec::new(),
+                    wal: None,
                 })
             })
             .collect()

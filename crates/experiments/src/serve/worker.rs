@@ -19,11 +19,12 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use coschedule::session::{InstanceInfo, Session, SessionStats};
+use coschedule::session::{InstanceInfo, SessionStats};
 use minijson::Json;
 
 use super::metrics::ShardMetrics;
 use super::protocol::{self, ServeState};
+use super::wal::WalStats;
 
 /// Bound of each shard's request queue; a full queue blocks the routing
 /// reader (backpressure) rather than buffering without limit.
@@ -66,6 +67,7 @@ pub(super) struct ShardSnapshot {
     pub live: usize,
     pub stats: SessionStats,
     pub infos: Vec<InstanceInfo>,
+    pub wal: Option<WalStats>,
 }
 
 /// A running shard: its queue sender, its counters, and its thread.
@@ -76,31 +78,18 @@ pub(super) struct Worker {
 }
 
 impl Worker {
-    /// Spawns shard `shard` of `shards`, with its strided session and the
-    /// serve-level defaults.
-    pub fn spawn(
-        shard: usize,
-        shards: usize,
-        default_solver: String,
-        default_seed: u64,
-        directory: Directory,
-    ) -> Worker {
+    /// Spawns shard `shard` around a pre-built state — fresh (a strided
+    /// session plus the serve defaults), or recovered from a durability
+    /// directory, possibly with a WAL attached. The worker's queue
+    /// counters resume at the state's request count, so the `metrics` op's
+    /// per-shard totals continue seamlessly across a restore.
+    pub fn spawn(shard: usize, state: ServeState, directory: Directory) -> Worker {
         let (tx, rx) = std::sync::mpsc::sync_channel(QUEUE_CAPACITY);
-        let metrics = Arc::new(ShardMetrics::default());
+        let metrics = Arc::new(ShardMetrics::with_base(state.requests()));
         let worker_metrics = Arc::clone(&metrics);
         let handle = std::thread::Builder::new()
             .name(format!("cosched-shard-{shard}"))
-            .spawn(move || {
-                run(
-                    shard,
-                    shards,
-                    default_solver,
-                    default_seed,
-                    directory,
-                    rx,
-                    &worker_metrics,
-                )
-            })
+            .spawn(move || run(state, directory, rx, &worker_metrics))
             .expect("spawn shard worker");
         Worker {
             tx,
@@ -118,17 +107,11 @@ impl Worker {
 }
 
 fn run(
-    shard: usize,
-    shards: usize,
-    default_solver: String,
-    default_seed: u64,
+    mut state: ServeState,
     directory: Directory,
     rx: Receiver<ShardMsg>,
     metrics: &ShardMetrics,
 ) {
-    let mut state = ServeState::with_session(Session::with_id_stride(shard as u64, shards as u64));
-    state.default_solver = default_solver;
-    state.default_seed = default_seed;
     // `shutdown` never reaches a shard (the router intercepts it), so the
     // per-shard flag stays false; `allow_shutdown` is router state.
 
@@ -136,6 +119,9 @@ fn run(
         match msg {
             ShardMsg::Apply { request, seq, out } => {
                 let response = protocol::respond(&mut state, &request);
+                // Durability contract: the op is on disk before the reply
+                // can reach the client.
+                state.wal_commit();
                 // Unregister a closed instance before the client can see
                 // the response (a stale entry would still be answered
                 // correctly — the session rejects the dead id — but the
@@ -149,9 +135,13 @@ fn run(
                 // shard keeps serving everyone else.
                 let _ = out.send((seq, response.to_string()));
                 metrics.record_completed();
+                // Snapshot rotation happens after the reply is on its way
+                // — off the request latency path.
+                state.wal_maybe_snapshot();
             }
             ShardMsg::Create { request, done } => {
                 let response = protocol::respond(&mut state, &request);
+                state.wal_commit();
                 let created = if is_ok(&response) {
                     response.get("id").and_then(Json::as_u64)
                 } else {
@@ -159,6 +149,7 @@ fn run(
                 };
                 let _ = done.send((response.to_string(), created));
                 metrics.record_completed();
+                state.wal_maybe_snapshot();
             }
             ShardMsg::Snapshot { done } => {
                 // Not a routed request: no completed tick (the router did
@@ -167,6 +158,7 @@ fn run(
                     live: state.session().len(),
                     stats: state.session().stats(),
                     infos: state.session().list(),
+                    wal: state.wal_stats(),
                 });
             }
         }

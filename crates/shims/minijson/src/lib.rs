@@ -130,6 +130,21 @@ impl Json {
         self.as_u64().and_then(|n| usize::try_from(n).ok())
     }
 
+    /// The numeric payload as an exact signed integer (`None` if the value
+    /// is not a number, has a fractional part, or lies outside the
+    /// f64-exact window `±2^53`). The signed counterpart of
+    /// [`Self::as_u64`] — what the tuner's signature buckets need, whose
+    /// `⌊log2⌋` classes are negative for sub-unit quantities (and
+    /// `i32::MIN` for the degenerate bucket).
+    pub fn as_i64(&self) -> Option<i64> {
+        let n = self.as_f64()?;
+        if n.is_finite() && n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+            Some(n as i64)
+        } else {
+            None
+        }
+    }
+
     /// The boolean payload, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -188,6 +203,18 @@ impl From<u64> for Json {
 impl From<usize> for Json {
     fn from(n: usize) -> Self {
         Json::Num(n as f64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<i32> for Json {
+    fn from(n: i32) -> Self {
+        Json::Num(f64::from(n))
     }
 }
 
@@ -638,6 +665,20 @@ mod tests {
         assert_eq!(Json::Num(2f64.powi(60)).as_u64(), None);
         assert_eq!(Json::Num(3.0).as_usize(), Some(3));
         assert_eq!(Json::Str("3".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn signed_integer_accessor_is_exact() {
+        assert_eq!(Json::Num(-7.0).as_i64(), Some(-7));
+        assert_eq!(Json::Num(7.0).as_i64(), Some(7));
+        assert_eq!(Json::Num(-7.5).as_i64(), None);
+        assert_eq!(Json::Num(-(2f64.powi(60))).as_i64(), None);
+        assert_eq!(Json::Str("-3".into()).as_i64(), None);
+        // i32::MIN (the tuner's degenerate log2 bucket) survives the wire.
+        let v = Json::from(i32::MIN);
+        let back = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(back.as_i64(), Some(i64::from(i32::MIN)));
+        assert_eq!(Json::from(-42i64).to_string(), "-42");
     }
 
     #[test]

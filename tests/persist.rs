@@ -1,0 +1,279 @@
+//! Property tests for the durability layer: session snapshots must
+//! round-trip through `minijson` exactly (bit-exact floats, full-width
+//! `u64` seeds, tuner history), and the WAL's length-delimited framing
+//! must survive arbitrary payloads and torn tails.
+//!
+//! These drive a real [`Session`] through randomized op sequences —
+//! creates, mutations, solves (including the learning `"auto"` tuner and
+//! the memo tier) — then check `snapshot ∘ restore ∘ snapshot` is the
+//! identity and that the restored session *behaves* identically on the
+//! next request.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use coschedule::persist::{restore_session_str, snapshot_session_string};
+use coschedule::session::{InstanceId, Session};
+use experiments::serve::wal::{read_wal_records, Durability, WalWriter};
+use minijson::Json;
+use proptest::prelude::*;
+
+/// Solver names exercised by the random traces; `"auto"` makes the tuner
+/// history part of every round-trip, the rest exercise the memo tier.
+const SOLVERS: [&str; 6] = [
+    "auto",
+    "DominantMinRatio",
+    "DominantRefined",
+    "Fair",
+    "RandomPart",
+    "AllProcCache",
+];
+
+/// One randomized session op: `(opcode, a, b)` interpreted by
+/// [`build_session`]. Kept as plain integers so the strategy stays a
+/// simple tuple and failures print reproducibly.
+fn op_strategy() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+    prop::collection::vec((0u8..7, 0u64..=u64::MAX, 0u64..=u64::MAX), 1..25)
+}
+
+/// Drives a fresh session through `ops`. Every op is made valid by
+/// construction (ids come from `list()`, indices are reduced mod the
+/// current length), so the trace exercises state, not error paths.
+fn build_session(ops: &[(u8, u64, u64)]) -> Session {
+    let mut session = Session::new();
+    let mut created = 0usize;
+    for &(code, a, b) in ops {
+        let live: Vec<InstanceId> = session.list().iter().map(|i| i.id).collect();
+        if live.is_empty() || code == 0 {
+            let mut apps = workloads::npb::npb6(&[0.05]);
+            for app in &mut apps {
+                app.work *= 1.0 + 0.01 * created as f64;
+            }
+            session
+                .create(apps, coschedule::model::Platform::taihulight())
+                .expect("create");
+            created += 1;
+            continue;
+        }
+        let id = live[(a % live.len() as u64) as usize];
+        match code {
+            1 | 2 => {
+                let solver = SOLVERS[(b % SOLVERS.len() as u64) as usize];
+                session.resolve_by_name(id, solver, b).expect("solve");
+                if code == 2 {
+                    // Same (revision, solver, seed): the memo tier (or, for
+                    // `"auto"`, a second learning observation) answers.
+                    session.resolve_by_name(id, solver, b).expect("re-solve");
+                }
+            }
+            3 => {
+                let mut handle = session.handle(id).expect("handle");
+                let index = (a % handle.len() as u64) as usize;
+                let mut app = workloads::npb::npb6(&[0.05]).swap_remove(0);
+                app.work *= 1.0 + 1e-14 * (b % 1024) as f64;
+                handle.update_app(index, app).expect("update_app");
+            }
+            4 => {
+                let mut app = workloads::npb::npb6(&[0.05]).swap_remove(1);
+                app.work *= 1.0 + 1e-14 * (b % 1024) as f64;
+                session
+                    .handle(id)
+                    .expect("handle")
+                    .add_app(app)
+                    .expect("add_app");
+            }
+            5 => {
+                let mut handle = session.handle(id).expect("handle");
+                if handle.len() > 1 {
+                    let index = (a % handle.len() as u64) as usize;
+                    handle.remove_app(index).expect("remove_app");
+                }
+            }
+            _ => session.close(id).expect("close"),
+        }
+    }
+    session
+}
+
+/// A fresh per-case scratch directory under the system temp dir.
+fn scratch_dir() -> std::path::PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cosched-persist-prop-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn snapshot_restore_snapshot_is_the_identity(ops in op_strategy()) {
+        let session = build_session(&ops);
+        let first = snapshot_session_string(&session);
+        let restored = match restore_session_str(&first) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::Fail(format!("restore failed: {e}"))),
+        };
+        let second = snapshot_session_string(&restored);
+        prop_assert_eq!(first, second, "snapshot drifted through a restore");
+    }
+
+    #[test]
+    fn restored_sessions_answer_the_next_solve_identically(
+        ops in op_strategy(),
+        pick in 0u64..=u64::MAX,
+        seed in 0u64..=u64::MAX,
+        which in 0u64..=u64::MAX,
+    ) {
+        let mut original = build_session(&ops);
+        let mut restored =
+            restore_session_str(&snapshot_session_string(&original)).expect("restore");
+        let live: Vec<InstanceId> = original.list().iter().map(|i| i.id).collect();
+        prop_assume!(!live.is_empty());
+        let id = live[(pick % live.len() as u64) as usize];
+        let solver = SOLVERS[(which % SOLVERS.len() as u64) as usize];
+        let a = original.resolve_by_name(id, solver, seed).expect("solve original");
+        let b = restored.resolve_by_name(id, solver, seed).expect("solve restored");
+        prop_assert_eq!(
+            a.makespan.to_bits(),
+            b.makespan.to_bits(),
+            "restored session solved {} differently", solver
+        );
+        // And both sessions' *post-solve* snapshots still agree — stats,
+        // memo, warm flags, and tuner learning all advanced in lock-step.
+        prop_assert_eq!(
+            snapshot_session_string(&original),
+            snapshot_session_string(&restored)
+        );
+    }
+
+    #[test]
+    fn finite_floats_round_trip_through_minijson_bit_exactly(bits in 0u64..=u64::MAX) {
+        let x = f64::from_bits(bits);
+        prop_assume!(x.is_finite());
+        let printed = Json::from(x).to_string();
+        let back = Json::parse(&printed)
+            .expect("printed float must re-parse")
+            .as_f64()
+            .expect("a float must parse as a number");
+        prop_assert_eq!(
+            back.to_bits(), x.to_bits(),
+            "{} printed as {} but re-read as {}", x, printed, back
+        );
+    }
+
+    #[test]
+    fn exact_window_integers_round_trip_through_as_i64(
+        n in -(1i64 << 53)..=(1i64 << 53),
+        wide in 0u64..=u64::MAX,
+    ) {
+        // `as_i64`'s documented contract: exact within ±2^53 (the f64-exact
+        // window — all the codec needs for the tuner's log2 buckets), `None`
+        // beyond it rather than a silently rounded value.
+        let printed = Json::from(n).to_string();
+        let back = Json::parse(&printed).expect("re-parse").as_i64();
+        prop_assert_eq!(back, Some(n), "{} printed as {}", n, printed);
+        let outside = 2f64.powi(53) * (2.0 + (wide % 1000) as f64);
+        prop_assert_eq!(Json::Num(outside).as_i64(), None);
+        prop_assert_eq!(Json::Num(-outside).as_i64(), None);
+    }
+
+    #[test]
+    fn full_width_seeds_survive_the_decimal_string_codec(seed in 0u64..=u64::MAX) {
+        // Seeds are stored as decimal strings (a JSON number only holds 53
+        // bits exactly); the codec is plain format/parse.
+        let doc = Json::obj([("seed", Json::from(seed.to_string()))]);
+        let text = doc.to_string();
+        let read: u64 = Json::parse(&text)
+            .expect("re-parse")
+            .get("seed")
+            .and_then(Json::as_str)
+            .expect("seed is a string")
+            .parse()
+            .expect("seed string is decimal");
+        prop_assert_eq!(read, seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn wal_records_round_trip_whatever_the_payload(
+        payloads in prop::collection::vec(
+            prop::collection::vec(0u32..0x11_0000, 0..40).prop_map(|points| {
+                points
+                    .into_iter()
+                    .filter_map(char::from_u32) // skips the surrogate gap
+                    .collect::<String>()
+            }),
+            1..12,
+        ),
+    ) {
+        let dir = scratch_dir();
+        let session = Session::new();
+        let mut writer = WalWriter::create(
+            &dir, 0, 1, Durability::Log, 1 << 32, 0, &session, 0, 0,
+        )
+        .expect("create writer");
+        for payload in &payloads {
+            writer.append(payload).expect("append");
+        }
+        writer.commit().expect("commit");
+        drop(writer);
+        let read = read_wal_records(&dir.join("shard-0.wal.0.log")).expect("read");
+        let ok = read == payloads;
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert!(ok, "framing corrupted a payload");
+    }
+
+    #[test]
+    fn torn_tails_drop_only_complete_trailing_records(
+        payloads in prop::collection::vec(
+            prop::collection::vec(32u32..127, 0..30)
+                .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect::<String>()),
+            1..10,
+        ),
+        cut_point in 0u64..=u64::MAX,
+    ) {
+        let dir = scratch_dir();
+        let session = Session::new();
+        let mut writer = WalWriter::create(
+            &dir, 0, 1, Durability::Log, 1 << 32, 0, &session, 0, 0,
+        )
+        .expect("create writer");
+        for payload in &payloads {
+            writer.append(payload).expect("append");
+        }
+        writer.commit().expect("commit");
+        drop(writer);
+
+        let path = dir.join("shard-0.wal.0.log");
+        let bytes = std::fs::read(&path).expect("read back");
+        // Truncate somewhere after the magic: every complete frame before
+        // the cut must survive, everything at or after it must vanish.
+        let cut = 8 + (cut_point % (bytes.len() as u64 - 7)) as usize;
+        std::fs::write(&path, &bytes[..cut]).expect("write torn file");
+
+        let mut expected = Vec::new();
+        let mut end = 8usize;
+        for payload in &payloads {
+            end += 8 + payload.len();
+            if end > cut {
+                break;
+            }
+            expected.push(payload.clone());
+        }
+        let read = read_wal_records(&path).expect("torn read is not an error");
+        let ok = read == expected;
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(
+            read.len(), expected.len(),
+            "cut at {} of {} kept the wrong records", cut, bytes.len()
+        );
+        prop_assert!(ok, "a surviving record was altered by the tear");
+    }
+}

@@ -10,80 +10,11 @@
 //! solves — so whatever the cross-client interleaving, each instance's
 //! responses are a pure function of its own subtrace.
 
-use experiments::serve::{app_to_json, client_exchange, pipelined_exchange, Server};
+mod common;
+
+use common::{create_request, shutdown, spawn_server, subtrace};
+use experiments::serve::{client_exchange, pipelined_exchange};
 use minijson::Json;
-
-fn spawn_server(workers: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
-    let mut server = Server::bind("127.0.0.1:0").expect("bind 127.0.0.1:0");
-    server.config_mut().allow_shutdown = true;
-    server.config_mut().workers = workers;
-    let addr = server.local_addr().unwrap();
-    let handle = std::thread::spawn(move || server.run().expect("server run"));
-    (addr, handle)
-}
-
-fn shutdown(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
-    client_exchange(addr, &[r#"{"op":"shutdown"}"#.to_string()]).expect("shutdown");
-    handle.join().expect("server thread");
-}
-
-/// Client `k`'s create request: NPB-6 with the work vector perturbed per
-/// client, so the instances (and their makespans) are all distinct.
-fn create_request(k: usize) -> String {
-    let mut apps = workloads::npb::npb6(&[0.05]);
-    for app in &mut apps {
-        app.work *= 1.0 + 0.01 * k as f64;
-    }
-    Json::obj([
-        ("op", Json::from("create")),
-        ("apps", Json::arr(apps.iter().map(app_to_json))),
-    ])
-    .to_string()
-}
-
-/// Client `k`'s post-create subtrace against its own instance `id`:
-/// update/add/remove mutations interleaved with solves (different
-/// solvers and seeds per client, memo and error cases included).
-fn subtrace(k: usize, id: u64) -> Vec<String> {
-    let solvers = [
-        "DominantMinRatio",
-        "DominantRefined",
-        "Fair",
-        "RandomPart",
-        "DominantRevMaxRatio",
-        "AllProcCache",
-    ];
-    let solver = solvers[k % solvers.len()];
-    let mut lines = Vec::new();
-    for round in 0..3u64 {
-        // A real profile change every round (never a memoizable repeat).
-        lines.push(format!(
-            r#"{{"op":"update_app","id":{id},"index":{index},"app":{{"name":"W{k}r{round}","work":{work},"seq_fraction":0.04,"access_freq":0.61,"miss_rate_ref":4.2e-3}}}}"#,
-            index = round % 3,
-            work = 3.1e10 * (1.0 + 0.003 * (k as f64 + 1.0) * (round as f64 + 1.0)),
-        ));
-        lines.push(format!(
-            r#"{{"op":"solve","id":{id},"solver":"{solver}","seed":{seed},"schedule":{schedule}}}"#,
-            seed = 40 + round,
-            schedule = round % 2 == 0,
-        ));
-    }
-    lines.push(format!(
-        r#"{{"op":"mutate","id":{id},"action":"add_app","app":{{"name":"late{k}","work":2.2e10,"seq_fraction":0.03,"access_freq":0.55,"miss_rate_ref":1.3e-3}}}}"#
-    ));
-    // An error mid-trace: out-of-range index (the response echoes the id
-    // and must replay identically).
-    lines.push(format!(r#"{{"op":"remove_app","id":{id},"index":99}}"#));
-    lines.push(format!(r#"{{"op":"remove_app","id":{id},"index":1}}"#));
-    lines.push(format!(
-        r#"{{"op":"solve","id":{id},"solver":"{solver}","seed":77}}"#
-    ));
-    // Same revision, solver, seed: the memo tier must answer.
-    lines.push(format!(
-        r#"{{"op":"solve","id":{id},"solver":"{solver}","seed":77}}"#
-    ));
-    lines
-}
 
 #[test]
 fn concurrent_clients_match_a_single_worker_replay_byte_for_byte() {
@@ -168,7 +99,8 @@ fn sharded_shutdown_completes_while_other_connections_sit_idle() {
     client_exchange(addr, &[r#"{"op":"shutdown"}"#.to_string()]).expect("shutdown");
     server
         .join()
-        .expect("server must exit despite the idle client");
+        .expect("server must exit despite the idle client")
+        .expect("server run result");
     drop(idle);
 }
 

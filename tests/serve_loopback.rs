@@ -7,22 +7,11 @@
 //! sharded server (`workers = 4`) must answer every non-`metrics` request
 //! with the same bytes as the single-worker server.
 
-use experiments::serve::{client_exchange, pipelined_exchange, smoke_script, Server};
-use minijson::Json;
+mod common;
 
-fn run_script(workers: usize, script: &[String]) -> Vec<String> {
-    let mut server = Server::bind("127.0.0.1:0").expect("bind 127.0.0.1:0");
-    server.config_mut().allow_shutdown = true;
-    server.config_mut().workers = workers;
-    let addr = server.local_addr().unwrap();
-    let handle = std::thread::spawn(move || server.run());
-    let responses = client_exchange(addr, script).expect("loopback exchange");
-    handle
-        .join()
-        .expect("server thread")
-        .expect("server run result");
-    responses
-}
+use common::run_script;
+use experiments::serve::{pipelined_exchange, smoke_script, Server};
+use minijson::Json;
 
 #[test]
 fn loopback_round_trip_is_ok_and_deterministic() {
