@@ -1,10 +1,15 @@
 //! Serve front-end throughput: requests/sec at workers ∈ {1, 4} and
-//! concurrent clients ∈ {1, 8}, over a fixed NPB-6 mutate/solve trace.
+//! concurrent clients ∈ {1, 8}, plus a **connections-vs-throughput
+//! curve** — clients ∈ {1, 8, 64, 256, 1000} against the
+//! thread-per-connection front-end (`--reactor off`) and the epoll
+//! reactor (`--reactor on`) at `workers = 4`.
 //!
 //! Each client models an interactive tenant of the service: it creates
-//! its own NPB-6 instance, then lock-steps `ROUNDS` × (update_app →
+//! its own NPB-6 instance, then lock-steps rounds × (update_app →
 //! solve) requests with a small think time between them. The measured
-//! quantity is aggregate requests/sec from first spawn to last join.
+//! quantity is aggregate requests/sec from first spawn to last join; the
+//! per-client round count scales down as the fleet grows so every cell
+//! issues a comparable total request volume.
 //!
 //! What the matrix shows:
 //!
@@ -12,30 +17,45 @@
 //!   blocking accept loop, one session) — with 8 clients, seven of them
 //!   are parked in the TCP backlog while the eighth is served, so the
 //!   aggregate rate stays a single client's rate;
-//! * `workers = 4` is the **sharded server**: connections are served
-//!   concurrently (per-connection reader/writer threads) and instances
-//!   pin round-robin across four sessions, so the clients' think times
-//!   and round trips overlap and the aggregate rate scales until the
-//!   shards (or the machine's cores) saturate.
+//! * `workers = 4, reactor off` is the **threaded sharded server**: one
+//!   reader + one writer OS thread per connection — 2 N threads at N
+//!   connections, and the scheduler pays for every one of them;
+//! * `workers = 4, reactor on` is the **event-loop server**: one reactor
+//!   thread per shard owns all of its connections via `epoll`, so the
+//!   thread count stays 4 + 4 no matter how many clients connect.
 //!
 //! Results are recorded in `BENCH_serve.json` at the repository root.
 //! Not a criterion target: the unit of measurement is a whole
 //! multi-threaded client fleet, so the harness is a plain `main` (still
 //! compiled by `cargo bench --no-run` in CI).
 
-use experiments::serve::{app_to_json, client_exchange, Server};
+use experiments::serve::{
+    app_to_json, client_exchange, connect_with_retries, ReactorMode, Server, DEFAULT_CLIENT_RETRIES,
+};
 use minijson::Json;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-/// (update_app → solve) rounds per client.
+/// Maximum (update_app → solve) rounds per client (small fleets).
 const ROUNDS: usize = 300;
+/// Target total requests per cell; per-client rounds scale to meet it.
+const TARGET_REQUESTS: usize = 6000;
 /// Interactive think time between a response and the next request.
 const THINK: Duration = Duration::from_micros(100);
 /// Timed repetitions per configuration (the best is what counts: the
-/// others absorb scheduler warm-up noise).
+/// others absorb scheduler warm-up noise). The curve cells run two more
+/// reps: they compare two front-ends point by point, so per-cell noise
+/// matters more than in the coarse matrix.
 const REPS: usize = 3;
+const CURVE_REPS: usize = 5;
+/// The fan-in sweep of the connections-vs-throughput curve.
+const CURVE_CLIENTS: [usize; 5] = [1, 8, 64, 256, 1000];
+
+/// Rounds per client so a cell issues ~`TARGET_REQUESTS` requests in
+/// total regardless of fleet size (each round is two requests).
+fn rounds_for(clients: usize) -> usize {
+    (TARGET_REQUESTS / (2 * clients)).clamp(1, ROUNDS)
+}
 
 fn create_request(k: usize) -> String {
     let mut apps = workloads::npb::npb6(&[0.05]);
@@ -51,8 +71,10 @@ fn create_request(k: usize) -> String {
 
 /// One client's run: create, then the fixed mutate/solve trace,
 /// lock-step over a single connection. Returns its request count.
-fn run_client(addr: std::net::SocketAddr, k: usize) -> usize {
-    let stream = TcpStream::connect(addr).expect("connect");
+fn run_client(addr: std::net::SocketAddr, k: usize, rounds: usize) -> usize {
+    // The listener backlog is finite; a 1000-client connect storm needs
+    // the bounded-backoff retry the real clients use.
+    let stream = connect_with_retries(addr, DEFAULT_CLIENT_RETRIES).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
     let mut writer = stream.try_clone().expect("clone stream");
     let mut reader = BufReader::new(stream);
@@ -77,7 +99,7 @@ fn run_client(addr: std::net::SocketAddr, k: usize) -> usize {
         .and_then(Json::as_u64)
         .expect("created id");
     let mut requests = 1;
-    for round in 0..ROUNDS {
+    for round in 0..rounds {
         std::thread::sleep(THINK);
         exchange(&format!(
             r#"{{"op":"update_app","id":{id},"index":0,"app":{{"name":"W{k}","work":{work},"seq_fraction":0.04,"access_freq":0.61,"miss_rate_ref":4.2e-3}}}}"#,
@@ -93,27 +115,47 @@ fn run_client(addr: std::net::SocketAddr, k: usize) -> usize {
     requests
 }
 
-/// Runs one (workers, clients) cell and returns the best requests/sec
-/// over `REPS` repetitions.
-fn run_config(workers: usize, clients: usize) -> f64 {
+/// Runs one (workers, reactor, clients) cell and returns the best
+/// requests/sec over `reps` repetitions.
+fn run_config(workers: usize, reactor: ReactorMode, clients: usize, reps: usize) -> f64 {
+    let rounds = rounds_for(clients);
     let mut best = 0.0f64;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let mut server = Server::bind("127.0.0.1:0").expect("bind");
         server.config_mut().allow_shutdown = true;
         server.config_mut().workers = workers;
+        server.config_mut().reactor = reactor;
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().expect("server run"));
 
         let started = Instant::now();
         let total: usize = std::thread::scope(|scope| {
             let fleet: Vec<_> = (0..clients)
-                .map(|k| scope.spawn(move || run_client(addr, k)))
+                .map(|k| {
+                    // Soften the connect storm a little at high fan-in so
+                    // the accept loop is not the thing being measured.
+                    if clients > 64 && k % 64 == 63 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    scope.spawn(move || run_client(addr, k, rounds))
+                })
                 .collect();
             fleet.into_iter().map(|c| c.join().expect("client")).sum()
         });
         let elapsed = started.elapsed();
 
-        client_exchange(addr, &[r#"{"op":"shutdown"}"#.to_string()]).expect("shutdown");
+        // Best-effort shutdown with a retry: the ack can race the
+        // server's teardown of the control connection (the request was
+        // still acted on), so an EOF here only means "try again unless
+        // the server already exited".
+        for _ in 0..100 {
+            if client_exchange(addr, &[r#"{"op":"shutdown"}"#.to_string()]).is_ok()
+                || handle.is_finished()
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
         handle.join().expect("server thread");
         best = best.max(total as f64 / elapsed.as_secs_f64());
     }
@@ -122,13 +164,16 @@ fn run_config(workers: usize, clients: usize) -> f64 {
 
 fn main() {
     println!(
-        "# serve_throughput: {ROUNDS} x (update_app + solve) per client, NPB-6, \
-         DominantMinRatio, {THINK:?} think time, best of {REPS}"
+        "# serve_throughput: (update_app + solve) rounds per client (scaled to \
+         ~{TARGET_REQUESTS} requests/cell), NPB-6, DominantMinRatio, {THINK:?} think time, \
+         best of {REPS}"
     );
+    // The historical workers × clients matrix; workers=4 runs the
+    // threaded front-end these numbers were first recorded against.
     let mut single_worker_at_8 = 0.0;
-    for workers in [1usize, 4] {
+    for (workers, reactor) in [(1usize, ReactorMode::Auto), (4, ReactorMode::Off)] {
         for clients in [1usize, 8] {
-            let rate = run_config(workers, clients);
+            let rate = run_config(workers, reactor, clients, REPS);
             println!("serve_throughput/workers={workers}/clients={clients}: {rate:>10.0} req/s");
             if workers == 1 && clients == 8 {
                 single_worker_at_8 = rate;
@@ -140,5 +185,18 @@ fn main() {
                 );
             }
         }
+    }
+
+    // The connections-vs-throughput curve: threaded vs reactor at
+    // workers=4 across the fan-in sweep.
+    println!("# connections-vs-throughput curve (workers=4):");
+    for clients in CURVE_CLIENTS {
+        let threaded = run_config(4, ReactorMode::Off, clients, CURVE_REPS);
+        let reactor = run_config(4, ReactorMode::On, clients, CURVE_REPS);
+        println!(
+            "serve_curve/clients={clients}: threaded {threaded:>10.0} req/s | reactor \
+             {reactor:>10.0} req/s ({:+.1}%)",
+            (reactor / threaded - 1.0) * 100.0
+        );
     }
 }

@@ -11,15 +11,19 @@
 //!
 //! cosched serve --addr 127.0.0.1:7878       # line-delimited JSON over TCP
 //! cosched serve --workers 4                 # shard instances over 4 sessions
+//! cosched serve --reactor on|off|auto       # event-loop vs threaded front-end
 //! cosched serve --smoke [--workers N] [--strategy NAME]  # loopback test
+//! cosched serve --smoke-fanin [--connections N]  # 300-connection fan-in test
 //! cosched serve --durability log --wal-dir DIR   # snapshot + write-ahead log
 //! cosched serve --restore DIR               # recover a crashed server
 //! cosched serve --smoke-recover             # kill -9 + restore self-test
 //! cosched standby --dir DIR [--promote ADDR]  # warm replica tailing a primary
+//! cosched standby --promote ADDR --primary ADDR --probe-fails 3  # auto-failover
 //! cosched client --addr 127.0.0.1:7878 --send '{"op":"list"}'
 //! cosched client --addr 127.0.0.1:7878      # requests from stdin
 //! cosched client --requests trace.jsonl     # replay a file, pipelined
 //! cosched client --requests trace.jsonl --batch  # …as one batch op
+//! cosched client --frame binary             # length-prefixed frame codec
 //! cosched client --retries N                # backoff on refused connects
 //!
 //! cosched tune [--solves N] [--seed S]      # replay a workload, print the
@@ -48,9 +52,10 @@ use coschedule::model::Platform;
 use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 use experiments::appcsv::parse_applications;
 use experiments::serve::{
-    available_workers, client_exchange, client_exchange_with_retries,
-    pipelined_exchange_with_retries, smoke_script, smoke_script_for, wal, Durability, Server,
-    Standby, DEFAULT_CLIENT_RETRIES,
+    available_workers, client_exchange, client_exchange_framed_with_retries,
+    client_exchange_with_retries, connect_with_retries, pipelined_exchange_framed_with_retries,
+    smoke_script, smoke_script_for, wal, Durability, FrameMode, ReactorMode, Server, Standby,
+    DEFAULT_CLIENT_RETRIES,
 };
 use std::io::BufRead;
 use std::path::PathBuf;
@@ -292,13 +297,14 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: cosched <apps.csv | --demo | --list-strategies> [--procs N] [--cache-gb G] \
          [--ways W] [--seed S] [--strategy NAME] [--eval-stats]\n\
-         \x20      cosched serve [--addr HOST:PORT] [--workers N] [--strategy NAME] \
-         [--allow-shutdown] [--durability none|log|fsync] [--wal-dir DIR] [--restore DIR] \
-         [--snapshot-every N] [--smoke] [--smoke-recover]\n\
+         \x20      cosched serve [--addr HOST:PORT] [--workers N] [--reactor on|off|auto] \
+         [--strategy NAME] [--allow-shutdown] [--durability none|log|fsync] [--wal-dir DIR] \
+         [--restore DIR] [--snapshot-every N] [--smoke] [--smoke-recover] \
+         [--smoke-fanin [--connections N]]\n\
          \x20      cosched standby --dir DIR [--interval-ms N] [--once] [--promote HOST:PORT] \
-         [--strategy NAME]\n\
+         [--primary HOST:PORT --probe-fails N] [--strategy NAME]\n\
          \x20      cosched client [--addr HOST:PORT] [--send JSON]... [--requests FILE] \
-         [--batch] [--retries N]\n\
+         [--batch] [--retries N] [--frame json|binary]\n\
          \x20      cosched tune [--solves N] [--seed S] [--smoke]\n\
          strategies: {}",
         solver::names().join(", ")
@@ -320,12 +326,15 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     let mut allow_shutdown = false;
     let mut smoke = false;
     let mut smoke_recover = false;
+    let mut smoke_fanin = false;
+    let mut connections = 300usize;
     let mut workers: Option<usize> = None;
     let mut strategy: Option<String> = None;
     let mut durability: Option<Durability> = None;
     let mut wal_dir: Option<PathBuf> = None;
     let mut restore = false;
     let mut snapshot_every: Option<u64> = None;
+    let mut reactor = ReactorMode::Auto;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -336,6 +345,11 @@ fn serve_main(args: Vec<String>) -> ExitCode {
             "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => workers = Some(n),
                 _ => return usage("--workers expects an integer >= 1"),
+            },
+            "--reactor" => match iter.next().map(|v| v.parse()) {
+                Some(Ok(mode)) => reactor = mode,
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--reactor expects on, off, or auto"),
             },
             "--strategy" => match iter.next() {
                 // Validated through the registry now, so a typo fails at
@@ -349,6 +363,11 @@ fn serve_main(args: Vec<String>) -> ExitCode {
             "--allow-shutdown" => allow_shutdown = true,
             "--smoke" => smoke = true,
             "--smoke-recover" => smoke_recover = true,
+            "--smoke-fanin" => smoke_fanin = true,
+            "--connections" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => connections = n,
+                _ => return usage("--connections expects an integer >= 1"),
+            },
             "--durability" => match iter.next().map(|v| v.parse()) {
                 Some(Ok(level)) => durability = Some(level),
                 Some(Err(e)) => return usage(&e),
@@ -375,6 +394,9 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     if smoke_recover {
         return serve_smoke_recover(workers.unwrap_or(4), strategy.as_deref());
     }
+    if smoke_fanin {
+        return serve_smoke_fanin(workers.unwrap_or(4), reactor, connections);
+    }
     if smoke {
         addr = "127.0.0.1:0".to_string();
         allow_shutdown = true;
@@ -396,6 +418,7 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     };
     server.config_mut().allow_shutdown = allow_shutdown;
     server.config_mut().workers = workers;
+    server.config_mut().reactor = reactor;
     server.config_mut().durability = durability;
     server.config_mut().wal_dir = wal_dir.clone();
     server.config_mut().restore = restore;
@@ -711,6 +734,121 @@ fn serve_smoke_recover(workers: usize, strategy: Option<&str>) -> ExitCode {
     }
 }
 
+/// `cosched serve --smoke-fanin`: the high-fan-in self-test. Binds a
+/// loopback server, opens `connections` mostly-idle client connections
+/// (every 16th also runs a real request/response round trip, proving the
+/// server stays responsive while the fan-in grows), then asserts via
+/// `metrics` that every connection is registered **concurrently** — the
+/// per-shard `open_connections` gauges must sum to at least the fan-in.
+/// A thread-per-connection front-end would need one OS thread per socket
+/// here; the reactor serves them all on `workers` threads.
+fn serve_smoke_fanin(workers: usize, reactor: ReactorMode, connections: usize) -> ExitCode {
+    use std::io::{BufRead as _, BufReader, Write as _};
+
+    let mut server = match Server::bind("127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smoke-fanin: cannot bind 127.0.0.1:0: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    server.config_mut().allow_shutdown = true;
+    server.config_mut().workers = workers;
+    server.config_mut().reactor = reactor;
+    let addr = server.local_addr().expect("bound listener has an address");
+    let handle = std::thread::spawn(move || server.run());
+    println!(
+        "# smoke-fanin: {connections} connections against {addr} \
+         ({workers} workers, reactor {reactor})"
+    );
+
+    let result = (|| -> Result<(), String> {
+        let mut idle = Vec::with_capacity(connections);
+        for k in 0..connections {
+            // The listener backlog is finite; retry with backoff instead
+            // of assuming every connect lands on the first try.
+            let stream = connect_with_retries(addr, DEFAULT_CLIENT_RETRIES)
+                .map_err(|e| format!("connect #{k} failed: {e}"))?;
+            if k % 16 == 0 {
+                (&stream)
+                    .write_all(b"{\"op\":\"list\"}\n")
+                    .map_err(|e| format!("write on #{k}: {e}"))?;
+                let mut line = String::new();
+                BufReader::new(&stream)
+                    .read_line(&mut line)
+                    .map_err(|e| format!("read on #{k}: {e}"))?;
+                let ok = minijson::Json::parse(&line)
+                    .ok()
+                    .and_then(|v| v.get("ok").and_then(minijson::Json::as_bool))
+                    .unwrap_or(false);
+                if !ok {
+                    return Err(format!("list on #{k} answered {line:?}"));
+                }
+            }
+            idle.push(stream);
+        }
+
+        // One extra control connection reads the gauges while every idle
+        // connection is still open.
+        let metrics = client_exchange(addr, &[r#"{"op":"metrics"}"#.to_string()])
+            .map_err(|e| format!("metrics exchange failed: {e}"))?;
+        let v = minijson::Json::parse(&metrics[0])
+            .map_err(|e| format!("unparseable metrics: {e} in {}", metrics[0]))?;
+        let shards = v
+            .get("shards")
+            .and_then(minijson::Json::as_array)
+            .ok_or_else(|| format!("metrics without shards: {}", metrics[0]))?;
+        let gauges: Vec<u64> = shards
+            .iter()
+            .filter_map(|row| row.get("open_connections").and_then(minijson::Json::as_u64))
+            .collect();
+        if gauges.is_empty() {
+            // The threaded / sequential front-ends report no net columns;
+            // the responsiveness checks above still ran.
+            println!(
+                "# smoke-fanin: no reactor gauges (front-end is not the reactor); \
+                 {connections} connections exchanged fine"
+            );
+            return Ok(());
+        }
+        let open: u64 = gauges.iter().sum();
+        println!(
+            "# smoke-fanin: open_connections per shard {gauges:?} (sum {open}, \
+             fan-in {connections})"
+        );
+        if open < connections as u64 {
+            return Err(format!(
+                "only {open} connections registered concurrently, wanted >= {connections}"
+            ));
+        }
+        Ok(())
+    })();
+
+    // Closing the idle sockets happens when `idle` drops inside the
+    // closure; the server then just needs the shutdown line.
+    let shutdown =
+        client_exchange(addr, &[r#"{"op":"shutdown"}"#.to_string()]).map_err(|e| e.to_string());
+    let run = handle.join();
+    match (result, shutdown, run) {
+        (Ok(()), Ok(_), Ok(Ok(()))) => {
+            println!("# smoke-fanin ok: {connections} concurrent connections");
+            ExitCode::SUCCESS
+        }
+        (Err(e), _, _) => {
+            eprintln!("smoke-fanin failed: {e}");
+            ExitCode::FAILURE
+        }
+        (_, Err(e), _) => {
+            eprintln!("smoke-fanin: shutdown failed: {e}");
+            ExitCode::FAILURE
+        }
+        (_, _, run) => {
+            eprintln!("smoke-fanin: server exit: {run:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `cosched standby`: maintain a warm replica by tailing a primary's
 /// durability directory (read-only — safe next to the live primary).
 /// With `--promote ADDR`, a line (or EOF) on stdin triggers promotion:
@@ -721,6 +859,8 @@ fn standby_main(args: Vec<String>) -> ExitCode {
     let mut interval = Duration::from_millis(200);
     let mut once = false;
     let mut promote_addr: Option<String> = None;
+    let mut primary: Option<String> = None;
+    let mut probe_fails: Option<u32> = None;
     let mut strategy: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -738,6 +878,14 @@ fn standby_main(args: Vec<String>) -> ExitCode {
                 Some(a) => promote_addr = Some(a),
                 None => return usage("--promote expects HOST:PORT"),
             },
+            "--primary" => match iter.next() {
+                Some(a) => primary = Some(a),
+                None => return usage("--primary expects HOST:PORT"),
+            },
+            "--probe-fails" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => probe_fails = Some(n),
+                _ => return usage("--probe-fails expects an integer >= 1"),
+            },
             "--strategy" => match iter.next() {
                 Some(name) => match solver::by_name(&name) {
                     Ok(s) => strategy = Some(s.name()),
@@ -751,6 +899,12 @@ fn standby_main(args: Vec<String>) -> ExitCode {
     let Some(dir) = dir else {
         return usage("standby requires --dir");
     };
+    if probe_fails.is_some() && primary.is_none() {
+        return usage("--probe-fails requires --primary HOST:PORT to probe");
+    }
+    if probe_fails.is_some() && promote_addr.is_none() {
+        return usage("--probe-fails requires --promote HOST:PORT to serve on");
+    }
     let default_solver = strategy.as_deref().unwrap_or("DominantMinRatio");
     let mut standby = match Standby::open(&dir, default_solver, 0xC05) {
         Ok(s) => s,
@@ -777,6 +931,13 @@ fn standby_main(args: Vec<String>) -> ExitCode {
         });
         println!("# promotion armed: a line (or EOF) on stdin promotes to a serving primary");
     }
+    if let (Some(target), Some(n)) = (&primary, probe_fails) {
+        println!(
+            "# health probe armed: {n} consecutive failed connects to {target} \
+             (one per tick) promote"
+        );
+    }
+    let mut consecutive_probe_failures = 0u32;
 
     loop {
         match standby.catch_up() {
@@ -806,6 +967,20 @@ fn standby_main(args: Vec<String>) -> ExitCode {
                 standby.workers()
             );
             return ExitCode::SUCCESS;
+        }
+        // Health-check trigger: one TCP connect to the primary per tick;
+        // N consecutive refusals mean the primary is gone. Any success
+        // resets the count, so a transiently busy primary never trips it.
+        if let (Some(target), Some(n)) = (&primary, probe_fails) {
+            if probe_primary(target) {
+                consecutive_probe_failures = 0;
+            } else {
+                consecutive_probe_failures += 1;
+                if consecutive_probe_failures >= n {
+                    println!("# primary {target} failed {n} consecutive probes — promoting");
+                    promote_requested.store(true, std::sync::atomic::Ordering::SeqCst);
+                }
+            }
         }
         if promote_requested.load(std::sync::atomic::Ordering::SeqCst) {
             let addr = promote_addr.expect("flag only set when --promote was given");
@@ -843,6 +1018,23 @@ fn standby_main(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// One health probe: can we TCP-connect to the primary? Bounded by a
+/// short timeout so a wedged network never stalls the standby's tail
+/// loop. A successful connect is immediately closed — the primary sees a
+/// zero-request connection, which every front-end tolerates.
+fn probe_primary(target: &str) -> bool {
+    use std::net::ToSocketAddrs;
+    let Ok(addrs) = target.to_socket_addrs() else {
+        return false;
+    };
+    for addr in addrs {
+        if std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_ok() {
+            return true;
+        }
+    }
+    false
+}
+
 /// `cosched client`: send `--send` request lines (or stdin lines) to a
 /// serving `cosched serve` and print one response per request. With
 /// `--requests FILE`, replay the file's newline-delimited JSON requests
@@ -858,6 +1050,7 @@ fn client_main(args: Vec<String>) -> ExitCode {
     let mut batch_file: Option<String> = None;
     let mut batch_op = false;
     let mut retries = DEFAULT_CLIENT_RETRIES;
+    let mut frame = FrameMode::Json;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -868,6 +1061,11 @@ fn client_main(args: Vec<String>) -> ExitCode {
             "--retries" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => retries = n,
                 None => return usage("--retries expects an integer"),
+            },
+            "--frame" => match iter.next().map(|v| v.parse()) {
+                Some(Ok(mode)) => frame = mode,
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--frame expects json or binary"),
             },
             "--send" => match iter.next() {
                 Some(json) => requests.push(json),
@@ -914,16 +1112,18 @@ fn client_main(args: Vec<String>) -> ExitCode {
         }
     }
     if batch_op {
-        return client_batch(&addr, &requests, retries);
+        return client_batch(&addr, &requests, retries, frame);
     }
     // Connects retry with bounded exponential backoff (a restoring server
     // replaying its WAL is the expected cause of a refused connect);
     // failures after the trace started are never retried — re-sending a
-    // half-delivered trace would re-apply its mutations.
+    // half-delivered trace would re-apply its mutations. `--frame binary`
+    // negotiates the length-prefixed codec up front; the response lines
+    // printed are byte-identical either way.
     let exchanged = if from_file {
-        pipelined_exchange_with_retries(&addr, &requests, retries)
+        pipelined_exchange_framed_with_retries(&addr, &requests, frame, retries)
     } else {
-        client_exchange_with_retries(&addr, &requests, retries)
+        client_exchange_framed_with_retries(&addr, &requests, frame, retries)
     };
     match exchanged {
         Ok(responses) => {
@@ -1042,7 +1242,7 @@ fn tune_main(args: Vec<String>) -> ExitCode {
 /// Sends `requests` as one `batch` op and prints the unpacked
 /// sub-responses, one per line in request order — indistinguishable from
 /// the pipelined replay's output, but a single codec round-trip.
-fn client_batch(addr: &str, requests: &[String], retries: u32) -> ExitCode {
+fn client_batch(addr: &str, requests: &[String], retries: u32, frame: FrameMode) -> ExitCode {
     let mut subs = Vec::with_capacity(requests.len());
     for request in requests {
         match minijson::Json::parse(request) {
@@ -1058,7 +1258,7 @@ fn client_batch(addr: &str, requests: &[String], retries: u32) -> ExitCode {
         ("requests", minijson::Json::Arr(subs)),
     ])
     .to_string();
-    let combined = match client_exchange_with_retries(addr, &[envelope], retries) {
+    let combined = match client_exchange_framed_with_retries(addr, &[envelope], frame, retries) {
         Ok(mut responses) => responses.remove(0),
         Err(e) => {
             eprintln!("cannot exchange with {addr}: {e}");

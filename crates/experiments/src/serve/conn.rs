@@ -21,8 +21,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, Receiver};
 use std::time::Duration;
 
+use super::frame::{self, FrameMode, Negotiation};
 use super::router::Router;
-use super::worker::TaggedResponse;
+use super::worker::{ResponseSink, TaggedResponse};
 
 /// Connection attempts `cosched client` makes beyond the first
 /// (`--retries` overrides).
@@ -30,41 +31,97 @@ pub const DEFAULT_CLIENT_RETRIES: u32 = 3;
 
 /// Serves one accepted connection against the sharded router; returns
 /// when the peer closes (or after a `shutdown` request is accepted).
+///
+/// The first line is the hello window (see [`frame`]): a well-formed
+/// hello is answered directly — before the writer thread has anything
+/// to write, so ordering is safe — and switches both directions to the
+/// negotiated mode; anything else is the first request.
 pub(super) fn serve_connection(router: &Router, stream: TcpStream) -> std::io::Result<()> {
     // Request/response lines are tiny; Nagle would hold them hostage to
     // the peer's delayed-ACK timer (~40 ms per exchange on loopback).
     stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(()); // closed before a single line
+    }
+    let first = trim_line(&first);
+    let mut mode = FrameMode::Json;
+    let mut first_request = None;
+    match frame::negotiate(first) {
+        Negotiation::Hello(negotiated) => {
+            mode = negotiated;
+            let mut direct = stream.try_clone()?;
+            direct.write_all(format!("{}\n", frame::hello_ack(negotiated)).as_bytes())?;
+        }
+        Negotiation::Reject(error) => {
+            // Stay in JSON mode; the peer learns why on a normal line.
+            let mut direct = stream.try_clone()?;
+            direct.write_all(format!("{error}\n").as_bytes())?;
+        }
+        Negotiation::NotHello => first_request = Some(first.to_string()),
+    }
+
     let writer_stream = stream.try_clone()?;
     let (tx, rx) = channel::<TaggedResponse>();
     let writer = std::thread::Builder::new()
         .name("cosched-conn-writer".into())
-        .spawn(move || write_in_order(writer_stream, rx))
+        .spawn(move || write_in_order(writer_stream, rx, mode))
         .expect("spawn connection writer");
 
-    let reader = BufReader::new(stream);
-    for (seq, line) in reader.lines().enumerate() {
-        let Ok(line) = line else { break };
+    let out = ResponseSink::Channel(tx);
+    let mut seq = 0u64;
+    if let Some(line) = first_request {
         // Every received line gets exactly one response — blank ones too
         // (skipping them silently would desynchronise a client that pairs
         // requests with responses, hanging it on a read).
-        router.dispatch(&line, seq as u64, &tx);
-        if router.shutdown_requested() {
-            break;
+        router.dispatch(&line, seq, &out);
+        seq += 1;
+    }
+    if !router.shutdown_requested() {
+        match mode {
+            FrameMode::Json => {
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    router.dispatch(&line, seq, &out);
+                    seq += 1;
+                    if router.shutdown_requested() {
+                        break;
+                    }
+                }
+            }
+            FrameMode::Binary => {
+                while let Ok(Some(payload)) = frame::read_frame(&mut reader) {
+                    router.dispatch(&payload, seq, &out);
+                    seq += 1;
+                    if router.shutdown_requested() {
+                        break;
+                    }
+                }
+            }
         }
     }
     // The reader's sender is gone; in-flight shard replies still hold
     // clones, so the writer drains everything before its channel closes.
-    drop(tx);
+    drop(out);
     let _ = writer.join();
     Ok(())
+}
+
+/// `BufRead::lines` semantics for a manually read line: strip the
+/// trailing `\n` and at most one `\r` before it.
+fn trim_line(line: &str) -> &str {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    line.strip_suffix('\r').unwrap_or(line)
 }
 
 /// Writes tagged responses back in sequence order, buffering completions
 /// that arrive early. Flushes once per drained batch: low latency when
 /// idle, syscall batching under pipelined load.
-fn write_in_order(stream: TcpStream, rx: Receiver<TaggedResponse>) {
+fn write_in_order(stream: TcpStream, rx: Receiver<TaggedResponse>, mode: FrameMode) {
     let mut out = BufWriter::new(stream);
     let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+    let mut scratch = Vec::new();
     let mut next = 0u64;
     while let Ok((seq, response)) = rx.recv() {
         pending.insert(seq, response);
@@ -73,7 +130,13 @@ fn write_in_order(stream: TcpStream, rx: Receiver<TaggedResponse>) {
         }
         let mut wrote = false;
         while let Some(response) = pending.remove(&next) {
-            if out.write_all(response.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+            let delivered = match mode {
+                FrameMode::Json => out
+                    .write_all(response.as_bytes())
+                    .and_then(|()| out.write_all(b"\n")),
+                FrameMode::Binary => frame::write_frame(&mut out, &response, &mut scratch),
+            };
+            if delivered.is_err() {
                 return; // peer gone; drop the rest
             }
             next += 1;
@@ -175,6 +238,79 @@ fn exchange_on(stream: TcpStream, requests: &[String]) -> std::io::Result<Vec<St
     Ok(responses)
 }
 
+/// [`client_exchange`] with a wire-mode choice: [`FrameMode::Json`]
+/// behaves exactly like [`client_exchange`] (no hello on the wire);
+/// [`FrameMode::Binary`] negotiates framing first and then runs the
+/// same lock-step exchange over `[u32 LE length][payload]` frames. The
+/// returned payload strings are identical in both modes — tests pin it.
+pub fn client_exchange_framed(
+    addr: impl ToSocketAddrs,
+    requests: &[String],
+    mode: FrameMode,
+) -> std::io::Result<Vec<String>> {
+    match mode {
+        FrameMode::Json => client_exchange(addr, requests),
+        FrameMode::Binary => framed_exchange_on(TcpStream::connect(addr)?, requests),
+    }
+}
+
+/// [`client_exchange_framed`] with the connect-only retry policy of
+/// [`client_exchange_with_retries`].
+pub fn client_exchange_framed_with_retries(
+    addr: impl ToSocketAddrs + Copy,
+    requests: &[String],
+    mode: FrameMode,
+    retries: u32,
+) -> std::io::Result<Vec<String>> {
+    match mode {
+        FrameMode::Json => client_exchange_with_retries(addr, requests, retries),
+        FrameMode::Binary => framed_exchange_on(connect_with_retries(addr, retries)?, requests),
+    }
+}
+
+/// Sends the binary hello on a fresh connection and checks the
+/// acknowledgement; returns the reader with framing active both ways.
+fn framed_handshake(stream: &TcpStream) -> std::io::Result<BufReader<TcpStream>> {
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(format!("{}\n", frame::hello_line(FrameMode::Binary)).as_bytes())?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut ack = String::new();
+    if reader.read_line(&mut ack)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection during the hello",
+        ));
+    }
+    match frame::ack_mode(trim_line(&ack))? {
+        FrameMode::Binary => Ok(reader),
+        FrameMode::Json => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "server acknowledged json after a binary hello",
+        )),
+    }
+}
+
+fn framed_exchange_on(stream: TcpStream, requests: &[String]) -> std::io::Result<Vec<String>> {
+    let mut reader = framed_handshake(&stream)?;
+    let mut writer = stream;
+    let mut scratch = Vec::new();
+    let mut responses = Vec::with_capacity(requests.len());
+    for request in requests {
+        frame::write_frame(&mut writer, request, &mut scratch)?;
+        match frame::read_frame(&mut reader)? {
+            Some(response) => responses.push(response),
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-exchange",
+                ))
+            }
+        }
+    }
+    Ok(responses)
+}
+
 /// [`client_exchange`], pipelined: all requests are written by a side
 /// thread while responses are collected, so many requests are in flight
 /// on one connection at once — the batch engine of `cosched client
@@ -195,6 +331,67 @@ pub fn pipelined_exchange_with_retries(
     retries: u32,
 ) -> std::io::Result<Vec<String>> {
     pipeline_on(connect_with_retries(addr, retries)?, requests)
+}
+
+/// [`pipelined_exchange`] with a wire-mode choice — the framed analogue
+/// of [`client_exchange_framed`].
+pub fn pipelined_exchange_framed(
+    addr: impl ToSocketAddrs,
+    requests: &[String],
+    mode: FrameMode,
+) -> std::io::Result<Vec<String>> {
+    match mode {
+        FrameMode::Json => pipelined_exchange(addr, requests),
+        FrameMode::Binary => framed_pipeline_on(TcpStream::connect(addr)?, requests),
+    }
+}
+
+/// [`pipelined_exchange_framed`] with the connect-only retry policy of
+/// [`client_exchange_with_retries`].
+pub fn pipelined_exchange_framed_with_retries(
+    addr: impl ToSocketAddrs + Copy,
+    requests: &[String],
+    mode: FrameMode,
+    retries: u32,
+) -> std::io::Result<Vec<String>> {
+    match mode {
+        FrameMode::Json => pipelined_exchange_with_retries(addr, requests, retries),
+        FrameMode::Binary => framed_pipeline_on(connect_with_retries(addr, retries)?, requests),
+    }
+}
+
+fn framed_pipeline_on(stream: TcpStream, requests: &[String]) -> std::io::Result<Vec<String>> {
+    // Handshake lock-step first: the ack must come back before framed
+    // requests are poured in, or a rejecting server would misparse them.
+    let mut reader = framed_handshake(&stream)?;
+    let writer_stream = stream;
+    std::thread::scope(|scope| {
+        let sender = scope.spawn(move || -> std::io::Result<()> {
+            let mut out = BufWriter::new(writer_stream);
+            let mut scratch = Vec::new();
+            for request in requests {
+                frame::write_frame(&mut out, request, &mut scratch)?;
+            }
+            out.flush()
+        });
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            match frame::read_frame(&mut reader)? {
+                Some(response) => responses.push(response),
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-exchange",
+                    ))
+                }
+            }
+        }
+        match sender.join() {
+            Ok(result) => result?,
+            Err(_) => return Err(std::io::Error::other("pipeline sender thread panicked")),
+        }
+        Ok(responses)
+    })
 }
 
 fn pipeline_on(stream: TcpStream, requests: &[String]) -> std::io::Result<Vec<String>> {

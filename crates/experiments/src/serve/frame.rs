@@ -1,0 +1,403 @@
+//! Opt-in length-prefixed binary framing, negotiated per connection.
+//!
+//! Line-delimited JSON stays the reference protocol (and the
+//! byte-identity oracle: every test that pins payloads pins the JSON
+//! form). A client that prefers framing sends, as its **first line**,
+//!
+//! ```text
+//! → {"op":"hello","frame":"binary"}
+//! ← {"ok":true,"frame":"binary"}
+//! ```
+//!
+//! and after that acknowledgement **both** directions carry
+//! `[u32 little-endian payload length][payload bytes]` frames, where
+//! each payload is exactly the UTF-8 JSON text that would have been one
+//! line — so a binary trace must decode to the byte-exact JSON
+//! payloads. `{"op":"hello","frame":"json"}` is also accepted (an
+//! explicit way to say "lines, please"); the acknowledgement is a JSON
+//! line either way.
+//!
+//! Fallback: a malformed hello (unknown `frame` value, or a missing
+//! one) answers a normal `"ok":false` error **line** and the connection
+//! stays in JSON mode — a broken client learns what happened through
+//! the protocol it is already speaking. A first line that is not a
+//! hello at all (including unparseable JSON) is simply the first
+//! request; pre-framing clients never see any of this.
+//!
+//! The hello is transport-level: it is never dispatched to the router,
+//! never WAL-logged, and never counted as a request — the response
+//! stream a trace observes is identical in both modes.
+
+use std::io::{self, BufRead, Write};
+
+use minijson::Json;
+
+use super::protocol::error_response;
+
+/// Hard cap on one frame's payload (16 MiB). Far beyond any real
+/// request (a full batched trace is ~100 KiB), so hitting it means a
+/// corrupt or hostile length prefix — the connection is dropped rather
+/// than the server buffering unboundedly.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Bytes of framing overhead per payload (the `u32` length prefix).
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// How requests and responses are laid on the wire — per connection,
+/// decided by the hello negotiation (default: [`FrameMode::Json`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameMode {
+    /// One request per `\n`-terminated line (the reference protocol).
+    #[default]
+    Json,
+    /// `[u32 LE length][payload]` frames, both directions.
+    Binary,
+}
+
+impl std::fmt::Display for FrameMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FrameMode::Json => "json",
+            FrameMode::Binary => "binary",
+        })
+    }
+}
+
+impl std::str::FromStr for FrameMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(FrameMode::Json),
+            "binary" => Ok(FrameMode::Binary),
+            other => Err(format!("unknown frame mode {other:?} (json|binary)")),
+        }
+    }
+}
+
+/// What a connection's first line turned out to be.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Negotiation {
+    /// A well-formed hello: acknowledge with [`hello_ack`], then speak
+    /// `mode`.
+    Hello(FrameMode),
+    /// A malformed hello: answer the error line, stay in JSON mode.
+    Reject(String),
+    /// Not a hello — treat the line as the first request.
+    NotHello,
+}
+
+/// Classifies a connection's first line. Only `{"op":"hello",…}` is
+/// negotiation; anything else — unparseable JSON included — is a
+/// request for the normal dispatch path.
+pub fn negotiate(line: &str) -> Negotiation {
+    let Ok(request) = Json::parse(line) else {
+        return Negotiation::NotHello;
+    };
+    if request.get("op").and_then(Json::as_str) != Some("hello") {
+        return Negotiation::NotHello;
+    }
+    match request.get("frame").and_then(Json::as_str) {
+        Some("json") => Negotiation::Hello(FrameMode::Json),
+        Some("binary") => Negotiation::Hello(FrameMode::Binary),
+        Some(other) => Negotiation::Reject(
+            error_response(
+                &format!("unknown frame {other:?}: expected \"json\" or \"binary\""),
+                None,
+            )
+            .to_string(),
+        ),
+        None => Negotiation::Reject(
+            error_response("hello is missing the \"frame\" field", None).to_string(),
+        ),
+    }
+}
+
+/// The hello line a framing client opens with.
+pub fn hello_line(mode: FrameMode) -> String {
+    Json::obj([
+        ("op", Json::from("hello")),
+        ("frame", Json::from(mode.to_string().as_str())),
+    ])
+    .to_string()
+}
+
+/// The server's acknowledgement — always a JSON **line** (the mode
+/// switch takes effect after it).
+pub fn hello_ack(mode: FrameMode) -> String {
+    Json::obj([
+        ("ok", Json::from(true)),
+        ("frame", Json::from(mode.to_string().as_str())),
+    ])
+    .to_string()
+}
+
+/// Parses the server's hello acknowledgement on the client side.
+pub fn ack_mode(line: &str) -> io::Result<FrameMode> {
+    let malformed = || {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("server rejected the hello: {line}"),
+        )
+    };
+    let ack = Json::parse(line).map_err(|_| malformed())?;
+    if ack.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(malformed());
+    }
+    ack.get("frame")
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(malformed)
+}
+
+/// Appends one `[u32 LE length][payload]` frame to `out`. Errors
+/// (without writing) on a payload over [`MAX_FRAME_LEN`].
+pub fn encode_frame(payload: &str, out: &mut Vec<u8>) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds {MAX_FRAME_LEN}",
+                payload.len()
+            ),
+        ));
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    Ok(())
+}
+
+/// Writes one frame as a single `write_all` (one syscall per frame —
+/// the framed analogue of the one-write-per-line rule that keeps Nagle
+/// and delayed ACK from stalling exchanges).
+pub fn write_frame(w: &mut impl Write, payload: &str, scratch: &mut Vec<u8>) -> io::Result<()> {
+    scratch.clear();
+    encode_frame(payload, scratch)?;
+    w.write_all(scratch)
+}
+
+/// Blocking read of one frame; `Ok(None)` on a clean EOF **at a frame
+/// boundary** (a torn EOF mid-frame is an [`io::ErrorKind::UnexpectedEof`]).
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // Tolerate a clean close before any header byte; a partial header
+    // is a torn frame.
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame-header",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))
+}
+
+/// Incremental frame reassembly for the nonblocking reactor: bytes go
+/// in as they arrive ([`FrameDecoder::push`]), complete payloads come
+/// out ([`FrameDecoder::next_payload`]) — a frame torn across any
+/// number of reads reassembles transparently.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once the parsed-out prefix
+    /// dominates the buffer, so a long-lived connection does not grow
+    /// its buffer forever.
+    at: usize,
+}
+
+impl FrameDecoder {
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame, if any; `Ok(None)` means
+    /// "need more bytes". An over-long length prefix or non-UTF-8
+    /// payload is an error — the connection should be dropped.
+    pub fn next_payload(&mut self) -> io::Result<Option<String>> {
+        let pending = &self.buf[self.at..];
+        if pending.len() < FRAME_HEADER_LEN {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..FRAME_HEADER_LEN].try_into().expect("4 bytes"));
+        let len = len as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+            ));
+        }
+        if pending.len() < FRAME_HEADER_LEN + len {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = std::str::from_utf8(&pending[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len])
+            .map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}"))
+            })?
+            .to_string();
+        self.at += FRAME_HEADER_LEN + len;
+        Ok(Some(payload))
+    }
+
+    /// `true` when no partial frame is buffered (a peer close here is
+    /// clean, not torn).
+    pub fn is_empty(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    fn compact(&mut self) {
+        if self.at > 0 && self.at >= self.buf.len() / 2 {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_classifies_hellos_requests_and_rejects() {
+        assert_eq!(
+            negotiate("{\"op\":\"hello\",\"frame\":\"binary\"}"),
+            Negotiation::Hello(FrameMode::Binary)
+        );
+        assert_eq!(
+            negotiate("{\"op\":\"hello\",\"frame\":\"json\"}"),
+            Negotiation::Hello(FrameMode::Json)
+        );
+        // Not hellos: ordinary first requests, and garbage (which the
+        // normal dispatch path answers as a malformed request).
+        assert_eq!(negotiate("{\"op\":\"stats\"}"), Negotiation::NotHello);
+        assert_eq!(negotiate("not json at all"), Negotiation::NotHello);
+        // Malformed hellos reject with the protocol's error shape.
+        let Negotiation::Reject(line) = negotiate("{\"op\":\"hello\",\"frame\":\"msgpack\"}")
+        else {
+            panic!("expected reject");
+        };
+        assert!(line.contains("\"ok\":false"), "{line}");
+        assert!(line.contains("msgpack"), "{line}");
+        let Negotiation::Reject(line) = negotiate("{\"op\":\"hello\"}") else {
+            panic!("expected reject");
+        };
+        // The quotes around `frame` are JSON-escaped on the wire.
+        assert!(line.contains("missing the \\\"frame\\\" field"), "{line}");
+    }
+
+    #[test]
+    fn hello_ack_round_trips_through_ack_mode() {
+        assert_eq!(
+            ack_mode(&hello_ack(FrameMode::Binary)).unwrap(),
+            FrameMode::Binary
+        );
+        assert_eq!(
+            ack_mode(&hello_ack(FrameMode::Json)).unwrap(),
+            FrameMode::Json
+        );
+        assert!(ack_mode("{\"ok\":false,\"error\":\"nope\"}").is_err());
+        assert!(ack_mode("garbage").is_err());
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_torn_at_every_byte() {
+        let payloads = ["", "x", "{\"op\":\"stats\"}", "π ≠ 3 🚀"];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            encode_frame(p, &mut wire).unwrap();
+        }
+        // Feed the whole stream one byte at a time: every frame is torn
+        // at every possible boundary, including inside the header.
+        let mut decoder = FrameDecoder::default();
+        let mut decoded = Vec::new();
+        for byte in &wire {
+            decoder.push(std::slice::from_ref(byte));
+            while let Some(payload) = decoder.next_payload().unwrap() {
+                decoded.push(payload);
+            }
+        }
+        assert_eq!(decoded, payloads);
+        assert!(decoder.is_empty());
+    }
+
+    #[test]
+    fn decoder_reports_partial_trailing_frame() {
+        let mut wire = Vec::new();
+        encode_frame("hello", &mut wire).unwrap();
+        let mut decoder = FrameDecoder::default();
+        decoder.push(&wire[..wire.len() - 1]);
+        assert_eq!(decoder.next_payload().unwrap(), None);
+        assert!(!decoder.is_empty()); // a close now would be torn
+        decoder.push(&wire[wire.len() - 1..]);
+        assert_eq!(decoder.next_payload().unwrap().as_deref(), Some("hello"));
+        assert!(decoder.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_not_buffered() {
+        let mut decoder = FrameDecoder::default();
+        decoder.push(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(decoder.next_payload().is_err());
+        // encode_frame refuses to build one in the first place.
+        let too_long = "x".repeat(MAX_FRAME_LEN + 1);
+        assert!(encode_frame(&too_long, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn non_utf8_payload_is_rejected() {
+        let mut decoder = FrameDecoder::default();
+        decoder.push(&2u32.to_le_bytes());
+        decoder.push(&[0xFF, 0xFE]);
+        assert!(decoder.next_payload().is_err());
+    }
+
+    #[test]
+    fn blocking_read_frame_matches_the_decoder() {
+        let mut wire = Vec::new();
+        encode_frame("one", &mut wire).unwrap();
+        encode_frame("two", &mut wire).unwrap();
+        let mut r = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("one"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("two"));
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+                                                       // A torn header is an UnexpectedEof, not a clean end.
+        let mut torn = std::io::Cursor::new(vec![3u8, 0]);
+        assert_eq!(
+            read_frame(&mut torn).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn compaction_keeps_the_buffer_bounded() {
+        let mut wire = Vec::new();
+        encode_frame(&"y".repeat(1000), &mut wire).unwrap();
+        let mut decoder = FrameDecoder::default();
+        for _ in 0..1000 {
+            decoder.push(&wire);
+            assert!(decoder.next_payload().unwrap().is_some());
+            assert!(decoder.next_payload().unwrap().is_none());
+        }
+        // Without compaction this would be ~1 MB of consumed prefix.
+        assert!(decoder.buf.len() < 8 * wire.len());
+    }
+}

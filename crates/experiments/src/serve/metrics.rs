@@ -65,6 +65,70 @@ impl ShardMetrics {
     }
 }
 
+/// Lock-free network counters of one reactor (= one shard's event
+/// loop). The reactor thread bumps them; the `metrics` op reads them.
+/// Threaded and sequential front-ends have no reactor, so they report
+/// no [`NetReport`] — the pre-reactor `metrics` payload stays
+/// byte-identical, the same opt-in pattern as the `wal_*` columns.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    open: AtomicU64,
+    wakeups: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl NetMetrics {
+    /// The reactor adopted one accepted connection.
+    pub fn record_open(&self) {
+        self.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The reactor closed one of its connections.
+    pub fn record_close(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One `epoll_wait` return (the loop's duty-cycle signal: wakeups
+    /// per request ≈ how well readiness batching amortizes).
+    pub fn record_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Payload bytes read off sockets.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Payload bytes written to sockets.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for the `metrics` op.
+    pub fn report(&self) -> NetReport {
+        NetReport {
+            open_connections: self.open.load(Ordering::Relaxed),
+            reactor_wakeups: self.wakeups.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time values of one shard's [`NetMetrics`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetReport {
+    /// Connections currently owned by the shard's reactor (a gauge).
+    pub open_connections: u64,
+    /// `epoll_wait` returns since startup.
+    pub reactor_wakeups: u64,
+    /// Payload bytes read since startup.
+    pub bytes_in: u64,
+    /// Payload bytes written since startup.
+    pub bytes_out: u64,
+}
+
 /// One shard's row of the `metrics` response.
 #[derive(Debug, Clone)]
 pub struct ShardReport {
@@ -82,6 +146,10 @@ pub struct ShardReport {
     /// none`, in which case no `wal_*` fields appear in the response (the
     /// pre-durability payload stays byte-identical).
     pub wal: Option<WalStats>,
+    /// Reactor network counters — `None` on the threaded and sequential
+    /// front-ends, in which case no net fields appear in the response
+    /// (same pattern as `wal`).
+    pub net: Option<NetReport>,
 }
 
 /// Serializes the `metrics` op response: per-shard rows plus the request
@@ -131,6 +199,18 @@ pub(super) fn metrics_body(workers: usize, reports: &[ShardReport]) -> Json {
                     ));
                     pairs.push(("wal_replayed".to_string(), Json::from(wal.replayed)));
                 }
+                if let (Json::Obj(pairs), Some(net)) = (&mut row, r.net) {
+                    pairs.push((
+                        "open_connections".to_string(),
+                        Json::from(net.open_connections),
+                    ));
+                    pairs.push((
+                        "reactor_wakeups".to_string(),
+                        Json::from(net.reactor_wakeups),
+                    ));
+                    pairs.push(("bytes_in".to_string(), Json::from(net.bytes_in)));
+                    pairs.push(("bytes_out".to_string(), Json::from(net.bytes_out)));
+                }
                 row
             })),
         ),
@@ -166,6 +246,7 @@ mod tests {
                 instances: 2,
                 stats: SessionStats::default(),
                 wal: None,
+                net: None,
             },
             ShardReport {
                 shard: 1,
@@ -174,6 +255,7 @@ mod tests {
                 instances: 1,
                 stats: SessionStats::default(),
                 wal: None,
+                net: None,
             },
         ];
         let v = metrics_body(2, &rows);
@@ -184,8 +266,9 @@ mod tests {
         assert_eq!(shards[1].get("shard").and_then(Json::as_u64), Some(1));
         assert_eq!(shards[0].get("queue_depth").and_then(Json::as_u64), Some(1));
         // No durability → no wal_* columns (payload unchanged from the
-        // pre-durability protocol).
+        // pre-durability protocol); no reactor → no net columns.
         assert!(shards[0].get("wal_records").is_none());
+        assert!(shards[0].get("open_connections").is_none());
     }
 
     #[test]
@@ -203,6 +286,7 @@ mod tests {
                 snapshot_generation: 3,
                 replayed: 4,
             }),
+            net: None,
         };
         let v = metrics_body(1, &[row]);
         let shards = v.get("shards").and_then(Json::as_array).unwrap();
@@ -219,5 +303,37 @@ mod tests {
             shards[0].get("wal_replayed").and_then(Json::as_u64),
             Some(4)
         );
+    }
+
+    #[test]
+    fn net_columns_appear_when_a_reactor_reports() {
+        let net = NetMetrics::default();
+        net.record_open();
+        net.record_open();
+        net.record_close();
+        net.record_wakeup();
+        net.add_bytes_in(10);
+        net.add_bytes_out(25);
+        let row = ShardReport {
+            shard: 0,
+            requests: 1,
+            queue_depth: 0,
+            instances: 0,
+            stats: SessionStats::default(),
+            wal: None,
+            net: Some(net.report()),
+        };
+        let v = metrics_body(1, &[row]);
+        let shards = v.get("shards").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            shards[0].get("open_connections").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            shards[0].get("reactor_wakeups").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(shards[0].get("bytes_in").and_then(Json::as_u64), Some(10));
+        assert_eq!(shards[0].get("bytes_out").and_then(Json::as_u64), Some(25));
     }
 }

@@ -47,6 +47,14 @@
 //!   in-flight requests by sequence number (responses return in request
 //!   order whichever shard finishes first), plus the lock-step and
 //!   pipelined clients;
+//! * [`reactor`] — the event-loop front-end (`--reactor on|auto`): one
+//!   reactor thread per shard owning all of the shard's connections
+//!   through the `miniepoll` shim — nonblocking readiness loop,
+//!   per-connection read/write buffers, the same sequence-number
+//!   reorder buffer as [`conn`];
+//! * [`frame`] — the opt-in length-prefixed binary wire format,
+//!   negotiated by a `{"op":"hello","frame":"binary"}` first line
+//!   (JSON stays the reference protocol and byte-identity oracle);
 //! * [`metrics`] — per-shard counters behind the `metrics` op: requests,
 //!   queue depth, solves by tier (memo / incremental / cold), aggregated
 //!   eval-engine work;
@@ -64,24 +72,34 @@
 //!   pinned against.
 //! * `workers >= 2` — the **sharded server**: instances are distributed
 //!   across per-worker sessions, every connection multiplexes, and a slow
-//!   solve only stalls its own shard. For a fixed lock-step request trace
-//!   the responses are payload-identical to the single-worker server
-//!   (`tests/serve_concurrent.rs` pins this); only the `metrics` op
-//!   differs, reporting one row per shard by design.
+//!   solve only stalls its own shard. [`ServeConfig::reactor`] picks how
+//!   connections are carried: `off` spends a reader + writer thread per
+//!   connection, `on` runs one [`reactor`] event loop per shard, and
+//!   `auto` (the default) uses the reactor wherever the platform has
+//!   epoll. For a fixed lock-step request trace the responses are
+//!   payload-identical to the single-worker server
+//!   (`tests/serve_concurrent.rs` pins this across all three fronts);
+//!   only the `metrics` op differs, reporting one row per shard by
+//!   design.
 //!
 //! [`Session`]: coschedule::session::Session
 
 pub mod conn;
+pub mod frame;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod router;
 pub mod wal;
 pub mod worker;
 
 pub use conn::{
-    client_exchange, client_exchange_with_retries, connect_with_retries, pipelined_exchange,
+    client_exchange, client_exchange_framed, client_exchange_framed_with_retries,
+    client_exchange_with_retries, connect_with_retries, pipelined_exchange,
+    pipelined_exchange_framed, pipelined_exchange_framed_with_retries,
     pipelined_exchange_with_retries, DEFAULT_CLIENT_RETRIES,
 };
+pub use frame::FrameMode;
 pub use protocol::{
     app_from_json, app_to_json, handle_line, platform_from_json, platform_overrides_from_json,
     ServeState,
@@ -123,6 +141,45 @@ pub struct ServeConfig {
     /// WAL records per shard between snapshot rotations
     /// (`--snapshot-every N`).
     pub snapshot_every: u64,
+    /// Which sharded front-end serves connections (`--reactor
+    /// on|off|auto`); irrelevant at `workers == 1` (the sequential
+    /// server has no per-connection threads either way).
+    pub reactor: ReactorMode,
+}
+
+/// Choice of sharded front-end (see [`ServeConfig::reactor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReactorMode {
+    /// Reactor where supported (Linux), threaded elsewhere.
+    #[default]
+    Auto,
+    /// Reactor, or fail to start on a platform without epoll.
+    On,
+    /// Always thread-per-connection.
+    Off,
+}
+
+impl std::fmt::Display for ReactorMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReactorMode::Auto => "auto",
+            ReactorMode::On => "on",
+            ReactorMode::Off => "off",
+        })
+    }
+}
+
+impl std::str::FromStr for ReactorMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(ReactorMode::Auto),
+            "on" => Ok(ReactorMode::On),
+            "off" => Ok(ReactorMode::Off),
+            other => Err(format!("unknown reactor mode {other:?} (on|off|auto)")),
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -136,6 +193,7 @@ impl Default for ServeConfig {
             wal_dir: None,
             restore: false,
             snapshot_every: wal::DEFAULT_SNAPSHOT_EVERY,
+            reactor: ReactorMode::Auto,
         }
     }
 }
@@ -284,9 +342,13 @@ impl Server {
         if states.len() <= 1 {
             let mut state = states.pop().unwrap_or_default();
             state.allow_shutdown = self.config.allow_shutdown;
-            self.run_sequential(state)
-        } else {
-            self.run_sharded(states)
+            return self.run_sequential(state);
+        }
+        match self.config.reactor {
+            ReactorMode::Off => self.run_sharded(states),
+            ReactorMode::On => self.run_reactor(states),
+            ReactorMode::Auto if miniepoll::SUPPORTED => self.run_reactor(states),
+            ReactorMode::Auto => self.run_sharded(states),
         }
     }
 
@@ -370,6 +432,70 @@ impl Server {
         }
         result
     }
+
+    /// The event-loop front-end (`--reactor on|auto`): one reactor
+    /// thread per shard owning all of its connections, dealt round-robin
+    /// by this (still blocking) accept loop — see [`reactor`].
+    fn run_reactor(self, states: Vec<ServeState>) -> std::io::Result<()> {
+        let wake = wake_addr(self.listener.local_addr()?);
+        let shards = states.len();
+        let router = Arc::new(router::Router::new(&self.config, states));
+        let mut reactors: Vec<reactor::Reactor> = Vec::with_capacity(shards);
+        let mut spawn_error = None;
+        for shard in 0..shards {
+            match reactor::Reactor::spawn(shard, Arc::clone(&router), wake) {
+                Ok(r) => reactors.push(r),
+                Err(e) => {
+                    spawn_error = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = spawn_error {
+            // Tear down what did start (no epoll on this platform, or
+            // fd exhaustion) instead of leaking parked threads.
+            for r in &reactors {
+                r.stop();
+            }
+            for r in reactors {
+                r.join();
+            }
+            if let Ok(router) = Arc::try_unwrap(router) {
+                router.join();
+            }
+            return Err(e);
+        }
+        router.attach_reactors(reactors.iter().map(reactor::Reactor::hook).collect());
+        let mut result = Ok(());
+        let mut next = 0usize;
+        for stream in self.listener.incoming() {
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(e) => {
+                    result = Err(e);
+                    // Hard stop: without a shutdown request the
+                    // reactors would otherwise serve (and park) forever.
+                    for r in &reactors {
+                        r.stop();
+                    }
+                    break;
+                }
+            };
+            if router.shutdown_requested() {
+                // The reactors' wake-up connection lands here.
+                break;
+            }
+            reactors[next].add_connection(stream);
+            next = (next + 1) % reactors.len();
+        }
+        for r in reactors {
+            r.join();
+        }
+        if let Ok(router) = Arc::try_unwrap(router) {
+            router.join();
+        }
+        result
+    }
 }
 
 /// Where a connection thread dials to wake the accept loop after a
@@ -390,24 +516,82 @@ fn serve_sequential_connection(state: &mut ServeState, stream: TcpStream) -> std
     // disable Nagle and send each response as a single write.
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        // Every received line gets exactly one response — blank ones too
-        // (skipping them silently would desynchronise a client that pairs
-        // requests with responses, hanging it on a read).
-        let mut response = handle_line(state, &line);
-        // Durability contract: the op is on disk before the reply can
-        // reach the client.
-        state.wal_commit();
-        response.push('\n');
-        writer.write_all(response.as_bytes())?;
-        // Snapshot rotation after the reply — off the latency path.
-        state.wal_maybe_snapshot();
-        if state.shutdown_requested() {
-            break;
+    let mut reader = BufReader::new(stream);
+    // The first line is the hello window (see [`frame`]): a well-formed
+    // hello is acknowledged at the transport level — never dispatched,
+    // logged, or counted — and may switch the connection to binary
+    // framing; anything else is the first request.
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(());
+    }
+    let first = first
+        .strip_suffix('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .unwrap_or(&first);
+    let mut mode = FrameMode::Json;
+    let mut scratch = Vec::new();
+    match frame::negotiate(first) {
+        frame::Negotiation::Hello(negotiated) => {
+            mode = negotiated;
+            writer.write_all(format!("{}\n", frame::hello_ack(negotiated)).as_bytes())?;
+        }
+        frame::Negotiation::Reject(error) => {
+            writer.write_all(format!("{error}\n").as_bytes())?;
+        }
+        frame::Negotiation::NotHello => {
+            answer_sequential(state, first, &mut writer, mode, &mut scratch)?;
+            if state.shutdown_requested() {
+                return Ok(());
+            }
         }
     }
+    match mode {
+        FrameMode::Json => {
+            for line in reader.lines() {
+                let line = line?;
+                answer_sequential(state, &line, &mut writer, mode, &mut scratch)?;
+                if state.shutdown_requested() {
+                    break;
+                }
+            }
+        }
+        FrameMode::Binary => {
+            while let Some(payload) = frame::read_frame(&mut reader)? {
+                answer_sequential(state, &payload, &mut writer, mode, &mut scratch)?;
+                if state.shutdown_requested() {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One request → one response on the sequential server, in either wire
+/// mode. Every received line/frame gets exactly one response — blank
+/// ones too (skipping them silently would desynchronise a client that
+/// pairs requests with responses, hanging it on a read).
+fn answer_sequential(
+    state: &mut ServeState,
+    request: &str,
+    writer: &mut TcpStream,
+    mode: FrameMode,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    let mut response = handle_line(state, request);
+    // Durability contract: the op is on disk before the reply can
+    // reach the client.
+    state.wal_commit();
+    match mode {
+        FrameMode::Json => {
+            response.push('\n');
+            writer.write_all(response.as_bytes())?;
+        }
+        FrameMode::Binary => frame::write_frame(writer, &response, scratch)?,
+    }
+    // Snapshot rotation after the reply — off the latency path.
+    state.wal_maybe_snapshot();
     Ok(())
 }
 

@@ -225,6 +225,8 @@ fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
                 instances: state.session.len(),
                 stats: state.session.stats(),
                 wal: state.wal_stats(),
+                // The sequential server has no reactor; no net columns.
+                net: None,
             }],
         )),
         "close" => op_close(state, request),

@@ -27,14 +27,13 @@
 //! [`QUEUE_CAPACITY`](super::worker::QUEUE_CAPACITY)).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 
 use minijson::Json;
 
 use super::metrics::ShardReport;
 use super::protocol::{self, error_response};
-use super::worker::{Directory, ShardMsg, ShardSnapshot, TaggedResponse, Worker};
+use super::worker::{Directory, ResponseSink, ShardMsg, ShardSnapshot, TaggedResponse, Worker};
 use super::ServeConfig;
 
 /// The shared routing core of a sharded server; one per [`Server`]
@@ -49,7 +48,18 @@ pub(super) struct Router {
     create_cursor: Mutex<u64>,
     shutdown: AtomicBool,
     allow_shutdown: bool,
+    /// The reactor front-end's per-shard hooks (empty on the threaded
+    /// front-end): each shard's completion mailbox — signalled on
+    /// shutdown so parked reactors wake and drain — and its network
+    /// counters for the `metrics` op.
+    reactors: Mutex<Vec<ReactorHook>>,
 }
+
+/// One reactor's attachment to the router; see [`Router::attach_reactors`].
+pub(super) type ReactorHook = (
+    Arc<super::reactor::Completions>,
+    Arc<super::metrics::NetMetrics>,
+);
 
 impl Router {
     /// Spawns one shard worker per state and the routing state. The
@@ -72,7 +82,15 @@ impl Router {
             create_cursor: Mutex::new(create_cursor),
             shutdown: AtomicBool::new(false),
             allow_shutdown: config.allow_shutdown,
+            reactors: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers the reactor front-end's hooks, one per shard in shard
+    /// order (the threaded front-end never calls this). Reactor `k`'s
+    /// network counters appear on shard `k`'s `metrics` row.
+    pub fn attach_reactors(&self, hooks: Vec<ReactorHook>) {
+        *self.reactors.lock().expect("reactor hooks") = hooks;
     }
 
     /// `true` once a `shutdown` request has been accepted.
@@ -83,12 +101,12 @@ impl Router {
     /// Routes one raw request line; the response (tagged with `seq`) is
     /// delivered to `out` — immediately for router-answered ops, from the
     /// owning shard's worker for instance ops.
-    pub fn dispatch(&self, line: &str, seq: u64, out: &Sender<TaggedResponse>) {
+    pub fn dispatch(&self, line: &str, seq: u64, out: &ResponseSink) {
         let request = match Json::parse(line) {
             Ok(request) => request,
             Err(e) => {
                 let body = error_response(&format!("malformed request: {e}"), None);
-                let _ = out.send((seq, body.to_string()));
+                out.send(seq, body.to_string());
                 return;
             }
         };
@@ -96,7 +114,7 @@ impl Router {
     }
 
     /// Routes one parsed request (see [`Self::dispatch`]).
-    fn dispatch_parsed(&self, request: Json, seq: u64, out: &Sender<TaggedResponse>) {
+    fn dispatch_parsed(&self, request: Json, seq: u64, out: &ResponseSink) {
         match request.get("op").and_then(Json::as_str) {
             Some("create") => self.dispatch_create(request, seq, out),
             Some("batch") => self.dispatch_batch(request, seq, out),
@@ -131,7 +149,7 @@ impl Router {
                     // reorder buffer stalls the connection forever.
                     worker.metrics.record_completed();
                     let body = error_response("shard worker died", id);
-                    let _ = out.send((seq, body.to_string()));
+                    out.send(seq, body.to_string());
                 }
             }
         }
@@ -139,7 +157,7 @@ impl Router {
 
     /// Answers one router-level (global) op — exactly the ops
     /// [`protocol::is_global_op`] names.
-    fn dispatch_global(&self, op: &str, request: &Json, seq: u64, out: &Sender<TaggedResponse>) {
+    fn dispatch_global(&self, op: &str, request: &Json, seq: u64, out: &ResponseSink) {
         match op {
             "stats" => {
                 let snapshots = self.snapshots();
@@ -148,7 +166,7 @@ impl Router {
                 for s in &snapshots {
                     stats.merge(s.stats);
                 }
-                let _ = out.send((seq, protocol::stats_body(live, stats).to_string()));
+                out.send(seq, protocol::stats_body(live, stats).to_string());
             }
             "list" => {
                 let mut infos: Vec<_> =
@@ -156,32 +174,46 @@ impl Router {
                 // Each shard lists its instances in ascending id order;
                 // the merged view must too (ids interleave mod `shards`).
                 infos.sort_by_key(|info| info.id.raw());
-                let _ = out.send((seq, protocol::list_body(&infos).to_string()));
+                out.send(seq, protocol::list_body(&infos).to_string());
             }
             "solvers" => {
-                let _ = out.send((seq, protocol::solvers_body().to_string()));
+                out.send(seq, protocol::solvers_body().to_string());
             }
             "metrics" => {
+                let nets: Vec<_> = {
+                    let hooks = self.reactors.lock().expect("reactor hooks");
+                    (0..self.workers.len())
+                        .map(|shard| hooks.get(shard).map(|(_, net)| net.report()))
+                        .collect()
+                };
                 let reports: Vec<ShardReport> = self
                     .snapshots()
                     .into_iter()
                     .zip(&self.workers)
+                    .zip(nets)
                     .enumerate()
-                    .map(|(shard, (snapshot, worker))| ShardReport {
+                    .map(|(shard, ((snapshot, worker), net))| ShardReport {
                         shard,
                         requests: worker.metrics.requests(),
                         queue_depth: worker.metrics.queue_depth(),
                         instances: snapshot.live,
                         stats: snapshot.stats,
                         wal: snapshot.wal,
+                        net,
                     })
                     .collect();
                 let body = super::metrics::metrics_body(self.workers.len(), &reports);
-                let _ = out.send((seq, body.to_string()));
+                out.send(seq, body.to_string());
             }
             "shutdown" => {
                 let body = if self.allow_shutdown {
                     self.shutdown.store(true, Ordering::SeqCst);
+                    // Wake every reactor (they may be parked in
+                    // epoll_wait with nothing in flight) so each can
+                    // observe the flag, drain, and exit.
+                    for (completions, _) in self.reactors.lock().expect("reactor hooks").iter() {
+                        completions.signal();
+                    }
                     protocol::shutdown_body()
                 } else {
                     error_response(
@@ -189,13 +221,13 @@ impl Router {
                         request.get("id").and_then(Json::as_u64),
                     )
                 };
-                let _ = out.send((seq, body.to_string()));
+                out.send(seq, body.to_string());
             }
             // Defensive: is_global_op and this match are adjacent single
             // sources; a drift still answers instead of dropping the seq.
             other => {
                 let body = error_response(&format!("unhandled global op {other:?}"), None);
-                let _ = out.send((seq, body.to_string()));
+                out.send(seq, body.to_string());
             }
         }
     }
@@ -207,7 +239,7 @@ impl Router {
     /// a lock-step client would observe between mutations and the global
     /// snapshot ops. Nested batches answer an error at their slot, exactly
     /// like the single-worker protocol layer.
-    fn dispatch_batch(&self, request: Json, seq: u64, out: &Sender<TaggedResponse>) {
+    fn dispatch_batch(&self, request: Json, seq: u64, out: &ResponseSink) {
         // Take the envelope apart by value — a batched trace replay can
         // carry the whole workload in one line, and deep-cloning every
         // sub-request would defeat the op's amortization purpose.
@@ -223,7 +255,7 @@ impl Router {
         let Some(Json::Arr(subs)) = subs else {
             // The identical envelope error the protocol layer produces.
             let body = error_response("missing \"requests\" array", id);
-            let _ = out.send((seq, body.to_string()));
+            out.send(seq, body.to_string());
             return;
         };
         let mut responses = Vec::with_capacity(subs.len());
@@ -236,8 +268,9 @@ impl Router {
                 continue;
             }
             let (tx, rx) = std::sync::mpsc::channel::<TaggedResponse>();
-            self.dispatch_parsed(sub, 0, &tx);
-            drop(tx);
+            let sink = ResponseSink::Channel(tx);
+            self.dispatch_parsed(sub, 0, &sink);
+            drop(sink);
             let line = match rx.recv() {
                 Ok((_, line)) => line,
                 Err(_) => error_response("shard worker died", None).to_string(),
@@ -248,14 +281,14 @@ impl Router {
                 error_response(&format!("unparseable shard response: {e}"), None)
             }));
         }
-        let _ = out.send((seq, protocol::batch_body(responses).to_string()));
+        out.send(seq, protocol::batch_body(responses).to_string());
     }
 
     /// Routes a `create`: round-robin shard choice, then a synchronous
     /// wait for the shard's reply so the directory registration happens
     /// before the response escapes (a pipelining client may address the
     /// new id on its very next line).
-    fn dispatch_create(&self, request: Json, seq: u64, out: &Sender<TaggedResponse>) {
+    fn dispatch_create(&self, request: Json, seq: u64, out: &ResponseSink) {
         let mut cursor = self.create_cursor.lock().expect("create cursor lock");
         let shard = (*cursor % self.workers.len() as u64) as usize;
         let worker = &self.workers[shard];
@@ -287,7 +320,7 @@ impl Router {
             }
         };
         drop(cursor);
-        let _ = out.send((seq, response));
+        out.send(seq, response);
     }
 
     /// Fans a snapshot marker through every shard queue and gathers the

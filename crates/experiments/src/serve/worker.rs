@@ -37,6 +37,47 @@ pub(super) type Directory = Arc<Mutex<HashMap<u64, usize>>>;
 /// request, on its way to that connection's writer thread.
 pub(super) type TaggedResponse = (u64, String);
 
+/// Where a finished response goes — the seam that lets the same router
+/// and workers serve both front-ends:
+///
+/// * **threaded** — an unbounded mpsc sender to the connection's writer
+///   thread (one channel per connection);
+/// * **reactor** — the owning reactor's completion mailbox, tagged with
+///   the connection token so the reactor can route the line to the
+///   right write buffer. Pushing also signals the reactor's eventfd.
+///
+/// Both are unbounded, which is what makes the bounded shard queues
+/// deadlock-free: a worker can always deposit its response and move on,
+/// so a send into a full shard queue (backpressure on the dispatching
+/// side) never waits on a worker that is itself waiting to deliver.
+#[derive(Clone)]
+pub(super) enum ResponseSink {
+    /// To a connection writer thread (threaded front-end, and the
+    /// router's internal lock-step sub-dispatches).
+    Channel(Sender<TaggedResponse>),
+    /// To a reactor's completion mailbox (reactor front-end).
+    Reactor {
+        conn: u64,
+        completions: Arc<super::reactor::Completions>,
+    },
+}
+
+impl ResponseSink {
+    /// Delivers one tagged response. Never blocks; a vanished receiver
+    /// (the connection died mid-flight) is ignored — the shard keeps
+    /// serving everyone else.
+    pub fn send(&self, seq: u64, response: String) {
+        match self {
+            ResponseSink::Channel(tx) => {
+                let _ = tx.send((seq, response));
+            }
+            ResponseSink::Reactor { conn, completions } => {
+                completions.push(*conn, seq, response);
+            }
+        }
+    }
+}
+
 /// One message on a shard's request queue.
 pub(super) enum ShardMsg {
     /// An instance-routed request; the response goes straight to the
@@ -45,7 +86,7 @@ pub(super) enum ShardMsg {
     Apply {
         request: Json,
         seq: u64,
-        out: Sender<TaggedResponse>,
+        out: ResponseSink,
     },
     /// A `create`: the router waits for the reply so it can register the
     /// new id in the directory (and advance its round-robin cursor)
@@ -131,9 +172,7 @@ fn run(
                         directory.lock().expect("directory lock").remove(&id);
                     }
                 }
-                // A send error means the connection died mid-flight; the
-                // shard keeps serving everyone else.
-                let _ = out.send((seq, response.to_string()));
+                out.send(seq, response.to_string());
                 metrics.record_completed();
                 // Snapshot rotation happens after the reply is on its way
                 // — off the request latency path.

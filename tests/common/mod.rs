@@ -50,6 +50,36 @@ pub fn run_script(workers: usize, script: &[String]) -> Vec<String> {
     responses
 }
 
+/// Canonicalizes a response line for run-to-run comparisons by zeroing
+/// the one timing-dependent field the reactor front-end reports:
+/// `reactor_wakeups` on each `metrics` shard row counts `epoll_wait`
+/// returns, and readiness batching legitimately differs between two
+/// otherwise identical runs. Every other byte must still match.
+pub fn mask_reactor_wakeups(response: &str) -> String {
+    let Ok(mut v) = Json::parse(response) else {
+        return response.to_string();
+    };
+    let Some(Json::Arr(shards)) = get_mut(&mut v, "shards") else {
+        return response.to_string();
+    };
+    for row in shards {
+        if let Some(wakeups) = get_mut(row, "reactor_wakeups") {
+            *wakeups = Json::from(0u64);
+        }
+    }
+    v.to_string()
+}
+
+fn get_mut<'a>(v: &'a mut Json, key: &str) -> Option<&'a mut Json> {
+    match v {
+        Json::Obj(pairs) => pairs
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, value)| value),
+        _ => None,
+    }
+}
+
 /// Client `k`'s create request: NPB-6 with the work vector perturbed per
 /// client, so the instances (and their makespans) are all distinct.
 pub fn create_request(k: usize) -> String {

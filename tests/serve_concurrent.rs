@@ -12,8 +12,10 @@
 
 mod common;
 
-use common::{create_request, shutdown, spawn_server, subtrace};
-use experiments::serve::{client_exchange, pipelined_exchange};
+use common::{create_request, shutdown, spawn_server, spawn_server_with, subtrace};
+use experiments::serve::{
+    client_exchange, client_exchange_framed, pipelined_exchange_framed, FrameMode, ReactorMode,
+};
 use minijson::Json;
 
 #[test]
@@ -24,7 +26,10 @@ fn concurrent_clients_match_a_single_worker_replay_byte_for_byte() {
     // Phase 1 — live: one thread per client; each creates its instance
     // (lock-step, to learn the id), then runs its subtrace — even clients
     // pipelined (many requests in flight on one connection), odd clients
-    // lock-step.
+    // lock-step; clients 0, 3, and 4 additionally negotiate the binary
+    // frame codec, so framed and line-JSON connections interleave on the
+    // same shards (the phase-2 replay is plain JSON, so the framed
+    // responses must decode to the exact reference bytes).
     let mut clients: Vec<(u64, Vec<String>, Vec<String>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|k| {
@@ -40,10 +45,15 @@ fn concurrent_clients_match_a_single_worker_replay_byte_for_byte() {
                     );
                     let id = v.get("id").and_then(Json::as_u64).expect("created id");
                     let trace = subtrace(k, id);
-                    let responses = if k % 2 == 0 {
-                        pipelined_exchange(addr, &trace).expect("pipelined subtrace")
+                    let frame = if k % 4 == 0 || k % 4 == 3 {
+                        FrameMode::Binary
                     } else {
-                        client_exchange(addr, &trace).expect("lock-step subtrace")
+                        FrameMode::Json
+                    };
+                    let responses = if k % 2 == 0 {
+                        pipelined_exchange_framed(addr, &trace, frame).expect("pipelined subtrace")
+                    } else {
+                        client_exchange_framed(addr, &trace, frame).expect("lock-step subtrace")
                     };
                     let mut requests = vec![create];
                     requests.extend(trace);
@@ -153,4 +163,43 @@ fn lock_step_trace_with_closes_is_identical_at_any_worker_count() {
         .map(|i| i.get("id").and_then(Json::as_u64).unwrap())
         .collect();
     assert_eq!(listed, vec![0, 1, 3, 4, 6, 7, 8]);
+}
+
+#[test]
+fn reactor_and_threaded_front_ends_serve_identical_bytes() {
+    // The explicit front-end pin: the same lock-step trace against the
+    // sequential server, the thread-per-connection front-end
+    // (`--reactor off`), and the epoll reactor (`--reactor on`) must be
+    // answered with the same bytes (metrics exempt as always — the
+    // reactor adds net columns and the fronts shard differently).
+    let mut trace: Vec<String> = (0..4).map(create_request).collect();
+    for id in [0u64, 2, 3] {
+        trace.push(format!(
+            r#"{{"op":"solve","id":{id},"solver":"DominantRefined","seed":11}}"#
+        ));
+    }
+    trace.push(r#"{"op":"close","id":1}"#.into());
+    trace.push(r#"{"op":"list"}"#.into());
+    trace.push(r#"{"op":"stats"}"#.into());
+
+    let run = |workers: usize, reactor: ReactorMode| -> Vec<String> {
+        let (addr, server) = spawn_server_with(|config| {
+            config.workers = workers;
+            config.reactor = reactor;
+        });
+        let responses = client_exchange(addr, &trace).expect("trace");
+        shutdown(addr, server);
+        responses
+    };
+    let sequential = run(1, ReactorMode::Auto);
+    let threaded = run(4, ReactorMode::Off);
+    let reactor = run(4, ReactorMode::On);
+    assert_eq!(
+        sequential, threaded,
+        "threaded front-end diverged from the sequential server"
+    );
+    assert_eq!(
+        sequential, reactor,
+        "reactor front-end diverged from the sequential server"
+    );
 }
