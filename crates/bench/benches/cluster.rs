@@ -1,0 +1,176 @@
+//! Closed-loop cluster simulation under churn — the ISSUE-8 acceptance
+//! measurement, recorded in `BENCH_cluster.json`.
+//!
+//! Two groups:
+//!
+//! * `cluster_profiles` — wall time of one full [`experiments::cluster`]
+//!   run (arrival sampling + event loop + every re-solve) per rate
+//!   profile and solver, on the small-LLC platform where the heuristics
+//!   genuinely separate (paper Figures 2/18). The active-set size swings
+//!   between 1 and ~10 jobs over a run, so the `auto` solver's signature
+//!   buckets (`n = 2^0 … 2^3`) are all crossed within each profile.
+//!
+//! * the windowed-vs-unbounded drift gate (asserted before timing) — a
+//!   deterministic regret measurement on the tuner's own leader-selection
+//!   statistic over a bursty two-regime ratio stream. The cluster
+//!   profiles themselves cannot separate the two policies: the portfolio
+//!   contains a weakly-dominant member (`DominantRefined` never loses a
+//!   comparative round on these workloads — its lifetime mean ratio stays
+//!   exactly 1.0), so any leader flip happens on the same round under
+//!   both statistics and `auto`'s answers are bit-identical for every
+//!   window. The drift gate instead feeds both policies the stream the
+//!   window flag exists for — a regime where the formerly-best member
+//!   starts losing by a few percent — and measures the served regret
+//!   until each policy flips its leader.
+
+use coschedule::model::Platform;
+use coschedule::tune::{BucketHistory, MemberObs, TuneConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::cluster::{self, ClusterSpec, ProfileKind};
+use std::hint::black_box;
+
+const SEED: u64 = 0xC10;
+
+/// The full solver registry plus the tuned portfolio front-ends — every
+/// name `cosched cluster --solver` accepts.
+const SOLVERS: [&str; 13] = [
+    "DominantRandom",
+    "DominantMinRatio",
+    "DominantMaxRatio",
+    "DominantRevRandom",
+    "DominantRevMinRatio",
+    "DominantRevMaxRatio",
+    "RandomPart",
+    "Fair",
+    "0cache",
+    "AllProcCache",
+    "DominantRefined",
+    "Portfolio",
+    "auto",
+];
+
+fn spec(profile: ProfileKind, solver: &str) -> ClusterSpec {
+    ClusterSpec {
+        profile,
+        rate: 3.0,
+        horizon: 6.0,
+        seed: SEED,
+        solver: solver.to_string(),
+        window: 0,
+        platform: Platform::taihulight_small_llc(),
+    }
+}
+
+/// Serves a committed leader from `history` over a bursty two-regime
+/// ratio stream and accumulates the regret (served ratio − 1) until the
+/// stream ends. Regime A (60 rounds): member 0 wins, member 1 close
+/// behind, member 2 far off. Regime B (60 rounds): member 1 wins, member
+/// 0 now 4% worse — the drift the window flag exists for.
+///
+/// Returns `(total regret, rounds after the drift until the flip)`.
+fn drift_regret(config: TuneConfig) -> (f64, u64) {
+    let decay = config.decay();
+    let mut history = BucketHistory {
+        rounds: 0,
+        committed: 0,
+        members: vec![MemberObs::default(); 3],
+    };
+    let mut regret = 0.0;
+    let mut flip_lag = None;
+    for round in 0..120u64 {
+        let drifted = round >= 60;
+        let ratios: [f64; 3] = if drifted {
+            [1.04, 1.0, 1.30]
+        } else {
+            [1.0, 1.03, 1.30]
+        };
+        let leader = history.leader_with(config.window > 0, SEED);
+        regret += ratios[leader] - 1.0;
+        if drifted && flip_lag.is_none() && leader == 1 {
+            flip_lag = Some(round - 60);
+        }
+        for (member, &ratio) in history.members.iter_mut().zip(&ratios) {
+            member.observations += 1;
+            member.ratio_sum += ratio;
+            member.recent_obs = member.recent_obs * decay + 1.0;
+            member.recent_ratio_sum = member.recent_ratio_sum * decay + ratio;
+            member.wins += u64::from(ratio == 1.0);
+        }
+        history.rounds += 1;
+    }
+    (regret, flip_lag.unwrap_or(60))
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    // Quality gates first, so the timings below measure verified runs.
+    //
+    // (1) Windowed leader selection must beat the unbounded mean on the
+    // bursty drift stream: lower regret, earlier flip.
+    let unbounded = drift_regret(TuneConfig::default());
+    let windowed = drift_regret(TuneConfig {
+        window: 8,
+        ..Default::default()
+    });
+    assert!(
+        windowed.0 < unbounded.0 && windowed.1 < unbounded.1,
+        "windowed tuner no longer beats unbounded under drift: \
+         windowed (regret {:.3}, flip lag {}) vs unbounded (regret {:.3}, flip lag {})",
+        windowed.0,
+        windowed.1,
+        unbounded.0,
+        unbounded.1
+    );
+    println!(
+        "drift gate: windowed regret {:.3} (flip after {} rounds) vs \
+         unbounded regret {:.3} (flip after {} rounds)",
+        windowed.0, windowed.1, unbounded.0, unbounded.1
+    );
+
+    // (2) On the cluster profiles themselves auto must stay
+    // window-invariant (the portfolio's refined member is never beaten;
+    // if this stops holding, BENCH_cluster.json's note is stale).
+    for kind in ProfileKind::ALL {
+        let mut base = spec(kind, "auto");
+        let plain = cluster::run(&base).unwrap();
+        base.window = 8;
+        let windowed = cluster::run(&base).unwrap();
+        assert_eq!(
+            plain.outcome.trace,
+            windowed.outcome.trace,
+            "auto stopped being window-invariant on {}",
+            kind.name()
+        );
+        // Every job completes; the run is a valid closed loop.
+        assert_eq!(plain.outcome.metrics.completed, plain.outcome.metrics.jobs);
+    }
+
+    let mut group = c.benchmark_group("cluster_profiles");
+    group
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    for kind in ProfileKind::ALL {
+        for solver in SOLVERS {
+            let s = spec(kind, solver);
+            // Print the quality metrics once per cell for the JSON.
+            let run = cluster::run(&s).unwrap();
+            let m = run.outcome.metrics;
+            println!(
+                "{} {}: jobs={} mean_response_units={:.4} p95_units={:.4} util={:.3} resolves={}",
+                kind.name(),
+                solver,
+                m.jobs,
+                m.mean_response / run.unit,
+                m.p95_response / run.unit,
+                m.utilization,
+                m.resolves
+            );
+            group.bench_with_input(BenchmarkId::new(solver, kind.name()), &s, |b, s| {
+                b.iter(|| black_box(cluster::run(s).unwrap().outcome.metrics.makespan))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -35,6 +35,7 @@ fn bench_steady_state_resolve(c: &mut Criterion) {
     let comparison = compare(&TraceSpec {
         solves: 64,
         seed: SEED,
+        window: 0,
     })
     .unwrap();
     assert_eq!(

@@ -1,0 +1,714 @@
+//! Discrete-event cluster simulation: seeded job arrivals and departures
+//! driving a [`Session`] end-to-end (ROADMAP item (i)).
+//!
+//! The engine is a classic event loop over an [`EventHeap`] — a min-heap
+//! of `(wake_time, seq, Event)` where ties in time are broken by the
+//! insertion sequence number, so the pop order is a total order and two
+//! runs with the same seed replay the same trace byte for byte.
+//!
+//! [`ClusterSim`] closes the loop between the scheduler and the workload:
+//! a job **arrival** joins the live instance (`add_app`) and triggers a
+//! re-solve through any registered solver; the solver's own schedule
+//! determines every running job's execution rate, so the earliest
+//! projected completion is pushed back into the heap as a future
+//! **departure** event. A departure removes the job (`remove_app`, or
+//! `close` when it was the last one) and re-solves again — co-schedule
+//! decisions change completion times, which change the event stream.
+//!
+//! Progress bookkeeping: [`exec_time`] is linear in `Application::work`,
+//! so each running job carries a *remaining fraction* `frac_rem ∈ [0, 1]`.
+//! Between events the schedule is constant and the fraction drains at
+//! `1 / Exe_i(p_i, x_i)` per time unit; a re-solve only swaps the drain
+//! rate. Non-concurrent outcomes (e.g. `AllProcCache` runs jobs one at a
+//! time) are interpreted as processor sharing: every job's execution time
+//! is scaled by the number of running jobs, which preserves the
+//! schedule's total finishing time without tracking an explicit run
+//! order.
+//!
+//! Each re-solve bumps an *epoch* counter and schedules only the single
+//! earliest next departure under the new schedule; departure events
+//! stamped with an older epoch are superseded and skipped on pop.
+
+use std::collections::BinaryHeap;
+
+use crate::error::Result;
+use crate::model::{exec_time, Application, Platform};
+use crate::session::{InstanceId, Session, SessionStats};
+use crate::tune::TuneConfig;
+
+/// A min-heap of `(wake_time, seq, event)` with deterministic pop order:
+/// earliest time first, insertion order among ties. Wall-clock never
+/// participates, so the same pushes always pop in the same order.
+#[derive(Debug)]
+pub struct EventHeap<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        // Bit comparison (not ==) so the total order below is consistent
+        // even for NaN times; the seq is unique anyway.
+        self.time.to_bits() == other.time.to_bits() && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, the simulation wants the
+        // earliest event. `total_cmp` keeps the order total for every
+        // float; equal times fall back to insertion sequence.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Default for EventHeap<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventHeap<E> {
+    /// An empty heap; sequence numbers start at 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time` and returns its sequence number (the
+    /// tie-break rank among same-time events).
+    pub fn push(&mut self, time: f64, event: E) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        seq
+    }
+
+    /// Removes and returns the earliest event as `(time, seq, event)`.
+    pub fn pop(&mut self) -> Option<(f64, u64, E)> {
+        self.heap.pop().map(|e| (e.time, e.seq, e.event))
+    }
+
+    /// The earliest event without removing it.
+    pub fn peek(&self) -> Option<(f64, u64, &E)> {
+        self.heap.peek().map(|e| (e.time, e.seq, &e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// One event in the cluster simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Job `job` (an index into the [`JobSpec`] list) enters the system.
+    Arrival {
+        /// Index into the job list passed to [`ClusterSim::run`].
+        job: usize,
+    },
+    /// Job `job` finishes — valid only if `epoch` still matches the
+    /// current schedule epoch (a re-solve in between supersedes it).
+    Departure {
+        /// Index into the job list passed to [`ClusterSim::run`].
+        job: usize,
+        /// The schedule epoch this projection was computed under.
+        epoch: u64,
+    },
+}
+
+/// A job to simulate: an application profile plus its arrival time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Absolute arrival time (simulation clock).
+    pub arrival: f64,
+    /// The application the job runs.
+    pub app: Application,
+}
+
+/// Per-job outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The job's application name.
+    pub name: String,
+    /// Absolute arrival time.
+    pub arrival: f64,
+    /// Absolute completion time (`NaN` if the job never finished within
+    /// the simulated trace — only possible with a degenerate schedule).
+    pub completion: f64,
+}
+
+impl JobRecord {
+    /// Whether the job ran to completion.
+    pub fn completed(&self) -> bool {
+        self.completion.is_finite()
+    }
+
+    /// Response (sojourn) time: completion − arrival.
+    pub fn response(&self) -> f64 {
+        self.completion - self.arrival
+    }
+}
+
+/// One session operation the simulation performed, in order — the
+/// replayable mutation/solve trace. [`ClusterSim`] drives its own
+/// [`Session`] directly; this log lets a driver replay the identical
+/// sequence through the serve front-end (`cosched client --requests`)
+/// and byte-compare the responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOp {
+    /// `Session::create` with a single app (a job arrived while the
+    /// cluster was empty). `id` is the id the session assigned.
+    Create {
+        /// Raw instance id assigned by the session.
+        id: u64,
+        /// The arriving job's application.
+        app: Application,
+    },
+    /// `InstanceHandle::add_app` (a job arrived while others run).
+    AddApp {
+        /// Raw instance id.
+        id: u64,
+        /// The arriving job's application.
+        app: Application,
+    },
+    /// `InstanceHandle::remove_app` (a job departed, others remain).
+    RemoveApp {
+        /// Raw instance id.
+        id: u64,
+        /// The departing job's app index at removal time.
+        index: usize,
+    },
+    /// `Session::close` (the last job departed).
+    Close {
+        /// Raw instance id.
+        id: u64,
+    },
+    /// `Session::resolve_by_name` re-solving after a mutation.
+    Solve {
+        /// Raw instance id.
+        id: u64,
+        /// Registry solver name (`"auto"` included).
+        solver: String,
+        /// Request seed.
+        seed: u64,
+    },
+}
+
+/// Aggregate metrics over one simulated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterMetrics {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Time of the last completion (0 when nothing completed).
+    pub makespan: f64,
+    /// Mean job response time over completed jobs.
+    pub mean_response: f64,
+    /// Median job response time (nearest-rank).
+    pub p50_response: f64,
+    /// 95th-percentile job response time (nearest-rank).
+    pub p95_response: f64,
+    /// 99th-percentile job response time (nearest-rank).
+    pub p99_response: f64,
+    /// `∫ busy(t) dt / (p · makespan)` where `busy` is the scheduled
+    /// processor demand capped at the platform's `p` — the fraction of
+    /// the machine's capacity the trace actually used.
+    pub utilization: f64,
+    /// Re-solves performed (one per arrival and per effective departure).
+    pub resolves: u64,
+    /// Departure events skipped because a later re-solve superseded them.
+    pub stale_departures: u64,
+}
+
+/// Everything one [`ClusterSim::run`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Per-job arrival/completion records, in job order.
+    pub jobs: Vec<JobRecord>,
+    /// Aggregate metrics over the trace.
+    pub metrics: ClusterMetrics,
+    /// Deterministic event-trace lines (one per arrival, departure, and
+    /// re-solve) — byte-identical across same-seed runs.
+    pub trace: Vec<String>,
+    /// The session mutation/solve log, replayable through the serve
+    /// front-end.
+    pub ops: Vec<SessionOp>,
+    /// The driven session's lifetime counters (solve tiers, tuner).
+    pub stats: SessionStats,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A job currently in the system. Its position in the active list equals
+/// its app index inside the session's instance.
+#[derive(Debug, Clone, Copy)]
+struct ActiveJob {
+    /// Index into the run's [`JobSpec`] list.
+    job: usize,
+    /// Fraction of the job's work still to do (1 on arrival, 0 done).
+    frac_rem: f64,
+    /// Full execution time under the current schedule (already scaled by
+    /// the job count for non-concurrent outcomes), i.e. `frac_rem * exec`
+    /// is the remaining time if the schedule never changed again.
+    exec: f64,
+}
+
+/// The closed-loop simulator: replays a [`JobSpec`] stream through a
+/// [`Session`], re-solving with a registry solver on every arrival and
+/// departure.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    platform: Platform,
+    solver: String,
+    seed: u64,
+    tuner: Option<TuneConfig>,
+}
+
+impl ClusterSim {
+    /// A simulator re-solving with registry solver `solver` (any name
+    /// `Session::resolve_by_name` accepts, `"auto"` included) under
+    /// request seed `seed`.
+    pub fn new(platform: Platform, solver: impl Into<String>, seed: u64) -> Self {
+        Self {
+            platform,
+            solver: solver.into(),
+            seed,
+            tuner: None,
+        }
+    }
+
+    /// Overrides the driven session's tuner knobs (only meaningful when
+    /// `solver` is `"auto"` — e.g. a bounded observation window).
+    pub fn with_tuner_config(mut self, config: TuneConfig) -> Self {
+        self.tuner = Some(config);
+        self
+    }
+
+    /// Runs the full discrete-event loop over `jobs` and returns the
+    /// per-job records, metrics, trace, and the replayable op log.
+    ///
+    /// Deterministic: the outcome is a pure function of `(platform,
+    /// solver, seed, jobs)` — no wall clock, no global RNG.
+    pub fn run(&self, jobs: &[JobSpec]) -> Result<ClusterOutcome> {
+        let mut session = Session::new();
+        if let Some(config) = self.tuner {
+            session.set_tuner_config(config);
+        }
+        let mut heap = EventHeap::new();
+        for (job, spec) in jobs.iter().enumerate() {
+            heap.push(spec.arrival, Event::Arrival { job });
+        }
+
+        let mut state = RunState {
+            session,
+            instance: None,
+            active: Vec::new(),
+            completions: vec![f64::NAN; jobs.len()],
+            now: 0.0,
+            epoch: 0,
+            busy: 0.0,
+            util_area: 0.0,
+            resolves: 0,
+            stale: 0,
+            trace: Vec::new(),
+            ops: Vec::new(),
+        };
+
+        while let Some((time, _seq, event)) = heap.pop() {
+            state.advance_to(time);
+            match event {
+                Event::Arrival { job } => {
+                    state.arrive(job, &jobs[job].app, &self.platform)?;
+                    state.resolve(&self.solver, self.seed, &self.platform, &mut heap)?;
+                }
+                Event::Departure { job, epoch } => {
+                    if epoch != state.epoch {
+                        state.stale += 1;
+                        continue;
+                    }
+                    state.depart(job, jobs)?;
+                    if state.active.is_empty() {
+                        // Idle: nothing runs until the next arrival; bump
+                        // the epoch so any departure still in the heap is
+                        // recognizably stale.
+                        state.busy = 0.0;
+                        state.epoch += 1;
+                    } else {
+                        state.resolve(&self.solver, self.seed, &self.platform, &mut heap)?;
+                    }
+                }
+            }
+        }
+
+        Ok(state.finish(jobs, &self.platform))
+    }
+}
+
+/// Mutable run state of one [`ClusterSim::run`], grouped so the event
+/// handlers can borrow it as a unit.
+struct RunState {
+    session: Session,
+    instance: Option<InstanceId>,
+    active: Vec<ActiveJob>,
+    completions: Vec<f64>,
+    now: f64,
+    epoch: u64,
+    busy: f64,
+    util_area: f64,
+    resolves: u64,
+    stale: u64,
+    trace: Vec<String>,
+    ops: Vec<SessionOp>,
+}
+
+impl RunState {
+    /// Drains running jobs' remaining fractions (and the utilization
+    /// integral) across `[now, time)`, then moves the clock.
+    fn advance_to(&mut self, time: f64) {
+        let dt = time - self.now;
+        if dt > 0.0 {
+            self.util_area += self.busy * dt;
+            for a in &mut self.active {
+                if a.exec > 0.0 && a.exec.is_finite() {
+                    a.frac_rem = (a.frac_rem - dt / a.exec).max(0.0);
+                }
+            }
+        }
+        self.now = time;
+    }
+
+    /// Joins job `job` to the live instance (creating one if the cluster
+    /// was empty).
+    fn arrive(&mut self, job: usize, app: &Application, platform: &Platform) -> Result<()> {
+        let id = match self.instance {
+            Some(id) => {
+                self.session.handle(id)?.add_app(app.clone())?;
+                self.ops.push(SessionOp::AddApp {
+                    id: id.raw(),
+                    app: app.clone(),
+                });
+                id
+            }
+            None => {
+                let id = self.session.create(vec![app.clone()], platform.clone())?;
+                self.ops.push(SessionOp::Create {
+                    id: id.raw(),
+                    app: app.clone(),
+                });
+                self.instance = Some(id);
+                id
+            }
+        };
+        self.active.push(ActiveJob {
+            job,
+            frac_rem: 1.0,
+            exec: f64::INFINITY,
+        });
+        self.trace.push(format!(
+            "t={:.6e} arrive job={} app={} active={} id={}",
+            self.now,
+            job,
+            app.name,
+            self.active.len(),
+            id.raw()
+        ));
+        Ok(())
+    }
+
+    /// Completes job `job`: records the completion, removes its app from
+    /// the instance (closing the instance when it was the last one).
+    fn depart(&mut self, job: usize, jobs: &[JobSpec]) -> Result<()> {
+        let pos = self
+            .active
+            .iter()
+            .position(|a| a.job == job)
+            .expect("a current-epoch departure names an active job");
+        self.completions[job] = self.now;
+        let id = self.instance.expect("active jobs imply a live instance");
+        if self.active.len() == 1 {
+            // `remove_app` refuses to empty an instance; the empty
+            // cluster is represented by having no instance at all.
+            self.session.close(id)?;
+            self.ops.push(SessionOp::Close { id: id.raw() });
+            self.instance = None;
+        } else {
+            self.session.handle(id)?.remove_app(pos)?;
+            self.ops.push(SessionOp::RemoveApp {
+                id: id.raw(),
+                index: pos,
+            });
+        }
+        self.active.remove(pos);
+        self.trace.push(format!(
+            "t={:.6e} depart job={} app={} response={:.6e} active={}",
+            self.now,
+            job,
+            jobs[job].app.name,
+            self.now - jobs[job].arrival,
+            self.active.len()
+        ));
+        Ok(())
+    }
+
+    /// Re-solves the live instance, refreshes every running job's drain
+    /// rate from the new schedule, and pushes the earliest projected
+    /// departure under the new epoch.
+    fn resolve(
+        &mut self,
+        solver: &str,
+        seed: u64,
+        platform: &Platform,
+        heap: &mut EventHeap<Event>,
+    ) -> Result<()> {
+        let id = self.instance.expect("resolve requires a live instance");
+        let outcome = self.session.resolve_by_name(id, solver, seed)?;
+        self.ops.push(SessionOp::Solve {
+            id: id.raw(),
+            solver: solver.to_string(),
+            seed,
+        });
+        self.resolves += 1;
+        self.epoch += 1;
+
+        let k = self.active.len() as f64;
+        {
+            let instance = self.session.instance(id)?;
+            let apps = instance.apps();
+            for (pos, a) in self.active.iter_mut().enumerate() {
+                let asg = &outcome.schedule.assignments[pos];
+                let exec = exec_time(&apps[pos], platform, asg.procs, asg.cache);
+                // Non-concurrent schedules run one job at a time;
+                // processor sharing scales every job by the job count,
+                // preserving the total finishing time deterministically.
+                a.exec = if outcome.concurrent { exec } else { exec * k };
+            }
+        }
+        self.busy = if outcome.concurrent {
+            outcome.schedule.total_procs().min(platform.processors)
+        } else {
+            // Time-shared: at any instant one job runs on its own
+            // processor share; the long-run average demand is the mean.
+            (outcome.schedule.total_procs() / k).min(platform.processors)
+        };
+
+        // Only the earliest projected departure is scheduled; everything
+        // else is recomputed at the next event under a fresh epoch.
+        let next = self
+            .active
+            .iter()
+            .enumerate()
+            .map(|(pos, a)| (pos, a.frac_rem * a.exec))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        if let Some((pos, remaining)) = next {
+            let job = self.active[pos].job;
+            heap.push(
+                self.now + remaining,
+                Event::Departure {
+                    job,
+                    epoch: self.epoch,
+                },
+            );
+            self.trace.push(format!(
+                "t={:.6e} solve epoch={} active={} makespan={:.6e} next=job{} eta={:.6e}",
+                self.now,
+                self.epoch,
+                self.active.len(),
+                outcome.makespan,
+                job,
+                self.now + remaining
+            ));
+        }
+        Ok(())
+    }
+
+    /// Folds the run state into the final [`ClusterOutcome`].
+    fn finish(self, jobs: &[JobSpec], platform: &Platform) -> ClusterOutcome {
+        let records: Vec<JobRecord> = jobs
+            .iter()
+            .zip(&self.completions)
+            .map(|(spec, &completion)| JobRecord {
+                name: spec.app.name.clone(),
+                arrival: spec.arrival,
+                completion,
+            })
+            .collect();
+        let mut responses: Vec<f64> = records
+            .iter()
+            .filter(|r| r.completed())
+            .map(JobRecord::response)
+            .collect();
+        responses.sort_by(f64::total_cmp);
+        let completed = responses.len();
+        let makespan = self
+            .completions
+            .iter()
+            .filter(|c| c.is_finite())
+            .fold(0.0_f64, |acc, &c| acc.max(c));
+        let mean_response = if completed > 0 {
+            responses.iter().sum::<f64>() / completed as f64
+        } else {
+            0.0
+        };
+        let utilization = if makespan > 0.0 {
+            self.util_area / (platform.processors * makespan)
+        } else {
+            0.0
+        };
+        let metrics = ClusterMetrics {
+            jobs: jobs.len(),
+            completed,
+            makespan,
+            mean_response,
+            p50_response: percentile(&responses, 0.50),
+            p95_response: percentile(&responses, 0.95),
+            p99_response: percentile(&responses, 0.99),
+            utilization,
+            resolves: self.resolves,
+            stale_departures: self.stale,
+        };
+        ClusterOutcome {
+            jobs: records,
+            metrics,
+            trace: self.trace,
+            ops: self.ops,
+            stats: self.session.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Platform;
+
+    fn app(name: &str, work: f64) -> Application {
+        Application::new(name, work, 0.05, 0.61, 4.2e-3)
+    }
+
+    #[test]
+    fn heap_pops_in_time_then_insertion_order() {
+        let mut heap = EventHeap::new();
+        heap.push(2.0, "c");
+        heap.push(1.0, "a");
+        heap.push(1.0, "b");
+        heap.push(0.5, "z");
+        let order: Vec<(f64, &str)> = std::iter::from_fn(|| heap.pop())
+            .map(|(t, _, e)| (t, e))
+            .collect();
+        assert_eq!(order, vec![(0.5, "z"), (1.0, "a"), (1.0, "b"), (2.0, "c")]);
+    }
+
+    #[test]
+    fn empty_job_list_yields_zero_metrics() {
+        let sim = ClusterSim::new(Platform::taihulight(), "DominantMinRatio", 1);
+        let outcome = sim.run(&[]).unwrap();
+        assert_eq!(outcome.metrics.jobs, 0);
+        assert_eq!(outcome.metrics.completed, 0);
+        assert_eq!(outcome.metrics.makespan, 0.0);
+        assert_eq!(outcome.metrics.resolves, 0);
+        assert!(outcome.trace.is_empty());
+        assert!(outcome.ops.is_empty());
+    }
+
+    #[test]
+    fn single_job_runs_solo_and_completes() {
+        let platform = Platform::taihulight();
+        let jobs = [JobSpec {
+            arrival: 3.0,
+            app: app("solo", 3.1e10),
+        }];
+        let sim = ClusterSim::new(platform.clone(), "DominantMinRatio", 7);
+        let outcome = sim.run(&jobs).unwrap();
+        assert_eq!(outcome.metrics.completed, 1);
+        let record = &outcome.jobs[0];
+        assert!(record.completed());
+        // Alone in the cluster the response is the job's own schedule
+        // execution time; the makespan is arrival + response.
+        let solo = exec_time(&jobs[0].app, &platform, platform.processors, 1.0);
+        assert!((record.response() - solo).abs() <= 1e-9 * solo);
+        assert!((outcome.metrics.makespan - (3.0 + solo)).abs() <= 1e-9 * solo);
+        assert!(outcome.metrics.utilization > 0.0 && outcome.metrics.utilization <= 1.0 + 1e-12);
+        // create → solve → close, nothing else.
+        assert!(matches!(outcome.ops[0], SessionOp::Create { .. }));
+        assert!(matches!(outcome.ops[1], SessionOp::Solve { .. }));
+        assert!(matches!(outcome.ops[2], SessionOp::Close { .. }));
+    }
+
+    #[test]
+    fn overlapping_jobs_all_complete_and_replay_identically() {
+        let platform = Platform::taihulight();
+        let base = exec_time(&app("x", 3.1e10), &platform, platform.processors, 1.0);
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|k| JobSpec {
+                arrival: k as f64 * base * 0.3,
+                app: app(&format!("J{k}"), 2.0e10 + 4.0e9 * k as f64),
+            })
+            .collect();
+        let sim = ClusterSim::new(platform, "DominantMinRatio", 11);
+        let first = sim.run(&jobs).unwrap();
+        let second = sim.run(&jobs).unwrap();
+        assert_eq!(first.metrics.completed, 6);
+        assert_eq!(first.trace, second.trace);
+        assert_eq!(first.ops, second.ops);
+        assert_eq!(first, second);
+        // Percentiles are ordered and the utilization is a fraction.
+        let m = first.metrics;
+        assert!(m.p50_response <= m.p95_response && m.p95_response <= m.p99_response);
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-12);
+        assert!(m.resolves >= 6 + 5, "each arrival and departure re-solves");
+    }
+
+    #[test]
+    fn sequential_solver_uses_processor_sharing() {
+        // AllProcCache produces non-concurrent outcomes; the sim must
+        // still complete every job (processor-sharing interpretation).
+        let platform = Platform::taihulight();
+        let base = exec_time(&app("x", 3.1e10), &platform, platform.processors, 1.0);
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|k| JobSpec {
+                arrival: k as f64 * base * 0.2,
+                app: app(&format!("S{k}"), 2.5e10),
+            })
+            .collect();
+        let outcome = ClusterSim::new(platform, "AllProcCache", 5)
+            .run(&jobs)
+            .unwrap();
+        assert_eq!(outcome.metrics.completed, 4);
+        assert!(outcome.metrics.utilization <= 1.0 + 1e-12);
+    }
+}

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod algo;
+pub mod cluster;
 pub mod error;
 pub mod eval;
 pub mod model;
@@ -66,6 +67,7 @@ pub mod theory;
 pub mod tune;
 
 pub use algo::{BuildOrder, Choice, Outcome, Strategy};
+pub use cluster::{ClusterMetrics, ClusterOutcome, ClusterSim, Event, EventHeap, JobSpec};
 pub use error::{CoschedError, Result};
 pub use eval::{EvalScratch, EvalSet, EvalStats};
 pub use model::{Application, Assignment, Platform, Schedule};

@@ -371,6 +371,7 @@ fn history_to_json(history: &History, member_names: &[String]) -> Json {
             Json::obj([
                 ("explore_rounds", Json::from(config.explore_rounds)),
                 ("challenger_period", Json::from(config.challenger_period)),
+                ("window", Json::from(config.window)),
             ]),
         ),
         ("stats", tuner_stats_to_json(&history.stats())),
@@ -403,6 +404,9 @@ fn history_from_json(v: &Json) -> Result<History, String> {
     let config = TuneConfig {
         explore_rounds: u64_field(config_v, "explore_rounds")?,
         challenger_period: u64_field(config_v, "challenger_period")?,
+        // Absent in snapshots written before the window existed: those
+        // histories were unbounded by construction.
+        window: config_v.get("window").and_then(Json::as_u64).unwrap_or(0),
     };
     let stats = tuner_stats_from_json(field(v, "stats")?)?;
 
@@ -461,6 +465,8 @@ fn member_obs_to_json(obs: &MemberObs) -> Json {
         ("observations", Json::from(obs.observations)),
         ("wins", Json::from(obs.wins)),
         ("ratio_sum", Json::from(obs.ratio_sum)),
+        ("recent_obs", Json::from(obs.recent_obs)),
+        ("recent_ratio_sum", Json::from(obs.recent_ratio_sum)),
         ("kernel_calls", Json::from(obs.eval.kernel_calls)),
         ("apps_evaluated", Json::from(obs.eval.apps_evaluated)),
         // wall time deliberately dropped — see the module docs.
@@ -472,6 +478,12 @@ fn member_obs_from_json(v: &Json) -> Result<MemberObs, String> {
         observations: u64_field(v, "observations")?,
         wins: u64_field(v, "wins")?,
         ratio_sum: f64_field(v, "ratio_sum")?,
+        // Absent in pre-window snapshots; 0 = "nothing recent observed".
+        recent_obs: v.get("recent_obs").and_then(Json::as_f64).unwrap_or(0.0),
+        recent_ratio_sum: v
+            .get("recent_ratio_sum")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
         eval: EvalStats {
             kernel_calls: u64_field(v, "kernel_calls")?,
             apps_evaluated: u64_field(v, "apps_evaluated")?,

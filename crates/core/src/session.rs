@@ -406,6 +406,15 @@ impl Session {
         &self.auto
     }
 
+    /// Replaces the session's autotuner with a fresh one built from
+    /// `config` (e.g. a bounded observation window for drifting
+    /// workloads). Any history the old tuner had learned is discarded, so
+    /// call this before the first `"auto"` resolve — typically right
+    /// after constructing the session.
+    pub fn set_tuner_config(&mut self, config: crate::tune::TuneConfig) {
+        self.auto = Arc::new(Auto::with_config(config));
+    }
+
     /// Re-solves an instance with `solver`, warm-starting from the
     /// session's cached state.
     ///

@@ -59,6 +59,7 @@
 //! let auto = Auto::with_config(TuneConfig {
 //!     explore_rounds: 2,
 //!     challenger_period: 4,
+//!     window: 0,
 //! });
 //! // First solves explore (full portfolio), later solves run the leader.
 //! for _ in 0..4 {
@@ -97,6 +98,20 @@ pub struct TuneConfig {
     /// drifts and a different member starts winning, its ratio statistics
     /// improve until it takes the leadership.
     pub challenger_period: u64,
+    /// Effective observation window for leader selection, as a count of
+    /// recent comparative observations (0 = unbounded, the default).
+    ///
+    /// With `window = W > 0` every recorded ratio is folded into
+    /// exponentially-decayed accumulators with decay factor `1 − 1/W`
+    /// (so the last ~W observations dominate), and the leader is chosen
+    /// by the *decayed* mean ratio instead of the lifetime mean. Under a
+    /// drifting workload the lifetime mean can keep a stale leader in
+    /// place long after a different member started winning — the window
+    /// forgets the old regime at a rate the caller controls. With the
+    /// default `window = 0` the decayed accumulators are still recorded
+    /// but never consulted, so selections are bit-identical to the
+    /// unbounded policy.
+    pub window: u64,
 }
 
 impl Default for TuneConfig {
@@ -104,6 +119,19 @@ impl Default for TuneConfig {
         Self {
             explore_rounds: 4,
             challenger_period: 4,
+            window: 0,
+        }
+    }
+}
+
+impl TuneConfig {
+    /// The per-observation decay factor the window implies: `1 − 1/W`
+    /// for `window = W > 0`, or 1 (no forgetting) when unbounded.
+    pub fn decay(&self) -> f64 {
+        if self.window == 0 {
+            1.0
+        } else {
+            1.0 - 1.0 / self.window as f64
         }
     }
 }
@@ -233,6 +261,13 @@ pub struct MemberObs {
     /// Wall time this member spent solving in this bucket. Reported (the
     /// cost signal of the learned table); never consulted by the policy.
     pub wall: Duration,
+    /// Exponentially-decayed observation weight (the denominator of
+    /// [`Self::windowed_mean_ratio`]); equals `observations` when the
+    /// config's window is unbounded (decay 1).
+    pub recent_obs: f64,
+    /// Exponentially-decayed ratio accumulator (the numerator of
+    /// [`Self::windowed_mean_ratio`]).
+    pub recent_ratio_sum: f64,
 }
 
 impl MemberObs {
@@ -246,9 +281,23 @@ impl MemberObs {
         }
     }
 
-    fn record(&mut self, ratio: f64, won: bool, eval: EvalStats, wall: Duration) {
+    /// Windowed mean ratio: like [`Self::mean_ratio`] but over the
+    /// exponentially-decayed accumulators, so recent observations
+    /// dominate. Consulted by leader selection only when
+    /// [`TuneConfig::window`] is non-zero.
+    pub fn windowed_mean_ratio(&self) -> f64 {
+        if self.recent_obs > 0.0 {
+            self.recent_ratio_sum / self.recent_obs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn record(&mut self, ratio: f64, won: bool, eval: EvalStats, wall: Duration, decay: f64) {
         self.observations += 1;
         self.ratio_sum += ratio;
+        self.recent_obs = self.recent_obs * decay + 1.0;
+        self.recent_ratio_sum = self.recent_ratio_sum * decay + ratio;
         self.wins += u64::from(won);
         self.eval.merge(eval);
         self.wall += wall;
@@ -281,11 +330,24 @@ impl BucketHistory {
     /// by member index, so the choice is a pure function of
     /// `(history, seed)`.
     pub fn leader(&self, seed: u64) -> usize {
+        self.leader_with(false, seed)
+    }
+
+    /// [`Self::leader`] with an explicit choice of ranking statistic:
+    /// `windowed = true` ranks by the exponentially-decayed mean ratio
+    /// (the [`TuneConfig::window`] policy), `false` by the lifetime mean.
+    pub fn leader_with(&self, windowed: bool, seed: u64) -> usize {
+        let score = |i: usize| {
+            if windowed {
+                self.members[i].windowed_mean_ratio()
+            } else {
+                self.members[i].mean_ratio()
+            }
+        };
         (0..self.members.len())
             .min_by(|&a, &b| {
-                self.members[a]
-                    .mean_ratio()
-                    .total_cmp(&self.members[b].mean_ratio())
+                score(a)
+                    .total_cmp(&score(b))
                     .then_with(|| tie_mix(seed, a).cmp(&tie_mix(seed, b)))
                     .then(a.cmp(&b))
             })
@@ -315,7 +377,7 @@ impl BucketHistory {
     /// makespan, eval stats, wall)` for every member that produced an
     /// outcome this round. Ratios are taken against the round's best
     /// makespan; every sample at the best (ties included) counts a win.
-    fn observe(&mut self, samples: &[(usize, f64, EvalStats, Duration)]) {
+    fn observe(&mut self, samples: &[(usize, f64, EvalStats, Duration)], decay: f64) {
         debug_assert!(samples.len() >= 2, "a comparative round needs ≥ 2 members");
         let best = samples
             .iter()
@@ -329,7 +391,7 @@ impl BucketHistory {
             } else {
                 1.0
             };
-            self.members[index].record(ratio, makespan == best, eval, wall);
+            self.members[index].record(ratio, makespan == best, eval, wall, decay);
         }
         self.rounds += 1;
     }
@@ -510,6 +572,7 @@ impl Auto {
     /// Snapshot of the learned table, in deterministic signature order.
     pub fn table(&self) -> Vec<BucketReport> {
         let history = self.lock();
+        let windowed = history.config.window > 0;
         history
             .buckets
             .iter()
@@ -517,7 +580,7 @@ impl Auto {
                 signature,
                 rounds: bucket.rounds,
                 committed: bucket.committed,
-                leader: bucket.leader(0),
+                leader: bucket.leader_with(windowed, 0),
                 members: self
                     .names
                     .iter()
@@ -550,7 +613,7 @@ impl Auto {
         if bucket.rounds < config.explore_rounds || members == 1 {
             return Decision::Explore;
         }
-        let leader = bucket.leader(seed);
+        let leader = bucket.leader_with(config.window > 0, seed);
         let challenger = (config.challenger_period > 0
             && (bucket.committed + 1).is_multiple_of(config.challenger_period))
         .then(|| bucket.challenger(leader, seed));
@@ -587,12 +650,13 @@ impl Auto {
             })
             .collect();
         let mut history = self.lock();
+        let decay = history.config.decay();
         let bucket = history
             .buckets
             .get_mut(&sig)
             .expect("decide() created the bucket");
         if samples.len() >= 2 {
-            bucket.observe(&samples);
+            bucket.observe(&samples, decay);
         } else {
             // Not comparative (≤ 1 member succeeded); count the round so a
             // pathological bucket still leaves the explore phase.
@@ -633,6 +697,7 @@ impl Auto {
         });
 
         let mut history = self.lock();
+        let decay = history.config.decay();
         let bucket = history
             .buckets
             .get_mut(&sig)
@@ -641,15 +706,18 @@ impl Auto {
         let mut best = leader_outcome.clone();
         let mut challenger_won = false;
         if let Some((index, outcome, wall)) = challenge {
-            bucket.observe(&[
-                (
-                    leader,
-                    leader_outcome.makespan,
-                    leader_outcome.eval_stats,
-                    leader_wall,
-                ),
-                (index, outcome.makespan, outcome.eval_stats, wall),
-            ]);
+            bucket.observe(
+                &[
+                    (
+                        leader,
+                        leader_outcome.makespan,
+                        leader_outcome.eval_stats,
+                        leader_wall,
+                    ),
+                    (index, outcome.makespan, outcome.eval_stats, wall),
+                ],
+                decay,
+            );
             if outcome.makespan < leader_outcome.makespan {
                 best = outcome;
                 challenger_won = true;
@@ -769,6 +837,7 @@ mod tests {
         let config = TuneConfig {
             explore_rounds: 2,
             challenger_period: 3,
+            window: 0,
         };
         let auto = Auto::with_config(config);
         let portfolio = Portfolio::new(solver::all());
@@ -840,6 +909,7 @@ mod tests {
             let auto = Auto::with_config(TuneConfig {
                 explore_rounds: 2,
                 challenger_period: 2,
+                window: 0,
             });
             let mut makespans = Vec::new();
             for step in 0..8u64 {
@@ -864,6 +934,7 @@ mod tests {
         let auto = Auto::with_config(TuneConfig {
             explore_rounds: 1,
             challenger_period: 1, // every committed round runs a challenger
+            window: 0,
         });
         for _ in 0..30 {
             auto.solve(&inst, &mut SolveCtx::seeded(3)).unwrap();
@@ -892,6 +963,7 @@ mod tests {
         let auto = Auto::with_config(TuneConfig {
             explore_rounds: 1,
             challenger_period: 0,
+            window: 0,
         });
         for _ in 0..10 {
             auto.solve(&inst, &mut SolveCtx::seeded(5)).unwrap();
@@ -920,10 +992,77 @@ mod tests {
         let auto = Auto::with_config(TuneConfig {
             explore_rounds: 1,
             challenger_period: 0,
+            window: 0,
         });
         auto.solve(&inst, &mut SolveCtx::seeded(2)).unwrap();
         let table = auto.table();
         let total_wall: Duration = table[0].members.iter().map(|(_, o)| o.wall).sum();
         assert!(total_wall > Duration::ZERO, "explore must record wall time");
+    }
+
+    #[test]
+    fn windowed_leader_adapts_to_drift_while_unbounded_stays() {
+        let mut bucket = BucketHistory::new(2);
+        let decay = TuneConfig {
+            window: 4,
+            ..TuneConfig::default()
+        }
+        .decay();
+        let round = |winner: usize| {
+            let mut samples = [
+                (0usize, 1.5, EvalStats::default(), Duration::ZERO),
+                (1usize, 1.5, EvalStats::default(), Duration::ZERO),
+            ];
+            samples[winner].1 = 1.0;
+            samples
+        };
+        // Regime A: member 0 wins 20 rounds — both statistics agree.
+        for _ in 0..20 {
+            bucket.observe(&round(0), decay);
+        }
+        assert_eq!(bucket.leader_with(false, 0), 0);
+        assert_eq!(bucket.leader_with(true, 0), 0);
+        // Regime B: member 1 wins 6 rounds. The lifetime mean is still
+        // dominated by regime A; the 4-observation window has moved on.
+        for _ in 0..6 {
+            bucket.observe(&round(1), decay);
+        }
+        assert_eq!(
+            bucket.leader_with(false, 0),
+            0,
+            "unbounded mean must still prefer the regime-A winner"
+        );
+        assert_eq!(
+            bucket.leader_with(true, 0),
+            1,
+            "windowed mean must have switched to the regime-B winner"
+        );
+    }
+
+    #[test]
+    fn windowed_policy_matches_unbounded_on_a_stable_workload() {
+        // Without drift the recent mean and the lifetime mean rank the
+        // members the same way, so a windowed tuner must answer the
+        // identical makespans (the window only matters under drift).
+        let inst = instance();
+        let run = |config: TuneConfig| {
+            let auto = Auto::with_config(config);
+            let makespans: Vec<u64> = (0..24)
+                .map(|k| {
+                    auto.solve(&inst, &mut SolveCtx::seeded(900 + k))
+                        .unwrap()
+                        .makespan
+                        .to_bits()
+                })
+                .collect();
+            (makespans, auto.tuner_stats())
+        };
+        let (unbounded_makespans, unbounded_stats) = run(TuneConfig::default());
+        let (windowed_makespans, windowed_stats) = run(TuneConfig {
+            window: 8,
+            ..TuneConfig::default()
+        });
+        assert_eq!(unbounded_makespans, windowed_makespans);
+        assert_eq!(unbounded_stats, windowed_stats);
     }
 }

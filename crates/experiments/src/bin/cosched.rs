@@ -70,6 +70,7 @@ fn main() -> ExitCode {
         Some("standby") => return standby_main(args.split_off(1)),
         Some("client") => return client_main(args.split_off(1)),
         Some("tune") => return tune_main(args.split_off(1)),
+        Some("cluster") => return cluster_main(args.split_off(1)),
         _ => {}
     }
     let mut input: Option<String> = None;
@@ -298,14 +299,16 @@ fn usage(msg: &str) -> ExitCode {
         "usage: cosched <apps.csv | --demo | --list-strategies> [--procs N] [--cache-gb G] \
          [--ways W] [--seed S] [--strategy NAME] [--eval-stats]\n\
          \x20      cosched serve [--addr HOST:PORT] [--workers N] [--reactor on|off|auto] \
-         [--strategy NAME] [--allow-shutdown] [--durability none|log|fsync] [--wal-dir DIR] \
-         [--restore DIR] [--snapshot-every N] [--smoke] [--smoke-recover] \
-         [--smoke-fanin [--connections N]]\n\
+         [--strategy NAME] [--tuner-window N] [--allow-shutdown] \
+         [--durability none|log|fsync] [--wal-dir DIR] [--restore DIR] [--snapshot-every N] \
+         [--smoke] [--smoke-recover] [--smoke-fanin [--connections N]]\n\
          \x20      cosched standby --dir DIR [--interval-ms N] [--once] [--promote HOST:PORT] \
          [--primary HOST:PORT --probe-fails N] [--strategy NAME]\n\
          \x20      cosched client [--addr HOST:PORT] [--send JSON]... [--requests FILE] \
          [--batch] [--retries N] [--frame json|binary]\n\
-         \x20      cosched tune [--solves N] [--seed S] [--smoke]\n\
+         \x20      cosched tune [--solves N] [--seed S] [--window N] [--smoke]\n\
+         \x20      cosched cluster [--profile constant|step|bursty] [--rate R] [--horizon H] \
+         [--seed S] [--solver NAME] [--window N] [--trace] [--smoke]\n\
          strategies: {}",
         solver::names().join(", ")
     );
@@ -335,6 +338,7 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     let mut restore = false;
     let mut snapshot_every: Option<u64> = None;
     let mut reactor = ReactorMode::Auto;
+    let mut tuner_window = 0u64;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -388,6 +392,10 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 Some(n) if n >= 1 => snapshot_every = Some(n),
                 _ => return usage("--snapshot-every expects an integer >= 1"),
             },
+            "--tuner-window" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => tuner_window = n,
+                None => return usage("--tuner-window expects an integer >= 0 (0 = unbounded)"),
+            },
             other => return usage(&format!("unknown serve flag {other}")),
         }
     }
@@ -422,6 +430,7 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     server.config_mut().durability = durability;
     server.config_mut().wal_dir = wal_dir.clone();
     server.config_mut().restore = restore;
+    server.config_mut().tuner_window = tuner_window;
     if let Some(n) = snapshot_every {
         server.config_mut().snapshot_every = n;
     }
@@ -1160,6 +1169,10 @@ fn tune_main(args: Vec<String>) -> ExitCode {
                 Some(s) => spec.seed = s,
                 None => return usage("--seed expects an integer"),
             },
+            "--window" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(w) => spec.window = w,
+                None => return usage("--window expects an integer >= 0 (0 = unbounded)"),
+            },
             "--smoke" => smoke = true,
             other => return usage(&format!("unknown tune flag {other}")),
         }
@@ -1174,8 +1187,14 @@ fn tune_main(args: Vec<String>) -> ExitCode {
     };
     let stats = comparison.auto.tuner_stats();
     println!(
-        "# cosched tune — NPB-6 mutation/solve trace, {} solves, seed {}",
-        spec.solves, spec.seed
+        "# cosched tune — NPB-6 mutation/solve trace, {} solves, seed {}{}",
+        spec.solves,
+        spec.seed,
+        if spec.window > 0 {
+            format!(", window {}", spec.window)
+        } else {
+            String::new()
+        }
     );
     println!(
         "# auto: {} explored + {} committed rounds, {} challenger wins",
@@ -1236,6 +1255,200 @@ fn tune_main(args: Vec<String>) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `cosched cluster`: sample a seeded arrival stream from a rate profile,
+/// replay it through the [`coschedule::cluster`] discrete-event simulator
+/// (arrivals `add_app`, departures `remove_app`, a re-solve per event),
+/// and print makespan / response-time percentiles / utilization. With
+/// `--trace`, also print the event trace; with `--smoke`, verify
+/// determinism (a rerun must reproduce trace, ops, and metrics byte for
+/// byte), closed-loop sanity (every job completes, utilization ∈ (0, 1],
+/// ordered percentiles), and the serve replay (the op log fed through
+/// `cosched serve` at `--workers 1` and `--workers 4` must answer
+/// byte-identically) — exiting non-zero on any violation (the CI
+/// self-test).
+fn cluster_main(args: Vec<String>) -> ExitCode {
+    use experiments::cluster::{render_metrics, request_trace, run, ClusterSpec};
+    let mut spec = ClusterSpec::default();
+    let mut smoke = false;
+    let mut print_trace = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--profile" => match iter.next().map(|v| v.parse()) {
+                Some(Ok(kind)) => spec.profile = kind,
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--profile expects constant, step, or bursty"),
+            },
+            "--rate" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r > 0.0 => spec.rate = r,
+                _ => return usage("--rate expects a number > 0 (jobs per reference unit)"),
+            },
+            "--horizon" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(h) if h > 0.0 => spec.horizon = h,
+                _ => return usage("--horizon expects a number > 0 (reference units)"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => spec.seed = s,
+                None => return usage("--seed expects an integer"),
+            },
+            "--solver" => match iter.next() {
+                // Validated through the registry so a typo fails before
+                // the simulation starts ("auto" is registered too).
+                Some(name) => match solver::by_name(&name) {
+                    Ok(s) => spec.solver = s.name(),
+                    Err(e) => return usage(&e.to_string()),
+                },
+                None => return usage("--solver expects a name"),
+            },
+            "--window" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(w) => spec.window = w,
+                None => return usage("--window expects an integer >= 0 (0 = unbounded)"),
+            },
+            "--trace" => print_trace = true,
+            "--smoke" => smoke = true,
+            other => return usage(&format!("unknown cluster flag {other}")),
+        }
+    }
+
+    let first = match run(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# cosched cluster — profile {}, rate {} jobs/unit, horizon {} units, seed {}, \
+         solver {}{}",
+        spec.profile.name(),
+        spec.rate,
+        spec.horizon,
+        spec.seed,
+        spec.solver,
+        if spec.window > 0 {
+            format!(", window {}", spec.window)
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "# reference unit: {:.6e} s (mean NPB-6 full-machine solo execution)",
+        first.unit
+    );
+    if print_trace {
+        for line in &first.outcome.trace {
+            println!("{line}");
+        }
+    }
+    print!("{}", render_metrics(&first));
+    if !smoke {
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ok = true;
+    let m = first.outcome.metrics;
+    if m.jobs == 0 {
+        eprintln!("smoke failed: the spec generated no jobs");
+        ok = false;
+    }
+    if m.completed != m.jobs {
+        eprintln!(
+            "smoke failed: {} of {} jobs never completed",
+            m.jobs - m.completed,
+            m.jobs
+        );
+        ok = false;
+    }
+    if !(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-12) {
+        eprintln!("smoke failed: utilization {} outside (0, 1]", m.utilization);
+        ok = false;
+    }
+    if !(m.p50_response <= m.p95_response && m.p95_response <= m.p99_response) {
+        eprintln!("smoke failed: response percentiles are not ordered");
+        ok = false;
+    }
+    match run(&spec) {
+        Ok(second) => {
+            if second.outcome.trace != first.outcome.trace
+                || second.outcome.ops != first.outcome.ops
+                || render_metrics(&second) != render_metrics(&first)
+            {
+                eprintln!("smoke failed: a rerun under the same seed diverged");
+                ok = false;
+            }
+        }
+        Err(e) => {
+            eprintln!("smoke failed: rerun errored: {e}");
+            ok = false;
+        }
+    }
+
+    // Closed-loop serve replay: the simulator's op log, fed through the
+    // real server. A deterministic registry solver must answer
+    // byte-identically at any worker count ("auto" learns per shard
+    // session, so only the per-response ok flags are checked for it).
+    let lines = request_trace(&first.outcome);
+    match (
+        cluster_serve_replay(&lines, 1),
+        cluster_serve_replay(&lines, 4),
+    ) {
+        (Ok(solo), Ok(sharded)) => {
+            let all_ok = |responses: &[String]| {
+                responses.iter().all(|r| {
+                    minijson::Json::parse(r)
+                        .ok()
+                        .and_then(|v| v.get("ok").and_then(minijson::Json::as_bool))
+                        .unwrap_or(false)
+                })
+            };
+            if !all_ok(&solo) || !all_ok(&sharded) {
+                eprintln!("smoke failed: the serve replay rejected a request");
+                ok = false;
+            }
+            if spec.solver != "auto" && solo != sharded {
+                eprintln!(
+                    "smoke failed: the sharded replay diverged from the single-worker replay"
+                );
+                ok = false;
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("smoke failed: serve replay: {e}");
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "# cluster smoke ok: {} jobs, {} re-solves, serve replay byte-identical at \
+             --workers 1 and 4",
+            m.jobs, m.resolves
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Replays `lines` through a loopback `cosched serve` at `workers` shards
+/// and returns the responses (the trailing `shutdown` exchange is
+/// dropped — it only stops the server).
+fn cluster_serve_replay(lines: &[String], workers: usize) -> Result<Vec<String>, String> {
+    let mut server = Server::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    server.config_mut().workers = workers;
+    server.config_mut().allow_shutdown = true;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = std::thread::spawn(move || server.run());
+    let mut script = lines.to_vec();
+    script.push(r#"{"op":"shutdown"}"#.to_string());
+    let mut responses = client_exchange(local, &script).map_err(|e| e.to_string())?;
+    responses.pop();
+    match handle.join() {
+        Ok(Ok(())) => Ok(responses),
+        Ok(Err(e)) => Err(format!("server errored: {e}")),
+        Err(_) => Err("server thread panicked".to_string()),
     }
 }
 

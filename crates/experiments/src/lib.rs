@@ -23,6 +23,7 @@
 //! mutation/solve trace and prints the learned table.
 
 pub mod appcsv;
+pub mod cluster;
 pub mod config;
 pub mod figures;
 pub mod output;

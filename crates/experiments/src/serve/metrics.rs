@@ -129,6 +129,104 @@ pub struct NetReport {
     pub bytes_out: u64,
 }
 
+/// A fixed-size log2-bucket latency histogram: bucket `i` counts
+/// requests whose dispatch latency `ns` satisfies `⌊log2 ns⌋ = i`
+/// (bucket 0 additionally holds sub-nanosecond readings). 64 buckets
+/// cover the whole `u64` nanosecond range, recording is one shift and
+/// two increments, and histograms **merge exactly** — so per-shard
+/// histograms sum into a cross-shard percentile without resampling.
+///
+/// Percentiles are nearest-rank over the buckets and report the bucket's
+/// upper bound — a ≤ 2× overestimate, never an underestimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; 64],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; 64],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency reading.
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        };
+        self.counts[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Adds another histogram's counts (the cross-shard merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
+    /// Readings recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Nearest-rank percentile in nanoseconds (0 when empty).
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_bound(bucket);
+            }
+        }
+        Self::upper_bound(63)
+    }
+
+    /// The largest latency bucket `i` can hold.
+    fn upper_bound(bucket: usize) -> u64 {
+        if bucket >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (bucket + 1)) - 1
+        }
+    }
+
+    /// The headline numbers for the `metrics` op.
+    pub fn report(&self) -> LatencyReport {
+        LatencyReport {
+            count: self.count,
+            p50_ns: self.percentile_ns(0.50),
+            p95_ns: self.percentile_ns(0.95),
+            p99_ns: self.percentile_ns(0.99),
+        }
+    }
+}
+
+/// Headline latency numbers of one [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyReport {
+    /// Requests measured.
+    pub count: u64,
+    /// Median dispatch latency (bucket upper bound, ns).
+    pub p50_ns: u64,
+    /// 95th-percentile dispatch latency (bucket upper bound, ns).
+    pub p95_ns: u64,
+    /// 99th-percentile dispatch latency (bucket upper bound, ns).
+    pub p99_ns: u64,
+}
+
 /// One shard's row of the `metrics` response.
 #[derive(Debug, Clone)]
 pub struct ShardReport {
@@ -150,13 +248,24 @@ pub struct ShardReport {
     /// front-ends, in which case no net fields appear in the response
     /// (same pattern as `wal`).
     pub net: Option<NetReport>,
+    /// Dispatch-latency histogram — `None` until the shard has answered
+    /// at least one routed request, in which case no `latency_*` fields
+    /// appear (same opt-in pattern as `wal`/`net`; the histogram lives
+    /// in memory only, so a freshly restored server starts empty).
+    pub latency: Option<LatencyHistogram>,
 }
 
 /// Serializes the `metrics` op response: per-shard rows plus the request
 /// total. The single-session server reports itself as one shard of one.
 pub(super) fn metrics_body(workers: usize, reports: &[ShardReport]) -> Json {
     let total: u64 = reports.iter().map(|r| r.requests).sum();
-    Json::obj([
+    // Per-shard histograms merge exactly, so the top-level percentiles
+    // are computed over every recorded request, not averaged estimates.
+    let mut merged = LatencyHistogram::default();
+    for hist in reports.iter().filter_map(|r| r.latency.as_ref()) {
+        merged.merge(hist);
+    }
+    let mut body = Json::obj([
         ("ok", Json::from(true)),
         ("workers", Json::from(workers)),
         ("requests", Json::from(total)),
@@ -211,10 +320,27 @@ pub(super) fn metrics_body(workers: usize, reports: &[ShardReport]) -> Json {
                     pairs.push(("bytes_in".to_string(), Json::from(net.bytes_in)));
                     pairs.push(("bytes_out".to_string(), Json::from(net.bytes_out)));
                 }
+                if let (Json::Obj(pairs), Some(hist)) = (&mut row, r.latency.as_ref()) {
+                    let lat = hist.report();
+                    pairs.push(("latency_count".to_string(), Json::from(lat.count)));
+                    pairs.push(("latency_p50_ns".to_string(), Json::from(lat.p50_ns)));
+                    pairs.push(("latency_p95_ns".to_string(), Json::from(lat.p95_ns)));
+                    pairs.push(("latency_p99_ns".to_string(), Json::from(lat.p99_ns)));
+                }
                 row
             })),
         ),
-    ])
+    ]);
+    if let Json::Obj(pairs) = &mut body {
+        if merged.count() > 0 {
+            let lat = merged.report();
+            pairs.push(("latency_count".to_string(), Json::from(lat.count)));
+            pairs.push(("latency_p50_ns".to_string(), Json::from(lat.p50_ns)));
+            pairs.push(("latency_p95_ns".to_string(), Json::from(lat.p95_ns)));
+            pairs.push(("latency_p99_ns".to_string(), Json::from(lat.p99_ns)));
+        }
+    }
+    body
 }
 
 #[cfg(test)]
@@ -247,6 +373,7 @@ mod tests {
                 stats: SessionStats::default(),
                 wal: None,
                 net: None,
+                latency: None,
             },
             ShardReport {
                 shard: 1,
@@ -256,6 +383,7 @@ mod tests {
                 stats: SessionStats::default(),
                 wal: None,
                 net: None,
+                latency: None,
             },
         ];
         let v = metrics_body(2, &rows);
@@ -287,6 +415,7 @@ mod tests {
                 replayed: 4,
             }),
             net: None,
+            latency: None,
         };
         let v = metrics_body(1, &[row]);
         let shards = v.get("shards").and_then(Json::as_array).unwrap();
@@ -322,6 +451,7 @@ mod tests {
             stats: SessionStats::default(),
             wal: None,
             net: Some(net.report()),
+            latency: None,
         };
         let v = metrics_body(1, &[row]);
         let shards = v.get("shards").and_then(Json::as_array).unwrap();
@@ -335,5 +465,98 @@ mod tests {
         );
         assert_eq!(shards[0].get("bytes_in").and_then(Json::as_u64), Some(10));
         assert_eq!(shards[0].get("bytes_out").and_then(Json::as_u64), Some(25));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2_and_reports_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        // 0 and 1 land in bucket 0 (upper bound 1 ns).
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile_ns(0.50), 1);
+        // 1000 ns lands in bucket 9 = [512, 1023]; as the top reading it
+        // becomes every high percentile's (upper-bound) answer.
+        h.record(1000);
+        assert_eq!(h.percentile_ns(0.99), 1023);
+        assert_eq!(h.percentile_ns(0.50), 1);
+        let r = h.report();
+        assert_eq!(r.count, 3);
+        assert!(r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns);
+        // u64::MAX saturates into the top bucket without panicking.
+        h.record(u64::MAX);
+        assert_eq!(h.percentile_ns(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histograms_merge_exactly() {
+        let readings = [3u64, 40, 40, 900, 7_000, 250_000, 8_000_000];
+        let mut whole = LatencyHistogram::default();
+        let mut left = LatencyHistogram::default();
+        let mut right = LatencyHistogram::default();
+        for (i, &ns) in readings.iter().enumerate() {
+            whole.record(ns);
+            if i % 2 == 0 {
+                left.record(ns)
+            } else {
+                right.record(ns)
+            }
+        }
+        let mut merged = LatencyHistogram::default();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.report(), whole.report());
+    }
+
+    #[test]
+    fn latency_columns_appear_per_shard_and_merged() {
+        let mut slow = LatencyHistogram::default();
+        slow.record(1 << 20);
+        let mut fast = LatencyHistogram::default();
+        fast.record(100);
+        let base = ShardReport {
+            shard: 0,
+            requests: 1,
+            queue_depth: 0,
+            instances: 0,
+            stats: SessionStats::default(),
+            wal: None,
+            net: None,
+            latency: Some(slow),
+        };
+        let rows = [
+            base.clone(),
+            ShardReport {
+                shard: 1,
+                latency: Some(fast),
+                ..base
+            },
+        ];
+        let v = metrics_body(2, &rows);
+        let shards = v.get("shards").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            shards[0].get("latency_count").and_then(Json::as_u64),
+            Some(1)
+        );
+        // The top-level percentiles come from the merged histogram: its
+        // p99 is the slow shard's reading, its p50 the fast shard's.
+        assert_eq!(v.get("latency_count").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            v.get("latency_p99_ns").and_then(Json::as_u64),
+            Some((1u64 << 21) - 1)
+        );
+        assert_eq!(v.get("latency_p50_ns").and_then(Json::as_u64), Some(127));
+        // Idle shards opt out: no latency columns anywhere.
+        let idle = metrics_body(
+            1,
+            &[ShardReport {
+                latency: None,
+                ..rows[0].clone()
+            }],
+        );
+        assert!(idle.get("latency_count").is_none());
+        let shards = idle.get("shards").and_then(Json::as_array).unwrap();
+        assert!(shards[0].get("latency_count").is_none());
     }
 }

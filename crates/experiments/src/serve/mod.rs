@@ -145,6 +145,13 @@ pub struct ServeConfig {
     /// on|off|auto`); irrelevant at `workers == 1` (the sequential
     /// server has no per-connection threads either way).
     pub reactor: ReactorMode,
+    /// Observation window for each shard session's `"auto"` tuner
+    /// (`--tuner-window N`): 0 keeps the default unbounded statistics,
+    /// `N > 0` ranks leaders by exponentially-decayed observations with
+    /// half-weight ≈ `N` solves (see
+    /// [`coschedule::tune::TuneConfig::window`]). Restored servers keep
+    /// the window their snapshots were persisted with.
+    pub tuner_window: u64,
 }
 
 /// Choice of sharded front-end (see [`ServeConfig::reactor`]).
@@ -194,6 +201,7 @@ impl Default for ServeConfig {
             restore: false,
             snapshot_every: wal::DEFAULT_SNAPSHOT_EVERY,
             reactor: ReactorMode::Auto,
+            tuner_window: 0,
         }
     }
 }
@@ -242,8 +250,14 @@ pub fn build_states(config: &mut ServeConfig) -> Result<Vec<ServeState>, String>
                 recovered.next_generation,
             )
         } else {
-            let mut state =
-                ServeState::with_session(Session::with_id_stride(shard as u64, shards as u64));
+            let mut session = Session::with_id_stride(shard as u64, shards as u64);
+            if config.tuner_window > 0 {
+                session.set_tuner_config(coschedule::tune::TuneConfig {
+                    window: config.tuner_window,
+                    ..Default::default()
+                });
+            }
+            let mut state = ServeState::with_session(session);
             state.default_solver = config.default_solver.clone();
             state.default_seed = config.default_seed;
             (state, 0, 0)

@@ -18,8 +18,32 @@ use coschedule::session::{InstanceInfo, Session, SessionStats};
 use coschedule::solver;
 use minijson::Json;
 
-use super::metrics::{metrics_body, ShardReport};
+use super::metrics::{metrics_body, LatencyHistogram, ShardReport};
 use super::wal::{WalStats, WalWriter};
+
+/// Every op the protocol understands, in dispatch order — the single
+/// source of truth behind unknown-op errors, which list the available
+/// ops the same way [`coschedule::error::CoschedError::UnknownSolver`]
+/// lists the registered solvers.
+pub const OPS: &[&str] = &[
+    "create",
+    "mutate",
+    "add_app",
+    "remove_app",
+    "update_app",
+    "set_platform",
+    "solve",
+    "batch",
+    "stats",
+    "list",
+    "solvers",
+    "metrics",
+    "close",
+    "shutdown",
+];
+
+/// The actions the `mutate` envelope (and its aliases) accepts.
+pub const MUTATIONS: &[&str] = &["add_app", "remove_app", "update_app", "set_platform"];
 
 /// Protocol state: the session plus serve-level knobs.
 pub struct ServeState {
@@ -42,6 +66,10 @@ pub struct ServeState {
     /// *before* dispatching; the transport layer calls
     /// [`ServeState::wal_commit`] before the reply escapes.
     wal: Option<WalWriter>,
+    /// Dispatch latency of every shard-routed request (the same requests
+    /// the `requests` counter counts). In-memory only — deliberately not
+    /// persisted, so a restored server starts with a fresh histogram.
+    latency: LatencyHistogram,
 }
 
 impl Default for ServeState {
@@ -67,6 +95,7 @@ impl ServeState {
             shutdown_requested: false,
             requests: 0,
             wal: None,
+            latency: LatencyHistogram::default(),
         }
     }
 
@@ -134,6 +163,13 @@ impl ServeState {
     pub fn requests(&self) -> u64 {
         self.requests
     }
+
+    /// The dispatch-latency histogram, `None` until a shard-routed
+    /// request has been answered — the `metrics` op omits `latency_*`
+    /// columns for an idle (or freshly restored) shard.
+    pub fn latency_snapshot(&self) -> Option<LatencyHistogram> {
+        (self.latency.count() > 0).then_some(self.latency)
+    }
 }
 
 /// Handles one request line, returning the response line (without the
@@ -181,6 +217,15 @@ pub fn respond(state: &mut ServeState, request: &Json) -> Json {
         // Count what a shard queue would carry; global ops are answered
         // by the router in the sharded server and never reach a shard.
         state.requests += 1;
+        let started = std::time::Instant::now();
+        let result = dispatch(state, request);
+        state
+            .latency
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        return match result {
+            Ok(body) => body,
+            Err(message) => error_response(&message, request.get("id").and_then(Json::as_u64)),
+        };
     }
     match dispatch(state, request) {
         Ok(body) => body,
@@ -227,6 +272,7 @@ fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
                 wal: state.wal_stats(),
                 // The sequential server has no reactor; no net columns.
                 net: None,
+                latency: state.latency_snapshot(),
             }],
         )),
         "close" => op_close(state, request),
@@ -238,8 +284,8 @@ fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
             Ok(shutdown_body())
         }
         other => Err(format!(
-            "unknown op {other:?}; expected create, mutate, solve, batch, stats, list, \
-             solvers, metrics, close, or shutdown"
+            "unknown op {other:?}; available: {}",
+            OPS.join(", ")
         )),
     }
 }
@@ -436,7 +482,12 @@ fn apply_mutation(state: &mut ServeState, request: &Json, action: &str) -> Resul
             )?;
             handle.set_platform(platform).map_err(|e| e.to_string())?;
         }
-        other => return Err(format!("unknown mutation action {other:?}")),
+        other => {
+            return Err(format!(
+                "unknown mutation action {other:?}; available: {}",
+                MUTATIONS.join(", ")
+            ))
+        }
     }
     let mut body = state_header(state, id);
     body.extend(extras);
@@ -799,6 +850,50 @@ mod tests {
                 .unwrap()
                 > 0
         );
+        // Both routed requests were timed; the merged top-level columns
+        // mirror the single shard's histogram.
+        assert_eq!(
+            shards[0].get("latency_count").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(v.get("latency_count").and_then(Json::as_u64), Some(2));
+        let p50 = v.get("latency_p50_ns").and_then(Json::as_u64).unwrap();
+        let p95 = v.get("latency_p95_ns").and_then(Json::as_u64).unwrap();
+        let p99 = v.get("latency_p99_ns").and_then(Json::as_u64).unwrap();
+        assert!(0 < p50 && p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn idle_state_reports_no_latency_columns() {
+        // Global ops are not shard-routed, so they are neither counted
+        // nor timed — the latency columns only appear once a routed
+        // request has been dispatched.
+        let mut state = ServeState::new();
+        let v = ok(&handle_line(&mut state, r#"{"op":"metrics"}"#));
+        assert!(v.get("latency_count").is_none());
+        let shards = v.get("shards").and_then(Json::as_array).unwrap();
+        assert!(shards[0].get("latency_count").is_none());
+        assert!(state.latency_snapshot().is_none());
+    }
+
+    #[test]
+    fn unknown_op_and_mutation_errors_list_what_is_available() {
+        let mut state = ServeState::new();
+        let v = Json::parse(&handle_line(&mut state, r#"{"op":"frobnicate"}"#)).unwrap();
+        let error = v.get("error").and_then(Json::as_str).unwrap();
+        for op in OPS {
+            assert!(error.contains(op), "{op} missing from {error}");
+        }
+        let _ = ok(&handle_line(&mut state, &npb_create_line()));
+        let v = Json::parse(&handle_line(
+            &mut state,
+            r#"{"op":"mutate","id":0,"action":"frobnicate"}"#,
+        ))
+        .unwrap();
+        let error = v.get("error").and_then(Json::as_str).unwrap();
+        for action in MUTATIONS {
+            assert!(error.contains(action), "{action} missing from {error}");
+        }
     }
 
     #[test]

@@ -200,6 +200,7 @@ impl Router {
                         stats: snapshot.stats,
                         wal: snapshot.wal,
                         net,
+                        latency: snapshot.latency,
                     })
                     .collect();
                 let body = super::metrics::metrics_body(self.workers.len(), &reports);
@@ -344,6 +345,7 @@ impl Router {
                     stats: Default::default(),
                     infos: Vec::new(),
                     wal: None,
+                    latency: None,
                 })
             })
             .collect()

@@ -22,7 +22,7 @@ use std::thread::JoinHandle;
 use coschedule::session::{InstanceInfo, SessionStats};
 use minijson::Json;
 
-use super::metrics::ShardMetrics;
+use super::metrics::{LatencyHistogram, ShardMetrics};
 use super::protocol::{self, ServeState};
 use super::wal::WalStats;
 
@@ -109,6 +109,7 @@ pub(super) struct ShardSnapshot {
     pub stats: SessionStats,
     pub infos: Vec<InstanceInfo>,
     pub wal: Option<WalStats>,
+    pub latency: Option<LatencyHistogram>,
 }
 
 /// A running shard: its queue sender, its counters, and its thread.
@@ -198,6 +199,7 @@ fn run(
                     stats: state.session().stats(),
                     infos: state.session().list(),
                     wal: state.wal_stats(),
+                    latency: state.latency_snapshot(),
                 });
             }
         }

@@ -36,6 +36,11 @@ pub struct TraceSpec {
     pub solves: usize,
     /// Root seed: mutations and every solve's `SolveCtx` derive from it.
     pub seed: u64,
+    /// Tuner observation window (`cosched tune --window`): 0 keeps the
+    /// default unbounded statistics, `W > 0` ranks leaders by
+    /// exponentially-decayed observations with half-weight ≈ `W` solves
+    /// (see [`coschedule::tune::TuneConfig::window`]).
+    pub window: u64,
 }
 
 impl Default for TraceSpec {
@@ -43,6 +48,7 @@ impl Default for TraceSpec {
         Self {
             solves: 64,
             seed: 0xC05,
+            window: 0,
         }
     }
 }
@@ -121,6 +127,12 @@ pub fn apply_mutation(session: &mut Session, id: InstanceId, t: usize, seed: u64
 /// itself is always valid).
 pub fn replay(solver: &str, spec: &TraceSpec) -> Result<Replay> {
     let mut session = Session::new();
+    if spec.window > 0 {
+        session.set_tuner_config(coschedule::tune::TuneConfig {
+            window: spec.window,
+            ..Default::default()
+        });
+    }
     let id = session.create(npb6(&[0.05]), Platform::taihulight())?;
     let mut steps = Vec::with_capacity(spec.solves);
     let mut previous = session.stats().tuner;
@@ -251,6 +263,7 @@ mod tests {
         let spec = TraceSpec {
             solves: 24,
             seed: 11,
+            window: 0,
         };
         let a = replay("auto", &spec).unwrap();
         let b = replay("auto", &spec).unwrap();
@@ -273,6 +286,7 @@ mod tests {
         let comparison = compare(&TraceSpec {
             solves: 32,
             seed: 5,
+            window: 0,
         })
         .unwrap();
         assert!(comparison.committed_steps > 0);
@@ -300,7 +314,15 @@ mod tests {
 
     #[test]
     fn table_renders_every_member_and_marks_a_leader() {
-        let replayed = replay("auto", &TraceSpec { solves: 8, seed: 3 }).unwrap();
+        let replayed = replay(
+            "auto",
+            &TraceSpec {
+                solves: 8,
+                seed: 3,
+                window: 0,
+            },
+        )
+        .unwrap();
         let text = format_table(&replayed.session);
         for name in replayed.session.tuner().member_names() {
             assert!(text.contains(name.as_str()), "table must list {name}");

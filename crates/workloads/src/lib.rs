@@ -12,10 +12,12 @@
 //! Unless a dataset is requested perfectly parallel, each application draws
 //! a sequential fraction `s_i` uniformly in `[0.01, 0.15]` (§6.1).
 
+pub mod arrivals;
 pub mod npb;
 pub mod rng;
 pub mod synth;
 
+pub use arrivals::{jobs_from_arrivals, npb_jobs, sample_arrivals, RateProfile};
 pub use npb::{npb6, NpbBenchmark, NPB_TABLE};
 pub use rng::seeded_rng;
 pub use synth::{Dataset, SeqFraction};

@@ -1,0 +1,173 @@
+//! Property tests for the dynamic-cluster building blocks: the
+//! [`coschedule::cluster::EventHeap`] ordering contract and the
+//! [`workloads::arrivals`] rate-profile samplers.
+//!
+//! The properties pin exactly what the closed-loop simulation relies on:
+//! pops come out in a deterministic total order (time, then insertion
+//! sequence), same-seed sampling replays byte-identically, thinning never
+//! manufactures arrivals beyond its constant-rate envelope, and every
+//! arrival lands strictly inside the requested horizon.
+
+use coschedule::cluster::{ClusterSim, EventHeap, JobSpec};
+use coschedule::model::Platform;
+use proptest::prelude::*;
+use workloads::arrivals::{jobs_from_arrivals, sample_arrivals, RateProfile};
+use workloads::npb::npb6;
+
+/// A small but shape-diverse rate profile: constant, sorted piecewise
+/// steps, or a sinusoidal burst cycle (`kind` selects the family; the
+/// parameter tuple is reinterpreted per family).
+fn arb_profile() -> impl Strategy<Value = RateProfile> {
+    (
+        0u8..3,
+        (0.1f64..5.0, 0.0f64..3.0, 0.5f64..5.0),
+        proptest::collection::vec((0.0f64..10.0, 0.0f64..5.0), 1..5),
+    )
+        .prop_map(|(kind, (a, b, c), mut steps)| match kind {
+            0 => RateProfile::Constant { rate: a },
+            1 => {
+                steps.sort_by(|x, y| x.0.total_cmp(&y.0));
+                RateProfile::Piecewise { steps }
+            }
+            _ => RateProfile::Sinusoidal {
+                base: a,
+                amplitude: b,
+                period: c,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pops drain in nondecreasing time order, and equal-time events keep
+    /// their insertion order (the sequence number breaks the tie) — the
+    /// total order that makes a simulation with simultaneous events
+    /// deterministic.
+    #[test]
+    fn heap_pops_in_time_then_insertion_order(
+        times in proptest::collection::vec(0.0f64..100.0, 1..50),
+        coarse in proptest::collection::vec(0u8..4, 1..50),
+    ) {
+        // Mix fine-grained times with heavily-colliding coarse ones so
+        // ties actually occur.
+        let mut heap = EventHeap::new();
+        let mut expected: Vec<(f64, u64)> = Vec::new();
+        for (i, t) in times.iter().enumerate() {
+            let t = if i < coarse.len() { coarse[i] as f64 } else { *t };
+            let seq = heap.push(t, i);
+            expected.push((t, seq));
+        }
+        prop_assert_eq!(heap.len(), expected.len());
+        // The reference order: stable sort by time — insertion (= seq)
+        // order survives within a tie.
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut popped = Vec::new();
+        while let Some((t, seq, _payload)) = heap.pop() {
+            popped.push((t, seq));
+        }
+        prop_assert!(heap.is_empty());
+        prop_assert_eq!(heap.pop(), None);
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Same seed, same profile ⇒ bit-identical arrival stream; and the
+    /// stream is strictly increasing inside `[0, horizon)`.
+    #[test]
+    fn arrivals_replay_identically_and_stay_in_the_horizon(
+        profile in arb_profile(),
+        horizon in 0.5f64..20.0,
+        seed in 0u64..1_000,
+    ) {
+        let a = sample_arrivals(&profile, horizon, seed);
+        let b = sample_arrivals(&profile, horizon, seed);
+        let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&a), bits(&b));
+        for pair in a.windows(2) {
+            prop_assert!(pair[0] < pair[1], "arrivals must strictly increase");
+        }
+        for &t in &a {
+            prop_assert!((0.0..horizon).contains(&t), "{t} outside [0, {horizon})");
+        }
+    }
+
+    /// Thinning (inhomogeneous sampling) only ever *rejects* candidates
+    /// of the constant-rate envelope process: the thinned stream is a
+    /// subset of the same-seed envelope stream — never more arrivals,
+    /// never an invented time.
+    #[test]
+    fn thinning_never_exceeds_its_envelope(
+        profile in arb_profile(),
+        horizon in 0.5f64..20.0,
+        seed in 0u64..1_000,
+    ) {
+        let thinned = sample_arrivals(&profile, horizon, seed);
+        let envelope_rate = match &profile {
+            RateProfile::Constant { rate } => *rate,
+            RateProfile::Piecewise { steps } => steps
+                .iter()
+                .map(|&(_, r)| r)
+                .fold(0.0f64, f64::max),
+            RateProfile::Sinusoidal { base, amplitude, .. } => base + amplitude,
+        };
+        let envelope = sample_arrivals(
+            &RateProfile::Constant { rate: envelope_rate },
+            horizon,
+            seed,
+        );
+        prop_assert!(thinned.len() <= envelope.len());
+        let envelope_bits: Vec<u64> = envelope.iter().map(|t| t.to_bits()).collect();
+        for t in &thinned {
+            prop_assert!(
+                envelope_bits.contains(&t.to_bits()),
+                "thinned arrival {t} is not an envelope candidate"
+            );
+        }
+    }
+
+    /// Job generation is a pure function of (arrivals, seed): replaying
+    /// yields identical jobs, one per arrival, in arrival order.
+    #[test]
+    fn job_streams_replay_identically(
+        count in 0usize..12,
+        seed in 0u64..1_000,
+    ) {
+        let arrivals: Vec<f64> = (0..count).map(|i| 0.5 * i as f64).collect();
+        let table = npb6(&[0.05]);
+        let a = jobs_from_arrivals(&arrivals, &table, seed);
+        let b = jobs_from_arrivals(&arrivals, &table, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), arrivals.len());
+        for (job, &t) in a.iter().zip(&arrivals) {
+            prop_assert_eq!(job.arrival.to_bits(), t.to_bits());
+            prop_assert!(job.app.work > 0.0);
+        }
+    }
+}
+
+/// The simulator's edge cases: no jobs is a clean no-op outcome, and one
+/// job completes with a response no shorter than physically possible.
+#[test]
+fn simulator_handles_empty_and_single_job_streams() {
+    let sim = ClusterSim::new(Platform::taihulight(), "DominantMinRatio", 7);
+    let empty = sim.run(&[]).unwrap();
+    assert_eq!(empty.metrics.jobs, 0);
+    assert_eq!(empty.metrics.completed, 0);
+    assert_eq!(empty.metrics.makespan, 0.0);
+    assert_eq!(empty.metrics.utilization, 0.0);
+    assert!(empty.ops.is_empty());
+
+    let app = npb6(&[0.05]).remove(0);
+    let single = sim
+        .run(&[JobSpec {
+            arrival: 1.0,
+            app: app.clone(),
+        }])
+        .unwrap();
+    assert_eq!(single.metrics.completed, 1);
+    assert_eq!(single.jobs.len(), 1);
+    let record = &single.jobs[0];
+    assert!(record.completed());
+    assert!(record.response() > 0.0);
+    assert!(single.metrics.makespan >= 1.0 + record.response() - 1e-9);
+}

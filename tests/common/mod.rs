@@ -51,14 +51,25 @@ pub fn run_script(workers: usize, script: &[String]) -> Vec<String> {
 }
 
 /// Canonicalizes a response line for run-to-run comparisons by zeroing
-/// the one timing-dependent field the reactor front-end reports:
-/// `reactor_wakeups` on each `metrics` shard row counts `epoll_wait`
-/// returns, and readiness batching legitimately differs between two
-/// otherwise identical runs. Every other byte must still match.
+/// the timing-dependent fields of the `metrics` response:
+/// `reactor_wakeups` on each shard row counts `epoll_wait` returns, and
+/// readiness batching legitimately differs between two otherwise
+/// identical runs; the `latency_p*_ns` percentiles (per shard and
+/// merged) are wall-clock measurements. `latency_count` is *not*
+/// masked — for a lock-step script it must match the deterministic
+/// request count. Every other byte must still match.
 pub fn mask_reactor_wakeups(response: &str) -> String {
     let Ok(mut v) = Json::parse(response) else {
         return response.to_string();
     };
+    let mask_latency = |row: &mut Json| {
+        for key in ["latency_p50_ns", "latency_p95_ns", "latency_p99_ns"] {
+            if let Some(field) = get_mut(row, key) {
+                *field = Json::from(0u64);
+            }
+        }
+    };
+    mask_latency(&mut v);
     let Some(Json::Arr(shards)) = get_mut(&mut v, "shards") else {
         return response.to_string();
     };
@@ -66,6 +77,7 @@ pub fn mask_reactor_wakeups(response: &str) -> String {
         if let Some(wakeups) = get_mut(row, "reactor_wakeups") {
             *wakeups = Json::from(0u64);
         }
+        mask_latency(row);
     }
     v.to_string()
 }

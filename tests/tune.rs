@@ -31,6 +31,7 @@ fn same_seed_and_trace_replay_the_same_selections() {
     let spec = TraceSpec {
         solves: 40,
         seed: 0xAB,
+        window: 0,
     };
     let a = replay("auto", &spec).unwrap();
     let b = replay("auto", &spec).unwrap();
@@ -56,6 +57,7 @@ fn serial_and_parallel_tuners_make_the_same_selections() {
         let auto = Auto::with_config(TuneConfig {
             explore_rounds: 3,
             challenger_period: 2,
+            window: 0,
         });
         let makespans = (0..10u64)
             .map(|step| {
@@ -73,6 +75,7 @@ fn golden_npb6_trace_converges_to_the_portfolio_winner() {
     let spec = TraceSpec {
         solves: 48,
         seed: 0xC05,
+        window: 0,
     };
     let comparison = compare(&spec).unwrap();
 
@@ -131,6 +134,7 @@ fn session_auto_survives_mutations_and_matches_registry_auto() {
     let spec = TraceSpec {
         solves: 24,
         seed: 7,
+        window: 0,
     };
     let a = replay("auto", &spec).unwrap();
     assert!(
@@ -164,7 +168,7 @@ proptest! {
     /// ISSUE-5 property as the one-sided bound.)
     #[test]
     fn committed_phase_never_exceeds_the_portfolio_winner(seed in 0u64..1_000_000) {
-        let spec = TraceSpec { solves: 20, seed };
+        let spec = TraceSpec { solves: 20, seed, window: 0 };
         let comparison = compare(&spec).unwrap();
         for (i, (a, p)) in comparison
             .auto
