@@ -5,7 +5,7 @@
 //! benches quantify that claim for this implementation across instance
 //! sizes, strategies, and the exact solver.
 
-use coschedule::algo::{exact, Strategy};
+use coschedule::algo::{bnb, Strategy};
 use coschedule::model::{ExecModel, Platform};
 use coschedule::solver::{Instance, SolveCtx, Solver};
 use coschedule::theory::{cache_alloc, dominance};
@@ -74,7 +74,14 @@ fn bench_exact_solver(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(3);
         let apps = Dataset::Random.generate(n, SeqFraction::Zero, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &apps, |b, apps| {
-            b.iter(|| black_box(exact::exact_perfectly_parallel(apps, &platform).unwrap()));
+            b.iter(|| {
+                black_box(bnb::branch_and_bound(
+                    apps,
+                    &platform,
+                    &bnb::BnbConfig::default(),
+                ))
+                .unwrap()
+            });
         });
     }
     group.finish();

@@ -50,6 +50,7 @@ pub(crate) fn all_proc_cache_core(eval: &EvalSet, scratch: &mut EvalScratch) -> 
         partition: Partition::all(n),
         concurrent: false,
         eval_stats: Default::default(),
+        optimal: false,
     }
 }
 
@@ -78,6 +79,7 @@ pub(crate) fn fair_core(eval: &EvalSet, scratch: &mut EvalScratch) -> Outcome {
         partition: Partition::all(eval.len()),
         concurrent: true,
         eval_stats: Default::default(),
+        optimal: false,
     }
 }
 
@@ -99,6 +101,7 @@ pub(crate) fn zero_cache_core(eval: &EvalSet, scratch: &mut EvalScratch) -> Resu
         partition: Partition::empty(),
         concurrent: true,
         eval_stats: Default::default(),
+        optimal: false,
     })
 }
 
@@ -133,6 +136,7 @@ pub(crate) fn random_part_core<R: Rng + ?Sized>(
         partition,
         concurrent: true,
         eval_stats: Default::default(),
+        optimal: false,
     })
 }
 

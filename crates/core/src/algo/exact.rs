@@ -6,6 +6,11 @@
 //! `2^n` subsets and keeping the best dominant one yields the true optimum.
 //! This gives the test-suite a ground truth to certify heuristic gaps
 //! against, and an upper bound (`best_partition`) for Amdahl profiles.
+//!
+//! Both enumerators are **deprecated** in favour of
+//! [`bnb::branch_and_bound`](super::bnb::branch_and_bound), which returns
+//! the bit-identical optimum without scanning `2^n` subsets; they remain
+//! as the independent oracle the branch-and-bound tests certify against.
 
 use crate::error::{CoschedError, Result};
 use crate::eval::{EvalScratch, EvalSet};
@@ -32,10 +37,10 @@ pub struct ExactSolution {
 fn check_size(apps: &[Application]) -> Result<()> {
     crate::model::validate_instance(apps)?;
     if apps.len() > MAX_EXACT_APPS {
-        return Err(CoschedError::InvalidPlatform(format!(
-            "exact solver limited to {MAX_EXACT_APPS} applications, got {}",
-            apps.len()
-        )));
+        return Err(CoschedError::InstanceTooLarge {
+            n: apps.len(),
+            limit: MAX_EXACT_APPS,
+        });
     }
     Ok(())
 }
@@ -49,8 +54,13 @@ fn subsets(n: usize) -> impl Iterator<Item = Partition> {
 /// by the §4 characterisation: minimum of the Lemma-3 objective over all
 /// **dominant** partitions.
 ///
-/// Returns an error if some application is not perfectly parallel, or if
-/// `n >` [`MAX_EXACT_APPS`].
+/// Returns an error if some application is not perfectly parallel, or
+/// [`CoschedError::InstanceTooLarge`] if `n >` [`MAX_EXACT_APPS`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `algo::bnb::branch_and_bound`, which finds the same optimum \
+            without scanning 2^n subsets and scales to n in the hundreds"
+)]
 pub fn exact_perfectly_parallel(
     apps: &[Application],
     platform: &Platform,
@@ -89,6 +99,14 @@ pub fn exact_perfectly_parallel(
 /// applications: for each subset, Theorem-3 fractions + equal-finish-time
 /// processor split. Not provably optimal (Theorem 3 only holds for `s = 0`)
 /// but a strong reference the heuristics can be compared against.
+///
+/// # Errors
+/// [`CoschedError::InstanceTooLarge`] if `n >` [`MAX_EXACT_APPS`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `algo::bnb::branch_and_bound`, which reaches the same \
+            reference value without scanning 2^n subsets"
+)]
 pub fn best_partition(apps: &[Application], platform: &Platform) -> Result<ExactSolution> {
     check_size(apps)?;
     let models = ExecModel::of_all(apps, platform);
@@ -116,6 +134,7 @@ pub fn best_partition(apps: &[Application], platform: &Platform) -> Result<Exact
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::algo::{BuildOrder, Choice, Strategy};

@@ -9,9 +9,11 @@
 //!
 //! [`exact`] provides reference solvers by subset enumeration for small
 //! instances (exact for perfectly parallel applications, by the dominance
-//! theory of §4).
+//! theory of §4); [`bnb`] scales the same optima to large `n` by
+//! branch-and-bound with Theorem-3 lower bounds.
 
 pub(crate) mod baselines;
+pub mod bnb;
 mod choice;
 mod dominant;
 pub mod exact;
@@ -20,6 +22,7 @@ pub mod refine;
 mod strategy;
 
 pub use baselines::{all_proc_cache, fair, random_part, zero_cache};
+pub use bnb::{branch_and_bound, BnbConfig, BnbSolution, BnbSolver, BnbStats};
 pub use choice::Choice;
 pub use dominant::{dominant_partition, BuildOrder};
 pub use outcome::Outcome;

@@ -20,4 +20,11 @@ pub struct Outcome {
     /// Evaluation-engine work this solve performed (kernel calls, total
     /// applications evaluated). Deterministic for a given solver and seed.
     pub eval_stats: EvalStats,
+    /// `true` iff this outcome carries a **proof of optimality** over the
+    /// partition space — today only the branch-and-bound `"exact"` solver
+    /// ([`crate::algo::bnb`]) sets it, and only when its search completed
+    /// within budget. Heuristics always report `false`; so does a
+    /// budget-exhausted exact solve, which degrades gracefully to its best
+    /// incumbent instead of erroring.
+    pub optimal: bool,
 }

@@ -37,6 +37,16 @@ pub enum CoschedError {
     },
     /// The equal-finish-time bisection could not bracket a solution.
     NoFeasibleMakespan(String),
+    /// An instance exceeds a solver's hard size limit (e.g. the `2^n`
+    /// subset enumerators of [`crate::algo::exact`], which refuse `n`
+    /// beyond [`MAX_EXACT_APPS`](crate::algo::exact::MAX_EXACT_APPS)
+    /// instead of silently attempting exponential work).
+    InstanceTooLarge {
+        /// Number of applications in the offending instance.
+        n: usize,
+        /// Largest `n` the solver accepts.
+        limit: usize,
+    },
     /// A [`Portfolio`](crate::solver::Portfolio) was built with no member
     /// solvers.
     EmptyPortfolio,
@@ -90,6 +100,10 @@ impl fmt::Display for CoschedError {
             Self::NoFeasibleMakespan(reason) => {
                 write!(f, "no feasible equal-finish-time makespan: {reason}")
             }
+            Self::InstanceTooLarge { n, limit } => write!(
+                f,
+                "instance has {n} applications but the solver accepts at most {limit}"
+            ),
             Self::EmptyPortfolio => write!(f, "portfolio has no member solvers"),
             Self::UnknownSolver { name, available } => write!(
                 f,

@@ -148,6 +148,12 @@ impl EvalSet {
         self.alpha
     }
 
+    /// `l_mem` — memory-access latency of the underlying platform (the
+    /// coefficient of the miss rate in the per-operation cost).
+    pub fn latency_mem(&self) -> f64 {
+        self.latency_mem
+    }
+
     /// `w_i`, aligned with instance order.
     pub fn work(&self) -> &[f64] {
         &self.work

@@ -310,6 +310,7 @@ fn last_to_json(last: &LastSolve) -> Json {
             "apps_evaluated",
             Json::from(outcome.eval_stats.apps_evaluated),
         ),
+        ("optimal", Json::from(outcome.optimal)),
     ])
 }
 
@@ -348,6 +349,9 @@ fn last_from_json(v: &Json, n_apps: usize) -> Result<LastSolve, String> {
                 kernel_calls: u64_field(v, "kernel_calls")?,
                 apps_evaluated: u64_field(v, "apps_evaluated")?,
             },
+            // Absent in snapshots taken before the flag existed: a
+            // memoized heuristic solve carries no optimality proof.
+            optimal: v.get("optimal").and_then(Json::as_bool).unwrap_or(false),
         },
     })
 }

@@ -88,13 +88,41 @@ pub fn all() -> Vec<Box<dyn Solver>> {
 }
 
 /// Names addressable through [`by_name`], canonical spellings only: the
-/// individual solvers first, then the meta-solvers `Portfolio` and
-/// `auto`.
+/// individual solvers first, then `exact` and the meta-solvers
+/// `Portfolio` and `auto`.
 pub fn names() -> Vec<String> {
     let mut v: Vec<String> = all().iter().map(|s| s.name()).collect();
+    v.push("exact".to_string());
     v.push("Portfolio".to_string());
     v.push("auto".to_string());
     v
+}
+
+/// One-line human description of a registered solver name, for
+/// `cosched --list-strategies` and other help surfaces. Unknown names get
+/// a generic line rather than an error so the function can never lag the
+/// registry.
+pub fn describe(name: &str) -> &'static str {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "dominantrandom" => "Algorithm 1 (forward build), random candidate choice",
+        "dominantminratio" => "Algorithm 1 (forward build), smallest dominance ratio first",
+        "dominantmaxratio" => "Algorithm 1 (forward build), largest dominance ratio first",
+        "dominantrevrandom" => "Algorithm 2 (reverse trim), random candidate choice",
+        "dominantrevminratio" => "Algorithm 2 (reverse trim), smallest dominance ratio first",
+        "dominantrevmaxratio" => "Algorithm 2 (reverse trim), largest dominance ratio first",
+        "randompart" => "baseline: uniformly random cache-sharing subset",
+        "fair" => "baseline: every application gets an equal cache share",
+        "0cache" => "baseline: nobody gets cache, processors split by Eq. 2",
+        "allproccache" => "baseline: applications run one at a time with all resources",
+        "dominantrefined" => "DominantMinRatio plus local-search refinement (§6.4)",
+        "exact" | "bnb" => {
+            "branch-and-bound proven optimum (budget flags: --nodes, --millis, --threads); \
+             returns its best incumbent with optimal=false when the budget runs out"
+        }
+        "portfolio" => "meta: runs every solver and keeps the best outcome",
+        "auto" => "meta: bandit autotuner that learns the best solver per workload",
+        _ => "registered solver (no description)",
+    }
 }
 
 /// Looks a solver up by name.
@@ -105,6 +133,8 @@ pub fn names() -> Vec<String> {
 /// every paper legend name (`DominantMinRatio`, `DominantRevMaxRatio`,
 /// `RandomPart`, `Fair`, `0cache`, `AllProcCache`, `DominantRefined`), the
 /// historical CLI aliases (`dmr`, `refined`, `zerocache`, `seq`),
+/// `exact` (alias `bnb` — the branch-and-bound
+/// [`BnbSolver`](crate::algo::BnbSolver) with default budgets),
 /// `Portfolio` (a [`Portfolio`] over [`all`]), and `auto` (a **fresh**
 /// [`Auto`](crate::tune::Auto) autotuner over [`all`] — its learning
 /// lives as long as the returned solver instance; a
@@ -132,6 +162,7 @@ pub fn by_name(name: &str) -> Result<Box<dyn Solver>> {
         "refined" => Ok(Strategy::refined().to_solver()),
         "zerocache" => Ok(Strategy::ZeroCache.to_solver()),
         "seq" | "sequential" => Ok(Strategy::AllProcCache.to_solver()),
+        "exact" | "bnb" => Ok(Box::new(crate::algo::BnbSolver::new())),
         "portfolio" => Ok(Box::new(Portfolio::new(all()))),
         "auto" => Ok(Box::new(crate::tune::Auto::new())),
         _ => Err(crate::error::CoschedError::UnknownSolver {
@@ -203,6 +234,9 @@ mod tests {
             ("\tPortfolio ", "Portfolio"),
             ("AUTO", "auto"),
             (" auto ", "auto"),
+            ("exact", "exact"),
+            ("EXACT", "exact"),
+            ("bnb", "exact"),
         ] {
             assert_eq!(by_name(alias).unwrap().name(), canonical, "alias {alias:?}");
         }
@@ -224,9 +258,22 @@ mod tests {
         let n = names();
         assert_eq!(n.last().map(String::as_str), Some("auto"));
         assert_eq!(n[n.len() - 2].as_str(), "Portfolio");
-        assert_eq!(n.len(), all().len() + 2);
+        assert_eq!(n[n.len() - 3].as_str(), "exact");
+        assert_eq!(n.len(), all().len() + 3);
         for name in &n {
             assert!(by_name(name).is_ok(), "{name} not resolvable");
         }
+    }
+
+    #[test]
+    fn every_registered_name_has_a_specific_description() {
+        for name in names() {
+            let d = describe(&name);
+            assert!(
+                d != "registered solver (no description)",
+                "{name} lacks a description"
+            );
+        }
+        assert_eq!(describe("exact"), describe("bnb"));
     }
 }

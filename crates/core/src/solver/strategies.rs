@@ -42,6 +42,7 @@ impl Solver for Strategy {
                         partition,
                         concurrent: true,
                         eval_stats: Default::default(),
+                        optimal: false,
                     });
                 // Hand the buffer back before propagating any bisection
                 // error, so a failed solve cannot shrink the recycled
@@ -66,6 +67,7 @@ impl Solver for Strategy {
                     partition,
                     concurrent: true,
                     eval_stats: Default::default(),
+                    optimal: false,
                 }
             }
             Self::RandomPart => {

@@ -29,6 +29,10 @@
 //! cosched tune [--solves N] [--seed S]      # replay a workload, print the
 //!                                           # autotuner's learned table
 //! cosched tune --smoke                      # tuner self-test, then exit
+//!
+//! cosched exact [--n N] [--nodes N] [--threads T]  # prove an optimum by
+//!                                           # branch-and-bound
+//! cosched exact --smoke                     # B&B-vs-enumerator self-test
 //! ```
 //!
 //! `--strategy` goes through the [`coschedule::solver`] registry, so every
@@ -70,6 +74,7 @@ fn main() -> ExitCode {
         Some("standby") => return standby_main(args.split_off(1)),
         Some("client") => return client_main(args.split_off(1)),
         Some("tune") => return tune_main(args.split_off(1)),
+        Some("exact") => return exact_main(args.split_off(1)),
         Some("cluster") => return cluster_main(args.split_off(1)),
         _ => {}
     }
@@ -89,7 +94,7 @@ fn main() -> ExitCode {
             "--eval-stats" => eval_stats = true,
             "--list-strategies" => {
                 for name in solver::names() {
-                    println!("{name}");
+                    println!("{name:<22} {}", solver::describe(&name));
                 }
                 return ExitCode::SUCCESS;
             }
@@ -307,6 +312,8 @@ fn usage(msg: &str) -> ExitCode {
          \x20      cosched client [--addr HOST:PORT] [--send JSON]... [--requests FILE] \
          [--batch] [--retries N] [--frame json|binary]\n\
          \x20      cosched tune [--solves N] [--seed S] [--window N] [--smoke]\n\
+         \x20      cosched exact [--n N] [--seed S] [--nodes N] [--millis MS] [--threads T] \
+         [--procs P] [--cache-gb G] [--smoke]\n\
          \x20      cosched cluster [--profile constant|step|bursty] [--rate R] [--horizon H] \
          [--seed S] [--solver NAME] [--window N] [--trace] [--smoke]\n\
          strategies: {}",
@@ -1256,6 +1263,207 @@ fn tune_main(args: Vec<String>) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `cosched exact`: prove an optimum by branch-and-bound. By default the
+/// instance is a seeded random perfectly-parallel workload of `--n`
+/// applications; `--nodes` / `--millis` bound the search and `--threads`
+/// enables the work-stealing parallel variant. With `--smoke`, run the CI
+/// self-test instead: on the fixed perfectly-parallel NPB-6 instance the
+/// branch-and-bound answer must equal the `2^n` enumerator's bit for bit,
+/// serial and 4-thread searches must agree bit for bit, the proof must
+/// stay under a small node ceiling, and a zero-budget run must degrade to
+/// `optimal=false` without erroring — exiting non-zero on any violation.
+#[allow(deprecated)] // the enumerator is the smoke test's independent oracle
+fn exact_main(args: Vec<String>) -> ExitCode {
+    use coschedule::algo::{branch_and_bound, exact::exact_perfectly_parallel, BnbConfig};
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    let mut cfg = BnbConfig::default();
+    let mut n = 100usize;
+    let mut seed = 7u64;
+    let mut cache_gb = 32.0;
+    let mut procs = 256.0;
+    let mut smoke = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--n" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => n = v,
+                _ => return usage("--n expects an integer >= 1"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed expects an integer"),
+            },
+            "--nodes" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_nodes = v,
+                None => return usage("--nodes expects an integer"),
+            },
+            "--millis" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_millis = Some(v),
+                None => return usage("--millis expects an integer"),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => cfg.threads = v,
+                _ => return usage("--threads expects an integer >= 1"),
+            },
+            "--cache-gb" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cache_gb = v,
+                None => return usage("--cache-gb expects a number"),
+            },
+            "--procs" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => procs = v,
+                None => return usage("--procs expects a number"),
+            },
+            "--smoke" => smoke = true,
+            other => return usage(&format!("unknown exact flag {other}")),
+        }
+    }
+
+    if smoke {
+        let apps = npb6(&[0.0]);
+        let platform = Platform::taihulight();
+        let reference = match exact_perfectly_parallel(&apps, &platform) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("smoke failed: enumerator errored: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let serial = match branch_and_bound(&apps, &platform, &BnbConfig::default()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("smoke failed: serial search errored: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let parallel =
+            match branch_and_bound(&apps, &platform, &BnbConfig::default().with_threads(4)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("smoke failed: parallel search errored: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        let mut ok = true;
+        if !serial.optimal || serial.makespan.to_bits() != reference.makespan.to_bits() {
+            eprintln!(
+                "smoke failed: serial {} (optimal={}) != enumerator {}",
+                serial.makespan, serial.optimal, reference.makespan
+            );
+            ok = false;
+        }
+        if serial.partition != reference.partition || serial.cache != reference.cache {
+            eprintln!("smoke failed: serial partition/fractions diverge from the enumerator");
+            ok = false;
+        }
+        if !parallel.optimal
+            || parallel.makespan.to_bits() != serial.makespan.to_bits()
+            || parallel.partition != serial.partition
+            || parallel.cache != serial.cache
+        {
+            eprintln!("smoke failed: parallel answer diverges from serial");
+            ok = false;
+        }
+        // 2^6 = 64 subsets: the search must beat plain enumeration.
+        const NODE_CEILING: u64 = 64;
+        if serial.stats.nodes_expanded > NODE_CEILING {
+            eprintln!(
+                "smoke failed: {} nodes expanded (ceiling {NODE_CEILING})",
+                serial.stats.nodes_expanded
+            );
+            ok = false;
+        }
+        match branch_and_bound(&apps, &platform, &BnbConfig::default().with_max_nodes(0)) {
+            Ok(s) if !s.optimal && s.makespan.is_finite() => {}
+            Ok(s) => {
+                eprintln!(
+                    "smoke failed: zero-budget run reported optimal={} makespan={}",
+                    s.optimal, s.makespan
+                );
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("smoke failed: zero-budget run errored instead of degrading: {e}");
+                ok = false;
+            }
+        }
+        println!(
+            "# NPB-6 optimum {:.6e}, |IC| = {}, {} nodes ({} bound-pruned), enumerator agrees",
+            serial.makespan,
+            serial.partition.len(),
+            serial.stats.nodes_expanded,
+            serial.stats.nodes_pruned_bound,
+        );
+        return if ok {
+            println!("# exact smoke ok");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let apps: Vec<coschedule::model::Application> = (0..n)
+        .map(|i| {
+            coschedule::model::Application::perfectly_parallel(
+                format!("T{i}"),
+                10f64.powf(rng.random_range(8.0..12.0)),
+                rng.random_range(0.1..0.9),
+                10f64.powf(rng.random_range(-4.0..-0.05)),
+            )
+        })
+        .collect();
+    let platform = Platform::taihulight()
+        .with_processors(procs)
+        .with_cache_size(cache_gb * 1e9);
+    let start = Instant::now();
+    let sol = match branch_and_bound(&apps, &platform, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("exact solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = start.elapsed();
+    println!(
+        "# cosched exact — n = {n}, seed {seed}, {:.0} procs, {cache_gb} GB LLC, \
+         budget {} nodes{}{}",
+        procs,
+        cfg.max_nodes,
+        cfg.max_millis
+            .map(|ms| format!(" / {ms} ms"))
+            .unwrap_or_default(),
+        if cfg.threads > 1 {
+            format!(", {} threads", cfg.threads)
+        } else {
+            String::new()
+        },
+    );
+    println!(
+        "makespan {:.6e}  ({})",
+        sol.makespan,
+        if sol.optimal {
+            "proven optimal"
+        } else {
+            "budget exhausted — best incumbent, optimal NOT proven"
+        }
+    );
+    println!(
+        "|IC| = {} of {n} applications share the cache",
+        sol.partition.len()
+    );
+    println!(
+        "{} nodes expanded, {} bound-pruned, {} dominance-pruned, {} leaves, {:.1} ms",
+        sol.stats.nodes_expanded,
+        sol.stats.nodes_pruned_bound,
+        sol.stats.nodes_pruned_dominance,
+        sol.stats.leaves_evaluated,
+        wall.as_secs_f64() * 1e3
+    );
+    ExitCode::SUCCESS
 }
 
 /// `cosched cluster`: sample a seeded arrival stream from a rate profile,

@@ -532,6 +532,7 @@ fn op_solve(state: &mut ServeState, request: &Json) -> Result<Json, String> {
         ("mode".into(), Json::from(mode)),
         ("makespan".into(), Json::from(outcome.makespan)),
         ("concurrent".into(), Json::from(outcome.concurrent)),
+        ("optimal".into(), Json::from(outcome.optimal)),
         (
             "partition".into(),
             Json::arr(outcome.partition.members().iter().map(|&i| Json::from(i))),

@@ -6,7 +6,7 @@
 //! cargo run --release --example heuristic_comparison
 //! ```
 
-use coschedule::algo::exact;
+use coschedule::algo::bnb;
 use coschedule::model::Platform;
 use coschedule::solver::{self, Instance, SolveCtx};
 use workloads::rng::seeded_rng;
@@ -16,10 +16,13 @@ fn main() {
     // A small LLC stresses the partition decision: not everybody fits.
     let platform = Platform::taihulight().with_cache_size(150e6);
     let mut rng = seeded_rng(99);
-    // Perfectly parallel instance so the exact solver applies (§4 theory).
-    let apps = Dataset::Random.generate(12, SeqFraction::Zero, &mut rng);
+    // Perfectly parallel instance so the exact solver applies (§4 theory) —
+    // branch-and-bound proves the optimum well beyond the old 2^n reach.
+    let apps = Dataset::Random.generate(32, SeqFraction::Zero, &mut rng);
 
-    let reference = exact::exact_perfectly_parallel(&apps, &platform).expect("exact solve");
+    let reference =
+        bnb::branch_and_bound(&apps, &platform, &bnb::BnbConfig::default()).expect("exact solve");
+    assert!(reference.optimal, "default budget must close n = 32");
     println!(
         "exact optimum: {:.4e} with |IC| = {} of {} applications in cache\n",
         reference.makespan,

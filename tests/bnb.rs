@@ -1,0 +1,167 @@
+//! Integration tests of the branch-and-bound exact solver: bit-identity
+//! with the `2^n` enumerator oracle, serial/parallel agreement, bound
+//! admissibility, budget degradation, and proven optimality at a scale
+//! the enumerators cannot touch.
+
+#![allow(deprecated)] // the enumerators are the oracle being certified against
+
+use coschedule::algo::exact::{best_partition, exact_perfectly_parallel};
+use coschedule::algo::{branch_and_bound, BnbConfig};
+use coschedule::model::{Application, Platform};
+use proptest::prelude::*;
+use workloads::rng::seeded_rng;
+use workloads::synth::{Dataset, SeqFraction};
+
+/// The paper's evaluation platform at a configurable LLC size; small
+/// caches stress the partition decision (not everybody fits).
+fn platform_with_cache(cs_mb: f64) -> Platform {
+    Platform::taihulight().with_cache_size(cs_mb * 1e6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On perfectly parallel instances the branch-and-bound optimum is
+    /// bit-identical (makespan, partition, and fractions) to the dominant
+    /// subset enumerator — the §4 ground truth — on every platform.
+    #[test]
+    fn bnb_matches_pp_enumerator_bit_for_bit(
+        seed in 0u64..200,
+        n in 2usize..13,
+        cache_idx in 0usize..5,
+    ) {
+        let cs_mb = [45.0f64, 80.0, 100.0, 150.0, 32_000.0][cache_idx];
+        let platform = platform_with_cache(cs_mb);
+        let mut rng = seeded_rng(seed);
+        let apps = Dataset::Random.generate(n, SeqFraction::Zero, &mut rng);
+        let reference = exact_perfectly_parallel(&apps, &platform).unwrap();
+        let sol = branch_and_bound(&apps, &platform, &BnbConfig::default()).unwrap();
+        prop_assert!(sol.optimal);
+        prop_assert_eq!(sol.makespan.to_bits(), reference.makespan.to_bits());
+        prop_assert_eq!(&sol.partition, &reference.partition);
+        prop_assert_eq!(&sol.cache, &reference.cache);
+    }
+
+    /// On Amdahl instances it is bit-identical to the all-subsets
+    /// reference search (`best_partition`).
+    #[test]
+    fn bnb_matches_amdahl_enumerator_bit_for_bit(
+        seed in 0u64..100,
+        n in 2usize..9,
+        kind in 0usize..3,
+    ) {
+        let platform = platform_with_cache(120.0);
+        let mut rng = seeded_rng(seed);
+        let apps = Dataset::ALL[kind].generate(n, SeqFraction::paper_default(), &mut rng);
+        let reference = best_partition(&apps, &platform).unwrap();
+        let sol = branch_and_bound(&apps, &platform, &BnbConfig::default()).unwrap();
+        prop_assert!(sol.optimal);
+        prop_assert_eq!(sol.makespan.to_bits(), reference.makespan.to_bits());
+        prop_assert_eq!(&sol.partition, &reference.partition);
+    }
+
+    /// The node lower bounds are admissible: no budget-unconstrained
+    /// search ever returns above the enumerator optimum (it would if a
+    /// bound pruned the optimal leaf), and a *proven* optimum is returned
+    /// for every seed.
+    #[test]
+    fn completed_searches_never_miss_the_optimum(
+        seed in 0u64..100,
+        n in 2usize..11,
+    ) {
+        let platform = platform_with_cache(60.0);
+        let mut rng = seeded_rng(seed ^ 0xB0B);
+        let apps = Dataset::NpbSynth.generate(n, SeqFraction::Zero, &mut rng);
+        let reference = exact_perfectly_parallel(&apps, &platform).unwrap();
+        let sol = branch_and_bound(&apps, &platform, &BnbConfig::default()).unwrap();
+        prop_assert!(sol.optimal);
+        prop_assert!(sol.makespan <= reference.makespan);
+        prop_assert!(sol.makespan >= reference.makespan * (1.0 - 1e-12));
+    }
+
+    /// Serial and work-stealing parallel searches return bit-identical
+    /// answers across seeds and thread counts.
+    #[test]
+    fn serial_and_parallel_searches_agree_bit_for_bit(
+        seed in 0u64..64,
+        n in 2usize..13,
+        threads in 2usize..7,
+    ) {
+        let platform = platform_with_cache(100.0);
+        let mut rng = seeded_rng(seed ^ 0x5EED);
+        let apps = Dataset::Random.generate(n, SeqFraction::Zero, &mut rng);
+        let serial = branch_and_bound(&apps, &platform, &BnbConfig::default()).unwrap();
+        let parallel = branch_and_bound(
+            &apps,
+            &platform,
+            &BnbConfig::default().with_threads(threads).with_seed(seed),
+        )
+        .unwrap();
+        prop_assert!(serial.optimal && parallel.optimal);
+        prop_assert_eq!(serial.makespan.to_bits(), parallel.makespan.to_bits());
+        prop_assert_eq!(&serial.partition, &parallel.partition);
+        prop_assert_eq!(&serial.cache, &parallel.cache);
+    }
+
+    /// Budget exhaustion is graceful: any node budget returns a finite
+    /// incumbent no worse than the warm start, flagged `optimal = false`
+    /// whenever the proof did not finish.
+    #[test]
+    fn budget_exhaustion_degrades_gracefully(
+        seed in 0u64..50,
+        budget in 0u64..32,
+    ) {
+        let platform = platform_with_cache(80.0);
+        let mut rng = seeded_rng(seed ^ 0xCAFE);
+        let apps = Dataset::Random.generate(12, SeqFraction::Zero, &mut rng);
+        let full = branch_and_bound(&apps, &platform, &BnbConfig::default()).unwrap();
+        let cut = branch_and_bound(
+            &apps,
+            &platform,
+            &BnbConfig::default().with_max_nodes(budget),
+        )
+        .unwrap();
+        prop_assert!(cut.makespan.is_finite());
+        prop_assert!(cut.makespan >= full.makespan * (1.0 - 1e-12));
+        if cut.optimal {
+            // A search that claims optimality must actually have it.
+            prop_assert_eq!(cut.makespan.to_bits(), full.makespan.to_bits());
+        }
+    }
+}
+
+/// The scale the enumerators could never reach: an NPB-derived instance
+/// with `n = 200` applications is solved to *proven* optimality on the
+/// paper's evaluation platform within the default node budget.
+#[test]
+fn proves_optimality_at_n_200() {
+    let profiles = [
+        ("CG", 0.535, 6.59e-4),
+        ("BT", 0.829, 7.31e-3),
+        ("LU", 0.750, 1.51e-3),
+        ("SP", 0.762, 1.51e-2),
+        ("MG", 0.540, 2.62e-2),
+        ("FT", 0.582, 1.78e-2),
+    ];
+    let mut rng = seeded_rng(7);
+    use rand::RngExt as _;
+    let apps: Vec<Application> = (0..200)
+        .map(|i| {
+            let (name, f, m) = profiles[i % 6];
+            let work = rng.random_range(1e8..=1e12);
+            Application::perfectly_parallel(format!("{name}-{i}"), work, f, m)
+        })
+        .collect();
+    let platform = Platform::taihulight();
+    let sol = branch_and_bound(&apps, &platform, &BnbConfig::default()).unwrap();
+    assert!(sol.optimal, "default budget must close n = 200");
+    assert!(
+        sol.stats.nodes_expanded < 10_000,
+        "Theorem-3 + relaxed bounds should prove n = 200 in few nodes, took {}",
+        sol.stats.nodes_expanded
+    );
+    let parallel =
+        branch_and_bound(&apps, &platform, &BnbConfig::default().with_threads(4)).unwrap();
+    assert_eq!(sol.makespan.to_bits(), parallel.makespan.to_bits());
+    assert_eq!(sol.partition, parallel.partition);
+}

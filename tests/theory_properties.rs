@@ -2,7 +2,7 @@
 //! workload generators feed the core solvers, and the §4 results are
 //! checked as executable invariants.
 
-use coschedule::algo::{exact, BuildOrder, Choice, Strategy};
+use coschedule::algo::{branch_and_bound, BnbConfig, BuildOrder, Choice, Strategy};
 use coschedule::model::{seq_cost, ExecModel, Platform, Schedule};
 use coschedule::solver::{Instance, SolveCtx, Solver as _};
 use coschedule::theory::{
@@ -97,7 +97,8 @@ proptest! {
         let platform = platform_with_cache(100.0);
         let mut rng = seeded_rng(seed);
         let apps = Dataset::Random.generate(n, SeqFraction::Zero, &mut rng);
-        let reference = exact::exact_perfectly_parallel(&apps, &platform).unwrap();
+        let reference = branch_and_bound(&apps, &platform, &BnbConfig::default()).unwrap();
+        prop_assert!(reference.optimal);
         let inst = Instance::new(apps, platform).unwrap();
         for s in Strategy::all_coscheduling() {
             let o = s.solve(&inst, &mut SolveCtx::seeded(seed)).unwrap();
