@@ -118,6 +118,19 @@ fn run_client(addr: std::net::SocketAddr, k: usize, rounds: usize) -> usize {
 /// Runs one (workers, reactor, clients) cell and returns the best
 /// requests/sec over `reps` repetitions.
 fn run_config(workers: usize, reactor: ReactorMode, clients: usize, reps: usize) -> f64 {
+    run_config_tagged(workers, reactor, clients, reps, false)
+}
+
+/// [`run_config`] with the server's `--trace` response tagging on or off
+/// (span recording itself is the process-global `obs` flag the tracing
+/// section flips around its cells).
+fn run_config_tagged(
+    workers: usize,
+    reactor: ReactorMode,
+    clients: usize,
+    reps: usize,
+    trace: bool,
+) -> f64 {
     let rounds = rounds_for(clients);
     let mut best = 0.0f64;
     for _ in 0..reps {
@@ -125,6 +138,7 @@ fn run_config(workers: usize, reactor: ReactorMode, clients: usize, reps: usize)
         server.config_mut().allow_shutdown = true;
         server.config_mut().workers = workers;
         server.config_mut().reactor = reactor;
+        server.config_mut().trace = trace;
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run().expect("server run"));
 
@@ -168,6 +182,13 @@ fn main() {
          ~{TARGET_REQUESTS} requests/cell), NPB-6, DominantMinRatio, {THINK:?} think time, \
          best of {REPS}"
     );
+    // COSCHED_BENCH_TRACING_ONLY skips the matrix and curve — the quick
+    // path for re-measuring just the tracing-overhead row.
+    let tracing_only = std::env::var_os("COSCHED_BENCH_TRACING_ONLY").is_some();
+    if tracing_only {
+        tracing_overhead();
+        return;
+    }
     // The historical workers × clients matrix; workers=4 runs the
     // threaded front-end these numbers were first recorded against.
     let mut single_worker_at_8 = 0.0;
@@ -199,4 +220,31 @@ fn main() {
             (reactor / threaded - 1.0) * 100.0
         );
     }
+
+    tracing_overhead();
+}
+
+/// The observability acceptance row: the workers=4, clients=8 cell with
+/// span recording off (the default serve state — every instrumentation
+/// site costs one relaxed atomic load) and on (`--trace`: rings filled,
+/// responses tagged). Both are compared against each other; the
+/// disabled-path number is also directly comparable to the matrix cell
+/// above.
+fn tracing_overhead() {
+    println!("# tracing overhead (workers=4, clients=8, threaded front-end):");
+    coschedule::obs::set_enabled(false);
+    let disabled = run_config(4, ReactorMode::Off, 8, REPS);
+    println!("serve_tracing/disabled: {disabled:>10.0} req/s");
+    coschedule::obs::set_enabled(true);
+    let enabled = run_config_tagged(4, ReactorMode::Off, 8, REPS, true);
+    coschedule::obs::set_enabled(false);
+    // Rings are bounded (drop-oldest), but leave the registry clean.
+    let chunk = coschedule::obs::drain();
+    println!(
+        "serve_tracing/enabled:  {enabled:>10.0} req/s ({:+.1}% vs disabled, \
+         {} spans recorded, {} dropped)",
+        (enabled / disabled - 1.0) * 100.0,
+        chunk.events.len(),
+        chunk.dropped
+    );
 }

@@ -562,11 +562,25 @@ fn search_serial(
                 break 'search;
             }
             stats.nodes_expanded += 1;
+            if stats.nodes_expanded % 65_536 == 0 {
+                crate::obs::instant(
+                    "solver",
+                    "bnb_progress",
+                    stats.nodes_expanded,
+                    stats.nodes_pruned_bound + stats.nodes_pruned_dominance,
+                );
+            }
             if is_leaf(sh, &node) {
                 let partition = Partition::new(node.members);
                 let makespan = leaf_value(sh, &partition, ws)?;
                 stats.leaves_evaluated += 1;
                 if improves(makespan, &partition, &best) {
+                    crate::obs::instant(
+                        "solver",
+                        "bnb_incumbent",
+                        stats.nodes_expanded,
+                        stats.leaves_evaluated,
+                    );
                     best = Incumbent {
                         makespan,
                         partition,
@@ -630,6 +644,12 @@ fn offer(coord: &Coord<'_>, makespan: f64, partition: Partition) {
             partition,
         };
         coord.best_bits.store(makespan.to_bits(), Ordering::SeqCst);
+        crate::obs::instant(
+            "solver",
+            "bnb_incumbent",
+            coord.expanded.load(Ordering::SeqCst),
+            0,
+        );
     }
 }
 
@@ -806,6 +826,7 @@ pub(crate) fn solve_prepared(
     if eval.is_empty() {
         return Err(CoschedError::EmptyInstance);
     }
+    let mut search_sp = crate::obs::span("solver", "bnb_search");
     // Warm start: the paper's best deterministic heuristic seeds the
     // incumbent (so even a zero-budget search returns a sane answer) and
     // its strength fixes the relaxed bound's dual variable.
@@ -832,6 +853,13 @@ pub(crate) fn solve_prepared(
         search_parallel(&sh, cfg, warm, threads, &mut ws)?
     };
     eval_stats.merge(ws.scratch.stats);
+    search_sp.set_args(
+        stats.nodes_expanded,
+        stats.nodes_pruned_bound + stats.nodes_pruned_dominance,
+    );
+    if !complete {
+        crate::obs::instant("solver", "bnb_budget_exhausted", stats.nodes_expanded, 0);
+    }
     let cache = optimal_cache_fractions(models, &best.partition);
     Ok(BnbSolution {
         partition: best.partition,

@@ -349,10 +349,15 @@ impl ClusterSim {
             ops: Vec::new(),
         };
 
+        let mut run_sp = crate::obs::span("cluster", "run");
         while let Some((time, _seq, event)) = heap.pop() {
             state.advance_to(time);
+            // Simulated time rides in arg1 as integer milliseconds (the
+            // trace timestamp itself is wall time).
+            let sim_ms = (time * 1000.0) as u64;
             match event {
                 Event::Arrival { job } => {
+                    crate::obs::instant("cluster", "arrival", job as u64, sim_ms);
                     state.arrive(job, &jobs[job].app, &self.platform)?;
                     state.resolve(&self.solver, self.seed, &self.platform, &mut heap)?;
                 }
@@ -361,6 +366,7 @@ impl ClusterSim {
                         state.stale += 1;
                         continue;
                     }
+                    crate::obs::instant("cluster", "departure", job as u64, sim_ms);
                     state.depart(job, jobs)?;
                     if state.active.is_empty() {
                         // Idle: nothing runs until the next arrival; bump
@@ -374,6 +380,7 @@ impl ClusterSim {
                 }
             }
         }
+        run_sp.set_args(state.resolves, jobs.len() as u64);
 
         Ok(state.finish(jobs, &self.platform))
     }
@@ -496,7 +503,10 @@ impl RunState {
         heap: &mut EventHeap<Event>,
     ) -> Result<()> {
         let id = self.instance.expect("resolve requires a live instance");
+        let mut sp = crate::obs::span("cluster", "re_solve");
+        sp.set_args(self.resolves + 1, self.active.len() as u64);
         let outcome = self.session.resolve_by_name(id, solver, seed)?;
+        drop(sp);
         self.ops.push(SessionOp::Solve {
             id: id.raw(),
             solver: solver.to_string(),

@@ -59,6 +59,7 @@ pub mod error;
 pub mod eval;
 pub mod model;
 pub mod npc;
+pub mod obs;
 pub mod parallel;
 pub mod persist;
 pub mod session;

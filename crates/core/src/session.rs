@@ -451,9 +451,20 @@ impl Session {
             .entries
             .get_mut(&id.0)
             .ok_or(CoschedError::UnknownInstance { id: id.0 })?;
+        let mut sp = crate::obs::span(
+            "session",
+            if entry.warm {
+                "resolve_incremental"
+            } else {
+                "resolve_cold"
+            },
+        );
         let mut ctx =
             SolveCtx::seeded(seed).with_recycled_scratch(std::mem::take(&mut self.scratch));
         let result = solver.solve(&entry.instance, &mut ctx);
+        // Args carry the eval-kernel work this resolve performed (the
+        // `EvalStats` delta): batched kernel calls, applications touched.
+        sp.set_args(ctx.stats().kernel_calls, ctx.stats().apps_evaluated);
         self.stats.eval.merge(ctx.stats());
         self.scratch = ctx.take_scratch();
         let outcome = result?;
@@ -505,6 +516,7 @@ impl Session {
         if let Some(last) = &entry.last {
             if last.revision == entry.revision && last.solver == name && last.seed == seed {
                 self.stats.memo_hits += 1;
+                crate::obs::instant("session", "memo_hit", id.0, entry.revision);
                 return Ok(last.outcome.clone());
             }
         }

@@ -70,8 +70,14 @@ impl Portfolio {
         if self.members.is_empty() {
             return Err(CoschedError::EmptyPortfolio);
         }
+        let mut sp = crate::obs::span("solver", "portfolio");
+        sp.set_args(self.members.len() as u64, instance.len() as u64);
         let members: Vec<MemberOutcome> =
             parallel_map(self.members.len(), ctx.threads.max(1), |i| {
+                // Member index in arg0 (names are dynamic; the ring holds
+                // only `&'static str`), instance size in arg1.
+                let mut member_sp = crate::obs::span("solver", "portfolio_member");
+                member_sp.set_args(i as u64, instance.len() as u64);
                 let mut child = ctx.child(i as u64);
                 let started = Instant::now();
                 let result = self.members[i].solve(instance, &mut child);

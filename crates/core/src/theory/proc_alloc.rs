@@ -204,6 +204,7 @@ fn bisect_makespan(costs: &[f64], seq: &[f64], p: f64) -> Result<Bisect> {
     if costs.is_empty() {
         return Err(CoschedError::EmptyInstance);
     }
+    let mut sp = crate::obs::span("eval", "bisection");
     let mut lo = costs
         .iter()
         .zip(seq)
@@ -226,7 +227,9 @@ fn bisect_makespan(costs: &[f64], seq: &[f64], p: f64) -> Result<Bisect> {
     }
 
     // Bisection: demand(K) is strictly decreasing in K on (lo, hi].
+    let mut iterations = 0u64;
     for _ in 0..200 {
+        iterations += 1;
         let mid = 0.5 * (lo + hi);
         if demand_compares_ge(costs, seq, p, mid, true) {
             lo = mid;
@@ -237,6 +240,7 @@ fn bisect_makespan(costs: &[f64], seq: &[f64], p: f64) -> Result<Bisect> {
             break;
         }
     }
+    sp.set_args(iterations, costs.len() as u64);
     Ok(Bisect::Converged(hi))
 }
 

@@ -53,13 +53,14 @@
 use cachesim::clos::{ClosConfig, ClosTable};
 use coschedule::eval::EvalStats;
 use coschedule::model::Platform;
+use coschedule::obs;
 use coschedule::solver::{self, Instance, Portfolio, SolveCtx};
 use experiments::appcsv::parse_applications;
 use experiments::serve::{
     available_workers, client_exchange, client_exchange_framed_with_retries,
     client_exchange_with_retries, connect_with_retries, pipelined_exchange_framed_with_retries,
-    smoke_script, smoke_script_for, wal, Durability, FrameMode, ReactorMode, Server, Standby,
-    DEFAULT_CLIENT_RETRIES,
+    pipelined_exchange_stats, smoke_script, smoke_script_for, wal, Durability, FrameMode,
+    ReactorMode, Server, Standby, DEFAULT_CLIENT_RETRIES,
 };
 use std::io::BufRead;
 use std::path::PathBuf;
@@ -306,16 +307,17 @@ fn usage(msg: &str) -> ExitCode {
          \x20      cosched serve [--addr HOST:PORT] [--workers N] [--reactor on|off|auto] \
          [--strategy NAME] [--tuner-window N] [--allow-shutdown] \
          [--durability none|log|fsync] [--wal-dir DIR] [--restore DIR] [--snapshot-every N] \
-         [--smoke] [--smoke-recover] [--smoke-fanin [--connections N]]\n\
+         [--trace] [--trace-out FILE] [--metrics-addr HOST:PORT] [--slow-ms N] \
+         [--smoke] [--smoke-recover] [--smoke-fanin [--connections N]] [--smoke-trace]\n\
          \x20      cosched standby --dir DIR [--interval-ms N] [--once] [--promote HOST:PORT] \
          [--primary HOST:PORT --probe-fails N] [--strategy NAME]\n\
          \x20      cosched client [--addr HOST:PORT] [--send JSON]... [--requests FILE] \
-         [--batch] [--retries N] [--frame json|binary]\n\
+         [--batch] [--stats] [--retries N] [--frame json|binary]\n\
          \x20      cosched tune [--solves N] [--seed S] [--window N] [--smoke]\n\
          \x20      cosched exact [--n N] [--seed S] [--nodes N] [--millis MS] [--threads T] \
          [--procs P] [--cache-gb G] [--smoke]\n\
          \x20      cosched cluster [--profile constant|step|bursty] [--rate R] [--horizon H] \
-         [--seed S] [--solver NAME] [--window N] [--trace] [--smoke]\n\
+         [--seed S] [--solver NAME] [--window N] [--trace] [--trace-out FILE] [--smoke]\n\
          strategies: {}",
         solver::names().join(", ")
     );
@@ -346,6 +348,11 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     let mut snapshot_every: Option<u64> = None;
     let mut reactor = ReactorMode::Auto;
     let mut tuner_window = 0u64;
+    let mut trace = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
+    let mut smoke_trace = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -403,6 +410,20 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 Some(n) => tuner_window = n,
                 None => return usage("--tuner-window expects an integer >= 0 (0 = unbounded)"),
             },
+            "--trace" => trace = true,
+            "--trace-out" => match iter.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => return usage("--trace-out expects a file path"),
+            },
+            "--metrics-addr" => match iter.next() {
+                Some(a) => metrics_addr = Some(a),
+                None => return usage("--metrics-addr expects HOST:PORT"),
+            },
+            "--slow-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => slow_ms = Some(n),
+                None => return usage("--slow-ms expects an integer (milliseconds)"),
+            },
+            "--smoke-trace" => smoke_trace = true,
             other => return usage(&format!("unknown serve flag {other}")),
         }
     }
@@ -411,6 +432,9 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     }
     if smoke_fanin {
         return serve_smoke_fanin(workers.unwrap_or(4), reactor, connections);
+    }
+    if smoke_trace {
+        return serve_smoke_trace(workers.unwrap_or(4), reactor);
     }
     if smoke {
         addr = "127.0.0.1:0".to_string();
@@ -438,6 +462,15 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     server.config_mut().wal_dir = wal_dir.clone();
     server.config_mut().restore = restore;
     server.config_mut().tuner_window = tuner_window;
+    // Span recording is opt-in; without either flag the only tracing
+    // cost anywhere is one relaxed atomic load per span site.
+    if trace || trace_out.is_some() {
+        obs::set_enabled(true);
+    }
+    server.config_mut().trace = trace;
+    server.config_mut().trace_out = trace_out.clone();
+    server.config_mut().metrics_addr = metrics_addr.clone();
+    server.config_mut().slow_ms = slow_ms;
     if let Some(n) = snapshot_every {
         server.config_mut().snapshot_every = n;
     }
@@ -477,6 +510,9 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 dir.display(),
                 if restore { ", restored" } else { "" }
             );
+        }
+        if let Some(metrics_at) = &metrics_addr {
+            println!("# metrics exposition on {metrics_at}");
         }
         return match server.run() {
             Ok(()) => ExitCode::SUCCESS,
@@ -865,6 +901,234 @@ fn serve_smoke_fanin(workers: usize, reactor: ReactorMode, connections: usize) -
     }
 }
 
+/// `cosched serve --smoke-trace`: the observability self-test CI runs.
+/// An in-process server comes up with tracing, a trace file, and the
+/// Prometheus listener; the smoke script runs against it with `trace_id`
+/// echoes on; the metrics exposition is scraped over real HTTP and
+/// line-linted; and after shutdown the emitted Chrome trace JSON is
+/// parsed and validated (non-empty, well-formed events, the expected
+/// serve spans present).
+fn serve_smoke_trace(workers: usize, reactor: ReactorMode) -> ExitCode {
+    let trace_path = std::env::temp_dir().join(format!(
+        "cosched-smoke-trace-{}-{workers}.json",
+        std::process::id()
+    ));
+    let mut server = match Server::bind("127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smoke-trace: cannot bind 127.0.0.1:0: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    obs::set_enabled(true);
+    server.config_mut().allow_shutdown = true;
+    server.config_mut().workers = workers;
+    server.config_mut().reactor = reactor;
+    server.config_mut().trace = true;
+    server.config_mut().trace_out = Some(trace_path.clone());
+    server.config_mut().metrics_addr = Some("127.0.0.1:0".to_string());
+    let addr = server.local_addr().expect("bound listener has an address");
+    let metrics_probe = server.metrics_probe();
+    let handle = std::thread::spawn(move || server.run());
+    println!("# smoke-trace: serving on {addr} ({workers} workers, reactor {reactor})");
+
+    let result = (|| -> Result<(), String> {
+        // Everything but the final shutdown line, so the metrics scrape
+        // below sees a server that has actually handled requests.
+        let script = smoke_script();
+        let (body, _) = script.split_at(script.len() - 1);
+        let responses =
+            client_exchange(addr, body).map_err(|e| format!("smoke exchange failed: {e}"))?;
+        for (k, response) in responses.iter().enumerate() {
+            let v = minijson::Json::parse(response)
+                .map_err(|e| format!("response {k} unparseable: {e} in {response}"))?;
+            if v.get("ok").and_then(minijson::Json::as_bool) != Some(true) {
+                return Err(format!("response {k} not ok: {response}"));
+            }
+            // Global ops (stats/list/metrics) are untagged by design.
+            let op_is_global = matches!(k, 6..=8);
+            let tagged = v.get("trace_id").and_then(minijson::Json::as_u64);
+            if !op_is_global && tagged != Some(k as u64) {
+                return Err(format!(
+                    "response {k} should echo trace_id={k}, got {tagged:?}: {response}"
+                ));
+            }
+        }
+        println!(
+            "# smoke-trace: {} responses, trace ids echoed",
+            responses.len()
+        );
+
+        // The metrics listener publishes its bound (port-0) address once
+        // up; it starts before the accept loop, so it is already there.
+        let metrics_at = (0..100)
+            .find_map(|_| {
+                metrics_probe.get().copied().or_else(|| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    None
+                })
+            })
+            .ok_or("metrics listener never published its address")?;
+        let exposition = http_get(metrics_at).map_err(|e| format!("metrics scrape: {e}"))?;
+        let lines = lint_prometheus(&exposition)?;
+        println!("# smoke-trace: metrics exposition on {metrics_at} linted ({lines} lines)");
+        Ok(())
+    })();
+
+    let shutdown =
+        client_exchange(addr, &[r#"{"op":"shutdown"}"#.to_string()]).map_err(|e| e.to_string());
+    let run = handle.join();
+    let trace_check = match (&result, &shutdown) {
+        (Ok(()), Ok(_)) => validate_chrome_trace(&trace_path),
+        _ => Err("skipped (earlier failure)".to_string()),
+    };
+    let _ = std::fs::remove_file(&trace_path);
+    match (result, shutdown, run, trace_check) {
+        (Ok(()), Ok(_), Ok(Ok(())), Ok(events)) => {
+            println!("# smoke-trace ok: {events} events in a valid Chrome trace");
+            ExitCode::SUCCESS
+        }
+        (Err(e), _, _, _) => {
+            eprintln!("smoke-trace failed: {e}");
+            ExitCode::FAILURE
+        }
+        (_, Err(e), _, _) => {
+            eprintln!("smoke-trace: shutdown failed: {e}");
+            ExitCode::FAILURE
+        }
+        (_, _, _, Err(e)) => {
+            eprintln!("smoke-trace: trace file invalid: {e}");
+            ExitCode::FAILURE
+        }
+        (_, _, run, _) => {
+            eprintln!("smoke-trace: server exit: {run:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One `GET /metrics` over a throwaway HTTP/1.0 connection; returns the
+/// response body (everything after the blank line).
+fn http_get(addr: std::net::SocketAddr) -> std::io::Result<String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: cosched\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.0 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(std::io::Error::other(format!(
+            "unexpected status line: {:?}",
+            head.lines().next().unwrap_or("")
+        ))),
+        None => Err(std::io::Error::other("no header/body separator")),
+    }
+}
+
+/// Line-lints a Prometheus text exposition: every line is a comment
+/// (`# HELP` / `# TYPE`) or a `name{labels} value` sample whose name is
+/// a valid metric identifier and whose value parses as a float. Returns
+/// the number of sample lines, and requires the histogram families the
+/// serve exposition promises.
+fn lint_prometheus(body: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (n, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if !comment.starts_with("HELP ") && !comment.starts_with("TYPE ") {
+                return Err(format!("line {}: unknown comment form: {line:?}", n + 1));
+            }
+            continue;
+        }
+        let (metric, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", n + 1))?;
+        let name = metric.split('{').next().unwrap_or("");
+        let valid_name = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.starts_with(|c: char| c.is_ascii_digit());
+        if !valid_name {
+            return Err(format!("line {}: invalid metric name {name:?}", n + 1));
+        }
+        if metric.contains('{') && !metric.ends_with('}') {
+            return Err(format!("line {}: unterminated label set: {line:?}", n + 1));
+        }
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: unparseable value {value:?}", n + 1))?;
+        samples += 1;
+    }
+    for family in [
+        "cosched_uptime_seconds",
+        "cosched_requests_total",
+        "cosched_request_latency_seconds_bucket",
+        "cosched_request_latency_seconds_count",
+    ] {
+        if !body.contains(family) {
+            return Err(format!("missing metric family {family}"));
+        }
+    }
+    Ok(samples)
+}
+
+/// Parses a `--trace-out` file and checks it is a loadable Chrome trace:
+/// a `traceEvents` array of well-formed events — every complete (`"X"`)
+/// event carrying `ts` and `dur` (begin/end matched by construction) —
+/// with the serve request spans present. Returns the event count.
+fn validate_chrome_trace(path: &std::path::Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let v = minijson::Json::parse(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(minijson::Json::as_array)
+        .ok_or("no traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    let mut complete = 0usize;
+    let mut names = std::collections::BTreeSet::new();
+    for (k, event) in events.iter().enumerate() {
+        let name = event
+            .get("name")
+            .and_then(minijson::Json::as_str)
+            .ok_or_else(|| format!("event {k} has no name"))?;
+        let ph = event
+            .get("ph")
+            .and_then(minijson::Json::as_str)
+            .ok_or_else(|| format!("event {k} ({name}) has no ph"))?;
+        if event.get("ts").is_none() {
+            return Err(format!("event {k} ({name}) has no ts"));
+        }
+        match ph {
+            "X" => {
+                if event.get("dur").is_none() {
+                    return Err(format!("complete event {k} ({name}) has no dur"));
+                }
+                complete += 1;
+            }
+            "i" => {}
+            other => return Err(format!("event {k} ({name}) has unexpected ph {other:?}")),
+        }
+        names.insert(name.to_string());
+    }
+    if complete == 0 {
+        return Err("no complete (ph=X) events".to_string());
+    }
+    for expected in ["op_create", "op_solve", "op_mutate"] {
+        if !names.contains(expected) {
+            return Err(format!(
+                "expected span {expected:?} missing (saw {names:?})"
+            ));
+        }
+    }
+    Ok(events.len())
+}
+
 /// `cosched standby`: maintain a warm replica by tailing a primary's
 /// durability directory (read-only — safe next to the live primary).
 /// With `--promote ADDR`, a line (or EOF) on stdin triggers promotion:
@@ -1067,6 +1331,7 @@ fn client_main(args: Vec<String>) -> ExitCode {
     let mut batch_op = false;
     let mut retries = DEFAULT_CLIENT_RETRIES;
     let mut frame = FrameMode::Json;
+    let mut stats = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -1092,12 +1357,16 @@ fn client_main(args: Vec<String>) -> ExitCode {
                 None => return usage("--requests expects a file of JSON request lines"),
             },
             "--batch" => batch_op = true,
+            "--stats" => stats = true,
             other => return usage(&format!("unknown client flag {other}")),
         }
     }
     let from_file = batch_file.is_some();
     if batch_op && !from_file {
         return usage("--batch requires --requests FILE");
+    }
+    if stats && (!from_file || batch_op || frame != FrameMode::Json) {
+        return usage("--stats requires --requests FILE on the pipelined JSON path");
     }
     if let Some(path) = batch_file {
         if !requests.is_empty() {
@@ -1129,6 +1398,9 @@ fn client_main(args: Vec<String>) -> ExitCode {
     }
     if batch_op {
         return client_batch(&addr, &requests, retries, frame);
+    }
+    if stats {
+        return client_stats(&addr, &requests, retries);
     }
     // Connects retry with bounded exponential backoff (a restoring server
     // replaying its WAL is the expected cause of a refused connect);
@@ -1482,6 +1754,7 @@ fn cluster_main(args: Vec<String>) -> ExitCode {
     let mut spec = ClusterSpec::default();
     let mut smoke = false;
     let mut print_trace = false;
+    let mut trace_out: Option<PathBuf> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -1516,9 +1789,16 @@ fn cluster_main(args: Vec<String>) -> ExitCode {
                 None => return usage("--window expects an integer >= 0 (0 = unbounded)"),
             },
             "--trace" => print_trace = true,
+            "--trace-out" => match iter.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => return usage("--trace-out expects a file path"),
+            },
             "--smoke" => smoke = true,
             other => return usage(&format!("unknown cluster flag {other}")),
         }
+    }
+    if trace_out.is_some() {
+        obs::set_enabled(true);
     }
 
     let first = match run(&spec) {
@@ -1528,6 +1808,21 @@ fn cluster_main(args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &trace_out {
+        // The simulation runs on this thread; drain every ring (solver
+        // spans may have landed on rayon-style helper threads too).
+        let chunk = obs::drain();
+        if let Err(e) = std::fs::write(path, obs::chrome_trace_json(&chunk.events)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "# trace: wrote {} events ({} dropped) to {}",
+            chunk.events.len(),
+            chunk.dropped,
+            path.display()
+        );
+    }
     println!(
         "# cosched cluster — profile {}, rate {} jobs/unit, horizon {} units, seed {}, \
          solver {}{}",
@@ -1707,4 +2002,52 @@ fn client_batch(addr: &str, requests: &[String], retries: u32, frame: FrameMode)
             ExitCode::FAILURE
         }
     }
+}
+
+/// `cosched client --requests FILE --stats`: the pipelined replay, plus a
+/// client-observed latency/throughput report on stderr (responses still
+/// print to stdout, so piping the replay is unaffected).
+fn client_stats(addr: &str, requests: &[String], retries: u32) -> ExitCode {
+    if requests.is_empty() {
+        eprintln!("--stats: no requests to send");
+        return ExitCode::FAILURE;
+    }
+    let exchanged = pipelined_exchange_stats(addr, requests, retries);
+    let stats = match exchanged {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("cannot exchange with {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for response in &stats.responses {
+        println!("{response}");
+    }
+    let mut sorted = stats.latencies_ns.clone();
+    sorted.sort_unstable();
+    // Nearest-rank percentiles on the exact sample set — no
+    // interpolation, so the reported figure is a latency that actually
+    // happened.
+    let pct = |p: f64| -> u64 {
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    };
+    let mean_ns = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+    let ms = |ns: f64| ns / 1e6;
+    let wall_s = stats.wall_ns as f64 / 1e9;
+    eprintln!(
+        "# client stats: {} requests in {:.3} s ({:.0} req/s)",
+        sorted.len(),
+        wall_s,
+        sorted.len() as f64 / wall_s.max(1e-9),
+    );
+    eprintln!(
+        "# latency ms: mean {:.3} p50 {:.3} p95 {:.3} p99 {:.3} max {:.3}",
+        ms(mean_ns),
+        ms(pct(50.0) as f64),
+        ms(pct(95.0) as f64),
+        ms(pct(99.0) as f64),
+        ms(sorted[sorted.len() - 1] as f64),
+    );
+    ExitCode::SUCCESS
 }

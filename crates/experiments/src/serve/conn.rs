@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, Receiver};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use super::frame::{self, FrameMode, Negotiation};
 use super::router::Router;
@@ -75,7 +75,7 @@ pub(super) fn serve_connection(router: &Router, stream: TcpStream) -> std::io::R
         // Every received line gets exactly one response — blank ones too
         // (skipping them silently would desynchronise a client that pairs
         // requests with responses, hanging it on a read).
-        router.dispatch(&line, seq, &out);
+        router.dispatch(&line, seq, seq, &out);
         seq += 1;
     }
     if !router.shutdown_requested() {
@@ -83,7 +83,7 @@ pub(super) fn serve_connection(router: &Router, stream: TcpStream) -> std::io::R
             FrameMode::Json => {
                 for line in reader.lines() {
                     let Ok(line) = line else { break };
-                    router.dispatch(&line, seq, &out);
+                    router.dispatch(&line, seq, seq, &out);
                     seq += 1;
                     if router.shutdown_requested() {
                         break;
@@ -92,7 +92,7 @@ pub(super) fn serve_connection(router: &Router, stream: TcpStream) -> std::io::R
             }
             FrameMode::Binary => {
                 while let Ok(Some(payload)) = frame::read_frame(&mut reader) {
-                    router.dispatch(&payload, seq, &out);
+                    router.dispatch(&payload, seq, seq, &out);
                     seq += 1;
                     if router.shutdown_requested() {
                         break;
@@ -358,6 +358,80 @@ pub fn pipelined_exchange_framed_with_retries(
         FrameMode::Json => pipelined_exchange_with_retries(addr, requests, retries),
         FrameMode::Binary => framed_pipeline_on(connect_with_retries(addr, retries)?, requests),
     }
+}
+
+/// What [`pipelined_exchange_stats`] observed from the client's side of
+/// the wire: the responses plus per-request latency samples and the wall
+/// time of the whole exchange.
+pub struct ExchangeStats {
+    /// The responses, in request order (same as [`pipelined_exchange`]).
+    pub responses: Vec<String>,
+    /// Client-observed latency of each request, in request order:
+    /// from the moment the request line was flushed toward the socket to
+    /// the moment its response line was read. Pipelining makes these
+    /// overlap — they measure what a caller waits, not server work.
+    pub latencies_ns: Vec<u64>,
+    /// Wall time from first byte written to last response read.
+    pub wall_ns: u64,
+}
+
+/// [`pipelined_exchange_with_retries`], also measuring client-observed
+/// per-request latency: the sender thread timestamps each request as it
+/// flushes it and hands the timestamp through a channel to the reader,
+/// which clocks the matching response (responses return in request
+/// order, so the k-th timestamp pairs with the k-th response).
+pub fn pipelined_exchange_stats(
+    addr: impl ToSocketAddrs + Copy,
+    requests: &[String],
+    retries: u32,
+) -> std::io::Result<ExchangeStats> {
+    let stream = connect_with_retries(addr, retries)?;
+    stream.set_nodelay(true)?;
+    let writer_stream = stream.try_clone()?;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let (sent_tx, sent_rx) = std::sync::mpsc::channel::<Instant>();
+        let sender = scope.spawn(move || -> std::io::Result<()> {
+            let mut out = BufWriter::new(writer_stream);
+            for request in requests {
+                out.write_all(request.as_bytes())?;
+                out.write_all(b"\n")?;
+                // Flush per request so the timestamp marks bytes actually
+                // on their way — a buffered-but-unsent request would bill
+                // its queueing delay to the server.
+                out.flush()?;
+                let _ = sent_tx.send(Instant::now());
+            }
+            Ok(())
+        });
+        let mut reader = BufReader::new(stream);
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut latencies_ns = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            let mut response = String::new();
+            if reader.read_line(&mut response)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-exchange",
+                ));
+            }
+            let sent = sent_rx
+                .recv()
+                .map_err(|_| std::io::Error::other("pipeline sender thread died"))?;
+            latencies_ns.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            responses.push(response.trim_end().to_string());
+        }
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        match sender.join() {
+            Ok(result) => result?,
+            Err(_) => return Err(std::io::Error::other("pipeline sender thread panicked")),
+        }
+        Ok(ExchangeStats {
+            responses,
+            latencies_ns,
+            wall_ns,
+        })
+    })
 }
 
 fn framed_pipeline_on(stream: TcpStream, requests: &[String]) -> std::io::Result<Vec<String>> {

@@ -142,6 +142,7 @@ pub struct NetReport {
 pub struct LatencyHistogram {
     counts: [u64; 64],
     count: u64,
+    sum_ns: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -149,20 +150,26 @@ impl Default for LatencyHistogram {
         Self {
             counts: [0; 64],
             count: 0,
+            sum_ns: 0,
         }
     }
 }
 
 impl LatencyHistogram {
-    /// Records one latency reading.
-    pub fn record(&mut self, nanos: u64) {
-        let bucket = if nanos == 0 {
+    /// The log2 bucket a reading lands in (0 also holds 0 ns readings).
+    pub fn bucket_index(nanos: u64) -> usize {
+        if nanos == 0 {
             0
         } else {
             63 - nanos.leading_zeros() as usize
-        };
-        self.counts[bucket] += 1;
+        }
+    }
+
+    /// Records one latency reading.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_index(nanos)] += 1;
         self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(nanos);
     }
 
     /// Adds another histogram's counts (the cross-shard merge).
@@ -171,11 +178,47 @@ impl LatencyHistogram {
             *mine += theirs;
         }
         self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
     }
 
     /// Readings recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Total nanoseconds across readings (saturating; feeds the
+    /// Prometheus `_sum` series).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Per-bucket counts (index = log2 bucket).
+    pub fn counts(&self) -> &[u64; 64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from raw bucket counts — the `--restore`
+    /// path seeding a shard's histogram base from its snapshot.
+    pub fn from_parts(counts: [u64; 64], sum_ns: u64) -> Self {
+        Self {
+            counts,
+            count: counts.iter().sum(),
+            sum_ns,
+        }
+    }
+
+    /// Prometheus-style cumulative buckets: for each log2 bucket, its
+    /// inclusive upper bound in nanoseconds and the count of readings
+    /// **at or below** it. The final entry's bound is `u64::MAX` (the
+    /// `+Inf` bucket) and its count equals [`Self::count`].
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(64);
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            out.push((Self::upper_bound(bucket), seen));
+        }
+        out
     }
 
     /// Nearest-rank percentile in nanoseconds (0 when empty).
@@ -225,6 +268,171 @@ pub struct LatencyReport {
     pub p95_ns: u64,
     /// 99th-percentile dispatch latency (bucket upper bound, ns).
     pub p99_ns: u64,
+}
+
+/// [`LatencyHistogram`] with atomic buckets: recorded from the request
+/// path, readable concurrently by the Prometheus endpoint and the
+/// `metrics` op without going through the shard queue. Relaxed ordering
+/// throughout — scrapes see a consistent-enough point-in-time view, and
+/// recording stays two `fetch_add`s.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one latency reading.
+    pub fn record(&self, nanos: u64) {
+        self.counts[LatencyHistogram::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds a restored histogram's counts as this histogram's base (the
+    /// `--restore` continuity seeding; called before serving starts).
+    pub fn seed(&self, base: &LatencyHistogram) {
+        for (cell, &c) in self.counts.iter().zip(base.counts().iter()) {
+            cell.fetch_add(c, Ordering::Relaxed);
+        }
+        self.count.fetch_add(base.count(), Ordering::Relaxed);
+        self.sum_ns.fetch_add(base.sum_ns(), Ordering::Relaxed);
+    }
+
+    /// A point-in-time plain-value copy.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut counts = [0u64; 64];
+        for (out, cell) in counts.iter_mut().zip(self.counts.iter()) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        LatencyHistogram::from_parts(counts, self.sum_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// One shard's request-path counters shared with threads outside the
+/// shard: the owning [`super::protocol::ServeState`] writes on every
+/// handled request; the `--metrics-addr` scrape thread (and restore
+/// seeding) read/seed it through a cloned [`std::sync::Arc`]. The
+/// histogram base carries across `--restore` exactly like
+/// [`ShardMetrics::with_base`] carries the request counter.
+#[derive(Debug, Default)]
+pub struct ShardObs {
+    requests: AtomicU64,
+    latency: AtomicHistogram,
+}
+
+impl ShardObs {
+    /// Counters resuming from a restored snapshot: `requests` at the
+    /// crashed server's count, the histogram seeded with its persisted
+    /// bucket counts.
+    pub fn with_base(requests: u64, latency: &LatencyHistogram) -> Self {
+        let obs = ShardObs::default();
+        obs.requests.store(requests, Ordering::Relaxed);
+        obs.latency.seed(latency);
+        obs
+    }
+
+    /// Counts one handled request and its dispatch latency.
+    pub fn record_request(&self, latency_ns: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency_ns);
+    }
+
+    /// Requests handled (mutations + solves + shard-routed reads).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the dispatch-latency histogram.
+    pub fn latency_snapshot(&self) -> LatencyHistogram {
+        self.latency.snapshot()
+    }
+}
+
+/// One shard's numbers for the Prometheus endpoint.
+#[derive(Debug, Clone)]
+pub struct PromShard {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Requests handled by the shard.
+    pub requests: u64,
+    /// The shard's dispatch-latency histogram.
+    pub latency: LatencyHistogram,
+}
+
+fn push_seconds(ns: u64, out: &mut String) {
+    // Render an integer nanosecond quantity as decimal seconds without
+    // float rounding: 1023 ns → "0.000001023".
+    out.push_str(&format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000));
+}
+
+/// Renders the Prometheus text exposition (version 0.0.4) served by
+/// `serve --metrics-addr`: uptime and worker gauges, per-shard request
+/// counters, the trace drop counter, and each shard's log2-ns histogram
+/// converted to cumulative `le`-labelled buckets in seconds.
+pub fn prometheus_body(
+    uptime_s: f64,
+    workers: usize,
+    shards: &[PromShard],
+    trace_dropped: u64,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# HELP cosched_uptime_seconds Seconds since the server started.\n");
+    out.push_str("# TYPE cosched_uptime_seconds gauge\n");
+    out.push_str(&format!("cosched_uptime_seconds {uptime_s:.3}\n"));
+    out.push_str("# HELP cosched_workers Worker shards serving requests.\n");
+    out.push_str("# TYPE cosched_workers gauge\n");
+    out.push_str(&format!("cosched_workers {workers}\n"));
+    out.push_str("# HELP cosched_trace_dropped_total Trace events lost to ring overwrite.\n");
+    out.push_str("# TYPE cosched_trace_dropped_total counter\n");
+    out.push_str(&format!("cosched_trace_dropped_total {trace_dropped}\n"));
+    out.push_str("# HELP cosched_requests_total Requests handled, per shard.\n");
+    out.push_str("# TYPE cosched_requests_total counter\n");
+    for s in shards {
+        out.push_str(&format!(
+            "cosched_requests_total{{shard=\"{}\"}} {}\n",
+            s.shard, s.requests
+        ));
+    }
+    out.push_str("# HELP cosched_request_latency_seconds Request dispatch latency, per shard.\n");
+    out.push_str("# TYPE cosched_request_latency_seconds histogram\n");
+    for s in shards {
+        for (upper_ns, cum) in s.latency.cumulative() {
+            out.push_str(&format!(
+                "cosched_request_latency_seconds_bucket{{shard=\"{}\",le=\"",
+                s.shard
+            ));
+            if upper_ns == u64::MAX {
+                out.push_str("+Inf");
+            } else {
+                push_seconds(upper_ns, &mut out);
+            }
+            out.push_str(&format!("\"}} {cum}\n"));
+        }
+        out.push_str(&format!(
+            "cosched_request_latency_seconds_sum{{shard=\"{}\"}} ",
+            s.shard
+        ));
+        push_seconds(s.latency.sum_ns(), &mut out);
+        out.push('\n');
+        out.push_str(&format!(
+            "cosched_request_latency_seconds_count{{shard=\"{}\"}} {}\n",
+            s.shard,
+            s.latency.count()
+        ));
+    }
+    out
 }
 
 /// One shard's row of the `metrics` response.

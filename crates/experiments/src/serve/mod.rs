@@ -96,8 +96,8 @@ pub mod worker;
 pub use conn::{
     client_exchange, client_exchange_framed, client_exchange_framed_with_retries,
     client_exchange_with_retries, connect_with_retries, pipelined_exchange,
-    pipelined_exchange_framed, pipelined_exchange_framed_with_retries,
-    pipelined_exchange_with_retries, DEFAULT_CLIENT_RETRIES,
+    pipelined_exchange_framed, pipelined_exchange_framed_with_retries, pipelined_exchange_stats,
+    pipelined_exchange_with_retries, ExchangeStats, DEFAULT_CLIENT_RETRIES,
 };
 pub use frame::FrameMode;
 pub use protocol::{
@@ -112,7 +112,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Serve-level configuration, applied when [`Server::run`] starts.
 #[derive(Debug, Clone)]
@@ -152,6 +152,23 @@ pub struct ServeConfig {
     /// [`coschedule::tune::TuneConfig::window`]). Restored servers keep
     /// the window their snapshots were persisted with.
     pub tuner_window: u64,
+    /// `--trace`: turn on [`coschedule::obs`] span recording and echo a
+    /// `"trace_id"` field on every shard-routed response. Off by default
+    /// — the golden suites pin the untagged wire bytes.
+    pub trace: bool,
+    /// `--trace-out FILE`: after the server stops, drain every ring
+    /// buffer and write the spans as Chrome trace-event JSON (loadable
+    /// in Perfetto / `chrome://tracing`). Implies nothing about `trace`
+    /// — combine with it to also tag responses.
+    pub trace_out: Option<PathBuf>,
+    /// `--metrics-addr HOST:PORT`: serve Prometheus text exposition on a
+    /// dedicated listener (port 0 picks a free port; see
+    /// [`Server::metrics_probe`]).
+    pub metrics_addr: Option<String>,
+    /// `--slow-ms N`: log any shard-routed request whose dispatch takes
+    /// at least `N` ms to stderr, with its trace id and per-phase
+    /// breakdown.
+    pub slow_ms: Option<u64>,
 }
 
 /// Choice of sharded front-end (see [`ServeConfig::reactor`]).
@@ -202,6 +219,10 @@ impl Default for ServeConfig {
             snapshot_every: wal::DEFAULT_SNAPSHOT_EVERY,
             reactor: ReactorMode::Auto,
             tuner_window: 0,
+            trace: false,
+            trace_out: None,
+            metrics_addr: None,
+            slow_ms: None,
         }
     }
 }
@@ -262,6 +283,9 @@ pub fn build_states(config: &mut ServeConfig) -> Result<Vec<ServeState>, String>
             state.default_seed = config.default_seed;
             (state, 0, 0)
         };
+        state.shard = shard;
+        state.echo_trace = config.trace;
+        state.slow_ms = config.slow_ms;
         if config.durability.enabled() {
             let dir = config.wal_dir.as_ref().expect("checked above");
             let writer = wal::WalWriter::create(
@@ -273,6 +297,7 @@ pub fn build_states(config: &mut ServeConfig) -> Result<Vec<ServeState>, String>
                 generation,
                 state.session(),
                 state.requests(),
+                &state.latency_snapshot().unwrap_or_default(),
                 replayed,
             )
             .map_err(|e| {
@@ -307,6 +332,10 @@ pub fn available_workers() -> usize {
 pub struct Server {
     listener: TcpListener,
     config: ServeConfig,
+    /// Where the metrics listener publishes its bound address once it is
+    /// up (set only when [`ServeConfig::metrics_addr`] is configured) —
+    /// the seam that lets a test bind `127.0.0.1:0` and learn the port.
+    metrics_bound: Arc<OnceLock<SocketAddr>>,
 }
 
 impl Server {
@@ -316,12 +345,22 @@ impl Server {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             config: ServeConfig::default(),
+            metrics_bound: Arc::new(OnceLock::new()),
         })
     }
 
     /// The bound address (what clients should dial).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// A probe for the metrics listener's bound address: empty until the
+    /// server runs with [`ServeConfig::metrics_addr`] set and the
+    /// listener comes up, then holds the address Prometheus should
+    /// scrape. Clone it before calling [`Server::run`] (which consumes
+    /// the server).
+    pub fn metrics_probe(&self) -> Arc<OnceLock<SocketAddr>> {
+        Arc::clone(&self.metrics_bound)
     }
 
     /// Mutable access to the configuration (worker count, defaults,
@@ -353,17 +392,45 @@ impl Server {
     }
 
     fn run_states(self, mut states: Vec<ServeState>) -> std::io::Result<()> {
-        if states.len() <= 1 {
+        // The metrics listener runs on its own thread for all three
+        // front-ends, reading each shard's atomic counters through
+        // `Arc<ShardObs>` handles cloned before the states move into
+        // their workers.
+        if let Some(addr) = self.config.metrics_addr.clone() {
+            let handles: Vec<_> = states.iter().map(ServeState::obs_handle).collect();
+            spawn_metrics_listener(
+                &addr,
+                Arc::clone(&self.metrics_bound),
+                states.len().max(1),
+                handles,
+            )?;
+        }
+        let trace_out = self.config.trace_out.clone();
+        let result = if states.len() <= 1 {
             let mut state = states.pop().unwrap_or_default();
             state.allow_shutdown = self.config.allow_shutdown;
-            return self.run_sequential(state);
+            self.run_sequential(state)
+        } else {
+            match self.config.reactor {
+                ReactorMode::Off => self.run_sharded(states),
+                ReactorMode::On => self.run_reactor(states),
+                ReactorMode::Auto if miniepoll::SUPPORTED => self.run_reactor(states),
+                ReactorMode::Auto => self.run_sharded(states),
+            }
+        };
+        if let Some(path) = trace_out {
+            // All shard workers have joined by now, so their rings are
+            // quiescent; drain every registered ring into one file.
+            let chunk = coschedule::obs::drain();
+            std::fs::write(&path, coschedule::obs::chrome_trace_json(&chunk.events))?;
+            eprintln!(
+                "trace: wrote {} events ({} dropped) to {}",
+                chunk.events.len(),
+                chunk.dropped,
+                path.display()
+            );
         }
-        match self.config.reactor {
-            ReactorMode::Off => self.run_sharded(states),
-            ReactorMode::On => self.run_reactor(states),
-            ReactorMode::Auto if miniepoll::SUPPORTED => self.run_reactor(states),
-            ReactorMode::Auto => self.run_sharded(states),
-        }
+        result
     }
 
     /// The single-worker front-end: one state, one connection at a time.
@@ -525,6 +592,73 @@ fn wake_addr(bound: SocketAddr) -> SocketAddr {
     SocketAddr::new(ip, bound.port())
 }
 
+/// Binds the Prometheus exposition listener and spawns its accept loop.
+/// Deliberately a plain thread (not a reactor token): the scrape path
+/// must stay responsive while every shard is busy solving, and one
+/// thread parked in `accept` costs nothing. The thread is never joined —
+/// it lives until the process exits.
+fn spawn_metrics_listener(
+    addr: &str,
+    bound: Arc<OnceLock<SocketAddr>>,
+    workers: usize,
+    handles: Vec<Arc<metrics::ShardObs>>,
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let _ = bound.set(listener.local_addr()?);
+    let started = std::time::Instant::now();
+    std::thread::Builder::new()
+        .name("cosched-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                // Best effort per scrape: a broken pipe drops the
+                // connection, not the listener.
+                let _ = serve_metrics_scrape(&mut stream, started, workers, &handles);
+            }
+        })
+        .expect("spawn metrics listener");
+    Ok(())
+}
+
+/// Answers one HTTP scrape on the metrics listener: reads the request
+/// head (and ignores it — every path serves the same exposition), then
+/// writes an `HTTP/1.0` response with the Prometheus text body.
+fn serve_metrics_scrape(
+    stream: &mut TcpStream,
+    started: std::time::Instant,
+    workers: usize,
+    handles: &[Arc<metrics::ShardObs>],
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let shards: Vec<metrics::PromShard> = handles
+        .iter()
+        .enumerate()
+        .map(|(shard, obs)| metrics::PromShard {
+            shard,
+            requests: obs.requests(),
+            latency: obs.latency_snapshot(),
+        })
+        .collect();
+    let body = metrics::prometheus_body(
+        started.elapsed().as_secs_f64(),
+        workers,
+        &shards,
+        coschedule::obs::dropped_total(),
+    );
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
 fn serve_sequential_connection(state: &mut ServeState, stream: TcpStream) -> std::io::Result<()> {
     // Tiny lines + Nagle + the peer's delayed ACK = ~40 ms per exchange;
     // disable Nagle and send each response as a single write.
@@ -545,6 +679,10 @@ fn serve_sequential_connection(state: &mut ServeState, stream: TcpStream) -> std
         .unwrap_or(&first);
     let mut mode = FrameMode::Json;
     let mut scratch = Vec::new();
+    // The per-connection request counter doubles as the trace id — the
+    // same numbering the concurrent fronts' reorder buffers use (the
+    // hello line is transport, not a request, and is not counted).
+    let mut seq = 0u64;
     match frame::negotiate(first) {
         frame::Negotiation::Hello(negotiated) => {
             mode = negotiated;
@@ -554,6 +692,8 @@ fn serve_sequential_connection(state: &mut ServeState, stream: TcpStream) -> std
             writer.write_all(format!("{error}\n").as_bytes())?;
         }
         frame::Negotiation::NotHello => {
+            coschedule::obs::set_trace_id(seq);
+            seq += 1;
             answer_sequential(state, first, &mut writer, mode, &mut scratch)?;
             if state.shutdown_requested() {
                 return Ok(());
@@ -564,6 +704,8 @@ fn serve_sequential_connection(state: &mut ServeState, stream: TcpStream) -> std
         FrameMode::Json => {
             for line in reader.lines() {
                 let line = line?;
+                coschedule::obs::set_trace_id(seq);
+                seq += 1;
                 answer_sequential(state, &line, &mut writer, mode, &mut scratch)?;
                 if state.shutdown_requested() {
                     break;
@@ -572,6 +714,8 @@ fn serve_sequential_connection(state: &mut ServeState, stream: TcpStream) -> std
         }
         FrameMode::Binary => {
             while let Some(payload) = frame::read_frame(&mut reader)? {
+                coschedule::obs::set_trace_id(seq);
+                seq += 1;
                 answer_sequential(state, &payload, &mut writer, mode, &mut scratch)?;
                 if state.shutdown_requested() {
                     break;

@@ -13,12 +13,15 @@
 //! instances over one connection can attribute a failure without relying
 //! on response order alone.
 
+use std::sync::Arc;
+
 use coschedule::model::{Application, Platform};
+use coschedule::obs;
 use coschedule::session::{InstanceInfo, Session, SessionStats};
 use coschedule::solver;
 use minijson::Json;
 
-use super::metrics::{metrics_body, LatencyHistogram, ShardReport};
+use super::metrics::{metrics_body, LatencyHistogram, ShardObs, ShardReport};
 use super::wal::{WalStats, WalWriter};
 
 /// Every op the protocol understands, in dispatch order — the single
@@ -38,6 +41,7 @@ pub const OPS: &[&str] = &[
     "list",
     "solvers",
     "metrics",
+    "trace",
     "close",
     "shutdown",
 ];
@@ -56,20 +60,31 @@ pub struct ServeState {
     /// --allow-shutdown`, and always in loopback smoke tests).
     pub allow_shutdown: bool,
     shutdown_requested: bool,
-    /// Shard-routed requests handled (what the `metrics` op reports as
-    /// this state's `requests`; global ops like `stats` are excluded so
+    /// Shard-routed request counter + dispatch-latency histogram (what
+    /// the `metrics` op reports; global ops like `stats` are excluded so
     /// the counter matches the per-shard queue counters of the sharded
-    /// server).
-    requests: u64,
+    /// server). Shared as an [`Arc`] so the `--metrics-addr` scrape
+    /// thread reads it without going through the shard queue; the
+    /// histogram base is persisted in WAL snapshots and carried across
+    /// `--restore` like the request counter.
+    obs: Arc<ShardObs>,
     /// Write-ahead log, attached when the server runs with `--durability
     /// log|fsync`. [`respond`] appends every shard-routed request to it
     /// *before* dispatching; the transport layer calls
     /// [`ServeState::wal_commit`] before the reply escapes.
     wal: Option<WalWriter>,
-    /// Dispatch latency of every shard-routed request (the same requests
-    /// the `requests` counter counts). In-memory only — deliberately not
-    /// persisted, so a restored server starts with a fresh histogram.
-    latency: LatencyHistogram,
+    /// This state's shard index (0 on the sequential server) — the
+    /// `trace` op's and slow-request log's shard label.
+    pub shard: usize,
+    /// When `true` (`cosched serve --trace`), every shard-routed response
+    /// carries the request's `trace_id` — the per-connection sequence
+    /// number minted at the transport. Off by default so the wire format
+    /// is unchanged for existing clients and golden suites.
+    pub echo_trace: bool,
+    /// Dispatch-time threshold for the slow-request log (`--slow-ms N`):
+    /// any shard-routed request slower than this logs one stderr line
+    /// with trace id, op, shard, and a per-phase breakdown.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeState {
@@ -93,20 +108,29 @@ impl ServeState {
             default_seed: 0xC05,
             allow_shutdown: false,
             shutdown_requested: false,
-            requests: 0,
+            obs: Arc::new(ShardObs::default()),
             wal: None,
-            latency: LatencyHistogram::default(),
+            shard: 0,
+            echo_trace: false,
+            slow_ms: None,
         }
     }
 
     /// State rebuilt by recovery ([`super::wal::recover_shard`]): the
-    /// restored session plus the request counter the crashed server had
-    /// reached at its last snapshot (replaying the WAL tail through
-    /// [`respond`] then advances it exactly as the original ops did).
-    pub fn restore(session: Session, requests: u64) -> Self {
+    /// restored session plus the request counter and latency-histogram
+    /// base the crashed server had reached at its last snapshot
+    /// (replaying the WAL tail through [`respond`] then advances both
+    /// exactly as the original ops did).
+    pub fn restore(session: Session, requests: u64, latency: LatencyHistogram) -> Self {
         let mut state = Self::with_session(session);
-        state.requests = requests;
+        state.obs = Arc::new(ShardObs::with_base(requests, &latency));
         state
+    }
+
+    /// The shared request/latency counters (the `--metrics-addr` scrape
+    /// thread clones this handle).
+    pub fn obs_handle(&self) -> Arc<ShardObs> {
+        Arc::clone(&self.obs)
     }
 
     /// Starts logging every shard-routed op to `writer`. Attached *after*
@@ -138,8 +162,12 @@ impl ServeState {
     pub fn wal_maybe_snapshot(&mut self) {
         if let Some(wal) = &mut self.wal {
             if wal.should_rotate() {
-                wal.rotate(&self.session, self.requests)
-                    .expect("write-ahead log rotation failed");
+                wal.rotate(
+                    &self.session,
+                    self.obs.requests(),
+                    &self.obs.latency_snapshot(),
+                )
+                .expect("write-ahead log rotation failed");
             }
         }
     }
@@ -161,14 +189,16 @@ impl ServeState {
 
     /// Shard-routed requests handled so far.
     pub fn requests(&self) -> u64 {
-        self.requests
+        self.obs.requests()
     }
 
     /// The dispatch-latency histogram, `None` until a shard-routed
     /// request has been answered — the `metrics` op omits `latency_*`
-    /// columns for an idle (or freshly restored) shard.
+    /// columns for an idle shard (a restored shard resumes from its
+    /// snapshot's histogram, so it usually reports immediately).
     pub fn latency_snapshot(&self) -> Option<LatencyHistogram> {
-        (self.latency.count() > 0).then_some(self.latency)
+        let snap = self.obs.latency_snapshot();
+        (snap.count() > 0).then_some(snap)
     }
 }
 
@@ -205,31 +235,71 @@ pub fn respond(state: &mut ServeState, request: &Json) -> Json {
         .and_then(Json::as_str)
         .is_some_and(is_global_op)
     {
+        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+        let mut request_sp = obs::span("serve", op_span_name(op));
+        request_sp.set_args(obs::current_trace_id(), state.shard as u64);
         // Log before dispatch, in the canonical serialization — replaying
         // the log re-enters here and reproduces the dispatch bit for bit.
         // Failed ops are logged too: they bump counters and eval stats,
         // and recovery must reproduce those. Fail-stop on I/O error (see
         // [`ServeState::wal_commit`]).
+        let wal_started = std::time::Instant::now();
         if let Some(wal) = &mut state.wal {
+            let append_sp = obs::span("wal", "wal_append");
             wal.append(&request.to_string())
                 .expect("write-ahead log append failed");
+            drop(append_sp);
         }
-        // Count what a shard queue would carry; global ops are answered
-        // by the router in the sharded server and never reach a shard.
-        state.requests += 1;
+        let wal_ns = wal_started.elapsed().as_nanos() as u64;
         let started = std::time::Instant::now();
         let result = dispatch(state, request);
-        state
-            .latency
-            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        return match result {
+        let dispatch_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Count what a shard queue would carry; global ops are answered
+        // by the router in the sharded server and never reach a shard.
+        state.obs.record_request(dispatch_ns);
+        if let Some(slow_ms) = state.slow_ms {
+            if dispatch_ns / 1_000_000 >= slow_ms {
+                eprintln!(
+                    "slow request: trace_id={} op={} shard={} dispatch_ms={:.3} wal_append_us={:.1}",
+                    obs::current_trace_id(),
+                    op,
+                    state.shard,
+                    dispatch_ns as f64 / 1e6,
+                    wal_ns as f64 / 1e3,
+                );
+            }
+        }
+        let mut body = match result {
             Ok(body) => body,
             Err(message) => error_response(&message, request.get("id").and_then(Json::as_u64)),
         };
+        if state.echo_trace {
+            if let Json::Obj(pairs) = &mut body {
+                pairs.push(("trace_id".to_string(), Json::from(obs::current_trace_id())));
+            }
+        }
+        return body;
     }
     match dispatch(state, request) {
         Ok(body) => body,
         Err(message) => error_response(&message, request.get("id").and_then(Json::as_u64)),
+    }
+}
+
+/// Static span name for a shard-routed op (ring events hold only
+/// `&'static str`).
+fn op_span_name(op: &str) -> &'static str {
+    match op {
+        "create" => "op_create",
+        "mutate" => "op_mutate",
+        "add_app" => "op_add_app",
+        "remove_app" => "op_remove_app",
+        "update_app" => "op_update_app",
+        "set_platform" => "op_set_platform",
+        "solve" => "op_solve",
+        "trace" => "op_trace",
+        "close" => "op_close",
+        _ => "op_other",
     }
 }
 
@@ -265,7 +335,7 @@ fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
             1,
             &[ShardReport {
                 shard: 0,
-                requests: state.requests,
+                requests: state.obs.requests(),
                 queue_depth: 0,
                 instances: state.session.len(),
                 stats: state.session.stats(),
@@ -275,6 +345,7 @@ fn dispatch(state: &mut ServeState, request: &Json) -> Result<Json, String> {
                 latency: state.latency_snapshot(),
             }],
         )),
+        "trace" => Ok(op_trace(state)),
         "close" => op_close(state, request),
         "shutdown" => {
             if !state.allow_shutdown {
@@ -372,6 +443,45 @@ pub(super) fn solvers_body() -> Json {
         (
             "solvers",
             Json::arr(solver::names().into_iter().map(Json::from)),
+        ),
+    ])
+}
+
+/// The `trace` op: drains the handling thread's span ring buffer. On the
+/// sharded server the op is routed like any other shard op (an optional
+/// `"shard"` field picks the target, default 0), so the drained timeline
+/// is that shard worker's; on the sequential server it is the serving
+/// thread's. Returns the events plus how many were lost to ring
+/// overwrite since the previous drain, and whether tracing is even on.
+fn op_trace(state: &ServeState) -> Json {
+    let chunk = obs::drain_local();
+    Json::obj([
+        ("ok", Json::from(true)),
+        ("shard", Json::from(state.shard)),
+        ("enabled", Json::from(obs::enabled())),
+        ("dropped", Json::from(chunk.dropped)),
+        (
+            "events",
+            Json::arr(chunk.events.iter().map(|ev| {
+                Json::obj([
+                    ("name", Json::from(ev.name)),
+                    ("cat", Json::from(ev.cat)),
+                    (
+                        "ph",
+                        Json::from(match ev.kind {
+                            obs::EventKind::Span => "X",
+                            obs::EventKind::Instant => "i",
+                        }),
+                    ),
+                    ("ts_ns", Json::from(ev.ts_ns)),
+                    ("dur_ns", Json::from(ev.dur_ns)),
+                    ("span_id", Json::from(ev.span_id)),
+                    ("parent_id", Json::from(ev.parent_id)),
+                    ("trace_id", Json::from(ev.trace_id)),
+                    ("arg0", Json::from(ev.arg0)),
+                    ("arg1", Json::from(ev.arg1)),
+                ])
+            })),
         ),
     ])
 }

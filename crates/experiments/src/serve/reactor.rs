@@ -576,7 +576,7 @@ impl Loop {
             conn: token,
             completions: Arc::clone(&self.completions),
         };
-        self.router.dispatch(line, seq, &sink);
+        self.router.dispatch(line, seq, seq, &sink);
     }
 
     /// Moves finished responses from the mailbox through each

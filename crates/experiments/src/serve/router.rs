@@ -100,8 +100,11 @@ impl Router {
 
     /// Routes one raw request line; the response (tagged with `seq`) is
     /// delivered to `out` — immediately for router-answered ops, from the
-    /// owning shard's worker for instance ops.
-    pub fn dispatch(&self, line: &str, seq: u64, out: &ResponseSink) {
+    /// owning shard's worker for instance ops. `trace` is the
+    /// connection-level request id propagated to the shard (normally the
+    /// same number as `seq`; the fronts mint both from the per-connection
+    /// line counter).
+    pub fn dispatch(&self, line: &str, seq: u64, trace: u64, out: &ResponseSink) {
         let request = match Json::parse(line) {
             Ok(request) => request,
             Err(e) => {
@@ -110,14 +113,14 @@ impl Router {
                 return;
             }
         };
-        self.dispatch_parsed(request, seq, out);
+        self.dispatch_parsed(request, seq, trace, out);
     }
 
     /// Routes one parsed request (see [`Self::dispatch`]).
-    fn dispatch_parsed(&self, request: Json, seq: u64, out: &ResponseSink) {
+    fn dispatch_parsed(&self, request: Json, seq: u64, trace: u64, out: &ResponseSink) {
         match request.get("op").and_then(Json::as_str) {
-            Some("create") => self.dispatch_create(request, seq, out),
-            Some("batch") => self.dispatch_batch(request, seq, out),
+            Some("create") => self.dispatch_create(request, seq, trace, out),
+            Some("batch") => self.dispatch_batch(request, seq, trace, out),
             // `protocol::is_global_op` is the single definition of which
             // ops the router answers itself; the per-shard `requests`
             // counting in `protocol::respond` keys off the same predicate.
@@ -125,22 +128,30 @@ impl Router {
             // Instance ops (and anything unroutable — unknown ops,
             // missing or dead ids): the owning shard, or shard 0, whose
             // dispatch reports the identical error a single worker would.
-            _ => {
+            // The `trace` op is shard-addressed by an explicit `"shard"`
+            // field (it drains the addressed worker thread's ring buffer),
+            // not by instance id.
+            op => {
                 let id = request.get("id").and_then(Json::as_u64);
-                let shard = id
-                    .and_then(|id| {
+                let shard = if op == Some("trace") {
+                    let asked = request.get("shard").and_then(Json::as_u64).unwrap_or(0);
+                    (asked as usize) % self.workers.len()
+                } else {
+                    id.and_then(|id| {
                         self.directory
                             .lock()
                             .expect("directory lock")
                             .get(&id)
                             .copied()
                     })
-                    .unwrap_or(0);
+                    .unwrap_or(0)
+                };
                 let worker = &self.workers[shard];
                 worker.metrics.record_enqueued();
                 let sent = worker.tx.send(ShardMsg::Apply {
                     request,
                     seq,
+                    trace,
                     out: out.clone(),
                 });
                 if sent.is_err() {
@@ -240,7 +251,7 @@ impl Router {
     /// a lock-step client would observe between mutations and the global
     /// snapshot ops. Nested batches answer an error at their slot, exactly
     /// like the single-worker protocol layer.
-    fn dispatch_batch(&self, request: Json, seq: u64, out: &ResponseSink) {
+    fn dispatch_batch(&self, request: Json, seq: u64, trace: u64, out: &ResponseSink) {
         // Take the envelope apart by value — a batched trace replay can
         // carry the whole workload in one line, and deep-cloning every
         // sub-request would defeat the op's amortization purpose.
@@ -270,7 +281,10 @@ impl Router {
             }
             let (tx, rx) = std::sync::mpsc::channel::<TaggedResponse>();
             let sink = ResponseSink::Channel(tx);
-            self.dispatch_parsed(sub, 0, &sink);
+            // Sub-requests inherit the envelope's trace id, so their
+            // spans (and `trace_id` echoes) correlate to the one client
+            // line that carried them.
+            self.dispatch_parsed(sub, 0, trace, &sink);
             drop(sink);
             let line = match rx.recv() {
                 Ok((_, line)) => line,
@@ -289,7 +303,7 @@ impl Router {
     /// wait for the shard's reply so the directory registration happens
     /// before the response escapes (a pipelining client may address the
     /// new id on its very next line).
-    fn dispatch_create(&self, request: Json, seq: u64, out: &ResponseSink) {
+    fn dispatch_create(&self, request: Json, seq: u64, trace: u64, out: &ResponseSink) {
         let mut cursor = self.create_cursor.lock().expect("create cursor lock");
         let shard = (*cursor % self.workers.len() as u64) as usize;
         let worker = &self.workers[shard];
@@ -297,6 +311,7 @@ impl Router {
         worker.metrics.record_enqueued();
         let response = match worker.tx.send(ShardMsg::Create {
             request,
+            trace,
             done: done_tx,
         }) {
             Ok(()) => match done_rx.recv() {

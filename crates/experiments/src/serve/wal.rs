@@ -45,10 +45,12 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
+use coschedule::obs;
 use coschedule::persist;
 use coschedule::session::Session;
 use minijson::Json;
 
+use super::metrics::LatencyHistogram;
 use super::protocol::{self, ServeState};
 
 /// First bytes of every WAL file; a file not starting with these is not
@@ -180,12 +182,13 @@ impl WalWriter {
         generation: u64,
         session: &Session,
         requests: u64,
+        latency: &LatencyHistogram,
         replayed: u64,
     ) -> io::Result<WalWriter> {
         assert!(durability.enabled(), "WalWriter requires durability");
         fs::create_dir_all(dir)?;
         write_snapshot(
-            dir, shard, shards, generation, session, requests, durability,
+            dir, shard, shards, generation, session, requests, latency, durability,
         )?;
         let file = open_wal(dir, shard, generation, durability)?;
         let writer = WalWriter {
@@ -233,9 +236,13 @@ impl WalWriter {
         if !self.pending {
             return Ok(());
         }
+        let mut commit_sp = obs::span("wal", "wal_commit");
+        commit_sp.set_args(self.stats.records, self.shard as u64);
         self.file.flush()?;
         if self.durability == Durability::Fsync {
+            let fsync_sp = obs::span("wal", "wal_fsync");
             self.file.get_ref().sync_data()?;
+            drop(fsync_sp);
             self.stats.fsyncs += 1;
         }
         self.pending = false;
@@ -250,8 +257,14 @@ impl WalWriter {
 
     /// Takes a fresh snapshot at `generation + 1`, truncates the log by
     /// switching to `shard-K.wal.(G+1).log`, and removes the old pair.
-    pub fn rotate(&mut self, session: &Session, requests: u64) -> io::Result<()> {
+    pub fn rotate(
+        &mut self,
+        session: &Session,
+        requests: u64,
+        latency: &LatencyHistogram,
+    ) -> io::Result<()> {
         self.commit()?;
+        let _rotate_sp = obs::span("wal", "wal_rotate");
         let next = self.generation + 1;
         write_snapshot(
             &self.dir,
@@ -260,6 +273,7 @@ impl WalWriter {
             next,
             session,
             requests,
+            latency,
             self.durability,
         )?;
         self.file = open_wal(&self.dir, self.shard, next, self.durability)?;
@@ -326,6 +340,7 @@ fn open_wal(
     Ok(BufWriter::new(file))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_snapshot(
     dir: &Path,
     shard: usize,
@@ -333,6 +348,7 @@ fn write_snapshot(
     generation: u64,
     session: &Session,
     requests: u64,
+    latency: &LatencyHistogram,
     durability: Durability,
 ) -> io::Result<()> {
     let envelope = Json::obj([
@@ -340,6 +356,20 @@ fn write_snapshot(
         ("shard", Json::from(shard)),
         ("shards", Json::from(shards)),
         ("requests", Json::from(requests)),
+        // The latency histogram travels with the request counter so a
+        // restored shard's percentiles continue instead of silently
+        // restarting from empty (bucket counts + saturating ns sum;
+        // absent in pre-observability snapshots, which read as empty).
+        (
+            "latency",
+            Json::obj([
+                (
+                    "counts",
+                    Json::arr(latency.counts().iter().copied().map(Json::from)),
+                ),
+                ("sum_ns", Json::from(latency.sum_ns())),
+            ]),
+        ),
         ("session", persist::snapshot_session(session)),
     ]);
     let path = snap_path(dir, shard, generation);
@@ -463,6 +493,29 @@ pub fn read_meta(dir: &Path) -> Result<Option<usize>, String> {
         .ok_or_else(|| "meta.json: missing or invalid workers".to_string())
 }
 
+/// Parses a snapshot's `"latency"` object back into a histogram.
+fn parse_latency(v: &Json) -> Result<LatencyHistogram, String> {
+    let counts_json = v
+        .get("counts")
+        .and_then(Json::as_array)
+        .ok_or("latency: missing counts array")?;
+    if counts_json.len() != 64 {
+        return Err(format!(
+            "latency: expected 64 buckets, found {}",
+            counts_json.len()
+        ));
+    }
+    let mut counts = [0u64; 64];
+    for (out, c) in counts.iter_mut().zip(counts_json) {
+        *out = c.as_u64().ok_or("latency: non-integer bucket count")?;
+    }
+    let sum_ns = v
+        .get("sum_ns")
+        .and_then(Json::as_u64)
+        .ok_or("latency: missing sum_ns")?;
+    Ok(LatencyHistogram::from_parts(counts, sum_ns))
+}
+
 /// The result of [`recover_shard`]: the rebuilt state, how many WAL
 /// records were replayed into it, and the generation the shard's next
 /// [`WalWriter`] should be created at.
@@ -540,12 +593,19 @@ pub fn recover_shard(
         .get("requests")
         .and_then(Json::as_u64)
         .ok_or_else(|| err("missing requests".into()))?;
+    // Tolerate snapshots from before the histogram was persisted: they
+    // restore with an empty latency base, exactly the old behaviour.
+    let latency = envelope
+        .get("latency")
+        .map(|v| parse_latency(v).map_err(&err))
+        .transpose()?
+        .unwrap_or_default();
     let session = envelope
         .get("session")
         .ok_or_else(|| err("missing session".into()))?;
     let session = persist::restore_session(session).map_err(err)?;
 
-    let mut state = ServeState::restore(session, requests);
+    let mut state = ServeState::restore(session, requests, latency);
     state.default_solver = default_solver.to_string();
     state.default_seed = default_seed;
 
@@ -747,8 +807,19 @@ mod tests {
     fn records_round_trip_and_torn_tails_are_dropped() {
         let dir = temp_dir("frame");
         let session = Session::new();
-        let mut writer =
-            WalWriter::create(&dir, 0, 1, Durability::Log, 1024, 0, &session, 0, 0).unwrap();
+        let mut writer = WalWriter::create(
+            &dir,
+            0,
+            1,
+            Durability::Log,
+            1024,
+            0,
+            &session,
+            0,
+            &LatencyHistogram::default(),
+            0,
+        )
+        .unwrap();
         let lines = [
             r#"{"op":"solve","id":0,"seed":7}"#,
             r#"{"op":"close","id":1}"#,
@@ -784,13 +855,26 @@ mod tests {
     fn rotation_advances_generation_and_collects_garbage() {
         let dir = temp_dir("rotate");
         let session = Session::new();
-        let mut writer =
-            WalWriter::create(&dir, 0, 1, Durability::Log, 2, 0, &session, 0, 0).unwrap();
+        let mut writer = WalWriter::create(
+            &dir,
+            0,
+            1,
+            Durability::Log,
+            2,
+            0,
+            &session,
+            0,
+            &LatencyHistogram::default(),
+            0,
+        )
+        .unwrap();
         assert!(!writer.should_rotate());
         writer.append("a").unwrap();
         writer.append("b").unwrap();
         assert!(writer.should_rotate());
-        writer.rotate(&session, 2).unwrap();
+        writer
+            .rotate(&session, 2, &LatencyHistogram::default())
+            .unwrap();
         assert!(!writer.should_rotate());
         assert_eq!(writer.stats().snapshot_generation, 1);
         assert_eq!(latest_generation(&dir, 0).unwrap(), Some(1));
@@ -807,8 +891,19 @@ mod tests {
         // A "primary": create, solve, snapshot happens at attach; more
         // ops land in the WAL only.
         let mut live = ServeState::with_session(Session::new());
-        let writer =
-            WalWriter::create(&dir, 0, 1, Durability::Log, 1024, 0, live.session(), 0, 0).unwrap();
+        let writer = WalWriter::create(
+            &dir,
+            0,
+            1,
+            Durability::Log,
+            1024,
+            0,
+            live.session(),
+            0,
+            &LatencyHistogram::default(),
+            0,
+        )
+        .unwrap();
         live.attach_wal(writer);
         let trace = [
             create_line(),
@@ -866,7 +961,19 @@ mod tests {
     fn recover_rejects_a_mismatched_shard_layout() {
         let dir = temp_dir("layout");
         let session = Session::with_id_stride(0, 2);
-        let _ = WalWriter::create(&dir, 0, 2, Durability::Log, 64, 0, &session, 0, 0).unwrap();
+        let _ = WalWriter::create(
+            &dir,
+            0,
+            2,
+            Durability::Log,
+            64,
+            0,
+            &session,
+            0,
+            &LatencyHistogram::default(),
+            0,
+        )
+        .unwrap();
         let e = match recover_shard(&dir, 0, 4, "DominantMinRatio", 0) {
             Err(e) => e,
             Ok(_) => panic!("a mismatched shard layout must fail to restore"),
@@ -900,6 +1007,7 @@ mod tests {
             0,
             primary.session(),
             0,
+            &LatencyHistogram::default(),
             0,
         )
         .unwrap();

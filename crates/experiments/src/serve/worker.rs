@@ -86,6 +86,11 @@ pub(super) enum ShardMsg {
     Apply {
         request: Json,
         seq: u64,
+        /// The connection-level request id ([`coschedule::obs`] trace id)
+        /// the span tree and `trace_id` echo are keyed by. Sub-requests of
+        /// a `batch` carry the envelope's id, so the tag is not always
+        /// `seq`.
+        trace: u64,
         out: ResponseSink,
     },
     /// A `create`: the router waits for the reply so it can register the
@@ -94,6 +99,7 @@ pub(super) enum ShardMsg {
     /// instance.
     Create {
         request: Json,
+        trace: u64,
         done: SyncSender<(String, Option<u64>)>,
     },
     /// State snapshot for the `stats` / `list` / `metrics` fan-outs.
@@ -159,7 +165,16 @@ fn run(
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Apply { request, seq, out } => {
+            ShardMsg::Apply {
+                request,
+                seq,
+                trace,
+                out,
+            } => {
+                // Adopt the request's trace id so every span this shard
+                // thread records while serving it carries the same tag the
+                // response echoes.
+                coschedule::obs::set_trace_id(trace);
                 let response = protocol::respond(&mut state, &request);
                 // Durability contract: the op is on disk before the reply
                 // can reach the client.
@@ -179,7 +194,12 @@ fn run(
                 // — off the request latency path.
                 state.wal_maybe_snapshot();
             }
-            ShardMsg::Create { request, done } => {
+            ShardMsg::Create {
+                request,
+                trace,
+                done,
+            } => {
+                coschedule::obs::set_trace_id(trace);
                 let response = protocol::respond(&mut state, &request);
                 state.wal_commit();
                 let created = if is_ok(&response) {

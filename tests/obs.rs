@@ -1,0 +1,386 @@
+//! Observability integration tests: the log2-ns latency-histogram math
+//! (bucket boundaries, exact cross-shard merge, cumulative conversion)
+//! checked property-style against naive references, the Prometheus text
+//! exposition's shape, the `trace` protocol op, the `trace_id` echo, the
+//! histogram's continuity across a WAL restore, and — the golden
+//! guarantee — that **enabling tracing does not perturb results**: with
+//! span recording on, the smoke script still answers byte-identically
+//! across worker counts.
+
+mod common;
+
+use common::{mask_reactor_wakeups, spawn_server_with};
+use coschedule::obs;
+use coschedule::session::Session;
+use experiments::serve::metrics::{prometheus_body, LatencyHistogram, PromShard};
+use experiments::serve::wal::{recover_shard, WalWriter};
+use experiments::serve::{client_exchange, handle_line, smoke_script, Durability, ServeState};
+use minijson::Json;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the tests that flip the process-global tracing flag (and
+/// drain the process-global ring registry).
+static OBS_GATE: Mutex<()> = Mutex::new(());
+
+/// `upper_bound` re-derived: the largest nanosecond reading bucket `b`
+/// can hold.
+fn naive_upper_bound(bucket: usize) -> u64 {
+    if bucket >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (bucket + 1)) - 1
+    }
+}
+
+#[test]
+fn bucket_boundaries_are_exact() {
+    assert_eq!(
+        LatencyHistogram::bucket_index(0),
+        0,
+        "zero lands in bucket 0"
+    );
+    assert_eq!(LatencyHistogram::bucket_index(1), 0);
+    assert_eq!(LatencyHistogram::bucket_index(2), 1);
+    assert_eq!(LatencyHistogram::bucket_index(3), 1);
+    assert_eq!(LatencyHistogram::bucket_index(4), 2);
+    assert_eq!(LatencyHistogram::bucket_index(u64::MAX), 63);
+    for exp in 1..64u32 {
+        let pow = 1u64 << exp;
+        assert_eq!(LatencyHistogram::bucket_index(pow), exp as usize);
+        assert_eq!(LatencyHistogram::bucket_index(pow - 1), exp as usize - 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every reading lands in a bucket that actually brackets it.
+    #[test]
+    fn bucket_index_brackets_every_reading(exp in 0u32..64, offset in 0u64..1024) {
+        let n = (1u64 << exp).saturating_add(offset);
+        let b = LatencyHistogram::bucket_index(n);
+        prop_assert!(n <= naive_upper_bound(b), "{n} above bucket {b}'s bound");
+        if b > 0 {
+            prop_assert!(n >= 1u64 << b, "{n} below bucket {b}'s floor");
+        }
+    }
+
+    /// Merging two shards' histograms is exact: identical to having
+    /// recorded every reading into one histogram.
+    #[test]
+    fn merge_is_exact(
+        a in prop::collection::vec(0u64..u64::MAX, 0..200),
+        b in prop::collection::vec(0u64..u64::MAX, 0..200),
+    ) {
+        let mut ha = LatencyHistogram::default();
+        let mut hb = LatencyHistogram::default();
+        let mut reference = LatencyHistogram::default();
+        for &x in &a {
+            ha.record(x);
+            reference.record(x);
+        }
+        for &x in &b {
+            hb.record(x);
+            reference.record(x);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.counts(), reference.counts());
+        prop_assert_eq!(ha.count(), reference.count());
+        prop_assert_eq!(ha.sum_ns(), reference.sum_ns());
+    }
+
+    /// The Prometheus cumulative-bucket conversion agrees with counting
+    /// the samples directly.
+    #[test]
+    fn cumulative_matches_naive_reference(
+        samples in prop::collection::vec(0u64..u64::MAX, 0..300),
+    ) {
+        let mut h = LatencyHistogram::default();
+        for &s in &samples {
+            h.record(s);
+        }
+        let cumulative = h.cumulative();
+        prop_assert_eq!(cumulative.len(), 64);
+        for (bucket, &(bound, cum)) in cumulative.iter().enumerate() {
+            prop_assert_eq!(bound, naive_upper_bound(bucket));
+            let naive = samples
+                .iter()
+                .filter(|&&s| LatencyHistogram::bucket_index(s) <= bucket)
+                .count() as u64;
+            prop_assert_eq!(cum, naive, "bucket {}", bucket);
+        }
+        // The +Inf bucket holds everything.
+        prop_assert_eq!(cumulative[63].1, samples.len() as u64);
+    }
+}
+
+/// Parses one `name{labels} value` exposition sample line.
+fn sample_line(line: &str) -> Option<(&str, f64)> {
+    let (metric, value) = line.rsplit_once(' ')?;
+    Some((metric, value.parse().ok()?))
+}
+
+#[test]
+fn prometheus_body_is_well_formed() {
+    let mut latency = LatencyHistogram::default();
+    for ns in [100, 1_000, 1_000, 50_000, 2_000_000, 40_000_000] {
+        latency.record(ns);
+    }
+    let shards = [
+        PromShard {
+            shard: 0,
+            requests: 6,
+            latency,
+        },
+        PromShard {
+            shard: 1,
+            requests: 0,
+            latency: LatencyHistogram::default(),
+        },
+    ];
+    let body = prometheus_body(12.5, 2, &shards, 3);
+
+    // Every line is a HELP/TYPE comment or a parseable sample.
+    let mut samples = 0usize;
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "unexpected comment: {line}"
+            );
+            continue;
+        }
+        let (metric, _value) = sample_line(line).unwrap_or_else(|| panic!("bad sample: {line}"));
+        assert!(
+            metric.starts_with("cosched_"),
+            "unprefixed metric: {metric}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0);
+
+    // Shard 0's histogram: 64 nondecreasing `le` buckets ending at +Inf
+    // with the total count, and a matching `_count` sample.
+    let bucket_values: Vec<f64> = body
+        .lines()
+        .filter(|l| {
+            l.starts_with("cosched_request_latency_seconds_bucket") && l.contains("shard=\"0\"")
+        })
+        .map(|l| sample_line(l).expect("bucket line").1)
+        .collect();
+    assert_eq!(bucket_values.len(), 64);
+    for pair in bucket_values.windows(2) {
+        assert!(pair[0] <= pair[1], "cumulative buckets must not decrease");
+    }
+    assert_eq!(*bucket_values.last().unwrap(), 6.0);
+    let inf_line = body
+        .lines()
+        .find(|l| l.contains("le=\"+Inf\"") && l.contains("shard=\"0\""))
+        .expect("+Inf bucket");
+    assert_eq!(sample_line(inf_line).unwrap().1, 6.0);
+    let count_line = body
+        .lines()
+        .find(|l| {
+            l.starts_with("cosched_request_latency_seconds_count") && l.contains("shard=\"0\"")
+        })
+        .expect("_count sample");
+    assert_eq!(sample_line(count_line).unwrap().1, 6.0);
+    assert!(body.contains("cosched_trace_dropped_total 3"));
+    assert!(body.contains("cosched_workers 2"));
+}
+
+/// The dispatch-latency histogram survives `--restore`: a recovered
+/// shard's count continues from the pre-crash total (snapshot base plus
+/// replayed tail) instead of restarting at zero.
+#[test]
+fn latency_histogram_survives_restore() {
+    let dir = std::env::temp_dir().join(format!("cosched-obs-restore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut state = ServeState::with_session(Session::with_id_stride(0, 1));
+    let writer = WalWriter::create(
+        &dir,
+        0,
+        1,
+        Durability::Log,
+        2, // rotate every 2 records: the base-carry path is exercised
+        0,
+        state.session(),
+        0,
+        &LatencyHistogram::default(),
+        0,
+    )
+    .expect("wal create");
+    state.attach_wal(writer);
+
+    let ops = [
+        r#"{"op":"create","apps":[{"name":"A","work":1e10,"seq_fraction":0.1,"access_freq":0.5,"miss_rate_ref":1e-3},{"name":"B","work":2e10,"seq_fraction":0.05,"access_freq":0.6,"miss_rate_ref":2e-3}]}"#,
+        r#"{"op":"solve","id":0,"seed":1}"#,
+        r#"{"op":"mutate","id":0,"action":"remove_app","index":1}"#,
+        r#"{"op":"solve","id":0,"seed":2}"#,
+        r#"{"op":"solve","id":0,"seed":3}"#,
+    ];
+    for op in ops {
+        let response = handle_line(&mut state, op);
+        assert!(response.contains("\"ok\":true"), "{op} answered {response}");
+        state.wal_commit();
+        state.wal_maybe_snapshot();
+    }
+    let live = state.latency_snapshot().expect("live histogram");
+    assert_eq!(live.count(), ops.len() as u64);
+    drop(state);
+
+    let recovered = recover_shard(&dir, 0, 1, "DominantMinRatio", 0xC05).expect("recover");
+    let restored = recovered
+        .state
+        .latency_snapshot()
+        .expect("restored histogram");
+    assert_eq!(
+        restored.count(),
+        ops.len() as u64,
+        "restored histogram must continue the pre-crash count"
+    );
+    assert!(restored.sum_ns() > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With tracing ON the smoke script still answers byte-identically
+/// between the single-worker and the 4-shard server (all responses but
+/// the per-shard `metrics` row), and run-to-run — recording spans must
+/// never perturb results.
+#[test]
+fn tracing_enabled_preserves_response_bytes() {
+    let _gate = OBS_GATE.lock().expect("obs gate");
+    obs::set_enabled(true);
+    let script = smoke_script();
+    let run = |workers: usize| -> Vec<String> {
+        let (addr, handle) = spawn_server_with(|config| config.workers = workers);
+        let responses = client_exchange(addr, &script).expect("loopback exchange");
+        handle.join().expect("server thread").expect("server run");
+        responses
+    };
+    let single = run(1);
+    let single_again = run(1);
+    let sharded = run(4);
+    obs::set_enabled(false);
+    let _ = obs::drain();
+
+    let masked = |lines: &[String]| -> Vec<String> {
+        lines.iter().map(|l| mask_reactor_wakeups(l)).collect()
+    };
+    assert_eq!(
+        masked(&single),
+        masked(&single_again),
+        "tracing on: same script, same bytes, run to run"
+    );
+    for (k, (a, b)) in single.iter().zip(&sharded).enumerate() {
+        let is_metrics = k == 8; // per-shard rows differ by design
+        if !is_metrics {
+            assert_eq!(a, b, "response {k} differs between 1 and 4 workers");
+        }
+    }
+}
+
+/// The `trace` op: drains the addressed shard's ring buffer, returning
+/// the span events recorded there — and the `--trace` echo tags every
+/// shard-routed response with its connection-level request id.
+#[test]
+fn trace_op_drains_the_addressed_shard() {
+    let _gate = OBS_GATE.lock().expect("obs gate");
+    obs::set_enabled(true);
+    let _ = obs::drain(); // drop spans left over from other activity
+
+    let (addr, handle) = spawn_server_with(|config| {
+        config.workers = 2;
+        config.trace = true;
+    });
+    let script = vec![
+        r#"{"op":"create","apps":[{"name":"A","work":1e10,"seq_fraction":0.1,"access_freq":0.5,"miss_rate_ref":1e-3},{"name":"B","work":2e10,"seq_fraction":0.05,"access_freq":0.6,"miss_rate_ref":2e-3}]}"#.to_string(),
+        r#"{"op":"solve","id":0,"seed":7}"#.to_string(),
+        r#"{"op":"trace"}"#.to_string(),
+        r#"{"op":"trace","shard":1}"#.to_string(),
+        r#"{"op":"shutdown"}"#.to_string(),
+    ];
+    let responses = client_exchange(addr, &script).expect("loopback exchange");
+    handle.join().expect("server thread").expect("server run");
+    obs::set_enabled(false);
+    let _ = obs::drain();
+
+    // The first round-robin create lands on shard 0, as does its solve.
+    for (k, response) in responses[..2].iter().enumerate() {
+        let v = Json::parse(response).expect("parse");
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+        assert_eq!(
+            v.get("trace_id").and_then(Json::as_u64),
+            Some(k as u64),
+            "response {k} must echo its request id: {response}"
+        );
+    }
+
+    let shard0 = Json::parse(&responses[2]).expect("trace response");
+    assert_eq!(shard0.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(shard0.get("shard").and_then(Json::as_u64), Some(0));
+    assert_eq!(shard0.get("enabled").and_then(Json::as_bool), Some(true));
+    let events = shard0
+        .get("events")
+        .and_then(Json::as_array)
+        .expect("events array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(
+        names.contains(&"op_create") && names.contains(&"op_solve"),
+        "shard 0's ring should hold the create and solve spans, saw {names:?}"
+    );
+    for event in events {
+        let name = event.get("name").and_then(Json::as_str).unwrap_or("");
+        if name == "op_create" {
+            assert_eq!(event.get("trace_id").and_then(Json::as_u64), Some(0));
+        }
+        if name == "op_solve" {
+            assert_eq!(event.get("trace_id").and_then(Json::as_u64), Some(1));
+        }
+    }
+
+    // Shard 1 served nothing: its ring is empty (but the op still
+    // answers from the right worker thread).
+    let shard1 = Json::parse(&responses[3]).expect("trace response");
+    assert_eq!(shard1.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(shard1.get("shard").and_then(Json::as_u64), Some(1));
+    let empty = shard1
+        .get("events")
+        .and_then(Json::as_array)
+        .expect("events array");
+    assert!(
+        empty.is_empty(),
+        "shard 1 handled no requests, saw {} events",
+        empty.len()
+    );
+}
+
+/// The disabled path records nothing and drops nothing — the golden
+/// suites run in this state, so it must stay inert.
+#[test]
+fn disabled_tracing_is_inert_through_the_serve_stack() {
+    let _gate = OBS_GATE.lock().expect("obs gate");
+    obs::set_enabled(false);
+    let _ = obs::drain();
+    let mut state = ServeState::with_session(Session::new());
+    let response = handle_line(
+        &mut state,
+        r#"{"op":"create","apps":[{"name":"A","work":1e10,"seq_fraction":0.1,"access_freq":0.5,"miss_rate_ref":1e-3},{"name":"B","work":2e10,"seq_fraction":0.05,"access_freq":0.6,"miss_rate_ref":2e-3}]}"#,
+    );
+    assert!(response.contains("\"ok\":true"), "{response}");
+    assert!(
+        !response.contains("trace_id"),
+        "without --trace the wire stays untagged: {response}"
+    );
+    let chunk = obs::drain();
+    assert!(chunk.events.is_empty(), "disabled tracing recorded spans");
+    assert_eq!(chunk.dropped, 0);
+}

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use coschedule::persist::{restore_session_str, snapshot_session_string};
 use coschedule::session::{InstanceId, Session};
+use experiments::serve::metrics::LatencyHistogram;
 use experiments::serve::wal::{read_wal_records, Durability, WalWriter};
 use minijson::Json;
 use proptest::prelude::*;
@@ -216,7 +217,7 @@ proptest! {
         let dir = scratch_dir();
         let session = Session::new();
         let mut writer = WalWriter::create(
-            &dir, 0, 1, Durability::Log, 1 << 32, 0, &session, 0, 0,
+            &dir, 0, 1, Durability::Log, 1 << 32, 0, &session, 0, &LatencyHistogram::default(), 0,
         )
         .expect("create writer");
         for payload in &payloads {
@@ -242,7 +243,7 @@ proptest! {
         let dir = scratch_dir();
         let session = Session::new();
         let mut writer = WalWriter::create(
-            &dir, 0, 1, Durability::Log, 1 << 32, 0, &session, 0, 0,
+            &dir, 0, 1, Durability::Log, 1 << 32, 0, &session, 0, &LatencyHistogram::default(), 0,
         )
         .expect("create writer");
         for payload in &payloads {
